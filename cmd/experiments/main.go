@@ -1,0 +1,67 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	go run ./cmd/experiments -list
+//	go run ./cmd/experiments -exp fig6
+//	go run ./cmd/experiments -all [-quick]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"flashflow/internal/experiments"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		exp   = flag.String("exp", "", "experiment id to run (see -list)")
+		all   = flag.Bool("all", false, "run every experiment")
+		list  = flag.Bool("list", false, "list experiment ids")
+		quick = flag.Bool("quick", false, "use reduced configurations")
+	)
+	flag.Parse()
+
+	switch {
+	case *list:
+		for _, id := range experiments.IDs() {
+			title, _ := experiments.Title(id)
+			fmt.Printf("%-9s %s\n", id, title)
+		}
+		return nil
+	case *all:
+		for _, id := range experiments.IDs() {
+			if err := printOne(id, *quick); err != nil {
+				return err
+			}
+		}
+		return nil
+	case *exp != "":
+		return printOne(*exp, *quick)
+	default:
+		flag.Usage()
+		return fmt.Errorf("specify -exp <id>, -all, or -list")
+	}
+}
+
+func printOne(id string, quick bool) error {
+	rep, err := experiments.Run(id, quick)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("== %s — %s ==\n", rep.ID, rep.Title)
+	for _, line := range rep.Lines {
+		fmt.Println(line)
+	}
+	fmt.Println()
+	return nil
+}

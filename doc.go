@@ -1,0 +1,13 @@
+// Package flashflow is a from-scratch Go reproduction of "FlashFlow: A
+// Secure Speed Test for Tor" (Traudt, Jansen, Johnson; ICDCS 2021).
+//
+// The library lives under internal/: the FlashFlow measurement system
+// (internal/core), the wire protocol over real connections
+// (internal/wire), and every substrate the paper depends on — a Tor-like
+// relay stack, a flow-level network simulator, a directory-authority
+// substrate, the TorFlow baseline, the §3 metrics analysis, and a
+// Shadow-like full-network simulation. See DESIGN.md for the system
+// inventory and the per-experiment index, EXPERIMENTS.md for
+// paper-vs-measured results, and bench_test.go for the harness that
+// regenerates every table and figure.
+package flashflow

@@ -1,0 +1,69 @@
+// Command loadbalance runs the paper's §7 comparison end to end: build a
+// private Tor-like network, measure it with both FlashFlow and TorFlow,
+// then simulate client traffic under each system's weights and compare
+// transfer times, timeout rates, and throughput (Fig. 8 and Fig. 9).
+//
+// Usage: go run ./examples/loadbalance
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"flashflow/internal/shadow"
+	"flashflow/internal/stats"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	relays := shadow.SampleNetwork(60, 3e9, 42)
+	fmt.Printf("network: %d relays, %.1f Gbit/s total capacity\n",
+		len(relays), shadow.TotalCapacityBps(relays)/1e9)
+
+	ffWeights, err := shadow.MeasureWithFlashFlow(relays, 1)
+	if err != nil {
+		return err
+	}
+	tfWeights, err := shadow.MeasureWithTorFlow(relays, 2)
+	if err != nil {
+		return err
+	}
+
+	ffErr := shadow.AnalyzeErrors(relays, ffWeights, ffWeights)
+	tfErr := shadow.AnalyzeErrors(relays, tfWeights, nil)
+	fmt.Printf("\nmeasurement error (Fig. 8):\n")
+	fmt.Printf("  FlashFlow: capacity error %.1f%%, weight error %.1f%%\n",
+		ffErr.NetworkCapacityError*100, ffErr.NetworkWeightError*100)
+	fmt.Printf("  TorFlow:   weight error %.1f%%\n", tfErr.NetworkWeightError*100)
+
+	cfg := shadow.DefaultConfig()
+	cfg.Duration = 3 * time.Minute
+	cfg.Clients = shadow.ClientsForUtilization(relays, cfg, 0.35)
+	fmt.Printf("\nclient performance under each weighting (Fig. 9), load 100%%/130%%:\n")
+	fmt.Printf("%-10s %-6s %-12s %-12s %-12s %-10s\n", "system", "load", "med 50KiB(s)", "med 1MiB(s)", "med 5MiB(s)", "timeout%")
+	for _, load := range []float64{1.0, 1.3} {
+		cfg.LoadScale = load
+		for _, sys := range []struct {
+			name    string
+			weights []float64
+		}{{"TorFlow", tfWeights}, {"FlashFlow", ffWeights}} {
+			res, err := shadow.Run(cfg, relays, sys.weights)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("%-10s %-6.0f %-12.2f %-12.2f %-12.2f %-10.1f\n",
+				sys.name, load*100,
+				stats.Median(res.TTLBSeconds["50KiB"]),
+				stats.Median(res.TTLBSeconds["1MiB"]),
+				stats.Median(res.TTLBSeconds["5MiB"]),
+				res.TimeoutRate*100)
+		}
+	}
+	return nil
+}

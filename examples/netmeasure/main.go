@@ -1,0 +1,89 @@
+// Command netmeasure reproduces the §7 "Network Measurement Efficiency"
+// analysis: how fast a 3×1 Gbit/s team can measure a July-2019-sized Tor
+// network, how the randomized multi-BWAuth schedule lays out a period, and
+// how quickly new relays get measured.
+//
+// Usage: go run ./examples/netmeasure
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"flashflow/internal/core"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// julyNetwork approximates Tor's July 2019 state: ~6,419 relays totalling
+// ~608 Gbit/s with a 998 Mbit/s maximum.
+func julyNetwork() []core.RelayEstimate {
+	const n, total = 6419, 608e9
+	relays := make([]core.RelayEstimate, n)
+	var sum float64
+	for i := range relays {
+		c := 1 / math.Pow(float64(i+1), 0.7)
+		relays[i] = core.RelayEstimate{Name: fmt.Sprintf("r%05d", i), EstimateBps: c}
+		sum += c
+	}
+	for i := range relays {
+		relays[i].EstimateBps *= total / sum
+		if relays[i].EstimateBps > 998e6 {
+			relays[i].EstimateBps = 998e6
+		}
+	}
+	return relays
+}
+
+func run() error {
+	p := core.DefaultParams()
+	relays := julyNetwork()
+	var total float64
+	for _, r := range relays {
+		total += r.EstimateBps
+	}
+	const teamCap = 3e9 // 3 measurers × 1 Gbit/s
+
+	fmt.Printf("network: %d relays, %.0f Gbit/s total; team capacity %.0f Gbit/s\n",
+		len(relays), total/1e9, teamCap/1e9)
+
+	for _, f := range []struct {
+		label string
+		value float64
+	}{
+		{"f = 2.84 (§7)", core.ExcessFactorPaper7},
+		{fmt.Sprintf("f = %.3f (§4.2 formula)", p.ExcessFactor()), p.ExcessFactor()},
+	} {
+		res := core.GreedyFastestSchedule(relays, teamCap, f.value, p)
+		fmt.Printf("greedy whole-network measurement with %s: %d slots = %.1f hours (%d relays, %d unmeasurable)\n",
+			f.label, res.SlotsUsed, res.HoursUsed(p), res.RelaysMeasured, len(res.Unmeasurable))
+	}
+
+	// Randomized per-period schedule for 3 BWAuths.
+	sched, err := core.BuildSchedule([]byte("shared-seed"), relays, []float64{teamCap, teamCap, teamCap}, p)
+	if err != nil {
+		return err
+	}
+	busy := 0
+	for _, slot := range sched.PerBWAuth[0] {
+		if len(slot) > 0 {
+			busy++
+		}
+	}
+	fmt.Printf("randomized period schedule: %d slots, BWAuth 0 busy in %d (%.0f%%), %d unscheduled\n",
+		sched.NumSlots, busy, 100*float64(busy)/float64(sched.NumSlots), len(sched.Unscheduled))
+
+	// New-relay latency at the July 2019 prior of 51 Mbit/s.
+	occupied := 599.0 / 2880.0
+	for _, n := range []int{1, 3, 98} {
+		slots := core.NewRelaySlots(n, 51e6, teamCap, occupied, p)
+		fmt.Printf("new relays: %3d arriving → measured within %d slot(s) = %d s\n",
+			n, slots, slots*p.SlotSeconds)
+	}
+	return nil
+}

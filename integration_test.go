@@ -1,0 +1,216 @@
+package flashflow
+
+// Integration tests crossing module boundaries: a full FlashFlow
+// measurement period from shared-randomness generation through scheduling,
+// measurement by multiple BWAuths, DirAuth aggregation, and finally load
+// balancing in the Shadow-like network simulation — the complete §4
+// pipeline feeding the §7 evaluation.
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"flashflow/internal/core"
+	"flashflow/internal/dirauth"
+	"flashflow/internal/relay"
+	"flashflow/internal/shadow"
+	"flashflow/internal/stats"
+)
+
+func integrationPaths() []core.PathModel {
+	return []core.PathModel{
+		{RTT: 40 * time.Millisecond, LinkBps: 1e9, BiasSigma: 0.05, JitterSigma: 0.03},
+		{RTT: 90 * time.Millisecond, LinkBps: 1e9, BiasSigma: 0.05, JitterSigma: 0.03},
+		{RTT: 140 * time.Millisecond, LinkBps: 1e9, BiasSigma: 0.05, JitterSigma: 0.03},
+	}
+}
+
+func integrationTeam() []*core.Measurer {
+	return []*core.Measurer{
+		{Name: "m1", CapacityBps: 1e9, Cores: 4},
+		{Name: "m2", CapacityBps: 1e9, Cores: 4},
+		{Name: "m3", CapacityBps: 1e9, Cores: 4},
+	}
+}
+
+// TestFullPeriodPipeline drives the complete pipeline for one measurement
+// period with three BWAuths and a small relay population.
+func TestFullPeriodPipeline(t *testing.T) {
+	p := core.DefaultParams()
+	relays := shadow.SampleNetwork(25, 2e9, 17)
+
+	// Phase 1: the BWAuths run the shared-randomness protocol.
+	var commits []core.Commitment
+	var reveals []core.Reveal
+	for i := 0; i < 3; i++ {
+		r, err := core.NewRandomReveal(fmt.Sprintf("bw%d", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		commits = append(commits, r.Commit())
+		reveals = append(reveals, r)
+	}
+	shared, err := core.SharedRandomness(commits, reveals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seed := core.PeriodSeed(shared, 1)
+
+	// Phase 2: every BWAuth independently derives the same schedule.
+	ests := make([]core.RelayEstimate, len(relays))
+	for i, r := range relays {
+		ests[i] = core.RelayEstimate{Name: r.Name, EstimateBps: r.AdvertisedBps}
+	}
+	teamCaps := []float64{3e9, 3e9, 3e9}
+	sched1, err := core.BuildSchedule(seed, ests, teamCaps, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched2, err := core.BuildSchedule(seed, ests, teamCaps, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range relays {
+		for b := 0; b < 3; b++ {
+			s1, s2 := sched1.SlotOf(b, r.Name), sched2.SlotOf(b, r.Name)
+			if s1 != s2 {
+				t.Fatalf("schedule divergence for %s at bwauth %d", r.Name, b)
+			}
+			if s1 < 0 {
+				t.Fatalf("relay %s unscheduled at bwauth %d", r.Name, b)
+			}
+		}
+	}
+
+	// Phase 3: each BWAuth measures every relay with its own team and
+	// independent backend noise.
+	names := make([]string, len(relays))
+	auths := make([]*core.BWAuth, 3)
+	for b := range auths {
+		backend := core.NewSimBackend(integrationPaths(), int64(100+b))
+		for i, r := range relays {
+			names[i] = r.Name
+			backend.AddTarget(r.Name, &core.SimTarget{
+				Relay:    relay.New(relay.Config{Name: r.Name, TorCapBps: r.CapacityBps}),
+				LinkBps:  1e9,
+				Behavior: core.BehaviorHonest,
+			})
+		}
+		auths[b] = core.NewBWAuth(fmt.Sprintf("bw%d", b), integrationTeam(), backend, p)
+		for i, r := range relays {
+			auths[b].SetEstimate(names[i], r.AdvertisedBps)
+		}
+	}
+	period := core.RunPeriod(auths, names)
+	if len(period.Errors) != 0 {
+		t.Fatalf("measurement errors: %v", period.Errors)
+	}
+
+	// Phase 4: DirAuth aggregation into a consensus.
+	files := make([]*dirauth.BandwidthFile, len(auths))
+	for i, a := range auths {
+		files[i] = a.BandwidthFile(0)
+	}
+	consensus, err := dirauth.AggregateMedian(time.Hour, files, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(consensus.Relays) != len(relays) {
+		t.Fatalf("consensus covers %d relays, want %d", len(consensus.Relays), len(relays))
+	}
+
+	// The consensus weights should track true capacity much better than
+	// the advertised bandwidths did.
+	caps := make([]float64, len(relays))
+	advs := make([]float64, len(relays))
+	weights := make([]float64, len(relays))
+	for i, r := range relays {
+		caps[i] = r.CapacityBps
+		advs[i] = r.AdvertisedBps
+		e, ok := consensus.Lookup(r.Name)
+		if !ok {
+			t.Fatalf("relay %s missing from consensus", r.Name)
+		}
+		weights[i] = e.WeightBps
+	}
+	nweFlashFlow := stats.TotalVariationDistance(stats.Normalize(weights), stats.Normalize(caps))
+	nweAdvertised := stats.TotalVariationDistance(stats.Normalize(advs), stats.Normalize(caps))
+	if nweFlashFlow >= nweAdvertised {
+		t.Fatalf("FlashFlow weights (NWE %.3f) should beat advertised bandwidths (NWE %.3f)",
+			nweFlashFlow, nweAdvertised)
+	}
+	if nweFlashFlow > 0.10 {
+		t.Fatalf("FlashFlow consensus NWE too high: %.3f", nweFlashFlow)
+	}
+
+	// Phase 5: the consensus balances load in the network simulation.
+	cfg := shadow.DefaultConfig()
+	cfg.Duration = time.Minute
+	cfg.Clients = shadow.ClientsForUtilization(relays, cfg, 0.3)
+	res, err := shadow.Run(cfg, relays, weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BenchTransfers == 0 {
+		t.Fatal("no benchmark transfers completed")
+	}
+	if res.TimeoutRate > 0.2 {
+		t.Fatalf("timeout rate under FlashFlow weights: %v", res.TimeoutRate)
+	}
+}
+
+// TestPeriodWithAdversaries verifies the period pipeline holds its §5
+// properties with misbehaving relays in the population.
+func TestPeriodWithAdversaries(t *testing.T) {
+	p := core.DefaultParams()
+	backendFor := func(seed int64) *core.SimBackend {
+		b := core.NewSimBackend(integrationPaths(), seed)
+		b.AddTarget("honest", &core.SimTarget{
+			Relay:    relay.New(relay.Config{Name: "honest", TorCapBps: 200e6}),
+			LinkBps:  1e9,
+			Behavior: core.BehaviorHonest,
+		})
+		b.AddTarget("liar", &core.SimTarget{
+			Relay:    relay.New(relay.Config{Name: "liar", TorCapBps: 200e6}),
+			LinkBps:  1e9,
+			Behavior: core.BehaviorInflateNormal,
+		})
+		b.AddTarget("forger", &core.SimTarget{
+			Relay:      relay.New(relay.Config{Name: "forger", TorCapBps: 200e6}),
+			LinkBps:    1e9,
+			Behavior:   core.BehaviorForgeEcho,
+			ForgeBoost: 2,
+		})
+		return b
+	}
+	auths := make([]*core.BWAuth, 3)
+	for b := range auths {
+		auths[b] = core.NewBWAuth(fmt.Sprintf("bw%d", b), integrationTeam(), backendFor(int64(b)), p)
+		for _, n := range []string{"honest", "liar", "forger"} {
+			auths[b].SetEstimate(n, 200e6)
+		}
+	}
+	period := core.RunPeriod(auths, []string{"honest", "liar", "forger"})
+
+	// The forger fails at every BWAuth.
+	forgerErrors := 0
+	for key := range period.Errors {
+		if key == "bw0/forger" || key == "bw1/forger" || key == "bw2/forger" {
+			forgerErrors++
+		}
+	}
+	if forgerErrors != 3 {
+		t.Fatalf("forger should fail at all 3 BWAuths, failed at %d", forgerErrors)
+	}
+	// The honest relay's median is accurate.
+	honest := period.MedianEstimates["honest"]
+	if honest < 160e6 || honest > 215e6 {
+		t.Fatalf("honest median estimate: %v", honest)
+	}
+	// The liar is clamped at ≤ 1.33× (+ε2 headroom).
+	liar := period.MedianEstimates["liar"]
+	if liar > 200e6*p.MaxInflation()*(1+p.Eps2) {
+		t.Fatalf("liar median estimate above the §5 bound: %v", liar)
+	}
+}

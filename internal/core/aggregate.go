@@ -1,0 +1,109 @@
+package core
+
+import (
+	"errors"
+
+	"flashflow/internal/stats"
+)
+
+// MeasurementData is the raw per-second data a BWAuth collects during one
+// measurement slot (§4.1): for each measurer i and second j, the number of
+// measurement bytes x_j^i relayed by the target back to that measurer; and
+// for each second j, the number of normal-traffic bytes y_j the target
+// claims to have relayed.
+type MeasurementData struct {
+	// MeasBytes[i][j] is measurer i's received measurement bytes in
+	// second j.
+	MeasBytes [][]float64
+	// NormBytes[j] is the target's reported normal bytes in second j.
+	NormBytes []float64
+	// Failed indicates a measurer reported an echo-verification failure;
+	// the BWAuth discards the measurement (§4.1).
+	Failed bool
+}
+
+// AggregateResult is the outcome of aggregating one measurement slot.
+type AggregateResult struct {
+	// EstimateBytesPerSec is the capacity estimate z: the median of the
+	// per-second totals.
+	EstimateBytesPerSec float64
+	// PerSecondTotals holds z_j = x_j + clamped y_j for each second.
+	PerSecondTotals []float64
+	// PerSecondMeas and PerSecondNorm are x_j and the clamped y_j series.
+	PerSecondMeas []float64
+	PerSecondNorm []float64
+	// ClampedSeconds counts seconds where the relay's normal-traffic
+	// report exceeded the ratio limit and was clamped — nonzero values
+	// indicate either saturation or lying.
+	ClampedSeconds int
+}
+
+// Errors from aggregation.
+var (
+	ErrNoData            = errors.New("core: no measurement data")
+	ErrMeasurementFailed = errors.New("core: measurement failed echo verification")
+	ErrRaggedData        = errors.New("core: per-measurer series have different lengths")
+)
+
+// Aggregate implements the §4.1 aggregation: per-second sums of
+// measurement traffic x_j = Σ_i x_j^i, clamping of reported normal traffic
+// to y_j ≤ x_j·r/(1−r), per-second totals z_j = x_j + y_j, and the median
+// estimate z = median(z_1…z_t).
+//
+// The clamp is the security mechanism limiting a lying relay to a factor
+// 1/(1−r) inflation: the relay may fabricate normal-traffic reports, but
+// the BWAuth never credits normal traffic beyond the r-ratio share implied
+// by the measurement traffic it verified directly.
+func Aggregate(data MeasurementData, ratio float64) (AggregateResult, error) {
+	if data.Failed {
+		return AggregateResult{}, ErrMeasurementFailed
+	}
+	if len(data.MeasBytes) == 0 || len(data.MeasBytes[0]) == 0 {
+		return AggregateResult{}, ErrNoData
+	}
+	seconds := len(data.MeasBytes[0])
+	for _, series := range data.MeasBytes {
+		if len(series) != seconds {
+			return AggregateResult{}, ErrRaggedData
+		}
+	}
+	if len(data.NormBytes) != 0 && len(data.NormBytes) != seconds {
+		return AggregateResult{}, ErrRaggedData
+	}
+
+	res := AggregateResult{
+		PerSecondTotals: make([]float64, seconds),
+		PerSecondMeas:   make([]float64, seconds),
+		PerSecondNorm:   make([]float64, seconds),
+	}
+	clampFactor := ratio / (1 - ratio)
+	for j := 0; j < seconds; j++ {
+		var x float64
+		for i := range data.MeasBytes {
+			x += data.MeasBytes[i][j]
+		}
+		var y float64
+		if len(data.NormBytes) == seconds {
+			y = data.NormBytes[j]
+		}
+		limit := x * clampFactor
+		if y > limit {
+			y = limit
+			res.ClampedSeconds++
+		}
+		res.PerSecondMeas[j] = x
+		res.PerSecondNorm[j] = y
+		res.PerSecondTotals[j] = x + y
+	}
+	res.EstimateBytesPerSec = stats.Median(res.PerSecondTotals)
+	return res, nil
+}
+
+// EstimateAccepted implements the §4.2 acceptance condition: the estimate
+// z (bytes/s) is conclusive if z < Σ_i a_i · (1−ε1)/m, i.e. small enough
+// relative to the allocated measurer capacity that it could only result
+// from a true capacity close to z. allocatedBps is Σ a_i in bits/s.
+func EstimateAccepted(zBytesPerSec, allocatedBps float64, p Params) bool {
+	zBps := zBytesPerSec * 8
+	return zBps < allocatedBps*(1-p.Eps1)/p.Multiplier
+}

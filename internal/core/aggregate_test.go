@@ -1,0 +1,226 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestParamsDefaults(t *testing.T) {
+	p := DefaultParams()
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if p.Sockets != 160 || p.Multiplier != 2.25 || p.SlotSeconds != 30 {
+		t.Fatalf("defaults wrong: %+v", p)
+	}
+	if p.Eps1 != 0.20 || p.Eps2 != 0.05 || p.Ratio != 0.25 {
+		t.Fatalf("error params wrong: %+v", p)
+	}
+}
+
+func TestExcessFactor(t *testing.T) {
+	p := DefaultParams()
+	want := 2.25 * 1.05 / 0.80
+	if got := p.ExcessFactor(); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("excess factor: got %v want %v", got, want)
+	}
+}
+
+func TestMaxInflation133(t *testing.T) {
+	p := DefaultParams()
+	if got := p.MaxInflation(); math.Abs(got-4.0/3.0) > 1e-12 {
+		t.Fatalf("max inflation: got %v want 1.33…", got)
+	}
+}
+
+func TestParamsValidateRejects(t *testing.T) {
+	bad := []func(*Params){
+		func(p *Params) { p.Sockets = 0 },
+		func(p *Params) { p.Multiplier = 0.5 },
+		func(p *Params) { p.SlotSeconds = 0 },
+		func(p *Params) { p.Eps1 = 1.0 },
+		func(p *Params) { p.Eps2 = -0.1 },
+		func(p *Params) { p.Ratio = 1.0 },
+		func(p *Params) { p.CheckProb = 2 },
+		func(p *Params) { p.Period = 0 },
+		func(p *Params) { p.NewRelayPercentile = 0 },
+		func(p *Params) { p.MaxMeasureAttempts = 0 },
+	}
+	for i, mutate := range bad {
+		p := DefaultParams()
+		mutate(&p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d: expected validation error", i)
+		}
+	}
+}
+
+func TestSlotsPerPeriod(t *testing.T) {
+	p := DefaultParams()
+	if got := p.SlotsPerPeriod(); got != 2880 {
+		t.Fatalf("slots per 24 h period at 30 s: got %d want 2880", got)
+	}
+}
+
+func TestAggregateBasicMedian(t *testing.T) {
+	// Two measurers, three seconds, no normal traffic.
+	data := MeasurementData{
+		MeasBytes: [][]float64{
+			{100, 200, 300},
+			{100, 200, 300},
+		},
+	}
+	res, err := Aggregate(data, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.EstimateBytesPerSec != 400 {
+		t.Fatalf("estimate: got %v want 400 (median of 200,400,600)", res.EstimateBytesPerSec)
+	}
+}
+
+func TestAggregateIncorporatesNormalTraffic(t *testing.T) {
+	data := MeasurementData{
+		MeasBytes: [][]float64{{300, 300, 300}},
+		NormBytes: []float64{50, 50, 50},
+	}
+	res, err := Aggregate(data, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// limit = 300·0.25/0.75 = 100 ≥ 50: no clamping.
+	if res.EstimateBytesPerSec != 350 {
+		t.Fatalf("estimate: got %v want 350", res.EstimateBytesPerSec)
+	}
+	if res.ClampedSeconds != 0 {
+		t.Fatalf("clamped seconds: got %d want 0", res.ClampedSeconds)
+	}
+}
+
+func TestAggregateClampsLyingRelay(t *testing.T) {
+	// The relay claims absurd normal traffic; credited normal traffic is
+	// clamped to x·r/(1−r), bounding inflation at 1/(1−r) (§5).
+	data := MeasurementData{
+		MeasBytes: [][]float64{{300, 300, 300}},
+		NormBytes: []float64{1e9, 1e9, 1e9},
+	}
+	res, err := Aggregate(data, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.EstimateBytesPerSec != 400 {
+		t.Fatalf("estimate: got %v want 400 (= 300/(1-0.25))", res.EstimateBytesPerSec)
+	}
+	if res.ClampedSeconds != 3 {
+		t.Fatalf("clamped seconds: got %d want 3", res.ClampedSeconds)
+	}
+	// Inflation bound: estimate ≤ x · 1/(1−r).
+	if res.EstimateBytesPerSec > 300/(1-0.25)+1e-9 {
+		t.Fatal("inflation bound violated")
+	}
+}
+
+func TestAggregateFailed(t *testing.T) {
+	data := MeasurementData{MeasBytes: [][]float64{{1}}, Failed: true}
+	if _, err := Aggregate(data, 0.25); !errors.Is(err, ErrMeasurementFailed) {
+		t.Fatalf("want ErrMeasurementFailed, got %v", err)
+	}
+}
+
+func TestAggregateEmpty(t *testing.T) {
+	if _, err := Aggregate(MeasurementData{}, 0.25); !errors.Is(err, ErrNoData) {
+		t.Fatalf("want ErrNoData, got %v", err)
+	}
+}
+
+func TestAggregateRagged(t *testing.T) {
+	data := MeasurementData{MeasBytes: [][]float64{{1, 2}, {1}}}
+	if _, err := Aggregate(data, 0.25); !errors.Is(err, ErrRaggedData) {
+		t.Fatalf("want ErrRaggedData, got %v", err)
+	}
+	data2 := MeasurementData{MeasBytes: [][]float64{{1, 2}}, NormBytes: []float64{1}}
+	if _, err := Aggregate(data2, 0.25); !errors.Is(err, ErrRaggedData) {
+		t.Fatalf("want ErrRaggedData for norm series, got %v", err)
+	}
+}
+
+func TestEstimateAccepted(t *testing.T) {
+	p := DefaultParams()
+	// Allocation 2.953·z0 for z0 = 100 Mbit/s; estimate ≈ z0 should be
+	// accepted: threshold = alloc·(1−ε1)/m = 2.953·100·0.8/2.25 = 105 Mbit/s.
+	alloc := RequiredBps(100e6, p)
+	if !EstimateAccepted(100e6/8, alloc, p) {
+		t.Fatal("estimate ≈ prior should be accepted")
+	}
+	if EstimateAccepted(120e6/8, alloc, p) {
+		t.Fatal("estimate well above the conclusive threshold should be rejected")
+	}
+}
+
+// §4.2's algebra: if the original estimate z0 is the true capacity and the
+// measurement lands within (1−ε1, 1+ε2)·z0, the acceptance condition holds.
+func TestAcceptanceConditionAlgebraQuick(t *testing.T) {
+	p := DefaultParams()
+	f := func(z0Mbit uint16, noiseThousandths uint8) bool {
+		z0 := float64(z0Mbit%2000+1) * 1e6
+		// Measurement within (1−ε1, 1+ε2)·z0 — strictly inside.
+		frac := 1 - p.Eps1 + (p.Eps1+p.Eps2)*float64(noiseThousandths)/256
+		z := z0 * frac * 0.999
+		alloc := RequiredBps(z0, p)
+		return EstimateAccepted(z/8, alloc, p)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: aggregation is permutation invariant across measurers and
+// bounded by Σx·(1+r/(1−r)).
+func TestAggregatePropertiesQuick(t *testing.T) {
+	f := func(seed int64, seconds uint8, measurers uint8) bool {
+		s := int(seconds)%20 + 1
+		m := int(measurers)%5 + 1
+		rng := rand.New(rand.NewSource(seed))
+		data := MeasurementData{MeasBytes: make([][]float64, m), NormBytes: make([]float64, s)}
+		for i := range data.MeasBytes {
+			data.MeasBytes[i] = make([]float64, s)
+			for j := range data.MeasBytes[i] {
+				data.MeasBytes[i][j] = rng.Float64() * 1e6
+			}
+		}
+		for j := range data.NormBytes {
+			data.NormBytes[j] = rng.Float64() * 1e7
+		}
+		const r = 0.25
+		res, err := Aggregate(data, r)
+		if err != nil {
+			return false
+		}
+		// Bound check per second.
+		for j := 0; j < s; j++ {
+			var x float64
+			for i := 0; i < m; i++ {
+				x += data.MeasBytes[i][j]
+			}
+			if res.PerSecondTotals[j] > x/(1-r)+1e-6 {
+				return false
+			}
+		}
+		// Permutation invariance: reverse measurer order.
+		rev := MeasurementData{MeasBytes: make([][]float64, m), NormBytes: data.NormBytes}
+		for i := range rev.MeasBytes {
+			rev.MeasBytes[i] = data.MeasBytes[m-1-i]
+		}
+		res2, err := Aggregate(rev, r)
+		if err != nil {
+			return false
+		}
+		return math.Abs(res.EstimateBytesPerSec-res2.EstimateBytesPerSec) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

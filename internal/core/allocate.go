@@ -1,0 +1,228 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Measurer describes one measurement host in a team: its name, its
+// measured network capacity c_i (from the iPerf self-measurement, §4.2),
+// and how much of that capacity is currently committed to concurrent
+// measurements.
+type Measurer struct {
+	Name        string
+	CapacityBps float64
+	// CommittedBps is capacity reserved by in-flight measurements; the
+	// scheduler keeps it ≤ CapacityBps.
+	CommittedBps float64
+	// Cores bounds the number of measuring Tor processes k_i that can be
+	// started (§4.1: one per CPU core, always at least one).
+	Cores int
+}
+
+// ResidualBps returns the measurer's uncommitted capacity.
+func (m *Measurer) ResidualBps() float64 {
+	r := m.CapacityBps - m.CommittedBps
+	if r < 0 {
+		return 0
+	}
+	return r
+}
+
+// Allocation is the per-measurer capacity assignment a_1…a_m for one
+// measurement, with the process and socket split of §4.1.
+type Allocation struct {
+	// PerMeasurerBps[i] is a_i (0 means measurer i does not participate).
+	PerMeasurerBps []float64
+	// Processes[i] is k_i, the number of measuring Tor processes at
+	// measurer i; each is rate-limited to a_i/k_i.
+	Processes []int
+	// SocketsPer[i] is the socket count measurer i uses (an even share
+	// s/m' of the total across the m' participating measurers).
+	SocketsPer []int
+	// TotalBps is Σ a_i.
+	TotalBps float64
+}
+
+// ErrInsufficientCapacity is returned when the team cannot supply the
+// required capacity.
+var ErrInsufficientCapacity = errors.New("core: insufficient team capacity")
+
+// AllocateGreedy implements §4.2's greedy allocation: to supply needBps of
+// measurement capacity, repeatedly assign the measurer with the most
+// residual capacity either all of its remaining capacity or as much as is
+// needed to reach the target. It returns the allocation without mutating
+// the measurers; callers commit it with Commit.
+func AllocateGreedy(team []*Measurer, needBps float64, p Params) (Allocation, error) {
+	if needBps <= 0 {
+		return Allocation{}, fmt.Errorf("core: nonpositive capacity request %v", needBps)
+	}
+	var residualTotal float64
+	for _, m := range team {
+		residualTotal += m.ResidualBps()
+	}
+	if residualTotal < needBps {
+		return Allocation{}, fmt.Errorf("%w: need %.0f, have %.0f", ErrInsufficientCapacity, needBps, residualTotal)
+	}
+
+	alloc := Allocation{
+		PerMeasurerBps: make([]float64, len(team)),
+		Processes:      make([]int, len(team)),
+		SocketsPer:     make([]int, len(team)),
+	}
+	// Order of consideration: most residual capacity first; ties broken
+	// by index for determinism.
+	order := make([]int, len(team))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return team[order[a]].ResidualBps() > team[order[b]].ResidualBps()
+	})
+	remaining := needBps
+	for _, idx := range order {
+		if remaining <= 0 {
+			break
+		}
+		take := team[idx].ResidualBps()
+		if take > remaining {
+			take = remaining
+		}
+		if take <= 0 {
+			continue
+		}
+		alloc.PerMeasurerBps[idx] = take
+		alloc.TotalBps += take
+		remaining -= take
+	}
+
+	// Socket and process split across the participating measurers.
+	participating := 0
+	for _, a := range alloc.PerMeasurerBps {
+		if a > 0 {
+			participating++
+		}
+	}
+	for i, a := range alloc.PerMeasurerBps {
+		if a <= 0 {
+			continue
+		}
+		cores := team[i].Cores
+		if cores < 1 {
+			cores = 1
+		}
+		alloc.Processes[i] = cores
+		alloc.SocketsPer[i] = p.Sockets / participating
+		if alloc.SocketsPer[i] < 1 {
+			alloc.SocketsPer[i] = 1
+		}
+	}
+	return alloc, nil
+}
+
+// AllocateEven divides needBps evenly across all team members, as the
+// paper's accuracy experiments do ("we divide that capacity assignment
+// evenly across the measurers in the subset", Appendix E.2). Members whose
+// residual capacity is below the even share contribute what they can; the
+// shortfall is redistributed greedily.
+func AllocateEven(team []*Measurer, needBps float64, p Params) (Allocation, error) {
+	if needBps <= 0 {
+		return Allocation{}, fmt.Errorf("core: nonpositive capacity request %v", needBps)
+	}
+	if len(team) == 0 {
+		return Allocation{}, ErrInsufficientCapacity
+	}
+	var residualTotal float64
+	for _, m := range team {
+		residualTotal += m.ResidualBps()
+	}
+	if residualTotal < needBps {
+		return Allocation{}, fmt.Errorf("%w: need %.0f, have %.0f", ErrInsufficientCapacity, needBps, residualTotal)
+	}
+	alloc := Allocation{
+		PerMeasurerBps: make([]float64, len(team)),
+		Processes:      make([]int, len(team)),
+		SocketsPer:     make([]int, len(team)),
+	}
+	share := needBps / float64(len(team))
+	var assigned float64
+	for i, m := range team {
+		a := share
+		if r := m.ResidualBps(); a > r {
+			a = r
+		}
+		alloc.PerMeasurerBps[i] = a
+		assigned += a
+	}
+	// Redistribute any shortfall to members with headroom.
+	for pass := 0; pass < len(team) && needBps-assigned > 1e-6; pass++ {
+		for i, m := range team {
+			headroom := m.ResidualBps() - alloc.PerMeasurerBps[i]
+			if headroom <= 0 {
+				continue
+			}
+			extra := needBps - assigned
+			if extra > headroom {
+				extra = headroom
+			}
+			alloc.PerMeasurerBps[i] += extra
+			assigned += extra
+			if needBps-assigned <= 1e-6 {
+				break
+			}
+		}
+	}
+	alloc.TotalBps = assigned
+	for i, a := range alloc.PerMeasurerBps {
+		if a <= 0 {
+			continue
+		}
+		cores := team[i].Cores
+		if cores < 1 {
+			cores = 1
+		}
+		alloc.Processes[i] = cores
+		alloc.SocketsPer[i] = p.Sockets / len(team)
+		if alloc.SocketsPer[i] < 1 {
+			alloc.SocketsPer[i] = 1
+		}
+	}
+	return alloc, nil
+}
+
+// Commit reserves the allocation's capacity on the team.
+func Commit(team []*Measurer, a Allocation) {
+	for i, amt := range a.PerMeasurerBps {
+		if i < len(team) {
+			team[i].CommittedBps += amt
+		}
+	}
+}
+
+// Release returns the allocation's capacity to the team.
+func Release(team []*Measurer, a Allocation) {
+	for i, amt := range a.PerMeasurerBps {
+		if i < len(team) {
+			team[i].CommittedBps -= amt
+			if team[i].CommittedBps < 0 {
+				team[i].CommittedBps = 0
+			}
+		}
+	}
+}
+
+// TeamCapacityBps returns the team's total capacity Σ c_i.
+func TeamCapacityBps(team []*Measurer) float64 {
+	var t float64
+	for _, m := range team {
+		t += m.CapacityBps
+	}
+	return t
+}
+
+// RequiredBps returns the measurer capacity needed to measure a relay with
+// estimate z0Bps: f·z0 (§4.2).
+func RequiredBps(z0Bps float64, p Params) float64 {
+	return p.ExcessFactor() * z0Bps
+}

@@ -1,0 +1,108 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestAllocateEvenSplitsEqually(t *testing.T) {
+	team := team3x1G()
+	p := DefaultParams()
+	alloc, err := AllocateEven(team, 900e6, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, a := range alloc.PerMeasurerBps {
+		if math.Abs(a-300e6) > 1 {
+			t.Fatalf("measurer %d: got %v want 300e6", i, a)
+		}
+	}
+	if math.Abs(alloc.TotalBps-900e6) > 1 {
+		t.Fatalf("total: %v", alloc.TotalBps)
+	}
+}
+
+func TestAllocateEvenRedistributesShortfall(t *testing.T) {
+	// One measurer cannot carry its even share; the others absorb it.
+	team := []*Measurer{
+		{Name: "small", CapacityBps: 100e6, Cores: 1},
+		{Name: "big1", CapacityBps: 1e9, Cores: 4},
+		{Name: "big2", CapacityBps: 1e9, Cores: 4},
+	}
+	p := DefaultParams()
+	alloc, err := AllocateEven(team, 900e6, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if alloc.PerMeasurerBps[0] > 100e6+1 {
+		t.Fatalf("small measurer over capacity: %v", alloc.PerMeasurerBps[0])
+	}
+	if math.Abs(alloc.TotalBps-900e6) > 1e-3 {
+		t.Fatalf("total after redistribution: %v", alloc.TotalBps)
+	}
+}
+
+func TestAllocateEvenSocketShare(t *testing.T) {
+	team := team3x1G()
+	p := DefaultParams()
+	alloc, err := AllocateEven(team, 600e6, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range team {
+		if alloc.SocketsPer[i] != p.Sockets/3 {
+			t.Fatalf("sockets for %d: got %d want %d", i, alloc.SocketsPer[i], p.Sockets/3)
+		}
+	}
+}
+
+func TestAllocateEvenErrors(t *testing.T) {
+	p := DefaultParams()
+	if _, err := AllocateEven(nil, 1e6, p); err == nil {
+		t.Fatal("empty team should error")
+	}
+	if _, err := AllocateEven(team3x1G(), 0, p); err == nil {
+		t.Fatal("zero request should error")
+	}
+	if _, err := AllocateEven(team3x1G(), 10e9, p); err == nil {
+		t.Fatal("over-capacity request should error")
+	}
+}
+
+// Property: a feasible even allocation sums to the request, respects each
+// measurer's residual, and deviates from the even share only when capacity
+// forces it.
+func TestAllocateEvenInvariantsQuick(t *testing.T) {
+	p := DefaultParams()
+	f := func(caps [3]uint16, needScale uint8) bool {
+		team := make([]*Measurer, 3)
+		var total float64
+		for i, c := range caps {
+			capBps := float64(c%2000+1) * 1e6
+			team[i] = &Measurer{Name: "m", CapacityBps: capBps, Cores: 2}
+			total += capBps
+		}
+		need := total * float64(needScale%100+1) / 100
+		alloc, err := AllocateEven(team, need, p)
+		if err != nil {
+			return false
+		}
+		var sum float64
+		share := need / 3
+		for i, a := range alloc.PerMeasurerBps {
+			if a < -1e-9 || a > team[i].CapacityBps+1e-6 {
+				return false
+			}
+			// A measurer below the even share must be capacity-bound.
+			if a < share-1e-6 && math.Abs(a-team[i].CapacityBps) > 1e-6 {
+				return false
+			}
+			sum += a
+		}
+		return math.Abs(sum-need) < 1e-3
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,279 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"flashflow/internal/cell"
+	"flashflow/internal/relay"
+	"flashflow/internal/stats"
+	"flashflow/internal/tcp"
+)
+
+// TargetBehavior selects how a simulated target responds to measurement.
+type TargetBehavior int
+
+// Behaviors analyzed in §5.
+const (
+	// BehaviorHonest forwards measurement traffic and reports its true
+	// normal traffic.
+	BehaviorHonest TargetBehavior = iota + 1
+	// BehaviorInflateNormal sends no normal traffic but reports a huge
+	// normal-traffic figure, attempting the 1/(1−r) inflation attack.
+	BehaviorInflateNormal
+	// BehaviorForgeEcho echoes cells without performing the relay crypto,
+	// gaining apparent capacity but risking detection by the
+	// probability-p content checks.
+	BehaviorForgeEcho
+)
+
+// PathModel describes the network path from one measurer to the target.
+type PathModel struct {
+	// RTT between measurer and target.
+	RTT time.Duration
+	// LinkBps is the path's capacity (min of the two access links).
+	LinkBps float64
+	// LossRate is the path's steady-state packet loss (the Mathis model
+	// limits per-socket throughput; Appendix E.1's socket counts).
+	LossRate float64
+	// BiasSigma is the per-measurement multiplicative spread of the
+	// measurer's achieved rate relative to its configured allocation
+	// (shared virtual hosting, cross traffic, TCP dynamics under the
+	// token bucket). It is the inefficiency the excess factor f absorbs
+	// (§4.2): achieved = allocation × eff, eff ∈ [0.35, 1.05].
+	BiasSigma float64
+	// JitterSigma is the per-second multiplicative noise on the achieved
+	// rate, eff ∈ [0.7, 1.1].
+	JitterSigma float64
+	// EchoSigma is the per-second noise on received echo traffic; zero
+	// defaults to JitterSigma/2.
+	EchoSigma float64
+	// Tuned selects the 64 MiB-buffer kernel (Appendix D).
+	Tuned bool
+}
+
+// maxBps returns the path's achievable measurement rate with the given
+// socket count.
+func (pm PathModel) maxBps(sockets int) float64 {
+	cfg := tcp.DefaultConfig(pm.LinkBps, pm.RTT)
+	cfg.LossRate = pm.LossRate
+	if pm.Tuned {
+		cfg = cfg.Tuned()
+	}
+	return cfg.AggregateBps(sockets)
+}
+
+// SimTarget is a simulated target relay.
+type SimTarget struct {
+	// Relay models the target's scheduler and rate limits.
+	Relay *relay.Relay
+	// LinkBps is the target's access-link capacity (shared by all
+	// measurement and normal traffic).
+	LinkBps float64
+	// BackgroundBps gives the offered normal-traffic demand at each
+	// second of a measurement; nil means none.
+	BackgroundBps func(second int) float64
+	// Behavior selects honest or adversarial conduct.
+	Behavior TargetBehavior
+	// ForgeBoost is the apparent capacity multiplier gained by skipping
+	// relay crypto under BehaviorForgeEcho (e.g. 2.0).
+	ForgeBoost float64
+	// CapSigma is the per-measurement lognormal spread of the target's
+	// effective capacity (CPU contention, cross traffic at the target
+	// host during the 30-second slot) — the source of Fig. 6's ±11 %
+	// envelope. Zero disables it.
+	CapSigma float64
+	// SecondSigma is the per-second spread of the effective capacity.
+	SecondSigma float64
+}
+
+// SimBackend implements Backend over the path and relay models, standing
+// in for the paper's Internet experiments (§6).
+type SimBackend struct {
+	// Paths[i] models the path from team measurer i to any target (the
+	// paper's targets all live on US-SW).
+	Paths []PathModel
+	// Targets maps relay name to its model.
+	Targets map[string]*SimTarget
+	// CheckProb is the echo-verification probability p.
+	CheckProb float64
+
+	rng *rand.Rand
+}
+
+var _ Backend = (*SimBackend)(nil)
+
+// NewSimBackend creates a backend with a deterministic RNG.
+func NewSimBackend(paths []PathModel, seed int64) *SimBackend {
+	return &SimBackend{
+		Paths:     paths,
+		Targets:   make(map[string]*SimTarget),
+		CheckProb: DefaultParams().CheckProb,
+		rng:       rand.New(rand.NewSource(seed)),
+	}
+}
+
+// AddTarget registers a target relay model.
+func (b *SimBackend) AddTarget(name string, t *SimTarget) { b.Targets[name] = t }
+
+// RunMeasurement implements Backend.
+func (b *SimBackend) RunMeasurement(target string, alloc Allocation, seconds int) (MeasurementData, error) {
+	tgt, ok := b.Targets[target]
+	if !ok {
+		return MeasurementData{}, fmt.Errorf("core: unknown target %q", target)
+	}
+	if len(alloc.PerMeasurerBps) != len(b.Paths) {
+		return MeasurementData{}, fmt.Errorf("core: allocation for %d measurers, backend has %d paths", len(alloc.PerMeasurerBps), len(b.Paths))
+	}
+	tgt.Relay.SetMeasuring(true)
+	defer tgt.Relay.SetMeasuring(false)
+
+	m := len(alloc.PerMeasurerBps)
+	data := MeasurementData{
+		MeasBytes: make([][]float64, m),
+		NormBytes: make([]float64, seconds),
+	}
+	for i := range data.MeasBytes {
+		data.MeasBytes[i] = make([]float64, seconds)
+	}
+
+	// Per-measurement achieved-rate efficiency: shared hosting and cross
+	// traffic hold a whole measurement's delivery below its configured
+	// allocation (§6.2's spread; why m = 2.25 is needed, Appendix E.2).
+	bias := make([]float64, m)
+	for i := range bias {
+		bias[i] = clampedRange(b.rng, b.Paths[i].BiasSigma, 0.35, 1.05)
+	}
+
+	forgeBoost := 1.0
+	if tgt.Behavior == BehaviorForgeEcho && tgt.ForgeBoost > 1 {
+		forgeBoost = tgt.ForgeBoost
+	}
+	// The target's effective capacity this measurement. Down-skewed:
+	// contention can only take capacity away, so overshoot stays within
+	// the paper's ε2 = +5 % while undershoot has the longer tail.
+	capFactor := clampedRange(b.rng, tgt.CapSigma, 0.7, 1.03)
+
+	for j := 0; j < seconds; j++ {
+		// Each measurer's offered rate: its allocation, capped by what
+		// the path can carry with its socket share.
+		demands := make([]float64, m)
+		var measDemand float64
+		for i := range demands {
+			a := alloc.PerMeasurerBps[i]
+			if a <= 0 {
+				continue
+			}
+			pathMax := b.Paths[i].maxBps(alloc.SocketsPer[i])
+			jitter := clampedRange(b.rng, b.Paths[i].JitterSigma, 0.7, 1.1)
+			d := math.Min(a*bias[i]*jitter, pathMax)
+			demands[i] = d
+			measDemand += d
+		}
+		// The target's access link bounds the aggregate in each
+		// direction.
+		if tgt.LinkBps > 0 && measDemand > tgt.LinkBps {
+			scale := tgt.LinkBps / measDemand
+			for i := range demands {
+				demands[i] *= scale
+			}
+			measDemand = tgt.LinkBps
+		}
+
+		var normDemand float64
+		if tgt.Behavior != BehaviorInflateNormal && tgt.BackgroundBps != nil {
+			normDemand = tgt.BackgroundBps(j)
+		}
+
+		// Scaling demands down and outputs up by the capacity factor is
+		// equivalent to scaling the relay's capacity: saturated output
+		// becomes cap×factor, unsaturated output stays equal to demand.
+		capF := capFactor * clampedRange(b.rng, tgt.SecondSigma, 0.85, 1.1)
+		effMeasDemand := measDemand * forgeBoost / capF
+		measBps, normBps, err := tgt.Relay.Step(time.Second, effMeasDemand, normDemand/capF)
+		if err != nil {
+			return MeasurementData{}, err
+		}
+		measBps *= capF
+		normBps *= capF
+
+		// Distribute the echoed measurement traffic back across measurers
+		// proportionally to their offered demand, with mild echo-path
+		// noise (the residual spread of Fig. 6).
+		if measDemand > 0 {
+			for i := range demands {
+				share := demands[i] / measDemand
+				es := b.Paths[i].EchoSigma
+				if es == 0 {
+					es = b.Paths[i].JitterSigma / 2
+				}
+				echo := clampedLogNormal(b.rng, es)
+				data.MeasBytes[i][j] = measBps * share * echo / 8
+			}
+		}
+
+		// The relay's normal-traffic report.
+		switch tgt.Behavior {
+		case BehaviorInflateNormal:
+			// Claim an absurd amount; the BWAuth clamp bounds the damage.
+			data.NormBytes[j] = measBps * 10 / 8
+		default:
+			data.NormBytes[j] = normBps / 8
+		}
+
+		// Echo-content verification: a forging relay is caught with
+		// probability 1-(1-p)^k for k forged cells (§5).
+		if tgt.Behavior == BehaviorForgeEcho && b.CheckProb > 0 {
+			forgedCells := measBps / 8 / float64(cell.Size)
+			pDetect := 1 - math.Pow(1-b.CheckProb, forgedCells)
+			if b.rng.Float64() < pDetect {
+				data.Failed = true
+				return data, nil
+			}
+		}
+	}
+	return data, nil
+}
+
+// clampedLogNormal draws exp(N(0, sigma²)) clamped to [0.5, 2] so noise
+// never dominates the signal.
+func clampedLogNormal(rng *rand.Rand, sigma float64) float64 {
+	return clampedRange(rng, sigma, 0.5, 2)
+}
+
+// clampedRange draws exp(N(0, sigma²)) clamped to [lo, hi].
+func clampedRange(rng *rand.Rand, sigma, lo, hi float64) float64 {
+	if sigma <= 0 {
+		return 1
+	}
+	v := math.Exp(rng.NormFloat64() * sigma)
+	if v < lo {
+		v = lo
+	}
+	if v > hi {
+		v = hi
+	}
+	return v
+}
+
+// DetectionProbability returns the §5 probability that a relay forging k
+// echo responses is detected when each response is checked independently
+// with probability p.
+func DetectionProbability(p float64, k float64) float64 {
+	if p <= 0 || k <= 0 {
+		return 0
+	}
+	if p >= 1 {
+		return 1
+	}
+	return 1 - math.Pow(1-p, k)
+}
+
+// BurstAttackSuccessProbability returns the §5 probability that a relay
+// providing high capacity during only a fraction q of measurement slots
+// obtains an inflated median with n BWAuths: Pr[B(n, q) ≥ ⌈n/2⌉].
+func BurstAttackSuccessProbability(n int, q float64) float64 {
+	return stats.BinomialTail(n, q, (n+1)/2)
+}

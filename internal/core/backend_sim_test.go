@@ -1,0 +1,196 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"flashflow/internal/relay"
+)
+
+// paperPaths returns path models resembling the four measurement hosts of
+// Table 1 (US-NW, US-E, IN, NL) toward US-SW.
+func paperPaths() []PathModel {
+	return []PathModel{
+		{RTT: 40 * time.Millisecond, LinkBps: 946e6, BiasSigma: 0.03, JitterSigma: 0.02},
+		{RTT: 62 * time.Millisecond, LinkBps: 941e6, BiasSigma: 0.02, JitterSigma: 0.02},
+		{RTT: 210 * time.Millisecond, LinkBps: 1076e6, BiasSigma: 0.05, JitterSigma: 0.04},
+		{RTT: 137 * time.Millisecond, LinkBps: 1611e6, BiasSigma: 0.03, JitterSigma: 0.03},
+	}
+}
+
+func paperTeam() []*Measurer {
+	return []*Measurer{
+		{Name: "US-NW", CapacityBps: 946e6, Cores: 8},
+		{Name: "US-E", CapacityBps: 941e6, Cores: 12},
+		{Name: "IN", CapacityBps: 1076e6, Cores: 2},
+		{Name: "NL", CapacityBps: 1611e6, Cores: 2},
+	}
+}
+
+func honestTarget(capBps float64) *SimTarget {
+	return &SimTarget{
+		Relay:    relay.New(relay.Config{Name: "t", TorCapBps: capBps}),
+		LinkBps:  954e6,
+		Behavior: BehaviorHonest,
+	}
+}
+
+func TestSimBackendMeasuresHonestRelay(t *testing.T) {
+	p := DefaultParams()
+	b := NewSimBackend(paperPaths(), 1)
+	b.AddTarget("t", honestTarget(250e6))
+	team := paperTeam()
+	out, err := MeasureRelay(b, team, "t", 250e6, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Conclusive {
+		t.Fatalf("should be conclusive: %+v", out.Attempts)
+	}
+	rel := out.EstimateBps / 250e6
+	if rel < 1-p.Eps1 || rel > 1+p.Eps2 {
+		t.Fatalf("estimate %.1f Mbit/s outside (1−ε1,1+ε2) of 250: rel=%v", out.EstimateBps/1e6, rel)
+	}
+}
+
+func TestSimBackendAccuracyAcrossCapacities(t *testing.T) {
+	// Fig. 6's sweep: 10, 250, 500, 750 Mbit/s and unlimited (890).
+	p := DefaultParams()
+	for _, capMbit := range []float64{10, 250, 500, 750, 890} {
+		b := NewSimBackend(paperPaths(), int64(capMbit))
+		b.AddTarget("t", honestTarget(capMbit*1e6))
+		out, err := MeasureRelay(b, paperTeam(), "t", capMbit*1e6, p)
+		if err != nil {
+			t.Fatalf("cap %v: %v", capMbit, err)
+		}
+		rel := out.EstimateBps / (capMbit * 1e6)
+		if rel < 0.80 || rel > 1.05 {
+			t.Errorf("cap %v Mbit/s: relative estimate %v outside [0.80, 1.05]", capMbit, rel)
+		}
+	}
+}
+
+func TestSimBackendUnknownTarget(t *testing.T) {
+	b := NewSimBackend(paperPaths(), 1)
+	alloc := Allocation{PerMeasurerBps: make([]float64, 4), SocketsPer: make([]int, 4)}
+	if _, err := b.RunMeasurement("nope", alloc, 1); err == nil {
+		t.Fatal("unknown target should error")
+	}
+}
+
+func TestSimBackendAllocationPathMismatch(t *testing.T) {
+	b := NewSimBackend(paperPaths(), 1)
+	b.AddTarget("t", honestTarget(100e6))
+	alloc := Allocation{PerMeasurerBps: []float64{1e6}, SocketsPer: []int{10}}
+	if _, err := b.RunMeasurement("t", alloc, 1); err == nil {
+		t.Fatal("mismatched allocation should error")
+	}
+}
+
+func TestLyingRelayBoundedByMaxInflation(t *testing.T) {
+	// §5: a relay that sends no normal traffic but reports the maximum
+	// inflates its estimate by at most 1/(1−r) = 1.33.
+	p := DefaultParams()
+	trueCap := 300e6
+	b := NewSimBackend(paperPaths(), 7)
+	tgt := honestTarget(trueCap)
+	tgt.Behavior = BehaviorInflateNormal
+	b.AddTarget("liar", tgt)
+	out, err := MeasureRelay(b, paperTeam(), "liar", trueCap, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxAllowed := trueCap * p.MaxInflation() * (1 + p.Eps2)
+	if out.EstimateBps > maxAllowed {
+		t.Fatalf("liar got %v, bound is %v", out.EstimateBps, maxAllowed)
+	}
+	// And the attack does pay up to that bound: the estimate should
+	// exceed the honest value (the clamp credits fabricated normal
+	// traffic up to the ratio share).
+	if out.EstimateBps < trueCap*1.1 {
+		t.Fatalf("liar gained too little, inflation model broken: %v", out.EstimateBps)
+	}
+}
+
+func TestForgingRelayDetected(t *testing.T) {
+	// A relay forging every echo at FlashFlow rates is detected with
+	// overwhelming probability: 30 s × ~60k cells/s at p=1e-5.
+	p := DefaultParams()
+	b := NewSimBackend(paperPaths(), 3)
+	tgt := honestTarget(250e6)
+	tgt.Behavior = BehaviorForgeEcho
+	tgt.ForgeBoost = 2
+	b.AddTarget("forger", tgt)
+	_, err := MeasureRelay(b, paperTeam(), "forger", 250e6, p)
+	if err == nil {
+		t.Fatal("forging relay should fail the measurement")
+	}
+}
+
+func TestDetectionProbability(t *testing.T) {
+	if got := DetectionProbability(1e-5, 0); got != 0 {
+		t.Fatalf("no forged cells: %v", got)
+	}
+	if got := DetectionProbability(0, 1e6); got != 0 {
+		t.Fatalf("p=0: %v", got)
+	}
+	if got := DetectionProbability(1, 5); got != 1 {
+		t.Fatalf("p=1: %v", got)
+	}
+	// 1e6 forged cells at p=1e-5: detection ≈ 1−e^−10 ≈ 0.9999546.
+	got := DetectionProbability(1e-5, 1e6)
+	if math.Abs(got-(1-math.Exp(-10))) > 1e-3 {
+		t.Fatalf("detection: got %v", got)
+	}
+}
+
+func TestBurstAttackSuccess(t *testing.T) {
+	// §5: q < 1/2 fails with probability ≥ 0.5.
+	for _, n := range []int{1, 3, 5, 9} {
+		if got := BurstAttackSuccessProbability(n, 0.3); got > 0.5 {
+			t.Errorf("n=%d q=0.3: success %v > 0.5", n, got)
+		}
+	}
+	if got := BurstAttackSuccessProbability(5, 1.0); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("always-on relay: %v", got)
+	}
+}
+
+func TestBackgroundTrafficFig7(t *testing.T) {
+	// Fig. 7: 250 Mbit/s relay with 50 Mbit/s background, r = 0.1. The
+	// relay clamps background to 25 Mbit/s during the measurement, and
+	// the aggregated estimate still lands near 250 Mbit/s.
+	p := DefaultParams()
+	p.Ratio = 0.1
+	tgt := &SimTarget{
+		Relay:         relay.New(relay.Config{Name: "t", RateBps: 250e6, BurstBits: 50e6, Ratio: 0.1}),
+		LinkBps:       954e6,
+		Behavior:      BehaviorHonest,
+		BackgroundBps: func(int) float64 { return 50e6 },
+	}
+	b := NewSimBackend(paperPaths(), 11)
+	b.AddTarget("t", tgt)
+	team := paperTeam()
+	out, err := MeasureRelay(b, team, "t", 250e6, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel := out.EstimateBps / 250e6
+	if rel < 0.85 || rel > 1.1 {
+		t.Fatalf("estimate with background: rel=%v", rel)
+	}
+}
+
+func TestClampedLogNormalBounds(t *testing.T) {
+	b := NewSimBackend(paperPaths(), 5)
+	for i := 0; i < 1000; i++ {
+		v := clampedLogNormal(b.rng, 0.5)
+		if v < 0.5 || v > 2 {
+			t.Fatalf("jitter out of bounds: %v", v)
+		}
+	}
+	if clampedLogNormal(b.rng, 0) != 1 {
+		t.Fatal("zero sigma should return 1")
+	}
+}

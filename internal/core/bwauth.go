@@ -1,0 +1,127 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"flashflow/internal/dirauth"
+)
+
+// BWAuth is a bandwidth authority running FlashFlow with its own
+// measurement team (§4). It measures relays, maintains per-relay capacity
+// estimates, and emits bandwidth files for DirAuth aggregation.
+type BWAuth struct {
+	Name    string
+	Team    []*Measurer
+	Backend Backend
+	Params  Params
+
+	// estimates holds the latest conclusive capacity estimate per relay.
+	estimates map[string]float64
+	// history holds last-month measured capacities, feeding the
+	// new-relay prior.
+	history []float64
+}
+
+// NewBWAuth creates a BWAuth with the given team and backend.
+func NewBWAuth(name string, team []*Measurer, backend Backend, p Params) *BWAuth {
+	return &BWAuth{
+		Name:      name,
+		Team:      team,
+		Backend:   backend,
+		Params:    p,
+		estimates: make(map[string]float64),
+	}
+}
+
+// Estimate returns the BWAuth's current capacity estimate for a relay.
+func (b *BWAuth) Estimate(relayName string) (float64, bool) {
+	v, ok := b.estimates[relayName]
+	return v, ok
+}
+
+// SetEstimate seeds a prior estimate (e.g. from a previous period).
+func (b *BWAuth) SetEstimate(relayName string, bps float64) {
+	b.estimates[relayName] = bps
+}
+
+// MeasureTarget measures one relay, using the stored estimate as the old-
+// relay prior or the percentile prior for new relays, and records the
+// result.
+func (b *BWAuth) MeasureTarget(relayName string) (MeasureOutcome, error) {
+	z0, ok := b.estimates[relayName]
+	if !ok || z0 <= 0 {
+		z0 = NewRelayPrior(b.history, b.Params)
+	}
+	out, err := MeasureRelay(b.Backend, b.Team, relayName, z0, b.Params)
+	if err != nil {
+		return out, err
+	}
+	if out.EstimateBps > 0 {
+		b.estimates[relayName] = out.EstimateBps
+		b.history = append(b.history, out.EstimateBps)
+	}
+	return out, nil
+}
+
+// MeasureAll measures every named relay in order, returning per-relay
+// outcomes. Relays whose measurement errors (e.g. echo-verification
+// failure) are recorded with a zero estimate and the error.
+func (b *BWAuth) MeasureAll(relayNames []string) (map[string]MeasureOutcome, map[string]error) {
+	outcomes := make(map[string]MeasureOutcome, len(relayNames))
+	errs := make(map[string]error)
+	for _, name := range relayNames {
+		out, err := b.MeasureTarget(name)
+		if err != nil {
+			errs[name] = fmt.Errorf("bwauth %s: %w", b.Name, err)
+			continue
+		}
+		outcomes[name] = out
+	}
+	return outcomes, errs
+}
+
+// BandwidthFile exports the BWAuth's current estimates as a bandwidth
+// file: FlashFlow reports the capacity estimate as both the weight and the
+// capacity value (Table 2: FlashFlow provides capacity values directly).
+func (b *BWAuth) BandwidthFile(at time.Duration) *dirauth.BandwidthFile {
+	f := dirauth.NewBandwidthFile(b.Name, at)
+	for name, est := range b.estimates {
+		f.Set(name, est, est)
+	}
+	return f
+}
+
+// RunPeriodResult summarizes one measurement period across BWAuths.
+type RunPeriodResult struct {
+	// MedianEstimates is the per-relay median across BWAuths — the value
+	// the DirAuths put in the consensus.
+	MedianEstimates map[string]float64
+	// PerBWAuth holds each BWAuth's raw outcomes.
+	PerBWAuth []map[string]MeasureOutcome
+	// Errors collects measurement failures keyed by "bwauth/relay".
+	Errors map[string]error
+}
+
+// RunPeriod has every BWAuth measure every relay once (the §4.3 schedule
+// guarantees each relay one slot per BWAuth per period; here the slots'
+// effects are captured by the backends) and aggregates the medians.
+func RunPeriod(auths []*BWAuth, relayNames []string) RunPeriodResult {
+	res := RunPeriodResult{
+		MedianEstimates: make(map[string]float64, len(relayNames)),
+		Errors:          make(map[string]error),
+	}
+	files := make([]*dirauth.BandwidthFile, 0, len(auths))
+	for _, a := range auths {
+		outcomes, errs := a.MeasureAll(relayNames)
+		res.PerBWAuth = append(res.PerBWAuth, outcomes)
+		for relayName, err := range errs {
+			res.Errors[a.Name+"/"+relayName] = err
+		}
+		files = append(files, a.BandwidthFile(0))
+	}
+	for name, capBps := range dirauth.MedianCapacities(files) {
+		res.MedianEstimates[name] = capBps
+	}
+	return res
+}

@@ -1,0 +1,52 @@
+package core
+
+// This file implements the paper's §9 (Conclusion) extension: using
+// FlashFlow capacity estimates as a secure ceiling for insecure dynamic
+// performance measurements. "The FlashFlow measurements would be used as a
+// starting weight, and then the weights would only be reduced, depending
+// on the dynamic measurements. FlashFlow would thus securely limit the
+// weight of any relay while allowing for improved performance via
+// adjustments based on insecure dynamic measurements."
+
+// DynamicMeasurement is an insecure, possibly self-reported utilization or
+// performance signal for one relay.
+type DynamicMeasurement struct {
+	Relay string
+	// AvailableFrac estimates the fraction of the relay's capacity that
+	// is currently available (1 − utilization). Values are clamped to
+	// [MinDynamicFrac, 1] so a relay cannot zero out its own weight (or
+	// be zeroed by a forged report) and can never raise it.
+	AvailableFrac float64
+}
+
+// MinDynamicFrac floors dynamic reductions so that a bogus dynamic signal
+// cannot remove a relay from the network entirely.
+const MinDynamicFrac = 0.1
+
+// ApplyDynamicMeasurements combines FlashFlow capacity estimates with
+// dynamic signals: each relay's weight is its secure estimate scaled by
+// its clamped available fraction. Relays without a dynamic signal keep
+// their full estimate. The security property — no signal can raise a
+// weight above the FlashFlow estimate — holds by construction.
+func ApplyDynamicMeasurements(estimates map[string]float64, dynamics []DynamicMeasurement) map[string]float64 {
+	out := make(map[string]float64, len(estimates))
+	for name, est := range estimates {
+		out[name] = est
+	}
+	for _, d := range dynamics {
+		est, ok := out[d.Relay]
+		if !ok {
+			continue
+		}
+		frac := d.AvailableFrac
+		// The negated comparison also floors NaN from a garbage report.
+		if !(frac >= MinDynamicFrac) {
+			frac = MinDynamicFrac
+		}
+		if frac > 1 {
+			frac = 1
+		}
+		out[d.Relay] = est * frac
+	}
+	return out
+}

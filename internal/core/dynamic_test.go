@@ -1,0 +1,83 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestApplyDynamicMeasurementsBasic(t *testing.T) {
+	estimates := map[string]float64{"a": 100e6, "b": 200e6}
+	out := ApplyDynamicMeasurements(estimates, []DynamicMeasurement{
+		{Relay: "a", AvailableFrac: 0.5},
+	})
+	if out["a"] != 50e6 {
+		t.Fatalf("a: got %v want 50e6", out["a"])
+	}
+	if out["b"] != 200e6 {
+		t.Fatalf("b without signal should keep its estimate: %v", out["b"])
+	}
+	if estimates["a"] != 100e6 {
+		t.Fatal("input map mutated")
+	}
+}
+
+func TestApplyDynamicNeverRaises(t *testing.T) {
+	estimates := map[string]float64{"a": 100e6}
+	out := ApplyDynamicMeasurements(estimates, []DynamicMeasurement{
+		{Relay: "a", AvailableFrac: 42},
+	})
+	if out["a"] != 100e6 {
+		t.Fatalf("dynamic signal raised weight: %v", out["a"])
+	}
+}
+
+func TestApplyDynamicFloor(t *testing.T) {
+	estimates := map[string]float64{"a": 100e6}
+	out := ApplyDynamicMeasurements(estimates, []DynamicMeasurement{
+		{Relay: "a", AvailableFrac: 0},
+	})
+	if out["a"] != 100e6*MinDynamicFrac {
+		t.Fatalf("floor not applied: %v", out["a"])
+	}
+}
+
+func TestApplyDynamicUnknownRelayIgnored(t *testing.T) {
+	estimates := map[string]float64{"a": 100e6}
+	out := ApplyDynamicMeasurements(estimates, []DynamicMeasurement{
+		{Relay: "ghost", AvailableFrac: 0.5},
+	})
+	if len(out) != 1 || out["a"] != 100e6 {
+		t.Fatalf("unexpected output: %v", out)
+	}
+}
+
+// Property: for any signals — including NaN and infinities — every
+// adjusted weight stays within [MinDynamicFrac·estimate, estimate].
+func TestApplyDynamicBoundsQuick(t *testing.T) {
+	f := func(fracs []float64) bool {
+		estimates := map[string]float64{"r": 100e6}
+		for _, fr := range fracs {
+			out := ApplyDynamicMeasurements(estimates, []DynamicMeasurement{
+				{Relay: "r", AvailableFrac: fr},
+			})
+			v := out["r"]
+			if !(v <= 100e6 && v >= 100e6*MinDynamicFrac) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Explicit NaN probe.
+	out := ApplyDynamicMeasurements(map[string]float64{"r": 100e6}, []DynamicMeasurement{
+		{Relay: "r", AvailableFrac: nan()},
+	})
+	if !(out["r"] <= 100e6 && out["r"] >= 100e6*MinDynamicFrac) {
+		t.Fatalf("NaN report produced out-of-bounds weight: %v", out["r"])
+	}
+}
+
+func nan() float64 { return math.NaN() }

@@ -1,0 +1,132 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"flashflow/internal/stats"
+)
+
+// Backend executes a single measurement slot against a target relay. The
+// simulation backend (SimBackend) models Internet paths and the relay's
+// scheduler; the wire backend (package wire) runs the real protocol over
+// net.Conns. Implementations return the raw per-second data for the
+// BWAuth to aggregate.
+type Backend interface {
+	// RunMeasurement measures the named target for the given number of
+	// seconds with the per-measurer rate allocation (bits/s, aligned with
+	// the team) and socket split.
+	RunMeasurement(target string, alloc Allocation, seconds int) (MeasurementData, error)
+}
+
+// MeasureOutcome records the result of measuring one relay, including the
+// sequence of attempts the doubling loop performed (§4.2).
+type MeasureOutcome struct {
+	Relay string
+	// EstimateBps is the final capacity estimate in bits/s.
+	EstimateBps float64
+	// Attempts lists each measurement attempt's allocated capacity and
+	// resulting estimate.
+	Attempts []MeasureAttempt
+	// Conclusive indicates the final estimate satisfied the acceptance
+	// condition. An inconclusive outcome means the loop hit its attempt
+	// bound or the team's capacity ceiling; the last estimate is reported.
+	Conclusive bool
+}
+
+// MeasureAttempt is one iteration of the measure-relay loop.
+type MeasureAttempt struct {
+	AllocatedBps float64
+	EstimateBps  float64
+	Accepted     bool
+}
+
+// SlotsUsed returns how many measurement slots the outcome consumed.
+func (o MeasureOutcome) SlotsUsed() int { return len(o.Attempts) }
+
+// ErrNoEstimate indicates MeasureRelay could not produce any estimate.
+var ErrNoEstimate = errors.New("core: no estimate produced")
+
+// MeasureRelay runs the §4.2 measurement process for one relay: allocate
+// f·z0 capacity, measure, accept if the estimate is small enough relative
+// to the allocation; otherwise set z0 = max(z, 2·z0) and repeat with more
+// capacity. z0Bps is the prior estimate (an old relay's previous estimate,
+// or the new-relay percentile prior).
+func MeasureRelay(backend Backend, team []*Measurer, relayName string, z0Bps float64, p Params) (MeasureOutcome, error) {
+	if err := p.Validate(); err != nil {
+		return MeasureOutcome{}, err
+	}
+	if z0Bps <= 0 {
+		return MeasureOutcome{}, fmt.Errorf("core: nonpositive prior %v for %s", z0Bps, relayName)
+	}
+	out := MeasureOutcome{Relay: relayName}
+	teamCap := TeamCapacityBps(team)
+	for attempt := 0; attempt < p.MaxMeasureAttempts; attempt++ {
+		need := RequiredBps(z0Bps, p)
+		atCeiling := false
+		if need > teamCap {
+			// The team cannot supply more: measure with everything it
+			// has; the result cannot be validated as conclusive if too
+			// large, but it is the best obtainable estimate.
+			need = teamCap
+			atCeiling = true
+		}
+		alloc, err := AllocateGreedy(team, need, p)
+		if err != nil {
+			return out, err
+		}
+		Commit(team, alloc)
+		data, err := backend.RunMeasurement(relayName, alloc, p.SlotSeconds)
+		Release(team, alloc)
+		if err != nil {
+			return out, fmt.Errorf("measure %s: %w", relayName, err)
+		}
+		agg, err := Aggregate(data, p.Ratio)
+		if err != nil {
+			return out, fmt.Errorf("aggregate %s: %w", relayName, err)
+		}
+		zBps := agg.EstimateBytesPerSec * 8
+		accepted := EstimateAccepted(agg.EstimateBytesPerSec, alloc.TotalBps, p)
+		out.Attempts = append(out.Attempts, MeasureAttempt{
+			AllocatedBps: alloc.TotalBps,
+			EstimateBps:  zBps,
+			Accepted:     accepted,
+		})
+		out.EstimateBps = zBps
+		if accepted {
+			out.Conclusive = true
+			return out, nil
+		}
+		if atCeiling {
+			// No more capacity to throw at it; report the ceiling-bound
+			// estimate as inconclusive.
+			return out, nil
+		}
+		// §4.2: z0 = max(z, 2·z0) guarantees the allocation at least
+		// doubles.
+		if zBps > 2*z0Bps {
+			z0Bps = zBps
+		} else {
+			z0Bps = 2 * z0Bps
+		}
+	}
+	if len(out.Attempts) == 0 {
+		return out, ErrNoEstimate
+	}
+	return out, nil
+}
+
+// NewRelayPrior returns the z0 prior for a relay without a usable estimate:
+// the configured percentile of last-month measured capacities (§4.2). If
+// history is empty it falls back to 50 Mbit/s, approximating the paper's
+// July-2019 75th-percentile advertised bandwidth of 51 Mbit/s.
+func NewRelayPrior(lastMonthBps []float64, p Params) float64 {
+	if len(lastMonthBps) == 0 {
+		return 50e6
+	}
+	v := stats.Percentile(lastMonthBps, p.NewRelayPercentile)
+	if v <= 0 {
+		return 50e6
+	}
+	return v
+}

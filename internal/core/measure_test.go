@@ -1,0 +1,154 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+// fakeBackend simulates a target of fixed true capacity: the per-second
+// measured throughput is min(allocation, capacity)·(1±noise), with no
+// normal traffic. It records the allocations it saw.
+type fakeBackend struct {
+	capacityBps float64
+	allocsSeen  []float64
+}
+
+func (f *fakeBackend) RunMeasurement(target string, alloc Allocation, seconds int) (MeasurementData, error) {
+	f.allocsSeen = append(f.allocsSeen, alloc.TotalBps)
+	rate := f.capacityBps
+	if alloc.TotalBps < rate {
+		rate = alloc.TotalBps
+	}
+	data := MeasurementData{MeasBytes: make([][]float64, len(alloc.PerMeasurerBps))}
+	for i := range data.MeasBytes {
+		data.MeasBytes[i] = make([]float64, seconds)
+	}
+	// Split the echoed rate across participants proportionally.
+	for j := 0; j < seconds; j++ {
+		for i, a := range alloc.PerMeasurerBps {
+			if alloc.TotalBps > 0 {
+				data.MeasBytes[i][j] = rate * (a / alloc.TotalBps) / 8
+			}
+		}
+	}
+	return data, nil
+}
+
+func TestMeasureRelayAccurateAfterOneAttempt(t *testing.T) {
+	// Prior equals true capacity: §4.2 proves one measurement suffices.
+	backend := &fakeBackend{capacityBps: 100e6}
+	team := team3x1G()
+	out, err := MeasureRelay(backend, team, "r", 100e6, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Conclusive {
+		t.Fatal("measurement should be conclusive")
+	}
+	if len(out.Attempts) != 1 {
+		t.Fatalf("attempts: got %d want 1", len(out.Attempts))
+	}
+	if math.Abs(out.EstimateBps-100e6) > 1e6 {
+		t.Fatalf("estimate: got %v want ≈100e6", out.EstimateBps)
+	}
+}
+
+func TestMeasureRelayDoublesOnUnderestimate(t *testing.T) {
+	// Prior is 10× too low: the loop must escalate (z0 = max(z, 2z0))
+	// until the allocation suffices.
+	backend := &fakeBackend{capacityBps: 400e6}
+	team := team3x1G()
+	out, err := MeasureRelay(backend, team, "r", 40e6, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Conclusive {
+		t.Fatalf("should converge; attempts: %+v", out.Attempts)
+	}
+	if len(out.Attempts) < 2 {
+		t.Fatalf("expected multiple attempts, got %d", len(out.Attempts))
+	}
+	if math.Abs(out.EstimateBps-400e6) > 4e6 {
+		t.Fatalf("estimate: got %v want ≈400e6", out.EstimateBps)
+	}
+	// Allocations must at least double between attempts.
+	for i := 1; i < len(backend.allocsSeen); i++ {
+		if backend.allocsSeen[i] < backend.allocsSeen[i-1]*1.99 {
+			t.Fatalf("allocation did not double: %v", backend.allocsSeen)
+		}
+	}
+}
+
+func TestMeasureRelayCeilingInconclusive(t *testing.T) {
+	// True capacity near the team total: the loop hits the ceiling and
+	// reports an inconclusive (but best-effort) estimate.
+	backend := &fakeBackend{capacityBps: 2.9e9}
+	team := team3x1G()
+	out, err := MeasureRelay(backend, team, "r", 1.5e9, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Conclusive {
+		t.Fatal("cannot be conclusive at the capacity ceiling")
+	}
+	if out.EstimateBps <= 0 {
+		t.Fatal("should still report a best-effort estimate")
+	}
+}
+
+func TestMeasureRelayOverestimatedPriorStillAccurate(t *testing.T) {
+	// Prior is 4× too high: first attempt already allocates plenty; the
+	// estimate lands at the true capacity and is conclusive immediately.
+	backend := &fakeBackend{capacityBps: 50e6}
+	team := team3x1G()
+	out, err := MeasureRelay(backend, team, "r", 200e6, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Conclusive || len(out.Attempts) != 1 {
+		t.Fatalf("conclusive=%v attempts=%d", out.Conclusive, len(out.Attempts))
+	}
+	if math.Abs(out.EstimateBps-50e6) > 1e6 {
+		t.Fatalf("estimate: got %v want ≈50e6", out.EstimateBps)
+	}
+}
+
+func TestMeasureRelayBadPrior(t *testing.T) {
+	backend := &fakeBackend{capacityBps: 1}
+	if _, err := MeasureRelay(backend, team3x1G(), "r", 0, DefaultParams()); err == nil {
+		t.Fatal("zero prior should error")
+	}
+}
+
+func TestMeasureRelayReleasesCapacity(t *testing.T) {
+	backend := &fakeBackend{capacityBps: 100e6}
+	team := team3x1G()
+	if _, err := MeasureRelay(backend, team, "r", 100e6, DefaultParams()); err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range team {
+		if m.CommittedBps != 0 {
+			t.Fatalf("capacity leaked on %s: %v", m.Name, m.CommittedBps)
+		}
+	}
+}
+
+func TestNewRelayPrior(t *testing.T) {
+	p := DefaultParams()
+	hist := []float64{10e6, 20e6, 30e6, 40e6}
+	got := NewRelayPrior(hist, p)
+	// 75th percentile of the history.
+	if math.Abs(got-32.5e6) > 1e-6 {
+		t.Fatalf("prior: got %v want 32.5e6", got)
+	}
+	if got := NewRelayPrior(nil, p); got != 50e6 {
+		t.Fatalf("empty-history fallback: got %v want 50e6", got)
+	}
+}
+
+func TestSlotsUsed(t *testing.T) {
+	o := MeasureOutcome{Attempts: make([]MeasureAttempt, 3)}
+	if o.SlotsUsed() != 3 {
+		t.Fatalf("slots used: %d", o.SlotsUsed())
+	}
+}

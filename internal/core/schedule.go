@@ -1,0 +1,233 @@
+package core
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// RelayEstimate is a scheduler input: a relay and its capacity prior.
+type RelayEstimate struct {
+	Name        string
+	EstimateBps float64
+	// New marks relays without a reliable prior (§4.2); they are
+	// scheduled after all old relays, first-come first-served.
+	New bool
+}
+
+// Assignment is one scheduled measurement.
+type Assignment struct {
+	Relay   string
+	NeedBps float64
+}
+
+// Schedule maps (BWAuth, slot) to the measurements that start there.
+type Schedule struct {
+	NumSlots int
+	// PerBWAuth[b][slot] lists the assignments of BWAuth b in that slot.
+	PerBWAuth [][][]Assignment
+	// Unscheduled lists relays that could not be placed (insufficient
+	// capacity in every slot).
+	Unscheduled []string
+}
+
+// SlotOf returns the slot in which the given BWAuth measures the relay, or
+// -1 if it does not.
+func (s *Schedule) SlotOf(bwauth int, relayName string) int {
+	if bwauth < 0 || bwauth >= len(s.PerBWAuth) {
+		return -1
+	}
+	for slot, as := range s.PerBWAuth[bwauth] {
+		for _, a := range as {
+			if a.Relay == relayName {
+				return slot
+			}
+		}
+	}
+	return -1
+}
+
+// scheduleRNG derives a deterministic RNG from the shared random seed, so
+// every BWAuth computes the identical schedule (§4.3: pseudorandom bits
+// extracted from a collectively generated seed).
+func scheduleRNG(seed []byte) *rand.Rand {
+	sum := sha256.Sum256(seed)
+	return rand.New(rand.NewSource(int64(binary.BigEndian.Uint64(sum[:8]))))
+}
+
+// ErrBadScheduleInput flags invalid scheduler arguments.
+var ErrBadScheduleInput = errors.New("core: bad schedule input")
+
+// BuildSchedule constructs the randomized measurement schedule of §4.3 for
+// one period: for each old relay, each BWAuth's slot is drawn uniformly at
+// random (without replacement across that BWAuth's capacity budget) from
+// the slots with sufficient unallocated capacity. New relays are then
+// placed in the earliest slots with room, in arrival order. teamCapBps[b]
+// is BWAuth b's team capacity.
+func BuildSchedule(seed []byte, relays []RelayEstimate, teamCapBps []float64, p Params) (*Schedule, error) {
+	if len(teamCapBps) == 0 {
+		return nil, fmt.Errorf("%w: no BWAuths", ErrBadScheduleInput)
+	}
+	numSlots := p.SlotsPerPeriod()
+	if numSlots <= 0 {
+		return nil, fmt.Errorf("%w: period shorter than one slot", ErrBadScheduleInput)
+	}
+	rng := scheduleRNG(seed)
+
+	s := &Schedule{NumSlots: numSlots, PerBWAuth: make([][][]Assignment, len(teamCapBps))}
+	remaining := make([][]float64, len(teamCapBps))
+	for b := range teamCapBps {
+		s.PerBWAuth[b] = make([][]Assignment, numSlots)
+		remaining[b] = make([]float64, numSlots)
+		for i := range remaining[b] {
+			remaining[b][i] = teamCapBps[b]
+		}
+	}
+
+	// Old relays first, in deterministic (name) order so that the RNG
+	// stream is identical across BWAuths; then new relays FCFS (their
+	// input order is their arrival order).
+	old := make([]RelayEstimate, 0, len(relays))
+	fresh := make([]RelayEstimate, 0)
+	for _, r := range relays {
+		if r.New {
+			fresh = append(fresh, r)
+		} else {
+			old = append(old, r)
+		}
+	}
+	sort.Slice(old, func(i, j int) bool { return old[i].Name < old[j].Name })
+
+	place := func(b int, r RelayEstimate, random bool) bool {
+		need := RequiredBps(r.EstimateBps, p)
+		candidates := make([]int, 0, numSlots)
+		for slot := 0; slot < numSlots; slot++ {
+			if remaining[b][slot] >= need {
+				candidates = append(candidates, slot)
+				if !random {
+					break // FCFS: earliest slot wins
+				}
+			}
+		}
+		if len(candidates) == 0 {
+			return false
+		}
+		slot := candidates[0]
+		if random {
+			slot = candidates[rng.Intn(len(candidates))]
+		}
+		remaining[b][slot] -= need
+		s.PerBWAuth[b][slot] = append(s.PerBWAuth[b][slot], Assignment{Relay: r.Name, NeedBps: need})
+		return true
+	}
+
+	for _, r := range old {
+		for b := range teamCapBps {
+			if !place(b, r, true) {
+				s.Unscheduled = append(s.Unscheduled, r.Name)
+				break
+			}
+		}
+	}
+	for _, r := range fresh {
+		for b := range teamCapBps {
+			if !place(b, r, false) {
+				s.Unscheduled = append(s.Unscheduled, r.Name)
+				break
+			}
+		}
+	}
+	return s, nil
+}
+
+// GreedyResult summarizes a fastest-possible network measurement estimate
+// (§7 "Network Measurement Efficiency").
+type GreedyResult struct {
+	// SlotsUsed is the number of slots needed to measure every relay.
+	SlotsUsed int
+	// RelaysMeasured and TotalCapacityBps summarize the input.
+	RelaysMeasured   int
+	TotalCapacityBps float64
+	// Unmeasurable lists relays whose single-measurement need exceeds the
+	// team capacity.
+	Unmeasurable []string
+}
+
+// HoursUsed converts SlotsUsed to hours given the slot length.
+func (g GreedyResult) HoursUsed(p Params) float64 {
+	return float64(g.SlotsUsed) * float64(p.SlotSeconds) / 3600
+}
+
+// GreedyFastestSchedule computes how quickly a single team can measure the
+// whole network: slots are filled in order, each time choosing the largest
+// remaining relay that fits the slot's residual capacity (§7's greedy
+// scheduler). excessFactor lets callers reproduce the §7 number with
+// f = 2.84 as well as the §4.2 formula value.
+func GreedyFastestSchedule(relays []RelayEstimate, teamCapBps float64, excessFactor float64, p Params) GreedyResult {
+	type item struct {
+		name string
+		need float64
+		cap  float64
+	}
+	items := make([]item, 0, len(relays))
+	res := GreedyResult{}
+	for _, r := range relays {
+		need := excessFactor * r.EstimateBps
+		res.TotalCapacityBps += r.EstimateBps
+		if need > teamCapBps {
+			res.Unmeasurable = append(res.Unmeasurable, r.Name)
+			continue
+		}
+		items = append(items, item{name: r.Name, need: need, cap: r.EstimateBps})
+	}
+	// Largest first.
+	sort.Slice(items, func(i, j int) bool { return items[i].need > items[j].need })
+
+	res.RelaysMeasured = len(items)
+	slots := 0
+	idx := 0
+	used := make([]bool, len(items))
+	remainingCount := len(items)
+	for remainingCount > 0 {
+		slots++
+		residual := teamCapBps
+		// Scan from the largest unplaced item down, fitting greedily.
+		for i := idx; i < len(items); i++ {
+			if used[i] || items[i].need > residual {
+				continue
+			}
+			used[i] = true
+			residual -= items[i].need
+			remainingCount--
+			if residual <= 0 {
+				break
+			}
+		}
+		for idx < len(items) && used[idx] {
+			idx++
+		}
+	}
+	res.SlotsUsed = slots
+	return res
+}
+
+// NewRelaySlots estimates how long new relays arriving in a consensus wait
+// before measurement: with the steady-state schedule occupying
+// busySlotFraction of each slot's capacity, a batch of n new relays with
+// prior z0 is measured in ceil(n·f·z0 / (teamCap·(1−busyFraction))) slots
+// (at least one when n > 0).
+func NewRelaySlots(n int, z0Bps, teamCapBps, busyFraction float64, p Params) int {
+	if n <= 0 {
+		return 0
+	}
+	free := teamCapBps * (1 - busyFraction)
+	if free <= 0 {
+		return -1
+	}
+	need := float64(n) * RequiredBps(z0Bps, p)
+	return int(math.Ceil(need / free))
+}

@@ -1,0 +1,234 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"testing"
+)
+
+func relaysUniform(n int, capBps float64) []RelayEstimate {
+	rs := make([]RelayEstimate, n)
+	for i := range rs {
+		rs[i] = RelayEstimate{Name: fmt.Sprintf("relay%04d", i), EstimateBps: capBps}
+	}
+	return rs
+}
+
+func TestBuildScheduleDeterministicAcrossBWAuths(t *testing.T) {
+	p := DefaultParams()
+	relays := relaysUniform(50, 100e6)
+	caps := []float64{3e9, 3e9, 3e9}
+	s1, err := BuildSchedule([]byte("seed"), relays, caps, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := BuildSchedule([]byte("seed"), relays, caps, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for b := range caps {
+		for _, r := range relays {
+			if s1.SlotOf(b, r.Name) != s2.SlotOf(b, r.Name) {
+				t.Fatalf("schedules differ for %s at bwauth %d", r.Name, b)
+			}
+		}
+	}
+}
+
+func TestBuildScheduleDifferentSeedsDiffer(t *testing.T) {
+	p := DefaultParams()
+	relays := relaysUniform(50, 100e6)
+	caps := []float64{3e9}
+	s1, _ := BuildSchedule([]byte("seed-a"), relays, caps, p)
+	s2, _ := BuildSchedule([]byte("seed-b"), relays, caps, p)
+	same := true
+	for _, r := range relays {
+		if s1.SlotOf(0, r.Name) != s2.SlotOf(0, r.Name) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical schedules")
+	}
+}
+
+func TestBuildScheduleEveryOldRelayOncePerBWAuth(t *testing.T) {
+	p := DefaultParams()
+	relays := relaysUniform(100, 50e6)
+	caps := []float64{3e9, 3e9}
+	s, err := BuildSchedule([]byte("x"), relays, caps, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Unscheduled) != 0 {
+		t.Fatalf("unscheduled relays: %v", s.Unscheduled)
+	}
+	for b := range caps {
+		seen := map[string]int{}
+		for _, slot := range s.PerBWAuth[b] {
+			for _, a := range slot {
+				seen[a.Relay]++
+			}
+		}
+		for _, r := range relays {
+			if seen[r.Name] != 1 {
+				t.Fatalf("bwauth %d measures %s %d times", b, r.Name, seen[r.Name])
+			}
+		}
+	}
+}
+
+func TestBuildScheduleCapacityNeverExceeded(t *testing.T) {
+	p := DefaultParams()
+	relays := relaysUniform(400, 80e6)
+	caps := []float64{1e9}
+	s, err := BuildSchedule([]byte("cap"), relays, caps, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, slot := range s.PerBWAuth[0] {
+		var used float64
+		for _, a := range slot {
+			used += a.NeedBps
+		}
+		if used > caps[0]+1 {
+			t.Fatalf("slot over capacity: %v", used)
+		}
+	}
+}
+
+func TestBuildScheduleNewRelaysFCFS(t *testing.T) {
+	p := DefaultParams()
+	relays := []RelayEstimate{
+		{Name: "old1", EstimateBps: 100e6},
+		{Name: "newB", EstimateBps: 50e6, New: true},
+		{Name: "newA", EstimateBps: 50e6, New: true},
+	}
+	s, err := BuildSchedule([]byte("s"), relays, []float64{3e9}, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// New relays are placed in the earliest slots with room; newB arrived
+	// first so its slot is ≤ newA's.
+	slotB := s.SlotOf(0, "newB")
+	slotA := s.SlotOf(0, "newA")
+	if slotB < 0 || slotA < 0 {
+		t.Fatal("new relays unscheduled")
+	}
+	if slotB > slotA {
+		t.Fatalf("FCFS violated: newB at %d, newA at %d", slotB, slotA)
+	}
+}
+
+func TestBuildScheduleRejectsNoBWAuths(t *testing.T) {
+	if _, err := BuildSchedule([]byte("s"), nil, nil, DefaultParams()); err == nil {
+		t.Fatal("no BWAuths should error")
+	}
+}
+
+func TestBuildScheduleUnschedulableRelay(t *testing.T) {
+	p := DefaultParams()
+	relays := []RelayEstimate{{Name: "huge", EstimateBps: 10e9}}
+	s, err := BuildSchedule([]byte("s"), relays, []float64{3e9}, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Unscheduled) != 1 || s.Unscheduled[0] != "huge" {
+		t.Fatalf("expected huge unscheduled, got %v", s.Unscheduled)
+	}
+}
+
+func TestGreedyFastestSchedulePaper7(t *testing.T) {
+	// §7: ~6,419 relays totalling ~608 Gbit/s measured by a 3 Gbit/s team
+	// with f = 2.84 in ≈599 slots (5.0 hours); we accept ±15 %.
+	p := DefaultParams()
+	relays := julyLikeNetwork(6419, 608e9)
+	res := GreedyFastestSchedule(relays, 3e9, ExcessFactorPaper7, p)
+	if res.RelaysMeasured != 6419 {
+		t.Fatalf("relays measured: %d", res.RelaysMeasured)
+	}
+	hours := res.HoursUsed(p)
+	if hours < 4.0 || hours > 6.0 {
+		t.Fatalf("whole-network time: got %.2f h want ≈5 h", hours)
+	}
+	if len(res.Unmeasurable) != 0 {
+		t.Fatalf("unmeasurable: %v", res.Unmeasurable)
+	}
+}
+
+func TestGreedyFastestScheduleUnmeasurable(t *testing.T) {
+	p := DefaultParams()
+	relays := []RelayEstimate{{Name: "big", EstimateBps: 2e9}, {Name: "ok", EstimateBps: 100e6}}
+	res := GreedyFastestSchedule(relays, 3e9, ExcessFactorPaper7, p)
+	if len(res.Unmeasurable) != 1 || res.Unmeasurable[0] != "big" {
+		t.Fatalf("unmeasurable: %v", res.Unmeasurable)
+	}
+	if res.RelaysMeasured != 1 {
+		t.Fatalf("measured: %d", res.RelaysMeasured)
+	}
+}
+
+func TestGreedyLowerBoundTightness(t *testing.T) {
+	// The greedy packing should be within 25 % of the fluid lower bound
+	// Σ need / teamCap.
+	p := DefaultParams()
+	relays := julyLikeNetwork(2000, 200e9)
+	team := 3e9
+	res := GreedyFastestSchedule(relays, team, ExcessFactorPaper7, p)
+	var need float64
+	for _, r := range relays {
+		need += ExcessFactorPaper7 * r.EstimateBps
+	}
+	lower := need / team
+	if float64(res.SlotsUsed) < lower-1 {
+		t.Fatalf("greedy beat the lower bound: %d < %v", res.SlotsUsed, lower)
+	}
+	if float64(res.SlotsUsed) > lower*1.25+1 {
+		t.Fatalf("greedy too loose: %d slots vs lower bound %v", res.SlotsUsed, lower)
+	}
+}
+
+func TestNewRelaySlots(t *testing.T) {
+	p := DefaultParams()
+	// 3 new relays at the 51 Mbit/s prior, 3 Gbit/s team, ~21 % busy
+	// (599/2880): should fit in one slot (§7: median 30 seconds).
+	slots := NewRelaySlots(3, 51e6, 3e9, 599.0/2880.0, p)
+	if slots != 1 {
+		t.Fatalf("3 new relays: got %d slots want 1", slots)
+	}
+	// A burst of 98 new relays (the paper's max) takes minutes, not hours:
+	// 98·f·51e6 / (3e9·0.79) ≈ 6 slots ≈ 3 minutes (paper: max 13 min).
+	slots = NewRelaySlots(98, 51e6, 3e9, 599.0/2880.0, p)
+	if slots < 2 || slots > 26 {
+		t.Fatalf("98 new relays: got %d slots", slots)
+	}
+	if NewRelaySlots(0, 51e6, 3e9, 0, p) != 0 {
+		t.Fatal("zero relays should need zero slots")
+	}
+	if NewRelaySlots(1, 51e6, 3e9, 1.0, p) != -1 {
+		t.Fatal("fully busy team should report -1")
+	}
+}
+
+// julyLikeNetwork builds a relay population whose capacity distribution
+// resembles Tor's July 2019 state: heavy-tailed with a 998 Mbit/s maximum
+// and the given total.
+func julyLikeNetwork(n int, totalBps float64) []RelayEstimate {
+	relays := make([]RelayEstimate, n)
+	var sum float64
+	for i := range relays {
+		// Pareto-ish shape via the rank: capacity ∝ 1/(rank^0.7).
+		c := 1.0 / math.Pow(float64(i+1), 0.7)
+		relays[i] = RelayEstimate{Name: fmt.Sprintf("r%05d", i), EstimateBps: c}
+		sum += c
+	}
+	scale := totalBps / sum
+	for i := range relays {
+		relays[i].EstimateBps *= scale
+		if relays[i].EstimateBps > 998e6 {
+			relays[i].EstimateBps = 998e6
+		}
+	}
+	return relays
+}

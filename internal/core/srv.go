@@ -1,0 +1,109 @@
+package core
+
+import (
+	"bytes"
+	"crypto/hmac"
+	"crypto/rand"
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// This file implements the shared-randomness protocol the schedule depends
+// on (§4.3: "the BWAuths collectively generate a random seed (e.g., using
+// Tor's secure-randomness protocol)"). It is a commit-reveal protocol in
+// the style of Tor's srv-spec: each BWAuth commits H(value) during the
+// commit phase, reveals value during the reveal phase, and the shared seed
+// is H(sorted reveals). As long as at least one participant is honest and
+// reveals an unpredictable value, the seed is unpredictable to the
+// adversary before the reveal phase — which is what keeps measurement
+// slots unpredictable to targeted relays (§5).
+
+// Commitment is one participant's commit-phase message.
+type Commitment struct {
+	// Participant identifies the BWAuth.
+	Participant string
+	// Digest is SHA-256 of the secret value.
+	Digest [32]byte
+}
+
+// Reveal is one participant's reveal-phase message.
+type Reveal struct {
+	Participant string
+	Value       [32]byte
+}
+
+// NewRandomReveal draws a fresh secret value for the current period.
+func NewRandomReveal(participant string) (Reveal, error) {
+	var r Reveal
+	r.Participant = participant
+	if _, err := rand.Read(r.Value[:]); err != nil {
+		return Reveal{}, fmt.Errorf("core: draw reveal: %w", err)
+	}
+	return r, nil
+}
+
+// Commit derives the commitment for a reveal.
+func (r Reveal) Commit() Commitment {
+	return Commitment{Participant: r.Participant, Digest: sha256.Sum256(r.Value[:])}
+}
+
+// Shared-randomness errors.
+var (
+	ErrCommitMismatch  = errors.New("core: reveal does not match commitment")
+	ErrMissingCommit   = errors.New("core: reveal without prior commitment")
+	ErrDuplicateCommit = errors.New("core: duplicate commitment from participant")
+	ErrNoReveals       = errors.New("core: no valid reveals")
+)
+
+// SharedRandomness runs the aggregation: it verifies each reveal against
+// its commitment and hashes the lexicographically sorted reveal values into
+// the period seed. Participants that committed but failed to reveal are
+// simply excluded (as in Tor's protocol, withholding a reveal is the only
+// way to bias the output, and it costs at most one bit per withholder).
+func SharedRandomness(commits []Commitment, reveals []Reveal) ([]byte, error) {
+	byParticipant := make(map[string]Commitment, len(commits))
+	for _, c := range commits {
+		if _, dup := byParticipant[c.Participant]; dup {
+			return nil, fmt.Errorf("%w: %s", ErrDuplicateCommit, c.Participant)
+		}
+		byParticipant[c.Participant] = c
+	}
+	valid := make([][32]byte, 0, len(reveals))
+	for _, r := range reveals {
+		c, ok := byParticipant[r.Participant]
+		if !ok {
+			return nil, fmt.Errorf("%w: %s", ErrMissingCommit, r.Participant)
+		}
+		if sha256.Sum256(r.Value[:]) != c.Digest {
+			return nil, fmt.Errorf("%w: %s", ErrCommitMismatch, r.Participant)
+		}
+		valid = append(valid, r.Value)
+	}
+	if len(valid) == 0 {
+		return nil, ErrNoReveals
+	}
+	sort.Slice(valid, func(i, j int) bool {
+		return bytes.Compare(valid[i][:], valid[j][:]) < 0
+	})
+	h := sha256.New()
+	h.Write([]byte("flashflow-shared-randomness-v1"))
+	for _, v := range valid {
+		h.Write(v[:])
+	}
+	return h.Sum(nil), nil
+}
+
+// PeriodSeed derives the seed for a specific measurement period from the
+// shared randomness, so one protocol run can serve consecutive periods
+// until the next run completes.
+func PeriodSeed(shared []byte, period uint64) []byte {
+	mac := hmac.New(sha256.New, shared)
+	var buf [8]byte
+	for i := 0; i < 8; i++ {
+		buf[i] = byte(period >> (8 * i))
+	}
+	mac.Write(buf[:])
+	return mac.Sum(nil)
+}

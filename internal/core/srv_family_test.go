@@ -1,0 +1,267 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"flashflow/internal/relay"
+)
+
+func TestSharedRandomnessHappyPath(t *testing.T) {
+	var commits []Commitment
+	var reveals []Reveal
+	for _, name := range []string{"bw1", "bw2", "bw3"} {
+		r, err := NewRandomReveal(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		commits = append(commits, r.Commit())
+		reveals = append(reveals, r)
+	}
+	seed, err := SharedRandomness(commits, reveals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seed) != 32 {
+		t.Fatalf("seed length: %d", len(seed))
+	}
+	// Same messages → same seed (every BWAuth derives it independently).
+	seed2, err := SharedRandomness(commits, reveals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(seed, seed2) {
+		t.Fatal("shared randomness not deterministic from messages")
+	}
+}
+
+func TestSharedRandomnessOrderIndependent(t *testing.T) {
+	r1, _ := NewRandomReveal("a")
+	r2, _ := NewRandomReveal("b")
+	commits := []Commitment{r1.Commit(), r2.Commit()}
+	s1, err := SharedRandomness(commits, []Reveal{r1, r2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := SharedRandomness([]Commitment{r2.Commit(), r1.Commit()}, []Reveal{r2, r1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(s1, s2) {
+		t.Fatal("seed should not depend on message order")
+	}
+}
+
+func TestSharedRandomnessRejectsMismatchedReveal(t *testing.T) {
+	r, _ := NewRandomReveal("a")
+	c := r.Commit()
+	r.Value[0] ^= 0xff // equivocate after committing
+	if _, err := SharedRandomness([]Commitment{c}, []Reveal{r}); !errors.Is(err, ErrCommitMismatch) {
+		t.Fatalf("want ErrCommitMismatch, got %v", err)
+	}
+}
+
+func TestSharedRandomnessRejectsUncommittedReveal(t *testing.T) {
+	r, _ := NewRandomReveal("a")
+	if _, err := SharedRandomness(nil, []Reveal{r}); !errors.Is(err, ErrMissingCommit) {
+		t.Fatalf("want ErrMissingCommit, got %v", err)
+	}
+}
+
+func TestSharedRandomnessRejectsDuplicateCommit(t *testing.T) {
+	r, _ := NewRandomReveal("a")
+	c := r.Commit()
+	if _, err := SharedRandomness([]Commitment{c, c}, []Reveal{r}); !errors.Is(err, ErrDuplicateCommit) {
+		t.Fatalf("want ErrDuplicateCommit, got %v", err)
+	}
+}
+
+func TestSharedRandomnessNoReveals(t *testing.T) {
+	r, _ := NewRandomReveal("a")
+	if _, err := SharedRandomness([]Commitment{r.Commit()}, nil); !errors.Is(err, ErrNoReveals) {
+		t.Fatalf("want ErrNoReveals, got %v", err)
+	}
+}
+
+func TestSharedRandomnessWithholderExcluded(t *testing.T) {
+	// A withholding participant (committed, never revealed) does not
+	// prevent seed generation — it only removes its contribution.
+	r1, _ := NewRandomReveal("honest")
+	r2, _ := NewRandomReveal("withholder")
+	commits := []Commitment{r1.Commit(), r2.Commit()}
+	seed, err := SharedRandomness(commits, []Reveal{r1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seed) != 32 {
+		t.Fatal("missing seed")
+	}
+}
+
+func TestSharedRandomnessHonestPartyGuaranteesFreshness(t *testing.T) {
+	// With one honest (random) participant, the seed differs across runs
+	// even if all other participants replay fixed values.
+	fixed := Reveal{Participant: "adversary"} // all-zero value, replayed
+	h1, _ := NewRandomReveal("honest")
+	h2, _ := NewRandomReveal("honest")
+	s1, err := SharedRandomness([]Commitment{fixed.Commit(), h1.Commit()}, []Reveal{fixed, h1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := SharedRandomness([]Commitment{fixed.Commit(), h2.Commit()}, []Reveal{fixed, h2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(s1, s2) {
+		t.Fatal("seed should be fresh across periods with an honest participant")
+	}
+}
+
+func TestPeriodSeedDistinctPerPeriod(t *testing.T) {
+	r, _ := NewRandomReveal("a")
+	shared, err := SharedRandomness([]Commitment{r.Commit()}, []Reveal{r})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s0 := PeriodSeed(shared, 0)
+	s1 := PeriodSeed(shared, 1)
+	if bytes.Equal(s0, s1) {
+		t.Fatal("period seeds should differ")
+	}
+	if !bytes.Equal(s0, PeriodSeed(shared, 0)) {
+		t.Fatal("period seed not deterministic")
+	}
+}
+
+func TestSharedRandomnessFeedsSchedule(t *testing.T) {
+	// End-to-end: protocol output → period seed → identical schedules at
+	// every BWAuth.
+	r1, _ := NewRandomReveal("bw1")
+	r2, _ := NewRandomReveal("bw2")
+	shared, err := SharedRandomness([]Commitment{r1.Commit(), r2.Commit()}, []Reveal{r1, r2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seed := PeriodSeed(shared, 7)
+	relays := relaysUniform(30, 100e6)
+	caps := []float64{3e9, 3e9}
+	p := DefaultParams()
+	s1, err := BuildSchedule(seed, relays, caps, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := BuildSchedule(seed, relays, caps, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range relays {
+		if s1.SlotOf(0, r.Name) != s2.SlotOf(0, r.Name) {
+			t.Fatal("schedules diverge from the same shared seed")
+		}
+	}
+}
+
+// --- Family / Sybil detection tests ---
+
+func colocatedBackend(t *testing.T, capBps float64) *SimBackend {
+	t.Helper()
+	b := NewSimBackend(paperPaths(), 5)
+	b.AddTarget("sybilA", &SimTarget{
+		Relay:    relay.New(relay.Config{Name: "machine", TorCapBps: capBps}),
+		LinkBps:  954e6,
+		Behavior: BehaviorHonest,
+	})
+	b.AddTarget("sybilB", &SimTarget{
+		Relay:    relay.New(relay.Config{Name: "other", TorCapBps: capBps}),
+		LinkBps:  954e6,
+		Behavior: BehaviorHonest,
+	})
+	if err := b.ColocateTargets("sybilA", "sybilB"); err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestFamilyPairDetectsSybils(t *testing.T) {
+	// Two names on one 300 Mbit/s machine: each solo measurement reads
+	// ≈300, but the joint measurement also reads ≈300 total — flagged.
+	const machineCap = 300e6
+	b := colocatedBackend(t, machineCap)
+	p := DefaultParams()
+	v, err := TestFamilyPair(b, paperTeam(), "sybilA", "sybilB", machineCap, machineCap, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.SharedMachine {
+		t.Fatalf("co-located pair not detected: solo %.0f/%.0f joint %.0f",
+			v.SoloBpsA/1e6, v.SoloBpsB/1e6, v.JointBps/1e6)
+	}
+	// Credited capacity is split, not doubled.
+	total := v.AdjustedBpsA + v.AdjustedBpsB
+	if total > machineCap*1.1 {
+		t.Fatalf("Sybils still credited %.0f Mbit/s from a %.0f machine", total/1e6, machineCap/1e6)
+	}
+}
+
+func TestFamilyPairPassesIndependentRelays(t *testing.T) {
+	b := NewSimBackend(paperPaths(), 6)
+	b.AddTarget("indepA", honestTarget(200e6))
+	b.AddTarget("indepB", honestTarget(250e6))
+	p := DefaultParams()
+	v, err := TestFamilyPair(b, paperTeam(), "indepA", "indepB", 200e6, 250e6, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.SharedMachine {
+		t.Fatalf("independent relays misclassified: solo %.0f/%.0f joint %.0f",
+			v.SoloBpsA/1e6, v.SoloBpsB/1e6, v.JointBps/1e6)
+	}
+	if v.AdjustedBpsA != v.SoloBpsA || v.AdjustedBpsB != v.SoloBpsB {
+		t.Fatal("independent relays should keep their solo estimates")
+	}
+}
+
+func TestFamilyPairUnknownTarget(t *testing.T) {
+	b := NewSimBackend(paperPaths(), 7)
+	b.AddTarget("only", honestTarget(100e6))
+	p := DefaultParams()
+	if _, err := TestFamilyPair(b, paperTeam(), "only", "ghost", 100e6, 100e6, p); err == nil {
+		t.Fatal("unknown pair member should error")
+	}
+	if err := b.ColocateTargets("only", "ghost"); err == nil {
+		t.Fatal("colocating unknown target should error")
+	}
+	if err := b.ColocateTargets("ghost", "only"); err == nil {
+		t.Fatal("colocating unknown target should error")
+	}
+}
+
+type plainBackend struct{}
+
+func (plainBackend) RunMeasurement(string, Allocation, int) (MeasurementData, error) {
+	return MeasurementData{}, nil
+}
+
+func TestFamilyPairRequiresPairBackend(t *testing.T) {
+	p := DefaultParams()
+	if _, err := TestFamilyPair(plainBackend{}, paperTeam(), "a", "b", 1, 1, p); !errors.Is(err, ErrPairUnsupported) {
+		t.Fatalf("want ErrPairUnsupported, got %v", err)
+	}
+}
+
+func TestAdjustFamilyWeights(t *testing.T) {
+	estimates := map[string]float64{"a": 300e6, "b": 300e6, "c": 100e6}
+	verdicts := []FamilyVerdict{{
+		RelayA: "a", RelayB: "b",
+		SharedMachine: true,
+		AdjustedBpsA:  150e6, AdjustedBpsB: 150e6,
+	}}
+	total := AdjustFamilyWeights(estimates, verdicts)
+	if estimates["a"] != 150e6 || estimates["b"] != 150e6 {
+		t.Fatalf("estimates not adjusted: %v", estimates)
+	}
+	if total != 400e6 {
+		t.Fatalf("total: got %v want 400e6", total)
+	}
+}

@@ -1,0 +1,174 @@
+// Package dirauth implements the directory substrate FlashFlow plugs into:
+// server descriptors, hourly network consensuses, bandwidth files, and the
+// median-of-BWAuths vote aggregation that turns per-team measurements into
+// consensus weights (§2, §4).
+package dirauth
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"flashflow/internal/stats"
+)
+
+// RelayEntry is one relay's record in a consensus.
+type RelayEntry struct {
+	// Name is the relay nickname (unique in this reproduction).
+	Name string
+	// AdvertisedBps is min(observed bandwidth, rate limit) from the
+	// relay's most recent server descriptor.
+	AdvertisedBps float64
+	// WeightBps is the load-balancing weight assigned by the bandwidth
+	// authorities (the consensus "bandwidth=" value).
+	WeightBps float64
+	// FirstSeen is when the relay first appeared in any consensus; used
+	// by the FlashFlow scheduler to classify relays as new or old.
+	FirstSeen time.Duration
+}
+
+// Consensus is a network consensus document.
+type Consensus struct {
+	At     time.Duration
+	Relays []RelayEntry
+	byName map[string]int
+}
+
+// NewConsensus builds a consensus at the given time from relay entries.
+// Entries are sorted by name for determinism.
+func NewConsensus(at time.Duration, relays []RelayEntry) *Consensus {
+	rs := append([]RelayEntry(nil), relays...)
+	sort.Slice(rs, func(i, j int) bool { return rs[i].Name < rs[j].Name })
+	idx := make(map[string]int, len(rs))
+	for i, r := range rs {
+		idx[r.Name] = i
+	}
+	return &Consensus{At: at, Relays: rs, byName: idx}
+}
+
+// Lookup returns the entry for the named relay.
+func (c *Consensus) Lookup(name string) (RelayEntry, bool) {
+	i, ok := c.byName[name]
+	if !ok {
+		return RelayEntry{}, false
+	}
+	return c.Relays[i], true
+}
+
+// TotalWeight returns the sum of all relay weights.
+func (c *Consensus) TotalWeight() float64 {
+	var t float64
+	for _, r := range c.Relays {
+		t += r.WeightBps
+	}
+	return t
+}
+
+// TotalAdvertised returns the sum of advertised bandwidths — the network
+// capacity estimate plotted in Fig. 5.
+func (c *Consensus) TotalAdvertised() float64 {
+	var t float64
+	for _, r := range c.Relays {
+		t += r.AdvertisedBps
+	}
+	return t
+}
+
+// NormalizedWeights returns each relay's selection probability: its weight
+// divided by the total (paper §3.2).
+func (c *Consensus) NormalizedWeights() []float64 {
+	ws := make([]float64, len(c.Relays))
+	for i, r := range c.Relays {
+		ws[i] = r.WeightBps
+	}
+	return stats.Normalize(ws)
+}
+
+// BandwidthFile is a bandwidth authority's output: per-relay weight and,
+// for FlashFlow, a capacity estimate (Table 2's "capacity values" column).
+type BandwidthFile struct {
+	Producer string
+	At       time.Duration
+	Entries  map[string]BandwidthEntry
+}
+
+// BandwidthEntry is one relay's line in a bandwidth file.
+type BandwidthEntry struct {
+	WeightBps   float64
+	CapacityBps float64 // zero if the producer provides weights only
+}
+
+// NewBandwidthFile creates an empty bandwidth file.
+func NewBandwidthFile(producer string, at time.Duration) *BandwidthFile {
+	return &BandwidthFile{Producer: producer, At: at, Entries: make(map[string]BandwidthEntry)}
+}
+
+// Set records a relay's weight and capacity.
+func (b *BandwidthFile) Set(name string, weightBps, capacityBps float64) {
+	b.Entries[name] = BandwidthEntry{WeightBps: weightBps, CapacityBps: capacityBps}
+}
+
+// ErrNoFiles is returned when aggregating zero bandwidth files.
+var ErrNoFiles = errors.New("dirauth: no bandwidth files to aggregate")
+
+// AggregateMedian implements the DirAuth vote: for each relay named in any
+// file, the consensus weight is the median of the weights assigned by the
+// files that include it, provided a majority of files include it (a relay
+// measured by fewer than half the BWAuths is not yet used, per §2).
+func AggregateMedian(at time.Duration, files []*BandwidthFile, firstSeen map[string]time.Duration, advertised map[string]float64) (*Consensus, error) {
+	if len(files) == 0 {
+		return nil, ErrNoFiles
+	}
+	names := make(map[string]struct{})
+	for _, f := range files {
+		for n := range f.Entries {
+			names[n] = struct{}{}
+		}
+	}
+	majority := len(files)/2 + 1
+	entries := make([]RelayEntry, 0, len(names))
+	for n := range names {
+		var ws []float64
+		for _, f := range files {
+			if e, ok := f.Entries[n]; ok {
+				ws = append(ws, e.WeightBps)
+			}
+		}
+		if len(ws) < majority {
+			continue
+		}
+		e := RelayEntry{Name: n, WeightBps: stats.Median(ws)}
+		if firstSeen != nil {
+			e.FirstSeen = firstSeen[n]
+		}
+		if advertised != nil {
+			e.AdvertisedBps = advertised[n]
+		}
+		entries = append(entries, e)
+	}
+	return NewConsensus(at, entries), nil
+}
+
+// MedianCapacities returns per-relay median capacity estimates across
+// bandwidth files, for producers (like FlashFlow) that report capacities.
+func MedianCapacities(files []*BandwidthFile) map[string]float64 {
+	counts := make(map[string][]float64)
+	for _, f := range files {
+		for n, e := range f.Entries {
+			if e.CapacityBps > 0 {
+				counts[n] = append(counts[n], e.CapacityBps)
+			}
+		}
+	}
+	out := make(map[string]float64, len(counts))
+	for n, cs := range counts {
+		out[n] = stats.Median(cs)
+	}
+	return out
+}
+
+// String implements fmt.Stringer for diagnostics.
+func (c *Consensus) String() string {
+	return fmt.Sprintf("consensus(at=%v relays=%d totalWeight=%.0f)", c.At, len(c.Relays), c.TotalWeight())
+}

@@ -1,0 +1,98 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+
+	"flashflow/internal/core"
+)
+
+func TestAblationRatioInflationBounded(t *testing.T) {
+	rep := runQuick(t, "ablation-ratio")
+	for _, r := range []float64{0.1, 0.25, 0.5} {
+		key := "liar_rel_r" + formatR(r)
+		got, ok := rep.Metrics[key]
+		if !ok {
+			t.Fatalf("missing metric %s: %v", key, rep.Metrics)
+		}
+		bound := 1/(1-r) + 0.08 // ε2 + noise headroom
+		if got > bound {
+			t.Errorf("r=%.2f: liar estimate %v exceeds bound %v", r, got, bound)
+		}
+	}
+	// Higher r must pay the liar more.
+	if rep.Metrics["liar_rel_r0.50"] <= rep.Metrics["liar_rel_r0.10"] {
+		t.Error("higher r should allow more inflation")
+	}
+}
+
+func formatR(r float64) string {
+	switch r {
+	case 0.1:
+		return "0.10"
+	case 0.25:
+		return "0.25"
+	case 0.5:
+		return "0.50"
+	}
+	return ""
+}
+
+func TestAblationCheckDetection(t *testing.T) {
+	rep := runQuick(t, "ablation-check")
+	if v := rep.Metrics["detect_at_paper_p"]; v < 0.99 {
+		t.Fatalf("paper p should detect a full forger within a slot: %v", v)
+	}
+}
+
+func TestAblationScheduleMatchesBinomial(t *testing.T) {
+	rep := runQuick(t, "ablation-schedule")
+	for _, probe := range []struct {
+		key string
+		n   int
+		q   float64
+	}{
+		{"emp_q0.25_n3", 3, 0.25},
+		{"emp_q0.40_n5", 5, 0.40},
+	} {
+		emp := rep.Metrics[probe.key]
+		ana := core.BurstAttackSuccessProbability(probe.n, probe.q)
+		if math.Abs(emp-ana) > 0.05 {
+			t.Errorf("%s: empirical %v vs analytic %v", probe.key, emp, ana)
+		}
+	}
+}
+
+func TestAblationDurationLinear(t *testing.T) {
+	rep := runQuick(t, "ablation-duration")
+	h10 := rep.Metrics["hours_t10"]
+	h30 := rep.Metrics["hours_t30"]
+	h60 := rep.Metrics["hours_t60"]
+	if !(h10 < h30 && h30 < h60) {
+		t.Fatalf("hours should grow with slot length: %v %v %v", h10, h30, h60)
+	}
+	// Roughly linear: t=60 ≈ 2× t=30.
+	if ratio := h60 / h30; ratio < 1.8 || ratio > 2.2 {
+		t.Fatalf("t=60/t=30 hour ratio: %v want ≈2", ratio)
+	}
+}
+
+func TestAblationDynamicOnlyReduces(t *testing.T) {
+	rep := runQuick(t, "ablation-dynamic")
+	if v := rep.Metrics["liar_up_adjusted"]; v > 100e6 {
+		t.Fatalf("dynamic signal raised a weight: %v", v)
+	}
+	if v := rep.Metrics["busy_adjusted"]; math.Abs(v-40e6) > 1 {
+		t.Fatalf("busy relay adjustment: %v want 40e6", v)
+	}
+}
+
+func TestAblationFamilyDetects(t *testing.T) {
+	rep := runQuick(t, "ablation-family")
+	if rep.Metrics["shared_detected"] != 1 {
+		t.Fatal("co-located pair not detected")
+	}
+	if v := rep.Metrics["credited_total_mbit"]; v > 330 {
+		t.Fatalf("Sybils credited too much: %v Mbit", v)
+	}
+}

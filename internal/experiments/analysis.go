@@ -1,0 +1,155 @@
+package experiments
+
+import (
+	"math"
+	"time"
+
+	"flashflow/internal/metrics"
+	"flashflow/internal/speedtest"
+	"flashflow/internal/stats"
+)
+
+// archiveFor builds the synthetic metrics archive at bench or paper scale.
+func archiveFor(quick bool) (*metrics.Archive, error) {
+	p := metrics.DefaultArchiveParams()
+	if quick {
+		p.NumRelays = 120
+		p.Span = 450 * 24 * time.Hour
+	} else {
+		p.NumRelays = 400
+		p.Span = 3 * 365 * 24 * time.Hour
+	}
+	return metrics.GenerateArchive(p)
+}
+
+// periods lists the figure legends' estimation windows.
+func periods(a *metrics.Archive) []struct {
+	name string
+	w    int
+} {
+	return []struct {
+		name string
+		w    int
+	}{
+		{"day", a.PeriodDay()},
+		{"week", a.PeriodWeek()},
+		{"month", a.PeriodMonth()},
+		{"year", a.PeriodYear()},
+	}
+}
+
+func fig1(quick bool) (Report, error) {
+	a, err := archiveFor(quick)
+	if err != nil {
+		return Report{}, err
+	}
+	var rep Report
+	rep.addf("%-6s %8s %8s %8s  (paper: day 7%% median, year 28%%; p25 up to 49%%)", "period", "median", "p25", "p75")
+	for _, p := range periods(a) {
+		rce := a.MeanRCEPerRelay(p.w)
+		med := stats.Median(rce)
+		rep.addf("%-6s %7.1f%% %7.1f%% %7.1f%%", p.name, med*100,
+			stats.Percentile(rce, 25)*100, stats.Percentile(rce, 75)*100)
+		rep.metric("median_rce_"+p.name, med)
+	}
+	return rep, nil
+}
+
+func fig2(quick bool) (Report, error) {
+	a, err := archiveFor(quick)
+	if err != nil {
+		return Report{}, err
+	}
+	var rep Report
+	rep.addf("%-6s %8s %8s  (paper medians: 5%%/14%%/22%%/36%%, max 60%%)", "period", "median", "max")
+	for _, p := range periods(a) {
+		nce := a.NCESeries(p.w)
+		med := stats.Median(nce)
+		rep.addf("%-6s %7.1f%% %7.1f%%", p.name, med*100, stats.Max(nce)*100)
+		rep.metric("median_nce_"+p.name, med)
+	}
+	return rep, nil
+}
+
+func fig3(quick bool) (Report, error) {
+	a, err := archiveFor(quick)
+	if err != nil {
+		return Report{}, err
+	}
+	var rep Report
+	rep.addf("%-6s %14s %12s  (paper: >85%% of relays under-weighted)", "period", "underweighted", "med log10")
+	for _, p := range periods(a) {
+		rwe := a.MeanRWEPerRelay(p.w)
+		under := 0
+		logs := make([]float64, 0, len(rwe))
+		for _, v := range rwe {
+			if v < 1 {
+				under++
+			}
+			if v > 0 {
+				logs = append(logs, math.Log10(v))
+			}
+		}
+		frac := float64(under) / float64(len(rwe))
+		rep.addf("%-6s %13.1f%% %12.3f", p.name, frac*100, stats.Median(logs))
+		rep.metric("underweighted_frac_"+p.name, frac)
+	}
+	return rep, nil
+}
+
+func fig4(quick bool) (Report, error) {
+	a, err := archiveFor(quick)
+	if err != nil {
+		return Report{}, err
+	}
+	var rep Report
+	rep.addf("%-6s %8s %8s  (paper medians: 21%%/22%%/24%%/30%%)", "period", "median", "max")
+	for _, p := range periods(a) {
+		nwe := a.NWESeries(p.w)
+		med := stats.Median(nwe)
+		rep.addf("%-6s %7.1f%% %7.1f%%", p.name, med*100, stats.Max(nwe)*100)
+		rep.metric("median_nwe_"+p.name, med)
+	}
+	return rep, nil
+}
+
+func fig10(quick bool) (Report, error) {
+	a, err := archiveFor(quick)
+	if err != nil {
+		return Report{}, err
+	}
+	var rep Report
+	rep.addf("%-6s %12s %12s  (paper adv RSD medians: 32%%/55%%/62%%/65%%)", "period", "adv RSD med", "wgt RSD med")
+	for _, p := range periods(a) {
+		adv := stats.Median(a.MeanAdvertisedRSDPerRelay(p.w))
+		wgt := stats.Median(a.MeanWeightRSDPerRelay(p.w))
+		rep.addf("%-6s %11.1f%% %11.1f%%", p.name, adv*100, wgt*100)
+		rep.metric("adv_rsd_"+p.name, adv)
+	}
+	return rep, nil
+}
+
+func fig5(quick bool) (Report, error) {
+	p := speedtest.DefaultParams()
+	if quick {
+		p.NumRelays = 200
+	}
+	tl, s, err := speedtest.Run(p)
+	if err != nil {
+		return Report{}, err
+	}
+	var rep Report
+	rep.addf("baseline capacity estimate: %6.1f Gbit/s", s.BaselineBps/1e9)
+	rep.addf("peak after speed test:      %6.1f Gbit/s (gain %.0f%%; paper ≈50%%)", s.PeakBps/1e9, s.GainFrac*100)
+	rep.addf("true network capacity:      %6.1f Gbit/s", tl.TrueCapacityBps/1e9)
+	rep.addf("weight error: baseline %.1f%% → peak %.1f%% (paper: +5–10 points)",
+		s.NWEBaseline*100, s.NWEPeak*100)
+	// Down-sampled capacity curve: every 12 hours.
+	for h := 0; h < len(tl.Hours); h += 24 {
+		rep.addf("  t=%4.0fh capacity=%6.1f Gbit/s  NWE=%4.1f%%",
+			tl.Hours[h].Hours(), tl.CapacityEstimateBps[h]/1e9, tl.NWE[h]*100)
+	}
+	rep.metric("gain_frac", s.GainFrac)
+	rep.metric("nwe_rise", s.NWEPeak-s.NWEBaseline)
+	return rep, nil
+}

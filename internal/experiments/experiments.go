@@ -1,0 +1,104 @@
+// Package experiments regenerates every table and figure in the paper's
+// evaluation. Each experiment is addressable by the IDs used in
+// DESIGN.md's per-experiment index (fig1…fig16, tab1…tab4, sched,
+// security); cmd/experiments prints them and bench_test.go reports their
+// headline metrics.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Report is one experiment's regenerated output.
+type Report struct {
+	ID    string
+	Title string
+	// Lines holds the human-readable rows/series that correspond to the
+	// paper's artifact.
+	Lines []string
+	// Metrics holds headline numeric results, consumed by the bench
+	// harness via testing.B.ReportMetric.
+	Metrics map[string]float64
+}
+
+func (r *Report) addf(format string, args ...any) {
+	r.Lines = append(r.Lines, fmt.Sprintf(format, args...))
+}
+
+func (r *Report) metric(name string, v float64) {
+	if r.Metrics == nil {
+		r.Metrics = make(map[string]float64)
+	}
+	r.Metrics[name] = v
+}
+
+// runner builds one experiment. quick selects a smaller configuration for
+// use in benchmarks; full runs paper-scale settings.
+type runner struct {
+	title string
+	fn    func(quick bool) (Report, error)
+}
+
+var registry = map[string]runner{
+	"fig1":     {"Relay capacity error CDF (11-year archive analysis)", fig1},
+	"fig2":     {"Network capacity error over time", fig2},
+	"fig3":     {"Relay weight error CDF (log10)", fig3},
+	"fig4":     {"Network weight error over time", fig4},
+	"fig5":     {"Relay speed test experiment", fig5},
+	"fig6":     {"FlashFlow accuracy without background traffic", fig6},
+	"fig7":     {"Measurement with client background traffic", fig7},
+	"fig8":     {"Shadow measurement error: FlashFlow vs TorFlow", fig8},
+	"fig9":     {"Shadow performance: TorFlow vs FlashFlow at 100/115/130% load", fig9},
+	"fig10":    {"Capacity and weight variation (RSD)", fig10},
+	"fig11":    {"Tor processing limits vs sockets/circuits", fig11},
+	"fig12":    {"Single-socket throughput: default vs tuned kernel", fig12},
+	"fig13":    {"Default/tuned throughput ratio vs socket count", fig13},
+	"fig14":    {"Throughput vs socket count per measurer host", fig14},
+	"fig15":    {"Multiplier sweep", fig15},
+	"fig16":    {"Measurement duration sweep", fig16},
+	"tab1":     {"Internet host inventory and measured bandwidth", tab1},
+	"tab2":     {"Load-balancing system comparison (attack advantage)", tab2},
+	"tab3":     {"Pairwise host throughput (iPerf)", tab3},
+	"tab4":     {"Concurrent measurement accuracy", tab4},
+	"sched":    {"Network measurement efficiency (whole network, new relays)", sched},
+	"security": {"Security analysis numbers (§5)", security},
+	// Ablations of the design choices (not paper artifacts; DESIGN.md §6).
+	"ablation-ratio":    {"Ablation: normal-traffic ratio r vs inflation and client impact", ablationRatio},
+	"ablation-check":    {"Ablation: echo-check probability p vs detection", ablationCheck},
+	"ablation-schedule": {"Ablation: randomized schedule vs burst-only attacker (Monte Carlo)", ablationSchedule},
+	"ablation-duration": {"Ablation: slot length t vs whole-network time", ablationDuration},
+	"ablation-dynamic":  {"Extension (§9): dynamic measurements only reduce weights", ablationDynamic},
+	"ablation-family":   {"Extension (§5): Sybil detection by simultaneous pair measurement", ablationFamily},
+}
+
+// IDs returns all experiment IDs in sorted order.
+func IDs() []string {
+	ids := make([]string, 0, len(registry))
+	for id := range registry {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// Title returns an experiment's title.
+func Title(id string) (string, bool) {
+	r, ok := registry[id]
+	return r.title, ok
+}
+
+// Run executes one experiment.
+func Run(id string, quick bool) (Report, error) {
+	r, ok := registry[id]
+	if !ok {
+		return Report{}, fmt.Errorf("experiments: unknown id %q (known: %v)", id, IDs())
+	}
+	rep, err := r.fn(quick)
+	if err != nil {
+		return Report{}, fmt.Errorf("experiment %s: %w", id, err)
+	}
+	rep.ID = id
+	rep.Title = r.title
+	return rep, nil
+}

@@ -1,0 +1,278 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func runQuick(t *testing.T, id string) Report {
+	t.Helper()
+	rep, err := Run(id, true)
+	if err != nil {
+		t.Fatalf("run %s: %v", id, err)
+	}
+	if rep.ID != id || rep.Title == "" {
+		t.Fatalf("report metadata: %+v", rep)
+	}
+	if len(rep.Lines) == 0 {
+		t.Fatalf("%s produced no lines", id)
+	}
+	return rep
+}
+
+func TestUnknownExperiment(t *testing.T) {
+	if _, err := Run("nope", true); err == nil {
+		t.Fatal("unknown id should error")
+	}
+}
+
+func TestIDsCoverEveryPaperArtifact(t *testing.T) {
+	want := []string{
+		"fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
+		"fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15",
+		"fig16", "tab1", "tab2", "tab3", "tab4", "sched", "security",
+		"ablation-ratio", "ablation-check", "ablation-schedule",
+		"ablation-duration", "ablation-dynamic", "ablation-family",
+	}
+	have := map[string]bool{}
+	for _, id := range IDs() {
+		have[id] = true
+	}
+	for _, id := range want {
+		if !have[id] {
+			t.Errorf("missing experiment %s", id)
+		}
+	}
+	if len(IDs()) != len(want) {
+		t.Errorf("registry has %d experiments, want %d", len(IDs()), len(want))
+	}
+	for _, id := range IDs() {
+		if title, ok := Title(id); !ok || title == "" {
+			t.Errorf("missing title for %s", id)
+		}
+	}
+	if _, ok := Title("nope"); ok {
+		t.Error("unknown title lookup should fail")
+	}
+}
+
+func TestFig1ErrorGrowsWithPeriod(t *testing.T) {
+	rep := runQuick(t, "fig1")
+	if rep.Metrics["median_rce_day"] >= rep.Metrics["median_rce_year"] {
+		t.Fatalf("RCE should grow with period: %v", rep.Metrics)
+	}
+}
+
+func TestFig2Bands(t *testing.T) {
+	rep := runQuick(t, "fig2")
+	year := rep.Metrics["median_nce_year"]
+	if year < 0.15 || year > 0.5 {
+		t.Fatalf("year NCE out of band: %v", year)
+	}
+}
+
+func TestFig3MostUnderweighted(t *testing.T) {
+	rep := runQuick(t, "fig3")
+	if rep.Metrics["underweighted_frac_year"] < 0.5 {
+		t.Fatalf("underweighted fraction: %v", rep.Metrics["underweighted_frac_year"])
+	}
+}
+
+func TestFig4Bands(t *testing.T) {
+	rep := runQuick(t, "fig4")
+	for _, period := range []string{"day", "week", "month", "year"} {
+		v := rep.Metrics["median_nwe_"+period]
+		if v < 0.08 || v > 0.5 {
+			t.Fatalf("NWE %s out of band: %v", period, v)
+		}
+	}
+}
+
+func TestFig5GainNearPaper(t *testing.T) {
+	rep := runQuick(t, "fig5")
+	if g := rep.Metrics["gain_frac"]; g < 0.2 || g > 1.0 {
+		t.Fatalf("speed test gain: %v (paper ≈0.5)", g)
+	}
+	if rise := rep.Metrics["nwe_rise"]; rise <= 0 {
+		t.Fatalf("weight error should rise during the test: %v", rise)
+	}
+}
+
+func TestFig6AccuracyHeadline(t *testing.T) {
+	rep := runQuick(t, "fig6")
+	if f := rep.Metrics["frac_within_11pct"]; f < 0.90 {
+		t.Fatalf("within-11%% fraction: %v (paper: 0.95)", f)
+	}
+	if f := rep.Metrics["frac_within_eps"]; f < 0.95 {
+		t.Fatalf("within-eps fraction: %v (paper: 0.998)", f)
+	}
+}
+
+func TestFig7BackgroundClamp(t *testing.T) {
+	rep := runQuick(t, "fig7")
+	bg := rep.Metrics["bg_during_mbit"]
+	if bg < 20 || bg > 30 {
+		t.Fatalf("background during measurement: %v Mbit/s (expected ≈25)", bg)
+	}
+	est := rep.Metrics["estimate_mbit"]
+	if est < 200 || est > 260 {
+		t.Fatalf("estimate: %v Mbit/s (expected ≈239)", est)
+	}
+}
+
+func TestFig8FlashFlowBeatsTorFlow(t *testing.T) {
+	rep := runQuick(t, "fig8")
+	if rep.Metrics["ff_nwe"] >= rep.Metrics["tf_nwe"] {
+		t.Fatalf("FF NWE %v should beat TF %v", rep.Metrics["ff_nwe"], rep.Metrics["tf_nwe"])
+	}
+	if nce := rep.Metrics["ff_nce"]; nce > 0.3 {
+		t.Fatalf("FF NCE too high: %v", nce)
+	}
+}
+
+func TestFig9FlashFlowImproves(t *testing.T) {
+	rep := runQuick(t, "fig9")
+	if imp := rep.Metrics["improvement_1mib"]; imp <= 0 {
+		t.Fatalf("1 MiB improvement: %v (paper: 0.29)", imp)
+	}
+	if rep.Metrics["ff_timeout_rate"] > rep.Metrics["tf_timeout_rate"] {
+		t.Fatalf("FF should time out less: %v vs %v",
+			rep.Metrics["ff_timeout_rate"], rep.Metrics["tf_timeout_rate"])
+	}
+}
+
+func TestFig10RSDGrows(t *testing.T) {
+	rep := runQuick(t, "fig10")
+	if rep.Metrics["adv_rsd_day"] >= rep.Metrics["adv_rsd_year"] {
+		t.Fatalf("RSD should grow with period: %v", rep.Metrics)
+	}
+}
+
+func TestFig11Peak(t *testing.T) {
+	rep := runQuick(t, "fig11")
+	if p := rep.Metrics["peak_mbit"]; p < 1000 || p > 1400 {
+		t.Fatalf("processing peak: %v Mbit/s (paper: 1248)", p)
+	}
+	if n := rep.Metrics["peak_sockets"]; n < 10 || n > 45 {
+		t.Fatalf("peak socket count: %v (paper: 20)", n)
+	}
+}
+
+func TestFig12TunedWins(t *testing.T) {
+	rep := runQuick(t, "fig12")
+	if rep.Metrics["tuned_340ms"] <= 0 {
+		t.Fatal("missing tuned metric")
+	}
+}
+
+func TestFig13RatioApproachesOne(t *testing.T) {
+	rep := runQuick(t, "fig13")
+	for _, host := range []string{"US-NW", "US-E", "IN", "NL"} {
+		if rep.Metrics["ratio1_"+host] > rep.Metrics["ratio100_"+host] {
+			continue
+		}
+		// Equal ratios are possible when one socket already saturates.
+		if rep.Metrics["ratio100_"+host] < 0.95 {
+			t.Fatalf("%s: 100-socket ratio should approach 1: %v", host, rep.Metrics["ratio100_"+host])
+		}
+	}
+}
+
+func TestFig14INPeaksLast(t *testing.T) {
+	rep := runQuick(t, "fig14")
+	in := rep.Metrics["peak_sockets_IN"]
+	if in < 100 {
+		t.Fatalf("IN should need ≥100 sockets (paper: 160), got %v", in)
+	}
+	for _, host := range []string{"US-NW", "US-E", "NL"} {
+		if rep.Metrics["peak_sockets_"+host] > in {
+			t.Fatalf("%s peaks later than IN", host)
+		}
+	}
+}
+
+func TestFig15Multiplier225Safe(t *testing.T) {
+	rep := runQuick(t, "fig15")
+	if v := rep.Metrics["min_frac_m2.25"]; v < 0.8 {
+		t.Fatalf("m=2.25 min fraction %v below 0.8 (the paper picked it to avoid this)", v)
+	}
+}
+
+func TestFig16ThirtySecondsAccurate(t *testing.T) {
+	rep := runQuick(t, "fig16")
+	if v := rep.Metrics["min_frac_30s"]; v < 0.8 {
+		t.Fatalf("30 s min fraction: %v (paper: 0.84)", v)
+	}
+	if v := rep.Metrics["max_frac_30s"]; v > 1.11 {
+		t.Fatalf("30 s max fraction: %v (paper: 1.01)", v)
+	}
+}
+
+func TestTab1MeasuredMatchesTable(t *testing.T) {
+	rep := runQuick(t, "tab1")
+	for _, host := range []string{"US-SW", "US-NW", "US-E", "IN", "NL"} {
+		if rep.Metrics["measured_"+host] <= 0 {
+			t.Fatalf("missing measurement for %s", host)
+		}
+	}
+}
+
+func TestTab2Advantage(t *testing.T) {
+	rep := runQuick(t, "tab2")
+	if adv := rep.Metrics["torflow_advantage"]; adv < 50 {
+		t.Fatalf("TorFlow advantage too small: %v (paper: 177)", adv)
+	}
+	if adv := rep.Metrics["flashflow_advantage"]; adv > 1.34 {
+		t.Fatalf("FlashFlow advantage: %v (bound: 1.33)", adv)
+	}
+}
+
+func TestTab3UDPBeatsTCP(t *testing.T) {
+	rep := runQuick(t, "tab3")
+	for _, host := range []string{"US-NW", "US-E", "IN", "NL"} {
+		if rep.Metrics["udp_"+host] <= rep.Metrics["tcp_"+host] {
+			t.Fatalf("%s: UDP should beat TCP", host)
+		}
+	}
+}
+
+func TestTab4ConcurrentAccurate(t *testing.T) {
+	rep := runQuick(t, "tab4")
+	for _, k := range []string{"min_frac_100mbit", "min_frac_200mbit", "min_frac_400mbit"} {
+		if v := rep.Metrics[k]; v < 0.75 {
+			t.Fatalf("%s: %v (paper: within ε1=0.20 in all but one case)", k, v)
+		}
+	}
+}
+
+func TestSchedNewRelaysFast(t *testing.T) {
+	rep := runQuick(t, "sched")
+	if v := rep.Metrics["new3_seconds"]; v > 120 {
+		t.Fatalf("3 new relays should be measured within minutes: %v s", v)
+	}
+	if rep.Metrics["hours"] <= 0 {
+		t.Fatal("missing whole-network hours metric")
+	}
+}
+
+func TestSecurityNumbers(t *testing.T) {
+	rep := runQuick(t, "security")
+	if v := rep.Metrics["max_inflation"]; v < 1.33 || v > 1.34 {
+		t.Fatalf("max inflation: %v", v)
+	}
+	if v := rep.Metrics["detect_1e6"]; v < 0.999 {
+		t.Fatalf("1e6-cell forgery detection: %v", v)
+	}
+}
+
+func TestReportLinesMentionPaper(t *testing.T) {
+	// Every report should anchor its output against the paper's numbers
+	// somewhere in its lines.
+	for _, id := range []string{"fig1", "fig6", "fig9", "tab2"} {
+		rep := runQuick(t, id)
+		joined := strings.Join(rep.Lines, "\n")
+		if !strings.Contains(joined, "paper") {
+			t.Errorf("%s output does not reference the paper baseline", id)
+		}
+	}
+}

@@ -1,0 +1,260 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"flashflow/internal/core"
+	"flashflow/internal/eigenspeed"
+	"flashflow/internal/peerflow"
+	"flashflow/internal/shadow"
+	"flashflow/internal/stats"
+	"flashflow/internal/torflow"
+)
+
+// julyNetwork approximates the July 2019 Tor network used by the §7
+// efficiency analysis.
+func julyNetwork(n int, totalBps float64) []core.RelayEstimate {
+	relays := make([]core.RelayEstimate, n)
+	var sum float64
+	for i := range relays {
+		c := 1 / math.Pow(float64(i+1), 0.7)
+		relays[i] = core.RelayEstimate{Name: fmt.Sprintf("r%05d", i), EstimateBps: c}
+		sum += c
+	}
+	for i := range relays {
+		relays[i].EstimateBps *= totalBps / sum
+		if relays[i].EstimateBps > 998e6 {
+			relays[i].EstimateBps = 998e6
+		}
+	}
+	return relays
+}
+
+func sched(quick bool) (Report, error) {
+	p := core.DefaultParams()
+	n, total := 6419, 608e9
+	if quick {
+		n, total = 2000, 190e9
+	}
+	relays := julyNetwork(n, total)
+	const teamCap = 3e9
+	var rep Report
+	for _, f := range []struct {
+		label string
+		value float64
+	}{{"2.84 (§7)", core.ExcessFactorPaper7}, {fmt.Sprintf("%.3f (§4.2)", p.ExcessFactor()), p.ExcessFactor()}} {
+		res := core.GreedyFastestSchedule(relays, teamCap, f.value, p)
+		rep.addf("f=%s: whole network in %d slots = %.1f h (%d relays; paper: ≈599 slots, 5.0 h)",
+			f.label, res.SlotsUsed, res.HoursUsed(p), res.RelaysMeasured)
+		if f.value == core.ExcessFactorPaper7 {
+			rep.metric("hours", res.HoursUsed(p))
+			rep.metric("slots", float64(res.SlotsUsed))
+		}
+	}
+	// New relays: median 3 per consensus at the 51 Mbit/s prior.
+	occupied := 599.0 / float64(p.SlotsPerPeriod())
+	for _, batch := range []int{1, 3, 98} {
+		slots := core.NewRelaySlots(batch, 51e6, teamCap, occupied, p)
+		rep.addf("new relays ×%-3d: %d slot(s) = %d s (paper: median 30 s, max 13 min)",
+			batch, slots, slots*p.SlotSeconds)
+		if batch == 3 {
+			rep.metric("new3_seconds", float64(slots*p.SlotSeconds))
+		}
+	}
+	// Randomized per-period schedule for 3 BWAuths.
+	caps := []float64{teamCap, teamCap, teamCap}
+	s, err := core.BuildSchedule([]byte("period-seed"), relays, caps, p)
+	if err != nil {
+		return Report{}, err
+	}
+	rep.addf("randomized period schedule: %d slots, %d unscheduled", s.NumSlots, len(s.Unscheduled))
+	return rep, nil
+}
+
+// shadowSetup builds the Fig. 8/9 network and both weight vectors.
+func shadowSetup(quick bool) ([]shadow.RelaySpec, []float64, []float64, error) {
+	n, total := 328, 16e9
+	if quick {
+		n, total = 60, 3e9
+	}
+	relays := shadow.SampleNetwork(n, total, 42)
+	ff, err := shadow.MeasureWithFlashFlow(relays, 1)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	tf, err := shadow.MeasureWithTorFlow(relays, 2)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return relays, ff, tf, nil
+}
+
+func fig8(quick bool) (Report, error) {
+	relays, ff, tf, err := shadowSetup(quick)
+	if err != nil {
+		return Report{}, err
+	}
+	ffRep := shadow.AnalyzeErrors(relays, ff, ff)
+	tfRep := shadow.AnalyzeErrors(relays, tf, nil)
+	var rep Report
+	rep.addf("FlashFlow: median relay capacity error %.1f%% (paper: 16%%), NCE %.1f%% (paper: 14%%)",
+		stats.Median(ffRep.RelayCapacityError)*100, ffRep.NetworkCapacityError*100)
+	rep.addf("FlashFlow NWE %.1f%% vs TorFlow NWE %.1f%% (paper: 4%% vs 29%%)",
+		ffRep.NetworkWeightError*100, tfRep.NetworkWeightError*100)
+	under := 0
+	for _, v := range tfRep.RelayWeightErrorLog10 {
+		if v < 0 {
+			under++
+		}
+	}
+	rep.addf("TorFlow under-weights %.0f%% of relays (paper: >80%%)",
+		100*float64(under)/float64(len(relays)))
+	rep.metric("ff_nce", ffRep.NetworkCapacityError)
+	rep.metric("ff_nwe", ffRep.NetworkWeightError)
+	rep.metric("tf_nwe", tfRep.NetworkWeightError)
+	return rep, nil
+}
+
+func fig9(quick bool) (Report, error) {
+	relays, ff, tf, err := shadowSetup(true) // network size from the quick setup keeps runtime sane
+	if err != nil {
+		return Report{}, err
+	}
+	cfg := shadow.DefaultConfig()
+	if quick {
+		cfg.Duration = 2 * time.Minute
+	} else {
+		cfg.Duration = 5 * time.Minute
+	}
+	cfg.Clients = shadow.ClientsForUtilization(relays, cfg, 0.35)
+
+	var rep Report
+	rep.addf("%-10s %-5s %9s %9s %9s %9s %9s %9s %8s",
+		"system", "load", "ttfb(s)", "50KiB(s)", "1MiB(s)", "5MiB(s)", "sd1MiB", "timeout%", "thr(G)")
+	type row struct {
+		name    string
+		weights []float64
+	}
+	var ffBase, tfBase shadow.Result
+	for _, load := range []float64{1.0, 1.15, 1.30} {
+		cfg.LoadScale = load
+		for _, sys := range []row{{"TorFlow", tf}, {"FlashFlow", ff}} {
+			res, err := shadow.Run(cfg, relays, sys.weights)
+			if err != nil {
+				return Report{}, err
+			}
+			rep.addf("%-10s %-5.0f %9.2f %9.2f %9.2f %9.2f %9.2f %9.1f %8.2f",
+				sys.name, load*100,
+				stats.Median(res.TTFBSeconds),
+				stats.Median(res.TTLBSeconds["50KiB"]),
+				stats.Median(res.TTLBSeconds["1MiB"]),
+				stats.Median(res.TTLBSeconds["5MiB"]),
+				stats.Stdev(res.TTLBSeconds["1MiB"]),
+				res.TimeoutRate*100,
+				stats.Median(res.ThroughputBps)/1e9)
+			if load == 1.0 {
+				if sys.name == "FlashFlow" {
+					ffBase = res
+				} else {
+					tfBase = res
+				}
+			}
+		}
+	}
+	med := func(r shadow.Result, k string) float64 { return stats.Median(r.TTLBSeconds[k]) }
+	if med(tfBase, "1MiB") > 0 {
+		imp := 1 - med(ffBase, "1MiB")/med(tfBase, "1MiB")
+		rep.addf("FlashFlow median 1 MiB improvement at 100%%: %.0f%% (paper: 29%%)", imp*100)
+		rep.metric("improvement_1mib", imp)
+	}
+	rep.metric("tf_timeout_rate", tfBase.TimeoutRate)
+	rep.metric("ff_timeout_rate", ffBase.TimeoutRate)
+	return rep, nil
+}
+
+func tab2(quick bool) (Report, error) {
+	p := core.DefaultParams()
+	n := 300
+	if quick {
+		n = 150
+	}
+	honest := make([]torflow.RelayState, n)
+	for i := range honest {
+		capBps := 10e6 * float64(1+i%20)
+		honest[i] = torflow.RelayState{
+			Name: fmt.Sprintf("r%03d", i), CapacityBps: capBps,
+			AdvertisedBps: capBps * 0.6, UtilizationFrac: 0.5,
+		}
+	}
+	scanner := torflow.NewScanner(torflow.DefaultScannerConfig(8))
+	// A ×350 self-report lie lands near the literature's demonstrated
+	// 177×; the advantage is unbounded in the lie magnitude.
+	attacker := torflow.RelayState{Name: "evil", CapacityBps: 10e6, UtilizationFrac: 0.5}
+	tfAdv, err := scanner.AttackAdvantage(honest, attacker, 350)
+	if err != nil {
+		return Report{}, err
+	}
+
+	// EigenSpeed and PeerFlow are implemented baselines: a 5-relay
+	// colluding clique attacks each.
+	esHonest := make([]eigenspeed.Relay, n)
+	for i := range esHonest {
+		esHonest[i] = eigenspeed.Relay{
+			Name: fmt.Sprintf("r%03d", i), CapacityBps: 10e6 * float64(1+i%20),
+			Trusted: i%5 == 0,
+		}
+	}
+	esAdv, err := eigenspeed.AttackAdvantage(esHonest, 5, 10e6, eigenspeed.DefaultConfig(9))
+	if err != nil {
+		return Report{}, err
+	}
+	pfHonest := make([]peerflow.Relay, n)
+	for i := range pfHonest {
+		capBps := 10e6 * float64(1+i%20)
+		pfHonest[i] = peerflow.Relay{
+			Name: fmt.Sprintf("r%03d", i), CapacityBps: capBps,
+			WeightBps: capBps * 0.8, Trusted: i%5 == 0,
+		}
+	}
+	pfAdv, err := peerflow.AttackAdvantage(pfHonest, 5, 10e6, peerflow.DefaultConfig(10))
+	if err != nil {
+		return Report{}, err
+	}
+
+	var rep Report
+	rep.addf("%-12s %10s %16s %10s %10s", "system", "server BW", "attack advantage", "capacity?", "speed")
+	rep.addf("%-12s %10s %15.0f× %10s %10s", "TorFlow", "1 Gbit/s", tfAdv, "inferred", "2 days")
+	rep.addf("%-12s %10s %15.1f× %10s %10s", "EigenSpeed", "0", esAdv, "no", "1 day")
+	rep.addf("%-12s %10s %15.1f× %10s %10s", "PeerFlow", "0", pfAdv, "inferred", "14 days+")
+	rep.addf("%-12s %10s %15.2f× %10s %10s", "FlashFlow", "3 Gbit/s", p.MaxInflation(), "yes", "~5 hours")
+	rep.addf("(paper Table 2: TorFlow 177×, EigenSpeed 21.5×, PeerFlow 10×, FlashFlow 1.33×)")
+	rep.addf("note: our PeerFlow model aggregates with a trusted-weight median — stronger than the")
+	rep.addf("paper's 2/τ-bounded variant — so its measured advantage reads below the literature's 10×")
+	rep.metric("torflow_advantage", tfAdv)
+	rep.metric("eigenspeed_advantage", esAdv)
+	rep.metric("peerflow_advantage", pfAdv)
+	rep.metric("flashflow_advantage", p.MaxInflation())
+	return rep, nil
+}
+
+func security(bool) (Report, error) {
+	p := core.DefaultParams()
+	var rep Report
+	rep.addf("forged-echo detection probability at p=%g:", p.CheckProb)
+	for _, k := range []float64{1e3, 1e4, 1e5, 1e6} {
+		rep.addf("  k=%8.0f forged cells → detected w.p. %.6f", k, core.DetectionProbability(p.CheckProb, k))
+	}
+	rep.addf("burst-only relay (high capacity in fraction q of slots), success probability:")
+	for _, q := range []float64{0.1, 0.25, 0.4, 0.49} {
+		rep.addf("  q=%.2f: n=3 → %.4f, n=5 → %.4f, n=9 → %.4f", q,
+			core.BurstAttackSuccessProbability(3, q),
+			core.BurstAttackSuccessProbability(5, q),
+			core.BurstAttackSuccessProbability(9, q))
+	}
+	rep.addf("lying-relay inflation bound: 1/(1−r) = %.3f at r = %.2f", p.MaxInflation(), p.Ratio)
+	rep.metric("max_inflation", p.MaxInflation())
+	rep.metric("detect_1e6", core.DetectionProbability(p.CheckProb, 1e6))
+	return rep, nil
+}

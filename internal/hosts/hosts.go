@@ -1,0 +1,126 @@
+// Package hosts models the Internet vantage points of the paper's Table 1
+// and the ground-truth Tor capacity procedure used to calibrate them
+// (§6.1, Appendix B/C). The measured bandwidths and RTTs come straight
+// from the table; the packages that run "Internet" experiments build
+// netsim hosts from these models.
+package hosts
+
+import (
+	"fmt"
+	"time"
+
+	"flashflow/internal/netsim"
+)
+
+// Mbit and Gbit are bit-rate unit helpers.
+const (
+	Mbit = 1e6
+	Gbit = 1e9
+)
+
+// Spec describes one vantage point.
+type Spec struct {
+	Name string
+	// Virtual indicates shared virtual hosting (adds rate jitter).
+	Virtual bool
+	// Datacenter is false for residential networks.
+	Datacenter bool
+	// ClaimedBps is the provider-advertised capacity (0 if unadvertised).
+	ClaimedBps float64
+	// MeasuredBps is the iPerf-measured capacity from Table 1's
+	// "BW (measured)" row; it is the capacity the models use.
+	MeasuredBps float64
+	// RTTToUSSW is the round-trip time to the US-SW target host.
+	RTTToUSSW time.Duration
+	// Cores and RAMGiB describe the hardware (informational).
+	Cores  int
+	RAMGiB int
+}
+
+// The five vantage points of Table 1.
+var (
+	USSW = Spec{Name: "US-SW", Datacenter: true, ClaimedBps: 1000 * Mbit, MeasuredBps: 954 * Mbit, RTTToUSSW: 0, Cores: 8, RAMGiB: 32}
+	USNW = Spec{Name: "US-NW", Virtual: true, Datacenter: true, ClaimedBps: 1000 * Mbit, MeasuredBps: 946 * Mbit, RTTToUSSW: 40 * time.Millisecond, Cores: 8, RAMGiB: 4}
+	USE  = Spec{Name: "US-E", Datacenter: false, ClaimedBps: 1000 * Mbit, MeasuredBps: 941 * Mbit, RTTToUSSW: 62 * time.Millisecond, Cores: 12, RAMGiB: 32}
+	IN   = Spec{Name: "IN", Virtual: true, Datacenter: true, MeasuredBps: 1076 * Mbit, RTTToUSSW: 210 * time.Millisecond, Cores: 2, RAMGiB: 4}
+	NL   = Spec{Name: "NL", Virtual: true, Datacenter: true, MeasuredBps: 1611 * Mbit, RTTToUSSW: 137 * time.Millisecond, Cores: 2, RAMGiB: 4}
+)
+
+// All returns the five vantage points in Table 1 order.
+func All() []Spec { return []Spec{USSW, USNW, USE, IN, NL} }
+
+// Measurers returns the four measurement hosts (everything but the US-SW
+// target), as used throughout §6.
+func Measurers() []Spec { return []Spec{USNW, USE, IN, NL} }
+
+// ByName returns the spec with the given name.
+func ByName(name string) (Spec, bool) {
+	for _, s := range All() {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return Spec{}, false
+}
+
+// NewHost builds a netsim host with this spec's measured capacity in both
+// directions.
+func (s Spec) NewHost() *netsim.Host {
+	return netsim.NewHost(s.Name, s.MeasuredBps, s.MeasuredBps)
+}
+
+// String implements fmt.Stringer.
+func (s Spec) String() string {
+	kind := "D.C."
+	if !s.Datacenter {
+		kind = "Res."
+	}
+	return fmt.Sprintf("%s(%s %.0f Mbit/s rtt=%v)", s.Name, kind, s.MeasuredBps/Mbit, s.RTTToUSSW)
+}
+
+// GroundTruthTorCapacity returns the ground-truth Tor capacity of a relay
+// on US-SW limited to limitBps, per Appendix E.2's calibration:
+// 10→9.58, 250→239, 500→494, 750→741, unlimited→890 Mbit/s. Intermediate
+// limits interpolate the same ≈2–4 % shortfall; the unlimited value is the
+// CPU-bound ceiling of §6.1.
+func GroundTruthTorCapacity(limitBps float64) float64 {
+	// Calibration points from the paper (limit → ground truth), Mbit/s.
+	type pt struct{ limit, truth float64 }
+	pts := []pt{
+		{10 * Mbit, 9.58 * Mbit},
+		{100 * Mbit, 94.2 * Mbit},
+		{200 * Mbit, 191 * Mbit},
+		{250 * Mbit, 239 * Mbit},
+		{400 * Mbit, 393 * Mbit},
+		{500 * Mbit, 494 * Mbit},
+		{750 * Mbit, 741 * Mbit},
+	}
+	if limitBps <= 0 || limitBps >= USSWUnlimitedTorCapacity {
+		return USSWUnlimitedTorCapacity
+	}
+	// Piecewise-linear interpolation of the truth/limit ratio.
+	prev := pt{0, 0}
+	for _, p := range pts {
+		if limitBps <= p.limit {
+			if p.limit == prev.limit {
+				return p.truth
+			}
+			frac := (limitBps - prev.limit) / (p.limit - prev.limit)
+			return prev.truth + frac*(p.truth-prev.truth)
+		}
+		prev = p
+	}
+	// Between the last calibration point and the unlimited ceiling.
+	last := pts[len(pts)-1]
+	frac := (limitBps - last.limit) / (USSWUnlimitedTorCapacity - last.limit)
+	return last.truth + frac*(USSWUnlimitedTorCapacity-last.truth)
+}
+
+// USSWUnlimitedTorCapacity is the ground-truth Tor capacity of an
+// unlimited relay on US-SW: 890 Mbit/s (§6.1), CPU-bound by Tor's
+// single-threaded cell scheduling.
+const USSWUnlimitedTorCapacity = 890 * Mbit
+
+// LabTorProcessingLimit is the maximum Tor forwarding rate measured in the
+// paper's lab (Appendix C.2): 1,248 Mbit/s at 20 sockets.
+const LabTorProcessingLimit = 1248 * Mbit

@@ -1,0 +1,101 @@
+package hosts
+
+import (
+	"testing"
+	"time"
+)
+
+func TestTable1Inventory(t *testing.T) {
+	all := All()
+	if len(all) != 5 {
+		t.Fatalf("hosts: got %d want 5", len(all))
+	}
+	names := []string{"US-SW", "US-NW", "US-E", "IN", "NL"}
+	for i, want := range names {
+		if all[i].Name != want {
+			t.Errorf("host %d: got %s want %s", i, all[i].Name, want)
+		}
+	}
+}
+
+func TestMeasurersExcludesTarget(t *testing.T) {
+	for _, m := range Measurers() {
+		if m.Name == "US-SW" {
+			t.Fatal("US-SW is the target, not a measurer")
+		}
+	}
+	if len(Measurers()) != 4 {
+		t.Fatalf("measurers: got %d want 4", len(Measurers()))
+	}
+}
+
+func TestByName(t *testing.T) {
+	s, ok := ByName("NL")
+	if !ok || s.MeasuredBps != 1611*Mbit {
+		t.Fatalf("ByName NL: %+v %v", s, ok)
+	}
+	if _, ok := ByName("XX"); ok {
+		t.Fatal("unknown host should not resolve")
+	}
+}
+
+func TestTable1Values(t *testing.T) {
+	if USE.Datacenter {
+		t.Fatal("US-E is residential per Table 1")
+	}
+	if !USNW.Virtual || USE.Virtual {
+		t.Fatal("virtual flags wrong")
+	}
+	if IN.RTTToUSSW != 210*time.Millisecond {
+		t.Fatalf("IN RTT: %v", IN.RTTToUSSW)
+	}
+	if IN.ClaimedBps != 0 {
+		t.Fatal("IN has no claimed bandwidth in Table 1")
+	}
+}
+
+func TestNewHostCapacities(t *testing.T) {
+	h := NL.NewHost()
+	if h.Up.CapacityBps != 1611*Mbit || h.Down.CapacityBps != 1611*Mbit {
+		t.Fatalf("NL host capacities: %v/%v", h.Up.CapacityBps, h.Down.CapacityBps)
+	}
+}
+
+func TestGroundTruthCalibrationPoints(t *testing.T) {
+	cases := []struct{ limit, want float64 }{
+		{10 * Mbit, 9.58 * Mbit},
+		{100 * Mbit, 94.2 * Mbit},
+		{200 * Mbit, 191 * Mbit},
+		{250 * Mbit, 239 * Mbit},
+		{400 * Mbit, 393 * Mbit},
+		{500 * Mbit, 494 * Mbit},
+		{750 * Mbit, 741 * Mbit},
+		{0, 890 * Mbit},
+		{2000 * Mbit, 890 * Mbit},
+	}
+	for _, tc := range cases {
+		if got := GroundTruthTorCapacity(tc.limit); got != tc.want {
+			t.Errorf("ground truth(%v) = %v want %v", tc.limit, got, tc.want)
+		}
+	}
+}
+
+func TestGroundTruthInterpolationMonotone(t *testing.T) {
+	prev := 0.0
+	for limit := 5 * Mbit; limit <= 900*Mbit; limit += 5 * Mbit {
+		got := GroundTruthTorCapacity(limit)
+		if got < prev {
+			t.Fatalf("ground truth not monotone at %v: %v < %v", limit, got, prev)
+		}
+		if got > limit && limit > 0 {
+			t.Fatalf("ground truth exceeds configured limit at %v: %v", limit, got)
+		}
+		prev = got
+	}
+}
+
+func TestStringer(t *testing.T) {
+	if s := USE.String(); s == "" {
+		t.Fatal("empty String()")
+	}
+}

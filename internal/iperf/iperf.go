@@ -1,0 +1,157 @@
+// Package iperf reproduces the paper's iPerf-based capacity probing
+// (§6.1, Appendix B): pairwise TCP/UDP measurements between vantage points
+// and the all-to-one UDP saturation test used to establish each host's
+// forwarding capacity and to measure measurers (§4.2 "Measuring
+// Measurers").
+package iperf
+
+import (
+	"errors"
+	"time"
+
+	"flashflow/internal/netsim"
+	"flashflow/internal/stats"
+	"flashflow/internal/tcp"
+)
+
+// Protocol selects the transport model for a probe.
+type Protocol int
+
+// Supported protocols. UDP is not subject to window limits and carries
+// less header overhead; TCP is window/RTT limited (Appendix B's
+// observation that UDP throughput exceeds TCP's).
+const (
+	TCP Protocol = iota + 1
+	UDP
+)
+
+// udpEfficiency reflects UDP's smaller header overhead relative to the
+// link rate; TCP additionally pays window and congestion costs via the
+// tcp package model.
+const udpEfficiency = 0.99
+
+// Result is the outcome of one probe.
+type Result struct {
+	// MedianBps is the median per-second throughput over the probe.
+	MedianBps float64
+	// PerSecondBps holds every per-second sample.
+	PerSecondBps []float64
+}
+
+// ErrNoHosts is returned when a probe has no senders.
+var ErrNoHosts = errors.New("iperf: no sender hosts")
+
+// Pairwise runs a bidirectional probe between two hosts for the given
+// duration and returns the per-direction minimum (the paper summarizes
+// pairwise runs by the minimum of send and receive). rtt is the path RTT;
+// proto selects the transport model.
+func Pairwise(a, b *netsim.Host, rtt time.Duration, proto Protocol, duration time.Duration) (Result, error) {
+	if a == nil || b == nil {
+		return Result{}, ErrNoHosts
+	}
+	net := netsim.New(time.Second)
+	capFlow := flowCap(proto, rtt, minCap(a, b))
+	fwd := net.AddFlow("a->b", netsim.PathBetween(a, b), capFlow)
+	rev := net.AddFlow("b->a", netsim.PathBetween(b, a), capFlow)
+
+	seconds := int(duration / time.Second)
+	per := make([]float64, 0, seconds)
+	for s := 0; s < seconds; s++ {
+		net.Step()
+		fwdBps := fwd.RateBps
+		revBps := rev.RateBps
+		if revBps < fwdBps {
+			fwdBps = revBps
+		}
+		per = append(per, fwdBps)
+	}
+	return Result{MedianBps: stats.Median(per), PerSecondBps: per}, nil
+}
+
+// AllToOne saturates target with simultaneous UDP probes from every sender
+// for the given duration, summing per-second arrivals — the Table 1
+// "BW (measured)" methodology and the §4.2 measurer-measurement procedure.
+// The result's median is the capacity estimate.
+func AllToOne(target *netsim.Host, senders []*netsim.Host, duration time.Duration) (Result, error) {
+	if len(senders) == 0 {
+		return Result{}, ErrNoHosts
+	}
+	net := netsim.New(time.Second)
+	flows := make([]*netsim.Flow, 0, len(senders))
+	for _, s := range senders {
+		flows = append(flows, net.AddFlow(s.Name+"->"+target.Name, netsim.PathBetween(s, target), 0))
+	}
+	seconds := int(duration / time.Second)
+	per := make([]float64, 0, seconds)
+	for t := 0; t < seconds; t++ {
+		net.Step()
+		var sum float64
+		for _, f := range flows {
+			sum += f.RateBps
+		}
+		sum *= udpEfficiency
+		per = append(per, sum)
+	}
+	return Result{MedianBps: stats.Median(per), PerSecondBps: per}, nil
+}
+
+// MeasureMeasurers implements §4.2's measurer self-measurement: every
+// measurer exchanges bidirectional UDP traffic with each other measurer
+// concurrently for 60 seconds; the capacity estimate is the median of the
+// per-second totals at each host. It returns the per-host estimates in
+// bits/second, index-aligned with the input.
+func MeasureMeasurers(measurers []*netsim.Host) ([]float64, error) {
+	if len(measurers) < 2 {
+		return nil, errors.New("iperf: need at least two measurers")
+	}
+	net := netsim.New(time.Second)
+	type pairFlows struct {
+		to   int
+		flow *netsim.Flow
+	}
+	inbound := make([][]pairFlows, len(measurers))
+	for i := range measurers {
+		for j := range measurers {
+			if i == j {
+				continue
+			}
+			f := net.AddFlow("m", netsim.PathBetween(measurers[i], measurers[j]), 0)
+			inbound[j] = append(inbound[j], pairFlows{to: j, flow: f})
+		}
+	}
+	const seconds = 60
+	per := make([][]float64, len(measurers))
+	for t := 0; t < seconds; t++ {
+		net.Step()
+		for i := range measurers {
+			var sum float64
+			for _, pf := range inbound[i] {
+				sum += pf.flow.RateBps
+			}
+			per[i] = append(per[i], sum*udpEfficiency)
+		}
+	}
+	out := make([]float64, len(measurers))
+	for i := range measurers {
+		out[i] = stats.Median(per[i])
+	}
+	return out, nil
+}
+
+func flowCap(proto Protocol, rtt time.Duration, linkBps float64) float64 {
+	if proto == UDP {
+		return linkBps * udpEfficiency
+	}
+	cfg := tcp.DefaultConfig(linkBps, rtt)
+	return cfg.SingleSocketBps() * 0.95 // TCP header + congestion overhead
+}
+
+func minCap(a, b *netsim.Host) float64 {
+	m := a.Up.CapacityBps
+	for _, c := range []float64{a.Down.CapacityBps, b.Up.CapacityBps, b.Down.CapacityBps} {
+		if c < m {
+			m = c
+		}
+	}
+	return m
+}

@@ -1,0 +1,118 @@
+package iperf
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"flashflow/internal/hosts"
+	"flashflow/internal/netsim"
+)
+
+func TestPairwiseUDPFasterThanTCP(t *testing.T) {
+	// Appendix B: "In all cases the maximum UDP iPerf throughput is
+	// higher than the TCP iPerf throughput."
+	a := hosts.USSW.NewHost()
+	b := hosts.IN.NewHost()
+	udp, err := Pairwise(a, b, hosts.IN.RTTToUSSW, UDP, 60*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2 := hosts.USSW.NewHost()
+	b2 := hosts.IN.NewHost()
+	tcpRes, err := Pairwise(a2, b2, hosts.IN.RTTToUSSW, TCP, 60*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if udp.MedianBps <= tcpRes.MedianBps {
+		t.Fatalf("UDP (%v) should exceed TCP (%v)", udp.MedianBps, tcpRes.MedianBps)
+	}
+}
+
+func TestPairwiseBoundedByLink(t *testing.T) {
+	a := hosts.USSW.NewHost()
+	b := hosts.NL.NewHost()
+	res, err := Pairwise(a, b, hosts.NL.RTTToUSSW, UDP, 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MedianBps > hosts.USSW.MeasuredBps {
+		t.Fatalf("pairwise exceeds slower host capacity: %v", res.MedianBps)
+	}
+	if len(res.PerSecondBps) != 10 {
+		t.Fatalf("per-second samples: got %d want 10", len(res.PerSecondBps))
+	}
+}
+
+func TestPairwiseNilHosts(t *testing.T) {
+	if _, err := Pairwise(nil, nil, 0, UDP, time.Second); err == nil {
+		t.Fatal("nil hosts should error")
+	}
+}
+
+func TestAllToOneMatchesTable1(t *testing.T) {
+	// All-to-one saturation of each US host should measure ≈ its link
+	// capacity (Table 1's "BW (measured)" row).
+	target := hosts.USSW.NewHost()
+	senders := make([]*netsim.Host, 0, 4)
+	for _, m := range hosts.Measurers() {
+		senders = append(senders, m.NewHost())
+	}
+	res, err := AllToOne(target, senders, 60*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := hosts.USSW.MeasuredBps
+	if math.Abs(res.MedianBps-want)/want > 0.02 {
+		t.Fatalf("US-SW all-to-one: got %v want ≈%v", res.MedianBps, want)
+	}
+}
+
+func TestAllToOneNoSenders(t *testing.T) {
+	if _, err := AllToOne(hosts.USSW.NewHost(), nil, time.Second); err == nil {
+		t.Fatal("no senders should error")
+	}
+}
+
+func TestMeasureMeasurers(t *testing.T) {
+	// §4.2: each measurer exchanges traffic with all others concurrently.
+	// Estimates must be positive, bounded by each host's capacity, and an
+	// under-estimate is acceptable (only a lower bound is needed).
+	ms := []*netsim.Host{hosts.USNW.NewHost(), hosts.USE.NewHost(), hosts.IN.NewHost(), hosts.NL.NewHost()}
+	specs := hosts.Measurers()
+	got, err := MeasureMeasurers(ms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 4 {
+		t.Fatalf("estimates: got %d want 4", len(got))
+	}
+	for i, est := range got {
+		if est <= 0 {
+			t.Errorf("measurer %d estimate nonpositive: %v", i, est)
+		}
+		if est > specs[i].MeasuredBps*1.01 {
+			t.Errorf("measurer %d estimate exceeds capacity: %v > %v", i, est, specs[i].MeasuredBps)
+		}
+	}
+}
+
+func TestMeasureMeasurersNeedsTwo(t *testing.T) {
+	if _, err := MeasureMeasurers([]*netsim.Host{hosts.NL.NewHost()}); err == nil {
+		t.Fatal("single measurer should error")
+	}
+}
+
+func TestTCPThroughputDecreasesWithRTT(t *testing.T) {
+	short, err := Pairwise(hosts.USSW.NewHost(), hosts.USNW.NewHost(), 40*time.Millisecond, TCP, 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	long, err := Pairwise(hosts.USSW.NewHost(), hosts.USNW.NewHost(), 340*time.Millisecond, TCP, 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if long.MedianBps >= short.MedianBps {
+		t.Fatalf("TCP at 340 ms (%v) should be slower than at 40 ms (%v)", long.MedianBps, short.MedianBps)
+	}
+}

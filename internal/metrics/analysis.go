@@ -1,0 +1,274 @@
+package metrics
+
+import (
+	"math"
+
+	"flashflow/internal/stats"
+)
+
+// slidingMax computes, for each index t, the maximum of xs over the window
+// [t-w+1, t] using a monotonic deque (O(n)).
+func slidingMax(xs []float64, w int) []float64 {
+	out := make([]float64, len(xs))
+	type entry struct {
+		idx int
+		val float64
+	}
+	var deque []entry
+	for t, x := range xs {
+		for len(deque) > 0 && deque[len(deque)-1].val <= x {
+			deque = deque[:len(deque)-1]
+		}
+		deque = append(deque, entry{t, x})
+		if deque[0].idx <= t-w {
+			deque = deque[1:]
+		}
+		out[t] = deque[0].val
+	}
+	return out
+}
+
+// slidingRSD computes, for each index t, the relative standard deviation
+// of xs over the window [t-w+1, t] using prefix sums (O(n)).
+func slidingRSD(xs []float64, w int) []float64 {
+	n := len(xs)
+	prefix := make([]float64, n+1)
+	prefixSq := make([]float64, n+1)
+	for i, x := range xs {
+		prefix[i+1] = prefix[i] + x
+		prefixSq[i+1] = prefixSq[i] + x*x
+	}
+	out := make([]float64, n)
+	for t := 0; t < n; t++ {
+		lo := t - w + 1
+		if lo < 0 {
+			lo = 0
+		}
+		cnt := float64(t - lo + 1)
+		sum := prefix[t+1] - prefix[lo]
+		sumSq := prefixSq[t+1] - prefixSq[lo]
+		mean := sum / cnt
+		if mean == 0 {
+			out[t] = 0
+			continue
+		}
+		variance := sumSq/cnt - mean*mean
+		if variance < 0 {
+			variance = 0
+		}
+		out[t] = math.Sqrt(variance) / mean
+	}
+	return out
+}
+
+// analysisStart returns the first sample index at which windows of length
+// w are fully populated, matching the paper's convention of starting the
+// analysis a year after the data begins.
+func (a *Archive) analysisStart(w int) int {
+	if w >= a.Samples() {
+		return a.Samples() - 1
+	}
+	return w
+}
+
+// MeanRCEPerRelay implements Fig. 1: for each relay, the mean over t of
+// RCE(r,t,p) = 1 − A(r,t)/C(r,t,p) with C the maximum advertised bandwidth
+// over the p-sample window preceding (and including) t.
+func (a *Archive) MeanRCEPerRelay(p int) []float64 {
+	start := a.analysisStart(p)
+	out := make([]float64, 0, len(a.Relays))
+	for _, r := range a.Relays {
+		maxes := slidingMax(r.AdvertisedBps, p)
+		var sum float64
+		var n int
+		for t := start; t < len(r.AdvertisedBps); t++ {
+			if maxes[t] <= 0 {
+				continue
+			}
+			sum += 1 - r.AdvertisedBps[t]/maxes[t]
+			n++
+		}
+		if n > 0 {
+			out = append(out, sum/float64(n))
+		}
+	}
+	return out
+}
+
+// NCESeries implements Fig. 2: for each sample t, the network capacity
+// error NCE(t,p) = 1 − Σ_r A(r,t) / Σ_r C(r,t,p).
+func (a *Archive) NCESeries(p int) []float64 {
+	samples := a.Samples()
+	sumA := make([]float64, samples)
+	sumC := make([]float64, samples)
+	for _, r := range a.Relays {
+		maxes := slidingMax(r.AdvertisedBps, p)
+		for t := 0; t < samples; t++ {
+			sumA[t] += r.AdvertisedBps[t]
+			sumC[t] += maxes[t]
+		}
+	}
+	start := a.analysisStart(p)
+	out := make([]float64, 0, samples-start)
+	for t := start; t < samples; t++ {
+		if sumC[t] <= 0 {
+			out = append(out, 0)
+			continue
+		}
+		out = append(out, 1-sumA[t]/sumC[t])
+	}
+	return out
+}
+
+// MeanRWEPerRelay implements Fig. 3: for each relay, the mean over t of
+// RWE(r,t,p) = W̄(r,t)/C̄(r,t,p), the ratio of the relay's normalized
+// consensus weight to its normalized capacity. Values below 1 mean the
+// relay is under-weighted. Callers typically plot log10 of the result.
+func (a *Archive) MeanRWEPerRelay(p int) []float64 {
+	samples := a.Samples()
+	nRelays := len(a.Relays)
+	maxes := make([][]float64, nRelays)
+	totalW := make([]float64, samples)
+	totalC := make([]float64, samples)
+	for i, r := range a.Relays {
+		maxes[i] = slidingMax(r.AdvertisedBps, p)
+		for t := 0; t < samples; t++ {
+			totalW[t] += r.WeightBps[t]
+			totalC[t] += maxes[i][t]
+		}
+	}
+	start := a.analysisStart(p)
+	out := make([]float64, 0, nRelays)
+	for i, r := range a.Relays {
+		var sum float64
+		var n int
+		for t := start; t < samples; t++ {
+			if totalW[t] <= 0 || totalC[t] <= 0 || maxes[i][t] <= 0 {
+				continue
+			}
+			wNorm := r.WeightBps[t] / totalW[t]
+			cNorm := maxes[i][t] / totalC[t]
+			if cNorm <= 0 {
+				continue
+			}
+			sum += wNorm / cNorm
+			n++
+		}
+		if n > 0 {
+			out = append(out, sum/float64(n))
+		}
+	}
+	return out
+}
+
+// NWESeries implements Fig. 4: for each sample t, the network weight error
+// NWE(t,p) = ½ Σ_r |W̄(r,t) − C̄(r,t,p)| (Eq. 6), the total variation
+// distance between normalized weights and normalized capacities.
+func (a *Archive) NWESeries(p int) []float64 {
+	samples := a.Samples()
+	nRelays := len(a.Relays)
+	maxes := make([][]float64, nRelays)
+	totalW := make([]float64, samples)
+	totalC := make([]float64, samples)
+	for i, r := range a.Relays {
+		maxes[i] = slidingMax(r.AdvertisedBps, p)
+		for t := 0; t < samples; t++ {
+			totalW[t] += r.WeightBps[t]
+			totalC[t] += maxes[i][t]
+		}
+	}
+	start := a.analysisStart(p)
+	out := make([]float64, 0, samples-start)
+	for t := start; t < samples; t++ {
+		if totalW[t] <= 0 || totalC[t] <= 0 {
+			out = append(out, 0)
+			continue
+		}
+		var sum float64
+		for i, r := range a.Relays {
+			sum += math.Abs(r.WeightBps[t]/totalW[t] - maxes[i][t]/totalC[t])
+		}
+		out = append(out, sum/2)
+	}
+	return out
+}
+
+// MeanAdvertisedRSDPerRelay implements Fig. 10a: for each relay, the mean
+// over t of RSD(A(r,t,p)) — the relative standard deviation of advertised
+// bandwidths over the trailing window.
+func (a *Archive) MeanAdvertisedRSDPerRelay(p int) []float64 {
+	return a.meanRSD(p, func(r *RelaySeries) []float64 { return r.AdvertisedBps })
+}
+
+// MeanWeightRSDPerRelay implements Fig. 10b for normalized consensus
+// weights.
+func (a *Archive) MeanWeightRSDPerRelay(p int) []float64 {
+	samples := a.Samples()
+	totalW := make([]float64, samples)
+	for _, r := range a.Relays {
+		for t := 0; t < samples; t++ {
+			totalW[t] += r.WeightBps[t]
+		}
+	}
+	normalized := make([][]float64, len(a.Relays))
+	for i, r := range a.Relays {
+		normalized[i] = make([]float64, samples)
+		for t := 0; t < samples; t++ {
+			if totalW[t] > 0 {
+				normalized[i][t] = r.WeightBps[t] / totalW[t]
+			}
+		}
+	}
+	start := a.analysisStart(p)
+	out := make([]float64, 0, len(a.Relays))
+	for i := range a.Relays {
+		rsd := slidingRSD(normalized[i], p)
+		var sum float64
+		var n int
+		for t := start; t < samples; t++ {
+			sum += rsd[t]
+			n++
+		}
+		if n > 0 {
+			out = append(out, sum/float64(n))
+		}
+	}
+	return out
+}
+
+func (a *Archive) meanRSD(p int, series func(*RelaySeries) []float64) []float64 {
+	start := a.analysisStart(p)
+	out := make([]float64, 0, len(a.Relays))
+	for i := range a.Relays {
+		xs := series(&a.Relays[i])
+		rsd := slidingRSD(xs, p)
+		var sum float64
+		var n int
+		for t := start; t < len(xs); t++ {
+			sum += rsd[t]
+			n++
+		}
+		if n > 0 {
+			out = append(out, sum/float64(n))
+		}
+	}
+	return out
+}
+
+// Summary bundles the medians the paper quotes in §3 for one period.
+type Summary struct {
+	MedianMeanRCE float64
+	MedianNCE     float64
+	MedianNWE     float64
+	MedianRSD     float64
+}
+
+// Summarize computes the §3 headline medians for a period.
+func (a *Archive) Summarize(p int) Summary {
+	return Summary{
+		MedianMeanRCE: stats.Median(a.MeanRCEPerRelay(p)),
+		MedianNCE:     stats.Median(a.NCESeries(p)),
+		MedianNWE:     stats.Median(a.NWESeries(p)),
+		MedianRSD:     stats.Median(a.MeanAdvertisedRSDPerRelay(p)),
+	}
+}

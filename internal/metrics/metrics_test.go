@@ -1,0 +1,247 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"flashflow/internal/stats"
+)
+
+// testArchive generates a compact archive once for the whole test file.
+func testArchive(t *testing.T) *Archive {
+	t.Helper()
+	p := DefaultArchiveParams()
+	p.NumRelays = 120
+	p.Span = 450 * 24 * time.Hour
+	a, err := GenerateArchive(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestGenerateArchiveShape(t *testing.T) {
+	a := testArchive(t)
+	if len(a.Relays) != 120 {
+		t.Fatalf("relays: %d", len(a.Relays))
+	}
+	wantSamples := int((450 * 24 * time.Hour) / (6 * time.Hour))
+	if a.Samples() != wantSamples {
+		t.Fatalf("samples: got %d want %d", a.Samples(), wantSamples)
+	}
+	for _, r := range a.Relays {
+		if len(r.AdvertisedBps) != a.Samples() || len(r.WeightBps) != a.Samples() {
+			t.Fatalf("series length mismatch for %s", r.Name)
+		}
+		if r.TrueCapBps <= 0 {
+			t.Fatalf("nonpositive capacity for %s", r.Name)
+		}
+	}
+}
+
+func TestGenerateArchiveBadParams(t *testing.T) {
+	bad := []ArchiveParams{
+		{},
+		{NumRelays: 1, Span: time.Hour, Sample: time.Hour, DescriptorInterval: time.Hour, MeanUtilLow: 0.9, MeanUtilHigh: 0.5},
+		{NumRelays: 1, Span: time.Hour, Sample: time.Hour, DescriptorInterval: time.Hour, MeanUtilLow: 0, MeanUtilHigh: 0.5},
+	}
+	for i, p := range bad {
+		if _, err := GenerateArchive(p); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestGenerateArchiveDeterministic(t *testing.T) {
+	p := DefaultArchiveParams()
+	p.NumRelays = 10
+	p.Span = 60 * 24 * time.Hour
+	a1, _ := GenerateArchive(p)
+	a2, _ := GenerateArchive(p)
+	for i := range a1.Relays {
+		for t2 := range a1.Relays[i].AdvertisedBps {
+			if a1.Relays[i].AdvertisedBps[t2] != a2.Relays[i].AdvertisedBps[t2] {
+				t.Fatal("archive generation not deterministic")
+			}
+		}
+	}
+}
+
+func TestAdvertisedNeverExceedsCapacity(t *testing.T) {
+	a := testArchive(t)
+	for _, r := range a.Relays {
+		for _, adv := range r.AdvertisedBps {
+			if adv > r.TrueCapBps*(1+1e-9) {
+				t.Fatalf("advertised %v exceeds capacity %v for %s", adv, r.TrueCapBps, r.Name)
+			}
+		}
+	}
+}
+
+func TestSlidingMax(t *testing.T) {
+	xs := []float64{1, 3, 2, 5, 4, 1, 1, 1}
+	got := slidingMax(xs, 3)
+	want := []float64{1, 3, 3, 5, 5, 5, 4, 1}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("slidingMax[%d]: got %v want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestSlidingMaxWindowOne(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	got := slidingMax(xs, 1)
+	for i := range xs {
+		if got[i] != xs[i] {
+			t.Fatalf("window-1 max should be identity: %v", got)
+		}
+	}
+}
+
+func TestSlidingRSD(t *testing.T) {
+	// Constant series → RSD 0 everywhere.
+	got := slidingRSD([]float64{5, 5, 5, 5}, 2)
+	for _, v := range got {
+		if v != 0 {
+			t.Fatalf("constant series RSD: %v", got)
+		}
+	}
+	// Known case: window covering {2,4} → mean 3, stdev 1, RSD 1/3.
+	got = slidingRSD([]float64{2, 4}, 2)
+	if math.Abs(got[1]-1.0/3) > 1e-9 {
+		t.Fatalf("RSD: got %v want 1/3", got[1])
+	}
+}
+
+func TestRCEIncreasesWithPeriod(t *testing.T) {
+	// Fig. 1's headline: longer periods reveal more error.
+	a := testArchive(t)
+	prev := -1.0
+	for _, w := range []int{a.PeriodDay(), a.PeriodWeek(), a.PeriodMonth(), a.PeriodYear()} {
+		med := stats.Median(a.MeanRCEPerRelay(w))
+		if med < prev {
+			t.Fatalf("median RCE not monotone in period: %v then %v", prev, med)
+		}
+		prev = med
+	}
+}
+
+func TestRCEPaperBands(t *testing.T) {
+	// Loose bands around the paper's medians: 7 % (day), 28 % (year).
+	a := testArchive(t)
+	day := stats.Median(a.MeanRCEPerRelay(a.PeriodDay()))
+	year := stats.Median(a.MeanRCEPerRelay(a.PeriodYear()))
+	if day < 0.005 || day > 0.15 {
+		t.Fatalf("day RCE median out of band: %v", day)
+	}
+	if year < 0.15 || year > 0.45 {
+		t.Fatalf("year RCE median out of band: %v", year)
+	}
+}
+
+func TestNCEPaperBands(t *testing.T) {
+	// Paper medians: 5 % (day), 14 % (week), 22 % (month), 36 % (year).
+	a := testArchive(t)
+	day := stats.Median(a.NCESeries(a.PeriodDay()))
+	year := stats.Median(a.NCESeries(a.PeriodYear()))
+	if day < 0.005 || day > 0.12 {
+		t.Fatalf("day NCE median out of band: %v", day)
+	}
+	if year < 0.18 || year > 0.5 {
+		t.Fatalf("year NCE median out of band: %v", year)
+	}
+	if day >= year {
+		t.Fatal("NCE should grow with period")
+	}
+}
+
+func TestNWEPaperBands(t *testing.T) {
+	// Paper medians: 21–30 % across periods.
+	a := testArchive(t)
+	for _, w := range []int{a.PeriodDay(), a.PeriodWeek(), a.PeriodMonth(), a.PeriodYear()} {
+		med := stats.Median(a.NWESeries(w))
+		if med < 0.10 || med > 0.45 {
+			t.Fatalf("NWE median out of band at w=%d: %v", w, med)
+		}
+	}
+}
+
+func TestMostRelaysUnderweighted(t *testing.T) {
+	// Fig. 3: more than ~85 % of relays are under-weighted (RWE < 1).
+	a := testArchive(t)
+	rwe := a.MeanRWEPerRelay(a.PeriodYear())
+	var under int
+	for _, v := range rwe {
+		if v < 1 {
+			under++
+		}
+	}
+	frac := float64(under) / float64(len(rwe))
+	if frac < 0.6 {
+		t.Fatalf("under-weighted fraction: got %v want most relays", frac)
+	}
+}
+
+func TestRSDIncreasesWithPeriod(t *testing.T) {
+	// Fig. 10: variation grows with the window.
+	a := testArchive(t)
+	day := stats.Median(a.MeanAdvertisedRSDPerRelay(a.PeriodDay()))
+	year := stats.Median(a.MeanAdvertisedRSDPerRelay(a.PeriodYear()))
+	if day >= year {
+		t.Fatalf("advertised RSD should grow with period: day %v year %v", day, year)
+	}
+	dayW := stats.Median(a.MeanWeightRSDPerRelay(a.PeriodDay()))
+	yearW := stats.Median(a.MeanWeightRSDPerRelay(a.PeriodYear()))
+	if dayW >= yearW {
+		t.Fatalf("weight RSD should grow with period: day %v year %v", dayW, yearW)
+	}
+}
+
+func TestRCEZeroForPerfectEstimator(t *testing.T) {
+	// A relay whose advertised bandwidth is constant has zero RCE and
+	// zero RSD at every period.
+	a := &Archive{
+		Params:      DefaultArchiveParams(),
+		SampleTimes: make([]time.Duration, 100),
+		Relays: []RelaySeries{{
+			Name:          "const",
+			TrueCapBps:    1e6,
+			AdvertisedBps: constSeries(100, 5e5),
+			WeightBps:     constSeries(100, 5e5),
+		}},
+	}
+	for _, w := range []int{4, 28, 120} {
+		rce := a.MeanRCEPerRelay(w)
+		if len(rce) != 1 || rce[0] != 0 {
+			t.Fatalf("constant relay RCE at w=%d: %v", w, rce)
+		}
+	}
+}
+
+func constSeries(n int, v float64) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = v
+	}
+	return out
+}
+
+func TestSummarize(t *testing.T) {
+	a := testArchive(t)
+	s := a.Summarize(a.PeriodWeek())
+	if s.MedianMeanRCE <= 0 || s.MedianNCE <= 0 || s.MedianNWE <= 0 || s.MedianRSD <= 0 {
+		t.Fatalf("summary has nonpositive medians: %+v", s)
+	}
+}
+
+func TestSamplesPerPeriodFloor(t *testing.T) {
+	a := testArchive(t)
+	if got := a.SamplesPerPeriod(time.Minute); got != 1 {
+		t.Fatalf("sub-sample period should clamp to 1: %d", got)
+	}
+	if got := a.PeriodDay(); got != 4 {
+		t.Fatalf("day at 6 h sampling: got %d want 4", got)
+	}
+}

@@ -1,0 +1,316 @@
+// Package netsim is a flow-level network simulator. It stands in for both
+// the live Internet (the paper's §6 vantage-point experiments) and the
+// Shadow discrete-event simulator (the paper's §7 experiments).
+//
+// The model: traffic is a set of fluid flows, each traversing an ordered
+// set of capacity-limited resources (host uplinks, host downlinks, relay
+// forwarding capacity, rate limiters). Rates are assigned by progressive
+// filling, yielding the max-min fair allocation subject to optional
+// per-flow caps (TCP window/RTT limits, application rate limits). Time
+// advances in fixed ticks; per-tick throughput series are recorded, which
+// is exactly the granularity FlashFlow consumes (per-second byte counts,
+// §4.1).
+//
+// This reproduces the effects the paper's experiments depend on — capacity
+// sharing, bottleneck location, socket-count limits — without packet-level
+// detail that would not change who wins or where crossovers fall.
+package netsim
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Resource is a capacity-limited element of the network (a link direction,
+// a relay's forwarding capacity, a configured rate limit).
+type Resource struct {
+	Name        string
+	CapacityBps float64
+
+	// throughput accounting for the current tick.
+	allocatedBps float64
+}
+
+// NewResource creates a resource with the given capacity in bits/second.
+func NewResource(name string, capacityBps float64) *Resource {
+	return &Resource{Name: name, CapacityBps: capacityBps}
+}
+
+// AllocatedBps returns the total rate allocated across this resource in the
+// most recent allocation.
+func (r *Resource) AllocatedBps() float64 { return r.allocatedBps }
+
+// FlowID identifies a flow within a Network.
+type FlowID int
+
+// Flow is a unidirectional fluid flow across a set of resources.
+type Flow struct {
+	ID    FlowID
+	Label string
+	// Path is the set of resources the flow consumes capacity on.
+	Path []*Resource
+	// CapBps optionally caps the flow's rate (e.g. TCP window/RTT).
+	// Zero means uncapped.
+	CapBps float64
+	// RateBps is the current allocated rate (output of Allocate).
+	RateBps float64
+	// Bytes is the cumulative bytes delivered.
+	Bytes float64
+	// OnTick, if set, is invoked after each tick with the bytes delivered
+	// during that tick.
+	OnTick func(tick int, bytes float64)
+
+	// DemandBps optionally caps the rate by application demand; zero
+	// means the application always has data to send (a greedy flow).
+	DemandBps float64
+}
+
+// effectiveCap combines CapBps and DemandBps; zero means unbounded.
+func (f *Flow) effectiveCap() float64 {
+	c := f.CapBps
+	if f.DemandBps > 0 && (c == 0 || f.DemandBps < c) {
+		c = f.DemandBps
+	}
+	return c
+}
+
+// Network holds resources and flows and performs rate allocation.
+type Network struct {
+	flows  map[FlowID]*Flow
+	nextID FlowID
+	now    time.Duration
+	tick   time.Duration
+	ticks  int
+}
+
+// ErrNoSuchFlow is returned when operating on an unknown flow ID.
+var ErrNoSuchFlow = errors.New("netsim: no such flow")
+
+// New creates an empty network with the given tick length. A tick of one
+// second matches the paper's per-second reporting; smaller ticks are used
+// by the Shadow-like simulation.
+func New(tick time.Duration) *Network {
+	if tick <= 0 {
+		tick = time.Second
+	}
+	return &Network{flows: make(map[FlowID]*Flow), tick: tick}
+}
+
+// Now returns the current simulated time.
+func (n *Network) Now() time.Duration { return n.now }
+
+// Tick returns the tick length.
+func (n *Network) Tick() time.Duration { return n.tick }
+
+// Ticks returns the number of ticks that have elapsed.
+func (n *Network) Ticks() int { return n.ticks }
+
+// AddFlow registers a flow over the given path and returns it. A nil or
+// empty path is allowed (the flow is then only limited by its caps).
+func (n *Network) AddFlow(label string, path []*Resource, capBps float64) *Flow {
+	n.nextID++
+	f := &Flow{ID: n.nextID, Label: label, Path: path, CapBps: capBps}
+	n.flows[f.ID] = f
+	return f
+}
+
+// RemoveFlow removes a flow from the network.
+func (n *Network) RemoveFlow(id FlowID) error {
+	if _, ok := n.flows[id]; !ok {
+		return fmt.Errorf("%w: %d", ErrNoSuchFlow, id)
+	}
+	delete(n.flows, id)
+	return nil
+}
+
+// NumFlows returns the number of registered flows.
+func (n *Network) NumFlows() int { return len(n.flows) }
+
+// uniquePath returns f.Path with duplicate resources removed, so that a
+// flow consumes each resource's capacity once even if listed twice.
+func uniquePath(f *Flow) []*Resource {
+	if len(f.Path) <= 1 {
+		return f.Path
+	}
+	out := make([]*Resource, 0, len(f.Path))
+	seen := make(map[*Resource]bool, len(f.Path))
+	for _, r := range f.Path {
+		if !seen[r] {
+			seen[r] = true
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Allocate computes the max-min fair allocation over all flows by
+// progressive filling: all unfrozen flows share a common rate level that is
+// raised until either a flow's cap binds (freeze it at the cap) or a
+// resource saturates (freeze every flow crossing it at the level). The
+// freeze set each iteration depends only on values, not on map iteration
+// order, so the allocation is deterministic.
+func (n *Network) Allocate() {
+	resSet := make(map[*Resource]struct{})
+	paths := make(map[FlowID][]*Resource, len(n.flows))
+	for id, f := range n.flows {
+		f.RateBps = 0
+		paths[id] = uniquePath(f)
+		for _, r := range paths[id] {
+			resSet[r] = struct{}{}
+		}
+	}
+	for r := range resSet {
+		r.allocatedBps = 0
+	}
+
+	unfrozen := make(map[FlowID]*Flow, len(n.flows))
+	for id, f := range n.flows {
+		unfrozen[id] = f
+	}
+	usage := make(map[*Resource]float64, len(resSet)) // frozen consumption
+	level := 0.0                                      // common rate of unfrozen flows
+	const eps = 1e-6
+
+	for len(unfrozen) > 0 {
+		counts := make(map[*Resource]int)
+		for id := range unfrozen {
+			for _, r := range paths[id] {
+				counts[r]++
+			}
+		}
+		// Level at which each used resource saturates.
+		resMin := -1.0
+		for r, c := range counts {
+			lvl := (r.CapacityBps - usage[r]) / float64(c)
+			if lvl < level {
+				lvl = level
+			}
+			if resMin < 0 || lvl < resMin {
+				resMin = lvl
+			}
+		}
+		// Smallest binding per-flow cap.
+		capMin := -1.0
+		for _, f := range unfrozen {
+			if c := f.effectiveCap(); c > 0 && (capMin < 0 || c < capMin) {
+				capMin = c
+			}
+		}
+		if resMin < 0 && capMin < 0 {
+			// Unconstrained flows (no resources, no caps): freeze at the
+			// current level; a fluid model has no meaning for them beyond
+			// it.
+			for id, f := range unfrozen {
+				f.RateBps = level
+				delete(unfrozen, id)
+			}
+			break
+		}
+
+		if capMin >= 0 && (resMin < 0 || capMin <= resMin) {
+			// Caps bind first: freeze every flow whose cap is at most the
+			// new level.
+			level = capMin
+			for id, f := range unfrozen {
+				if c := f.effectiveCap(); c > 0 && c <= level+eps {
+					f.RateBps = c
+					for _, r := range paths[id] {
+						usage[r] += c
+					}
+					delete(unfrozen, id)
+				}
+			}
+			continue
+		}
+
+		// A resource saturates first: identify all resources saturating at
+		// this level, then freeze every flow crossing any of them.
+		level = resMin
+		saturated := make(map[*Resource]bool)
+		for r, c := range counts {
+			lvl := (r.CapacityBps - usage[r]) / float64(c)
+			if lvl <= level+eps {
+				saturated[r] = true
+			}
+		}
+		for id, f := range unfrozen {
+			hit := false
+			for _, r := range paths[id] {
+				if saturated[r] {
+					hit = true
+					break
+				}
+			}
+			if hit {
+				f.RateBps = level
+				for _, r := range paths[id] {
+					usage[r] += level
+				}
+				delete(unfrozen, id)
+			}
+		}
+	}
+	for r := range resSet {
+		r.allocatedBps = usage[r]
+	}
+}
+
+// Step advances the simulation by one tick: (re)allocates rates, accrues
+// bytes, and fires per-flow callbacks.
+func (n *Network) Step() {
+	n.Allocate()
+	dt := n.tick.Seconds()
+	ids := make([]FlowID, 0, len(n.flows))
+	for id := range n.flows {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		f := n.flows[id]
+		delivered := f.RateBps / 8 * dt
+		f.Bytes += delivered
+		if f.OnTick != nil {
+			f.OnTick(n.ticks, delivered)
+		}
+	}
+	n.now += n.tick
+	n.ticks++
+}
+
+// Run advances the simulation for the given duration.
+func (n *Network) Run(d time.Duration) {
+	steps := int(d / n.tick)
+	for i := 0; i < steps; i++ {
+		n.Step()
+	}
+}
+
+// Host is a convenience bundling the two directional link resources of an
+// end host, as used by the paper's vantage points (Table 1).
+type Host struct {
+	Name string
+	Up   *Resource
+	Down *Resource
+}
+
+// NewHost creates a host with symmetric or asymmetric link capacities.
+func NewHost(name string, upBps, downBps float64) *Host {
+	return &Host{
+		Name: name,
+		Up:   NewResource(name+"/up", upBps),
+		Down: NewResource(name+"/down", downBps),
+	}
+}
+
+// PathBetween returns the resource path of a unidirectional flow from src
+// to dst, optionally traversing intermediate forwarding resources (e.g., a
+// relay's Tor-processing capacity).
+func PathBetween(src, dst *Host, via ...*Resource) []*Resource {
+	path := make([]*Resource, 0, 2+len(via))
+	path = append(path, src.Up)
+	path = append(path, via...)
+	path = append(path, dst.Down)
+	return path
+}

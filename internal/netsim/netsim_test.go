@@ -1,0 +1,307 @@
+package netsim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+const (
+	mbit = 1e6
+	gbit = 1e9
+)
+
+func TestSingleFlowTakesFullCapacity(t *testing.T) {
+	n := New(time.Second)
+	r := NewResource("link", 100*mbit)
+	f := n.AddFlow("f", []*Resource{r}, 0)
+	n.Allocate()
+	if f.RateBps != 100*mbit {
+		t.Fatalf("rate: got %v want %v", f.RateBps, 100*mbit)
+	}
+}
+
+func TestTwoFlowsShareEqually(t *testing.T) {
+	n := New(time.Second)
+	r := NewResource("link", 100*mbit)
+	f1 := n.AddFlow("f1", []*Resource{r}, 0)
+	f2 := n.AddFlow("f2", []*Resource{r}, 0)
+	n.Allocate()
+	if f1.RateBps != 50*mbit || f2.RateBps != 50*mbit {
+		t.Fatalf("rates: %v %v want 50 Mbit each", f1.RateBps, f2.RateBps)
+	}
+	if got := r.AllocatedBps(); math.Abs(got-100*mbit) > 1 {
+		t.Fatalf("resource allocation: got %v", got)
+	}
+}
+
+func TestCappedFlowLeavesHeadroomForOthers(t *testing.T) {
+	// Max-min: a capped flow frees capacity for the uncapped one.
+	n := New(time.Second)
+	r := NewResource("link", 100*mbit)
+	slow := n.AddFlow("slow", []*Resource{r}, 10*mbit)
+	fast := n.AddFlow("fast", []*Resource{r}, 0)
+	n.Allocate()
+	if slow.RateBps != 10*mbit {
+		t.Fatalf("slow rate: got %v want 10 Mbit", slow.RateBps)
+	}
+	if math.Abs(fast.RateBps-90*mbit) > 1 {
+		t.Fatalf("fast rate: got %v want 90 Mbit", fast.RateBps)
+	}
+}
+
+func TestMultiResourceBottleneck(t *testing.T) {
+	// A flow crossing a 10 Mbit and a 100 Mbit resource is limited by the
+	// narrower one; a second flow on only the wide resource gets the rest.
+	n := New(time.Second)
+	narrow := NewResource("narrow", 10*mbit)
+	wide := NewResource("wide", 100*mbit)
+	through := n.AddFlow("through", []*Resource{narrow, wide}, 0)
+	local := n.AddFlow("local", []*Resource{wide}, 0)
+	n.Allocate()
+	if math.Abs(through.RateBps-10*mbit) > 1 {
+		t.Fatalf("through rate: got %v want 10 Mbit", through.RateBps)
+	}
+	if math.Abs(local.RateBps-90*mbit) > 1 {
+		t.Fatalf("local rate: got %v want 90 Mbit", local.RateBps)
+	}
+}
+
+func TestDemandLimitsFlow(t *testing.T) {
+	n := New(time.Second)
+	r := NewResource("link", 100*mbit)
+	f := n.AddFlow("f", []*Resource{r}, 0)
+	f.DemandBps = 5 * mbit
+	n.Allocate()
+	if f.RateBps != 5*mbit {
+		t.Fatalf("demand-limited rate: got %v want 5 Mbit", f.RateBps)
+	}
+}
+
+func TestStepAccruesBytes(t *testing.T) {
+	n := New(time.Second)
+	r := NewResource("link", 80*mbit) // 10 MB/s
+	f := n.AddFlow("f", []*Resource{r}, 0)
+	var cb float64
+	f.OnTick = func(tick int, bytes float64) { cb += bytes }
+	n.Run(3 * time.Second)
+	if math.Abs(f.Bytes-30e6) > 1 {
+		t.Fatalf("bytes after 3 s: got %v want 30e6", f.Bytes)
+	}
+	if cb != f.Bytes {
+		t.Fatalf("callback bytes %v != flow bytes %v", cb, f.Bytes)
+	}
+	if n.Ticks() != 3 || n.Now() != 3*time.Second {
+		t.Fatalf("clock: ticks=%d now=%v", n.Ticks(), n.Now())
+	}
+}
+
+func TestRemoveFlowReallocates(t *testing.T) {
+	n := New(time.Second)
+	r := NewResource("link", 100*mbit)
+	f1 := n.AddFlow("f1", []*Resource{r}, 0)
+	f2 := n.AddFlow("f2", []*Resource{r}, 0)
+	n.Allocate()
+	if f1.RateBps != 50*mbit {
+		t.Fatalf("pre-removal rate: %v", f1.RateBps)
+	}
+	if err := n.RemoveFlow(f2.ID); err != nil {
+		t.Fatal(err)
+	}
+	n.Allocate()
+	if f1.RateBps != 100*mbit {
+		t.Fatalf("post-removal rate: got %v want full link", f1.RateBps)
+	}
+	if err := n.RemoveFlow(f2.ID); err == nil {
+		t.Fatal("double remove should error")
+	}
+}
+
+func TestHostPathBetween(t *testing.T) {
+	a := NewHost("a", gbit, gbit)
+	b := NewHost("b", gbit, gbit)
+	cpu := NewResource("relay-cpu", 500*mbit)
+	path := PathBetween(a, b, cpu)
+	if len(path) != 3 || path[0] != a.Up || path[1] != cpu || path[2] != b.Down {
+		t.Fatalf("unexpected path: %v", path)
+	}
+}
+
+func TestAsymmetricHostLinks(t *testing.T) {
+	// Residential-style host: fast down, slow up.
+	res := NewHost("res", 10*mbit, 100*mbit)
+	dc := NewHost("dc", gbit, gbit)
+	n := New(time.Second)
+	up := n.AddFlow("upload", PathBetween(res, dc), 0)
+	down := n.AddFlow("download", PathBetween(dc, res), 0)
+	n.Allocate()
+	if math.Abs(up.RateBps-10*mbit) > 1 {
+		t.Fatalf("upload: got %v want 10 Mbit", up.RateBps)
+	}
+	if math.Abs(down.RateBps-100*mbit) > 1 {
+		t.Fatalf("download: got %v want 100 Mbit", down.RateBps)
+	}
+}
+
+func TestManyFlowsThroughRelayResource(t *testing.T) {
+	// 20 measurement flows through one relay's 250 Mbit forwarding
+	// capacity: each should get 12.5 Mbit.
+	relayCap := NewResource("relay", 250*mbit)
+	n := New(time.Second)
+	flows := make([]*Flow, 20)
+	for i := range flows {
+		flows[i] = n.AddFlow("m", []*Resource{relayCap}, 0)
+	}
+	n.Allocate()
+	for i, f := range flows {
+		if math.Abs(f.RateBps-12.5*mbit) > 1 {
+			t.Fatalf("flow %d rate: got %v want 12.5 Mbit", i, f.RateBps)
+		}
+	}
+}
+
+func TestEmptyNetworkStep(t *testing.T) {
+	n := New(time.Second)
+	n.Step() // must not panic
+	if n.NumFlows() != 0 {
+		t.Fatal("unexpected flows")
+	}
+}
+
+func TestFlowWithEmptyPathAndCap(t *testing.T) {
+	n := New(time.Second)
+	f := n.AddFlow("free", nil, 7*mbit)
+	n.Allocate()
+	if f.RateBps != 7*mbit {
+		t.Fatalf("free capped flow: got %v want 7 Mbit", f.RateBps)
+	}
+}
+
+func TestDefaultTick(t *testing.T) {
+	n := New(0)
+	if n.Tick() != time.Second {
+		t.Fatalf("default tick: got %v", n.Tick())
+	}
+}
+
+// Property: the allocation is feasible (no resource over capacity) and
+// work-conserving enough that every flow is either at its cap or crosses a
+// saturated resource (the max-min optimality condition).
+func TestMaxMinPropertyQuick(t *testing.T) {
+	f := func(caps []uint16, flowSpec []uint8) bool {
+		if len(caps) == 0 || len(flowSpec) == 0 {
+			return true
+		}
+		if len(caps) > 8 {
+			caps = caps[:8]
+		}
+		if len(flowSpec) > 24 {
+			flowSpec = flowSpec[:24]
+		}
+		n := New(time.Second)
+		resources := make([]*Resource, len(caps))
+		for i, c := range caps {
+			resources[i] = NewResource("r", float64(c%1000+1)*mbit)
+		}
+		flows := make([]*Flow, 0, len(flowSpec))
+		for _, spec := range flowSpec {
+			// Each flow crosses 1-3 resources selected by the spec byte.
+			path := []*Resource{resources[int(spec)%len(resources)]}
+			if spec%3 == 0 && len(resources) > 1 {
+				path = append(path, resources[(int(spec)/3)%len(resources)])
+			}
+			var capBps float64
+			if spec%5 == 0 {
+				capBps = float64(spec%50+1) * mbit
+			}
+			flows = append(flows, n.AddFlow("f", path, capBps))
+		}
+		n.Allocate()
+
+		// Feasibility: per-resource usage ≤ capacity.
+		usage := make(map[*Resource]float64)
+		for _, fl := range flows {
+			seen := make(map[*Resource]bool)
+			for _, r := range fl.Path {
+				if !seen[r] {
+					usage[r] += fl.RateBps
+					seen[r] = true
+				}
+			}
+		}
+		for r, u := range usage {
+			if u > r.CapacityBps*(1+1e-6)+1 {
+				return false
+			}
+		}
+		// Optimality: each flow is at cap or bottlenecked.
+		for _, fl := range flows {
+			if fl.CapBps > 0 && fl.RateBps >= fl.CapBps-1 {
+				continue
+			}
+			bottlenecked := false
+			for _, r := range fl.Path {
+				if usage[r] >= r.CapacityBps-1 {
+					bottlenecked = true
+					break
+				}
+			}
+			if !bottlenecked {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: allocation is deterministic — same inputs, same rates.
+func TestAllocateDeterministicQuick(t *testing.T) {
+	f := func(nFlows uint8) bool {
+		build := func() (*Network, []*Flow) {
+			n := New(time.Second)
+			r1 := NewResource("a", 100*mbit)
+			r2 := NewResource("b", 60*mbit)
+			flows := make([]*Flow, 0, int(nFlows)%16+1)
+			for i := 0; i <= int(nFlows)%15; i++ {
+				path := []*Resource{r1}
+				if i%2 == 0 {
+					path = append(path, r2)
+				}
+				flows = append(flows, n.AddFlow("f", path, 0))
+			}
+			return n, flows
+		}
+		n1, f1 := build()
+		n2, f2 := build()
+		n1.Allocate()
+		n2.Allocate()
+		for i := range f1 {
+			if math.Abs(f1[i].RateBps-f2[i].RateBps) > 1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkAllocate100Flows(b *testing.B) {
+	n := New(time.Second)
+	resources := make([]*Resource, 10)
+	for i := range resources {
+		resources[i] = NewResource("r", gbit)
+	}
+	for i := 0; i < 100; i++ {
+		n.AddFlow("f", []*Resource{resources[i%10], resources[(i+3)%10]}, 0)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n.Allocate()
+	}
+}

@@ -1,0 +1,197 @@
+// Package peerflow implements the PeerFlow baseline (Johnson et al. [25],
+// as compared in the paper's §8 and Table 2): relays periodically report
+// the total bytes they exchanged with each other relay, and the directory
+// authorities aggregate those reports into weights using a
+// trusted-weight-fraction robust statistic, additionally limiting how fast
+// any relay's weight can grow between periods.
+//
+// Table 2's properties reproduced here: no dedicated measurement servers,
+// capacity lower bounds inferred from traffic, weights take much longer to
+// converge (the growth cap), and a malicious relay's inflation is bounded
+// by roughly 2/τ for trusted fraction τ (≈10× at the paper's settings).
+package peerflow
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"flashflow/internal/stats"
+)
+
+// Relay is one participant.
+type Relay struct {
+	Name        string
+	CapacityBps float64
+	// WeightBps is the current consensus weight (previous period).
+	WeightBps float64
+	// Trusted relays' reports anchor the robust aggregation.
+	Trusted bool
+	// Malicious relays inflate reports about coalition members.
+	Malicious bool
+}
+
+// Config tunes the model.
+type Config struct {
+	// UtilFrac is the mean fraction of capacity carried as relayed
+	// traffic during a measurement period.
+	UtilFrac float64
+	// NoiseSigma jitters pairwise traffic totals.
+	NoiseSigma float64
+	// LieFactor is the inflation malicious relays apply to reports about
+	// coalition members.
+	LieFactor float64
+	// GrowthCap bounds weight growth per period (PeerFlow's λ; the paper
+	// derives a per-period inflation factor of 4.5 from the suggested
+	// parameters).
+	GrowthCap float64
+	// Seed drives the RNG.
+	Seed int64
+}
+
+// DefaultConfig returns the model defaults.
+func DefaultConfig(seed int64) Config {
+	return Config{UtilFrac: 0.5, NoiseSigma: 0.2, LieFactor: 1000, GrowthCap: 4.5, Seed: seed}
+}
+
+// Errors.
+var (
+	ErrNoRelays      = errors.New("peerflow: no relays")
+	ErrNoTrustWeight = errors.New("peerflow: no trusted weight")
+)
+
+// TrafficReports builds the per-pair byte reports for one period.
+// reports[i][j] is relay i's claim about bytes exchanged with relay j.
+// Honest traffic between i and j is proportional to the product of their
+// weights (clients pick circuits by weight) bounded by both capacities.
+func TrafficReports(relays []Relay, periodSeconds float64, cfg Config) [][]float64 {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	n := len(relays)
+	var totalW float64
+	for _, r := range relays {
+		totalW += r.WeightBps
+	}
+	reports := make([][]float64, n)
+	for i := range reports {
+		reports[i] = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			pairShare := 0.0
+			if totalW > 0 {
+				pairShare = (relays[i].WeightBps / totalW) * (relays[j].WeightBps / totalW)
+			}
+			carried := math.Min(relays[i].CapacityBps, relays[j].CapacityBps) * cfg.UtilFrac
+			honest := carried * pairShare * periodSeconds / 8 * 100 // bytes, ×100: pair traffic share scale
+			noise := math.Exp(rng.NormFloat64() * cfg.NoiseSigma)
+			honest *= noise
+			reports[i][j] = honest
+			reports[j][i] = honest
+			// Coalition members corroborate each other's inflated totals.
+			if relays[i].Malicious && relays[j].Malicious {
+				reports[i][j] *= cfg.LieFactor
+				reports[j][i] *= cfg.LieFactor
+			}
+		}
+	}
+	return reports
+}
+
+// ComputeWeights aggregates reports into next-period weights: relay r's
+// measured traffic is the τ-trimmed statistic over its peers' claims about
+// r, weighted by the reporting peers' trust; growth beyond GrowthCap×old
+// weight is clamped (PeerFlow's inflation limiter).
+func ComputeWeights(relays []Relay, reports [][]float64, cfg Config) ([]float64, error) {
+	n := len(relays)
+	if n == 0 {
+		return nil, ErrNoRelays
+	}
+	var trustedWeight float64
+	for _, r := range relays {
+		if r.Trusted {
+			trustedWeight += r.WeightBps
+		}
+	}
+	if trustedWeight <= 0 {
+		return nil, ErrNoTrustWeight
+	}
+	out := make([]float64, n)
+	for j := 0; j < n; j++ {
+		// Collect peers' claims about relay j, trusted peers first. The
+		// robust statistic: the weight-median over trusted reporters; a
+		// relay cannot out-vote the trusted set about its own traffic.
+		type claim struct {
+			bytes  float64
+			weight float64
+		}
+		var claims []claim
+		for i := 0; i < n; i++ {
+			if i == j || !relays[i].Trusted {
+				continue
+			}
+			claims = append(claims, claim{bytes: reports[i][j], weight: relays[i].WeightBps})
+		}
+		if len(claims) == 0 {
+			out[j] = relays[j].WeightBps
+			continue
+		}
+		sort.Slice(claims, func(a, b int) bool { return claims[a].bytes < claims[b].bytes })
+		var cum, half float64
+		for _, c := range claims {
+			half += c.weight
+		}
+		half /= 2
+		med := claims[len(claims)-1].bytes
+		for _, c := range claims {
+			cum += c.weight
+			if cum >= half {
+				med = c.bytes
+				break
+			}
+		}
+		// Scale the per-peer median back to a rate-like weight. The total
+		// over trusted peers approximates the relay's carried traffic.
+		estimate := med * float64(n-1)
+		// Growth cap.
+		if old := relays[j].WeightBps; old > 0 && estimate > cfg.GrowthCap*old {
+			estimate = cfg.GrowthCap * old
+		}
+		out[j] = estimate
+	}
+	return out, nil
+}
+
+// AttackAdvantage runs one period with a malicious coalition and returns
+// the factor by which the coalition's normalized weight exceeds its fair
+// capacity share.
+func AttackAdvantage(honest []Relay, nMalicious int, attackerCapBps float64, cfg Config) (float64, error) {
+	all := append([]Relay(nil), honest...)
+	for i := 0; i < nMalicious; i++ {
+		all = append(all, Relay{
+			Name:        fmt.Sprintf("evil%02d", i),
+			CapacityBps: attackerCapBps,
+			WeightBps:   attackerCapBps,
+			Malicious:   true,
+		})
+	}
+	reports := TrafficReports(all, 24*3600, cfg)
+	weights, err := ComputeWeights(all, reports, cfg)
+	if err != nil {
+		return 0, err
+	}
+	norm := stats.Normalize(weights)
+	var evilFrac, evilCap, totalCap float64
+	for i, r := range all {
+		totalCap += r.CapacityBps
+		if r.Malicious {
+			evilFrac += norm[i]
+			evilCap += r.CapacityBps
+		}
+	}
+	if evilCap == 0 {
+		return 0, errors.New("peerflow: attacker with zero capacity")
+	}
+	return evilFrac / (evilCap / totalCap), nil
+}

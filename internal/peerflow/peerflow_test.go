@@ -1,0 +1,158 @@
+package peerflow
+
+import (
+	"fmt"
+	"testing"
+
+	"flashflow/internal/stats"
+)
+
+func honestNetwork(n int) []Relay {
+	relays := make([]Relay, n)
+	for i := range relays {
+		capBps := 10e6 * float64(1+i%12)
+		relays[i] = Relay{
+			Name:        fmt.Sprintf("r%03d", i),
+			CapacityBps: capBps,
+			WeightBps:   capBps * 0.8,
+			Trusted:     i%5 == 0, // 20% trusted by number and roughly by weight
+		}
+	}
+	return relays
+}
+
+func TestComputeWeightsHonest(t *testing.T) {
+	relays := honestNetwork(60)
+	cfg := DefaultConfig(1)
+	reports := TrafficReports(relays, 24*3600, cfg)
+	weights, err := ComputeWeights(relays, reports, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(weights) != 60 {
+		t.Fatalf("weights: %d", len(weights))
+	}
+	for i, w := range weights {
+		if w < 0 {
+			t.Fatalf("negative weight at %d: %v", i, w)
+		}
+	}
+}
+
+func TestWeightsTrackCapacity(t *testing.T) {
+	relays := honestNetwork(60)
+	cfg := DefaultConfig(2)
+	reports := TrafficReports(relays, 24*3600, cfg)
+	weights, err := ComputeWeights(relays, reports, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	norm := stats.Normalize(weights)
+	var fast, slow []float64
+	for i, r := range relays {
+		switch {
+		case r.CapacityBps >= 10e6*10:
+			fast = append(fast, norm[i])
+		case r.CapacityBps <= 10e6*3:
+			slow = append(slow, norm[i])
+		}
+	}
+	if stats.Mean(fast) <= stats.Mean(slow) {
+		t.Fatal("faster relays should receive larger weights")
+	}
+}
+
+func TestValidation(t *testing.T) {
+	cfg := DefaultConfig(3)
+	if _, err := ComputeWeights(nil, nil, cfg); err != ErrNoRelays {
+		t.Fatalf("want ErrNoRelays, got %v", err)
+	}
+	relays := honestNetwork(5)
+	for i := range relays {
+		relays[i].Trusted = false
+	}
+	reports := TrafficReports(relays, 3600, cfg)
+	if _, err := ComputeWeights(relays, reports, cfg); err != ErrNoTrustWeight {
+		t.Fatalf("want ErrNoTrustWeight, got %v", err)
+	}
+}
+
+func TestGrowthCapBoundsInflation(t *testing.T) {
+	// The coalition's per-period inflation is bounded: its weight can at
+	// most grow by GrowthCap relative to its previous (fair) weight, no
+	// matter how large the lie — the Table 2 "10×" property class.
+	honest := honestNetwork(100)
+	cfg := DefaultConfig(4)
+	adv, err := AttackAdvantage(honest, 5, 10e6, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fair weight ≈ capacity share, previous weight = capacity, growth
+	// cap 4.5 → advantage cannot exceed ≈ GrowthCap × (weight/capacity
+	// normalization slack). Allow 3× slack for aggregation effects.
+	if adv > cfg.GrowthCap*3 {
+		t.Fatalf("advantage %v exceeds growth-cap regime (cap %v)", adv, cfg.GrowthCap)
+	}
+	if adv <= 0 {
+		t.Fatalf("nonpositive advantage: %v", adv)
+	}
+}
+
+func TestLyingDoesNotHelpBeyondCap(t *testing.T) {
+	honest := honestNetwork(100)
+	small := DefaultConfig(5)
+	small.LieFactor = 10
+	large := DefaultConfig(5)
+	large.LieFactor = 1e6
+	a1, err := AttackAdvantage(honest, 5, 10e6, small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := AttackAdvantage(honest, 5, 10e6, large)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The trusted-median + growth cap make enormous lies no better than
+	// moderate ones (within noise).
+	if a2 > a1*1.5+1 {
+		t.Fatalf("massive lies should not scale the advantage: %v vs %v", a1, a2)
+	}
+}
+
+func TestPeerFlowSlowerThanFlashFlow(t *testing.T) {
+	// Convergence property behind Table 2's "14 days+": starting from a
+	// tiny weight, the growth cap needs several periods to reach a fast
+	// relay's fair weight.
+	const trueCap = 500e6
+	weight := 1e6
+	periods := 0
+	cfg := DefaultConfig(6)
+	for weight < trueCap && periods < 100 {
+		weight *= cfg.GrowthCap
+		periods++
+	}
+	if periods < 3 {
+		t.Fatalf("growth cap should require multiple periods, got %d", periods)
+	}
+}
+
+func TestAttackAdvantageZeroCapacity(t *testing.T) {
+	if _, err := AttackAdvantage(honestNetwork(10), 2, 0, DefaultConfig(7)); err == nil {
+		t.Fatal("zero-capacity attacker should error")
+	}
+}
+
+func TestDeterministicPerSeed(t *testing.T) {
+	honest := honestNetwork(40)
+	a1, err := AttackAdvantage(honest, 3, 10e6, DefaultConfig(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := AttackAdvantage(honest, 3, 10e6, DefaultConfig(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a1 != a2 {
+		t.Fatal("attack advantage not deterministic")
+	}
+}

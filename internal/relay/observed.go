@@ -1,0 +1,87 @@
+package relay
+
+import (
+	"time"
+)
+
+// ObservedBandwidth tracks a relay's self-measured "observed bandwidth":
+// the highest throughput it was able to sustain for any 10-second period
+// during the last 5 days (paper §2, tor-spec §2.1.1). This heuristic is the
+// root cause of the capacity under-estimation the paper quantifies in §3.
+// Internally it keeps a monotonically decreasing deque of 10-second
+// averages so that the 5-day maximum query is O(1) and memory stays
+// proportional to the number of distinct decreasing maxima, not the history
+// length.
+type ObservedBandwidth struct {
+	window    time.Duration // averaging window (10 s)
+	history   time.Duration // retention (5 days)
+	samples   []obsSample   // per-second forwarded bytes, ring of recent window
+	maxima    []obsSample   // monotonic decreasing deque of 10 s averages
+	sampleSum float64
+}
+
+type obsSample struct {
+	at    time.Duration
+	bytes float64
+}
+
+// DefaultWindow and DefaultHistory are Tor's parameters.
+const (
+	DefaultWindow  = 10 * time.Second
+	DefaultHistory = 5 * 24 * time.Hour
+)
+
+// NewObservedBandwidth creates a tracker with Tor's default 10-second
+// window and 5-day history.
+func NewObservedBandwidth() *ObservedBandwidth {
+	return NewObservedBandwidthWith(DefaultWindow, DefaultHistory)
+}
+
+// NewObservedBandwidthWith creates a tracker with custom parameters, used
+// by tests and by the metrics synthesizer for compressed timescales.
+func NewObservedBandwidthWith(window, history time.Duration) *ObservedBandwidth {
+	return &ObservedBandwidth{window: window, history: history}
+}
+
+// Record adds the bytes the relay forwarded during the second ending at
+// time now. Calls must use non-decreasing timestamps.
+func (o *ObservedBandwidth) Record(now time.Duration, bytes float64) {
+	o.samples = append(o.samples, obsSample{at: now, bytes: bytes})
+	o.sampleSum += bytes
+	// Drop samples older than the averaging window.
+	cut := 0
+	for cut < len(o.samples) && now-o.samples[cut].at >= o.window {
+		o.sampleSum -= o.samples[cut].bytes
+		cut++
+	}
+	o.samples = o.samples[cut:]
+
+	// The current 10-second average throughput in bytes/second. Maintain
+	// the monotonic deque: pop smaller trailing maxima before appending.
+	avg := o.sampleSum / o.window.Seconds()
+	for len(o.maxima) > 0 && o.maxima[len(o.maxima)-1].bytes <= avg {
+		o.maxima = o.maxima[:len(o.maxima)-1]
+	}
+	o.maxima = append(o.maxima, obsSample{at: now, bytes: avg})
+	o.trimMaxima(now)
+}
+
+func (o *ObservedBandwidth) trimMaxima(now time.Duration) {
+	cut := 0
+	for cut < len(o.maxima) && now-o.maxima[cut].at > o.history {
+		cut++
+	}
+	o.maxima = o.maxima[cut:]
+}
+
+// BytesPerSecond returns the observed bandwidth: the maximum 10-second
+// average over the retained history.
+func (o *ObservedBandwidth) BytesPerSecond() float64 {
+	if len(o.maxima) == 0 {
+		return 0
+	}
+	return o.maxima[0].bytes
+}
+
+// Bps returns the observed bandwidth in bits per second.
+func (o *ObservedBandwidth) Bps() float64 { return o.BytesPerSecond() * 8 }

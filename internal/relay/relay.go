@@ -1,0 +1,199 @@
+// Package relay models the target side of FlashFlow: a Tor-like relay with
+// a CPU-bound cell-processing capacity, a token-bucket rate limiter
+// (BandwidthRate/Burst), the dual cell scheduler with the ratio-r limiter
+// on normal traffic during a measurement (§4.1), and the observed-bandwidth
+// self-measurement heuristic that TorFlow relies on (§2).
+package relay
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// DefaultRatio is the paper's recommended normal-traffic ratio r = 0.25,
+// limiting a lying relay's inflation to 1/(1-r) = 1.33 (§6.2, §5).
+const DefaultRatio = 0.25
+
+// Config configures a relay model.
+type Config struct {
+	// Name identifies the relay.
+	Name string
+	// TorCapBps is the CPU-bound cell-processing capacity in bits/s. The
+	// paper measures ≈1,248 Mbit/s on its lab hardware (Appendix C.2);
+	// zero means unlimited.
+	TorCapBps float64
+	// RateBps/BurstBits configure the token-bucket rate limiter
+	// (RelayBandwidthRate/Burst); zero RateBps means unlimited.
+	RateBps   float64
+	BurstBits float64
+	// Ratio is the maximum fraction r of total traffic that may be normal
+	// traffic during a measurement. Zero uses DefaultRatio.
+	Ratio float64
+}
+
+// Relay is a relay model advanced in discrete ticks.
+type Relay struct {
+	cfg       Config
+	bucket    *TokenBucket
+	obs       *ObservedBandwidth
+	now       time.Duration
+	measuring bool
+
+	// Per-tick outputs of the most recent Step.
+	lastMeasBps float64
+	lastNormBps float64
+}
+
+// New creates a relay from cfg.
+func New(cfg Config) *Relay {
+	if cfg.Ratio <= 0 || cfg.Ratio >= 1 {
+		cfg.Ratio = DefaultRatio
+	}
+	return &Relay{
+		cfg:    cfg,
+		bucket: NewTokenBucket(cfg.RateBps, cfg.BurstBits),
+		obs:    NewObservedBandwidth(),
+	}
+}
+
+// NewWithObserved creates a relay that uses the provided observed-bandwidth
+// tracker (tests and compressed-timescale simulations supply one with a
+// shorter history).
+func NewWithObserved(cfg Config, obs *ObservedBandwidth) *Relay {
+	r := New(cfg)
+	r.obs = obs
+	return r
+}
+
+// Name returns the relay's name.
+func (r *Relay) Name() string { return r.cfg.Name }
+
+// Ratio returns the configured normal-traffic ratio r.
+func (r *Relay) Ratio() float64 { return r.cfg.Ratio }
+
+// TorCapBps returns the configured processing capacity (0 = unlimited).
+func (r *Relay) TorCapBps() float64 { return r.cfg.TorCapBps }
+
+// SetMeasuring marks the start or end of a measurement. The ratio-r
+// limiter applies only while a measurement is active; outside measurements
+// normal traffic is unrestricted (§4.1).
+func (r *Relay) SetMeasuring(on bool) { r.measuring = on }
+
+// Measuring reports whether a measurement is active.
+func (r *Relay) Measuring() bool { return r.measuring }
+
+// ErrBadTick is returned for nonpositive tick lengths.
+var ErrBadTick = errors.New("relay: tick length must be positive")
+
+// Step advances the relay by dt given the offered measurement and normal
+// traffic demand (bits/s), and returns the rates actually forwarded. The
+// scheduler:
+//
+//   - caps total forwarding at min(TorCap, token-bucket grant);
+//   - during a measurement, admits normal traffic up to the ratio-r share
+//     of the total and gives measurement traffic the remainder (the paper's
+//     "send as much normal traffic subject to this maximum");
+//   - outside a measurement, serves normal traffic first (there is no
+//     measurement traffic then anyway).
+//
+// Forwarded bytes feed the observed-bandwidth tracker.
+func (r *Relay) Step(dt time.Duration, measDemandBps, normDemandBps float64) (measBps, normBps float64, err error) {
+	if dt <= 0 {
+		return 0, 0, ErrBadTick
+	}
+	r.now += dt
+
+	capBps := r.cfg.TorCapBps
+	// The token bucket can exceed the steady rate for the first tick
+	// (burst), reproducing the Fig. 7 spike.
+	grantBits := r.bucket.AdvanceAndTake(r.now, (measDemandBps+normDemandBps)*dt.Seconds())
+	grantBps := grantBits / dt.Seconds()
+	if r.cfg.RateBps > 0 && (capBps == 0 || grantBps < capBps) {
+		capBps = grantBps
+	}
+	if capBps == 0 {
+		capBps = measDemandBps + normDemandBps // unlimited
+	}
+
+	if !r.measuring || measDemandBps == 0 {
+		normBps = minF(normDemandBps, capBps)
+		measBps = minF(measDemandBps, capBps-normBps)
+	} else {
+		// Measurement active: y ≤ r·(x+y), measurement takes the rest.
+		rr := r.cfg.Ratio
+		if measDemandBps >= capBps {
+			normBps = minF(normDemandBps, rr*capBps)
+			measBps = capBps - normBps
+		} else {
+			measBps = measDemandBps
+			// y ≤ x·r/(1-r) and x+y ≤ cap.
+			normBps = minF(normDemandBps, measBps*rr/(1-rr))
+			normBps = minF(normBps, capBps-measBps)
+		}
+	}
+
+	r.obs.Record(r.now, (measBps+normBps)/8*dt.Seconds())
+	r.lastMeasBps, r.lastNormBps = measBps, normBps
+	return measBps, normBps, nil
+}
+
+// LastRates returns the measurement and normal rates of the most recent
+// Step.
+func (r *Relay) LastRates() (measBps, normBps float64) {
+	return r.lastMeasBps, r.lastNormBps
+}
+
+// ReportNormalBytes returns the relay's per-second normal-traffic report
+// for the most recent tick, in bytes: the value y_j the BWAuth receives
+// (§4.1). An honest relay reports what it forwarded.
+func (r *Relay) ReportNormalBytes(dt time.Duration) float64 {
+	return r.lastNormBps / 8 * dt.Seconds()
+}
+
+// ObservedBps returns the relay's current self-measured observed bandwidth
+// in bits per second.
+func (r *Relay) ObservedBps() float64 { return r.obs.Bps() }
+
+// AdvertisedBps returns the advertised bandwidth: min(observed bandwidth,
+// configured rate limit) per §2.
+func (r *Relay) AdvertisedBps() float64 {
+	adv := r.obs.Bps()
+	if r.cfg.RateBps > 0 && r.cfg.RateBps < adv {
+		adv = r.cfg.RateBps
+	}
+	return adv
+}
+
+// Descriptor is the subset of a Tor server descriptor the reproduction
+// needs.
+type Descriptor struct {
+	Name          string
+	ObservedBps   float64
+	RateLimitBps  float64
+	AdvertisedBps float64
+	PublishedAt   time.Duration
+}
+
+// Descriptor returns the relay's current server descriptor.
+func (r *Relay) Descriptor() Descriptor {
+	return Descriptor{
+		Name:          r.cfg.Name,
+		ObservedBps:   r.obs.Bps(),
+		RateLimitBps:  r.cfg.RateBps,
+		AdvertisedBps: r.AdvertisedBps(),
+		PublishedAt:   r.now,
+	}
+}
+
+// String implements fmt.Stringer.
+func (r *Relay) String() string {
+	return fmt.Sprintf("relay(%s cap=%.0f rate=%.0f r=%.2f)", r.cfg.Name, r.cfg.TorCapBps, r.cfg.RateBps, r.cfg.Ratio)
+}
+
+func minF(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,367 @@
+package relay
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+const mbit = 1e6
+
+func TestTokenBucketSteadyRate(t *testing.T) {
+	b := NewTokenBucket(100*mbit, 100*mbit)
+	// Drain the initial burst.
+	b.Take(1e12)
+	var granted float64
+	for s := 1; s <= 10; s++ {
+		b.Advance(time.Duration(s) * time.Second)
+		granted += b.Take(1e12)
+	}
+	if math.Abs(granted-1000*mbit) > 1 {
+		t.Fatalf("10 s grant: got %v want %v", granted, 1000*mbit)
+	}
+}
+
+func TestTokenBucketBurst(t *testing.T) {
+	b := NewTokenBucket(100*mbit, 200*mbit)
+	if got := b.Take(1e12); got != 200*mbit {
+		t.Fatalf("initial burst: got %v want 200 Mbit", got)
+	}
+}
+
+func TestTokenBucketUnlimited(t *testing.T) {
+	b := NewTokenBucket(0, 0)
+	if got := b.Take(123); got != 123 {
+		t.Fatalf("unlimited take: got %v", got)
+	}
+}
+
+func TestTokenBucketNeverOverGrants(t *testing.T) {
+	// Property: over any sequence, total granted ≤ rate·elapsed + burst.
+	f := func(takes []uint16) bool {
+		const rate, burst = 10 * mbit, 20 * mbit
+		b := NewTokenBucket(rate, burst)
+		var granted float64
+		now := time.Duration(0)
+		for _, take := range takes {
+			now += 100 * time.Millisecond
+			b.Advance(now)
+			granted += b.Take(float64(take) * 1000)
+		}
+		limit := rate*now.Seconds() + burst
+		return granted <= limit+1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTokenBucketAdvanceBackwardsIgnored(t *testing.T) {
+	b := NewTokenBucket(10*mbit, 10*mbit)
+	b.Take(1e12)
+	b.Advance(time.Second)
+	before := b.Available()
+	b.Advance(500 * time.Millisecond) // stale timestamp
+	if b.Available() != before {
+		t.Fatal("backwards advance must not add tokens")
+	}
+}
+
+func TestObservedBandwidthBasic(t *testing.T) {
+	o := NewObservedBandwidthWith(10*time.Second, time.Hour)
+	// 10 seconds at 5 MB/s.
+	for s := 1; s <= 10; s++ {
+		o.Record(time.Duration(s)*time.Second, 5e6)
+	}
+	if got := o.BytesPerSecond(); math.Abs(got-5e6) > 1 {
+		t.Fatalf("observed: got %v want 5e6", got)
+	}
+}
+
+func TestObservedBandwidthMaxPersistsWithinHistory(t *testing.T) {
+	o := NewObservedBandwidthWith(10*time.Second, time.Hour)
+	for s := 1; s <= 10; s++ {
+		o.Record(time.Duration(s)*time.Second, 8e6)
+	}
+	peak := o.BytesPerSecond()
+	// Then a long quiet period within history.
+	for s := 11; s <= 600; s++ {
+		o.Record(time.Duration(s)*time.Second, 1e5)
+	}
+	if got := o.BytesPerSecond(); got != peak {
+		t.Fatalf("peak should persist: got %v want %v", got, peak)
+	}
+}
+
+func TestObservedBandwidthExpires(t *testing.T) {
+	o := NewObservedBandwidthWith(10*time.Second, 100*time.Second)
+	for s := 1; s <= 10; s++ {
+		o.Record(time.Duration(s)*time.Second, 8e6)
+	}
+	// Quiet beyond the history horizon.
+	for s := 11; s <= 300; s++ {
+		o.Record(time.Duration(s)*time.Second, 1e5)
+	}
+	if got := o.BytesPerSecond(); got >= 8e6 {
+		t.Fatalf("peak should expire: got %v", got)
+	}
+}
+
+func TestObservedBandwidthShortBurstDiluted(t *testing.T) {
+	// A 1-second burst within a 10-second window contributes only 1/10 of
+	// its rate — the reason consistently-underutilized relays
+	// under-estimate (§3).
+	o := NewObservedBandwidthWith(10*time.Second, time.Hour)
+	for s := 1; s <= 30; s++ {
+		bytes := 1e5
+		if s == 15 {
+			bytes = 10e6
+		}
+		o.Record(time.Duration(s)*time.Second, bytes)
+	}
+	got := o.BytesPerSecond()
+	if got >= 2e6 {
+		t.Fatalf("burst should be diluted by the window: got %v", got)
+	}
+	if got < 1e6 {
+		t.Fatalf("burst should still raise the estimate: got %v", got)
+	}
+}
+
+func TestObservedMonotoneUnderAddedTraffic(t *testing.T) {
+	// Property: adding traffic to any second never lowers the estimate.
+	f := func(base []uint16, extraIdx uint8) bool {
+		if len(base) == 0 {
+			return true
+		}
+		if len(base) > 50 {
+			base = base[:50]
+		}
+		run := func(extra bool) float64 {
+			o := NewObservedBandwidthWith(10*time.Second, time.Hour)
+			for i, v := range base {
+				b := float64(v)
+				if extra && i == int(extraIdx)%len(base) {
+					b += 1e6
+				}
+				o.Record(time.Duration(i+1)*time.Second, b)
+			}
+			return o.BytesPerSecond()
+		}
+		return run(true) >= run(false)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRelayUnlimitedForwardsDemand(t *testing.T) {
+	r := New(Config{Name: "r"})
+	m, n, err := r.Step(time.Second, 100*mbit, 50*mbit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m != 100*mbit || n != 50*mbit {
+		t.Fatalf("unlimited relay: got %v/%v", m, n)
+	}
+}
+
+func TestRelayCPUCap(t *testing.T) {
+	r := New(Config{Name: "r", TorCapBps: 100 * mbit})
+	r.SetMeasuring(true)
+	m, n, err := r.Step(time.Second, 1000*mbit, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m-100*mbit) > 1 || n != 0 {
+		t.Fatalf("CPU cap: got %v/%v want 100 Mbit/0", m, n)
+	}
+}
+
+func TestRelayRatioEnforcedWhenSaturated(t *testing.T) {
+	// 250 Mbit relay, saturating measurement demand, plenty of normal
+	// demand: normal is limited to r·cap = 62.5 Mbit (r = 0.25).
+	r := New(Config{Name: "r", TorCapBps: 250 * mbit})
+	r.SetMeasuring(true)
+	m, n, err := r.Step(time.Second, 1000*mbit, 1000*mbit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(n-62.5*mbit) > 1 {
+		t.Fatalf("normal: got %v want 62.5 Mbit", n)
+	}
+	if math.Abs(m-187.5*mbit) > 1 {
+		t.Fatalf("measurement: got %v want 187.5 Mbit", m)
+	}
+	// Ratio invariant: y ≤ r·(x+y).
+	if n > 0.25*(m+n)+1 {
+		t.Fatal("ratio invariant violated")
+	}
+}
+
+func TestRelayFig7BackgroundClamp(t *testing.T) {
+	// Fig. 7 scenario: 250 Mbit/s relay, 50 Mbit/s background, r = 0.1 →
+	// background limited to 25 Mbit/s during the measurement.
+	r := New(Config{Name: "r", RateBps: 250 * mbit, BurstBits: 250 * mbit, Ratio: 0.1})
+	r.SetMeasuring(true)
+	var m, n float64
+	var err error
+	for s := 0; s < 5; s++ { // let the burst pass
+		m, n, err = r.Step(time.Second, 1000*mbit, 50*mbit)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if math.Abs(n-25*mbit) > 1 {
+		t.Fatalf("background: got %v want 25 Mbit", n)
+	}
+	if math.Abs(m-225*mbit) > 1 {
+		t.Fatalf("measurement: got %v want 225 Mbit", m)
+	}
+}
+
+func TestRelayNoRatioOutsideMeasurement(t *testing.T) {
+	r := New(Config{Name: "r", TorCapBps: 100 * mbit})
+	m, n, err := r.Step(time.Second, 0, 80*mbit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 80*mbit || m != 0 {
+		t.Fatalf("normal-only: got %v/%v", m, n)
+	}
+}
+
+func TestRelayBurstSpike(t *testing.T) {
+	// Fig. 7: the relay allows a one-second burst before limiting to its
+	// configured rate.
+	r := New(Config{Name: "r", RateBps: 250 * mbit, BurstBits: 250 * mbit})
+	r.SetMeasuring(true)
+	m1, _, err := r.Step(time.Second, 1000*mbit, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, _, err := r.Step(time.Second, 1000*mbit, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m1 <= m2 {
+		t.Fatalf("first tick should burst above steady rate: %v vs %v", m1, m2)
+	}
+	if math.Abs(m2-250*mbit) > 1 {
+		t.Fatalf("steady rate: got %v want 250 Mbit", m2)
+	}
+}
+
+func TestRelayThroughputReturnsAfterMeasurement(t *testing.T) {
+	// Fig. 7: after the measurement ends, background traffic returns to
+	// its pre-measurement level immediately.
+	r := New(Config{Name: "r", RateBps: 250 * mbit, BurstBits: 250 * mbit})
+	for s := 0; s < 3; s++ {
+		if _, _, err := r.Step(time.Second, 0, 50*mbit); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, before := r.LastRates()
+	r.SetMeasuring(true)
+	for s := 0; s < 3; s++ {
+		if _, _, err := r.Step(time.Second, 1000*mbit, 50*mbit); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r.SetMeasuring(false)
+	if _, _, err := r.Step(time.Second, 0, 50*mbit); err != nil {
+		t.Fatal(err)
+	}
+	_, after := r.LastRates()
+	if math.Abs(after-before) > 1 {
+		t.Fatalf("background did not recover: before=%v after=%v", before, after)
+	}
+}
+
+func TestRelayAdvertisedUsesRateLimit(t *testing.T) {
+	r := New(Config{Name: "r", RateBps: 10 * mbit, BurstBits: 10 * mbit})
+	// Forward heavily so observed exceeds... it can't exceed the rate, but
+	// use descriptor anyway.
+	for s := 0; s < 20; s++ {
+		if _, _, err := r.Step(time.Second, 0, 100*mbit); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d := r.Descriptor()
+	if d.AdvertisedBps > 10*mbit+1 {
+		t.Fatalf("advertised should be capped by rate limit: %v", d.AdvertisedBps)
+	}
+	if d.RateLimitBps != 10*mbit {
+		t.Fatalf("descriptor rate limit: %v", d.RateLimitBps)
+	}
+}
+
+func TestRelayReportNormalBytes(t *testing.T) {
+	r := New(Config{Name: "r", TorCapBps: 100 * mbit})
+	r.SetMeasuring(true)
+	if _, _, err := r.Step(time.Second, 1000*mbit, 1000*mbit); err != nil {
+		t.Fatal(err)
+	}
+	want := 0.25 * 100 * mbit / 8
+	if got := r.ReportNormalBytes(time.Second); math.Abs(got-want) > 1 {
+		t.Fatalf("normal bytes report: got %v want %v", got, want)
+	}
+}
+
+func TestRelayBadTick(t *testing.T) {
+	r := New(Config{Name: "r"})
+	if _, _, err := r.Step(0, 1, 1); err == nil {
+		t.Fatal("zero tick should error")
+	}
+}
+
+func TestRelayDefaultRatioApplied(t *testing.T) {
+	r := New(Config{Name: "r", Ratio: 0})
+	if r.Ratio() != DefaultRatio {
+		t.Fatalf("default ratio: got %v", r.Ratio())
+	}
+	r2 := New(Config{Name: "r", Ratio: 1.5})
+	if r2.Ratio() != DefaultRatio {
+		t.Fatalf("invalid ratio should fall back to default: got %v", r2.Ratio())
+	}
+}
+
+// Property: the ratio invariant y ≤ r·(x+y) holds for any demands while
+// measuring (after the initial burst tick).
+func TestRatioInvariantQuick(t *testing.T) {
+	f := func(measDemand, normDemand uint32) bool {
+		r := New(Config{Name: "r", TorCapBps: 100 * mbit})
+		r.SetMeasuring(true)
+		md := float64(measDemand%1000) * mbit / 10
+		nd := float64(normDemand%1000) * mbit / 10
+		if md == 0 {
+			return true // ratio applies only when measurement traffic flows
+		}
+		m, n, err := r.Step(time.Second, md, nd)
+		if err != nil {
+			return false
+		}
+		return n <= DefaultRatio*(m+n)+1e-3
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: total forwarded never exceeds the CPU cap.
+func TestCapacityInvariantQuick(t *testing.T) {
+	f := func(measDemand, normDemand uint32, measuring bool) bool {
+		const capBps = 77 * mbit
+		r := New(Config{Name: "r", TorCapBps: capBps})
+		r.SetMeasuring(measuring)
+		m, n, err := r.Step(time.Second, float64(measDemand), float64(normDemand))
+		if err != nil {
+			return false
+		}
+		return m+n <= capBps+1e-3
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

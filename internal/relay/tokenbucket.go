@@ -1,0 +1,104 @@
+package relay
+
+import (
+	"time"
+)
+
+// TokenBucket implements Tor's BandwidthRate/BandwidthBurst rate limiter.
+// The paper configures relays with RelayBandwidthRate/Burst to emulate
+// capacity limits (Appendix E.2), and notes that a relay allows "a one
+// second burst before limiting its own throughput" (Fig. 7) — the bucket
+// reproduces that initial burst.
+type TokenBucket struct {
+	rateBps   float64 // refill rate, bits per second
+	burstBits float64 // bucket capacity, bits
+	tokens    float64 // current tokens, bits
+	last      time.Duration
+}
+
+// NewTokenBucket creates a bucket that refills at rateBps and holds at most
+// burstBits, starting full (Tor's behaviour: an idle relay can burst).
+// A rateBps of 0 means unlimited.
+func NewTokenBucket(rateBps, burstBits float64) *TokenBucket {
+	if burstBits <= 0 {
+		burstBits = rateBps // Tor defaults Burst to Rate when unset
+	}
+	return &TokenBucket{rateBps: rateBps, burstBits: burstBits, tokens: burstBits}
+}
+
+// RateBps returns the configured refill rate (0 = unlimited).
+func (b *TokenBucket) RateBps() float64 { return b.rateBps }
+
+// Advance refills tokens up to the given simulation time.
+func (b *TokenBucket) Advance(now time.Duration) {
+	if now <= b.last {
+		return
+	}
+	dt := (now - b.last).Seconds()
+	b.last = now
+	if b.rateBps <= 0 {
+		return
+	}
+	b.tokens += b.rateBps * dt
+	if b.tokens > b.burstBits {
+		b.tokens = b.burstBits
+	}
+}
+
+// Take removes up to wantBits tokens and returns how many were granted.
+// With an unlimited bucket the full request is granted.
+func (b *TokenBucket) Take(wantBits float64) float64 {
+	if wantBits <= 0 {
+		return 0
+	}
+	if b.rateBps <= 0 {
+		return wantBits
+	}
+	grant := wantBits
+	if grant > b.tokens {
+		grant = b.tokens
+	}
+	if grant < 0 {
+		grant = 0
+	}
+	b.tokens -= grant
+	return grant
+}
+
+// AdvanceAndTake refills up to now and grants up to wantBits, allowing the
+// grant to consume both stored tokens and the refill accrued over the
+// elapsed interval. A full bucket therefore yields a one-tick burst above
+// the steady rate — the Fig. 7 spike at measurement start.
+func (b *TokenBucket) AdvanceAndTake(now time.Duration, wantBits float64) float64 {
+	if b.rateBps <= 0 {
+		b.last = now
+		return wantBits
+	}
+	var dt float64
+	if now > b.last {
+		dt = (now - b.last).Seconds()
+		b.last = now
+	}
+	avail := b.tokens + b.rateBps*dt
+	grant := wantBits
+	if grant > avail {
+		grant = avail
+	}
+	if grant < 0 {
+		grant = 0
+	}
+	left := avail - grant
+	if left > b.burstBits {
+		left = b.burstBits
+	}
+	b.tokens = left
+	return grant
+}
+
+// Available returns the current token count in bits.
+func (b *TokenBucket) Available() float64 {
+	if b.rateBps <= 0 {
+		return 0
+	}
+	return b.tokens
+}

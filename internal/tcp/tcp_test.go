@@ -1,0 +1,209 @@
+package tcp
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+const gbit = 1e9
+
+func TestBDPBytes(t *testing.T) {
+	c := DefaultConfig(gbit, 118*time.Millisecond)
+	// Paper Appendix D.1: a 1 Gbit/s link at 118 ms RTT has a BDP of
+	// 14.1 MiB.
+	want := 14.1 * (1 << 20)
+	if got := c.BDPBytes(); math.Abs(got-want)/want > 0.05 {
+		t.Fatalf("BDP: got %v want ≈%v", got, want)
+	}
+}
+
+func TestBDPSmallRTT(t *testing.T) {
+	// Lab link: 10 Gbit/s at 0.13 ms RTT → BDP 0.155 MiB (Appendix D.1).
+	c := DefaultConfig(10*gbit, 130*time.Microsecond)
+	want := 0.155 * (1 << 20)
+	if got := c.BDPBytes(); math.Abs(got-want)/want > 0.05 {
+		t.Fatalf("lab BDP: got %v want ≈%v", got, want)
+	}
+}
+
+func TestWindowBytesUsesSmallerBuffer(t *testing.T) {
+	c := DefaultConfig(gbit, time.Millisecond)
+	if got := c.WindowBytes(); got != DefaultReadBuf {
+		t.Fatalf("window: got %v want read buffer %v", got, DefaultReadBuf)
+	}
+	tuned := c.Tuned()
+	if got := tuned.WindowBytes(); got != TunedBuf {
+		t.Fatalf("tuned window: got %v want %v", got, TunedBuf)
+	}
+}
+
+func TestSingleSocketWindowLimited(t *testing.T) {
+	// At 340 ms RTT with default 4 MiB window, a single socket cannot
+	// reach 1 Gbit/s: 4 MiB * 8 / 0.34 s ≈ 98.7 Mbit/s.
+	c := DefaultConfig(gbit, 340*time.Millisecond)
+	got := c.SingleSocketBps()
+	want := float64(DefaultReadBuf) * 8 / 0.34
+	if math.Abs(got-want)/want > 0.01 {
+		t.Fatalf("single socket: got %v want %v", got, want)
+	}
+	if got >= gbit {
+		t.Fatal("window-limited socket should not reach link capacity")
+	}
+}
+
+func TestTunedBeatsDefaultAtHighRTT(t *testing.T) {
+	// Figure 12: at all RTTs the tuned kernel achieves ≥ default.
+	for _, rtt := range []time.Duration{28 * time.Millisecond, 120 * time.Millisecond, 340 * time.Millisecond} {
+		def := DefaultConfig(gbit, rtt)
+		tun := def.Tuned()
+		if tun.SingleSocketBps() < def.SingleSocketBps() {
+			t.Errorf("rtt=%v: tuned (%v) < default (%v)", rtt, tun.SingleSocketBps(), def.SingleSocketBps())
+		}
+	}
+}
+
+func TestThroughputDecreasesWithRTT(t *testing.T) {
+	// Figure 12: as RTT (thus BDP) increases, single-socket throughput
+	// decreases for a fixed kernel configuration.
+	prev := math.Inf(1)
+	for _, rtt := range []time.Duration{28 * time.Millisecond, 120 * time.Millisecond, 340 * time.Millisecond} {
+		got := DefaultConfig(gbit, rtt).SingleSocketBps()
+		if got > prev {
+			t.Fatalf("throughput should not increase with RTT: %v at %v > %v", got, rtt, prev)
+		}
+		prev = got
+	}
+}
+
+func TestAggregatePeaksThenDeclines(t *testing.T) {
+	// Figure 14 shape: aggregate throughput rises with sockets, peaks,
+	// then declines due to per-socket overhead.
+	c := DefaultConfig(gbit, 210*time.Millisecond) // IN-like path
+	peakN, peak := 0, 0.0
+	for n := 1; n <= 300; n++ {
+		v := c.AggregateBps(n)
+		if v > peak {
+			peak, peakN = v, n
+		}
+	}
+	if peakN <= 1 {
+		t.Fatalf("peak at n=%d; expected multi-socket peak", peakN)
+	}
+	if last := c.AggregateBps(300); last >= peak {
+		t.Fatalf("throughput at 300 sockets (%v) should be below peak (%v)", last, peak)
+	}
+}
+
+func TestAggregateZeroAndNegativeSockets(t *testing.T) {
+	c := DefaultConfig(gbit, time.Millisecond)
+	if c.AggregateBps(0) != 0 || c.AggregateBps(-3) != 0 {
+		t.Fatal("nonpositive socket counts must yield 0")
+	}
+}
+
+func TestSocketsToSaturate(t *testing.T) {
+	// 1 Gbit/s at 210 ms: BDP = 26.25 MB; default window 4 MiB → 7 sockets.
+	c := DefaultConfig(gbit, 210*time.Millisecond)
+	n := c.SocketsToSaturate()
+	if n < 6 || n > 8 {
+		t.Fatalf("sockets to saturate: got %d want ≈7", n)
+	}
+	// Tuned kernel: one 64 MiB window covers the BDP.
+	if got := c.Tuned().SocketsToSaturate(); got != 1 {
+		t.Fatalf("tuned sockets to saturate: got %d want 1", got)
+	}
+}
+
+func TestTuningHelpsLessWithMoreSockets(t *testing.T) {
+	// Figure 13: the default/tuned throughput ratio approaches 1 as the
+	// number of sockets grows.
+	c := DefaultConfig(gbit, 137*time.Millisecond) // NL-like path
+	tuned := c.Tuned()
+	ratioAt := func(n int) float64 { return c.AggregateBps(n) / tuned.AggregateBps(n) }
+	if r1 := ratioAt(1); r1 >= 0.9 {
+		t.Fatalf("single-socket ratio should show tuning benefit, got %v", r1)
+	}
+	if r100 := ratioAt(100); r100 < 0.99 {
+		t.Fatalf("100-socket ratio should approach 1, got %v", r100)
+	}
+	if ratioAt(1) > ratioAt(10) || ratioAt(10) > ratioAt(100) {
+		t.Fatal("ratio should be non-decreasing in socket count")
+	}
+}
+
+func TestLossRateLimits(t *testing.T) {
+	lossy := DefaultConfig(gbit, 210*time.Millisecond)
+	lossy.LossRate = 0.01
+	clean := DefaultConfig(gbit, 210*time.Millisecond)
+	if lossy.SingleSocketBps() >= clean.SingleSocketBps() {
+		t.Fatal("loss should reduce single-socket throughput")
+	}
+}
+
+func TestSlowStart(t *testing.T) {
+	c := DefaultConfig(gbit, 100*time.Millisecond)
+	ss := c.SlowStartSeconds()
+	if ss <= 0 {
+		t.Fatal("slow start should take time on a high-BDP path")
+	}
+	if ss > 3 {
+		t.Fatalf("slow start too slow: %v s", ss)
+	}
+	// Tiny-BDP path: no meaningful slow start.
+	lab := DefaultConfig(10*gbit, 130*time.Microsecond)
+	if got := lab.SlowStartSeconds(); got > 0.01 {
+		t.Fatalf("lab slow start: got %v want ≈0", got)
+	}
+}
+
+func TestRampedThroughputConverges(t *testing.T) {
+	c := DefaultConfig(gbit, 100*time.Millisecond)
+	short := c.RampedThroughputBps(160, 5*time.Second)
+	long := c.RampedThroughputBps(160, 60*time.Second)
+	steady := c.AggregateBps(160)
+	if short > long || long > steady {
+		t.Fatalf("ramped ordering violated: short=%v long=%v steady=%v", short, long, steady)
+	}
+	if long < 0.95*steady {
+		t.Fatalf("60 s mean should be within 5%% of steady state: %v vs %v", long, steady)
+	}
+}
+
+func TestRampedThroughputZeroDuration(t *testing.T) {
+	c := DefaultConfig(gbit, 100*time.Millisecond)
+	if got := c.RampedThroughputBps(10, 0); got != 0 {
+		t.Fatalf("zero duration: got %v", got)
+	}
+}
+
+// Property: aggregate throughput never exceeds link capacity and is
+// non-negative for any socket count.
+func TestAggregateBoundedQuick(t *testing.T) {
+	f := func(nRaw uint8, rttMs uint16) bool {
+		n := int(nRaw)
+		rtt := time.Duration(rttMs) * time.Millisecond
+		c := DefaultConfig(gbit, rtt)
+		v := c.AggregateBps(n)
+		return v >= 0 && v <= c.LinkCapacityBps+1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: tuned kernel never does worse than default at equal socket
+// count (figure 13's ratio ≤ 1 everywhere).
+func TestTunedNeverWorseQuick(t *testing.T) {
+	f := func(nRaw uint8, rttMs uint16) bool {
+		n := int(nRaw)%200 + 1
+		rtt := time.Duration(rttMs%1000+1) * time.Millisecond
+		def := DefaultConfig(gbit, rtt)
+		tun := def.Tuned()
+		return tun.AggregateBps(n) >= def.AggregateBps(n)-1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

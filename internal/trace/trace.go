@@ -1,0 +1,156 @@
+// Package trace generates synthetic Tor user traffic following the
+// Markov-model approach of the TGen/tmodel pipeline the paper's Shadow
+// experiments use (§7, reference [23]): users alternate between idle
+// (think) periods and active streams whose sizes follow a heavy-tailed
+// distribution dominated by small web-like transfers with occasional bulk
+// downloads.
+package trace
+
+import (
+	"math"
+	"math/rand"
+	"time"
+)
+
+// StreamClass labels the kind of stream the Markov model emitted.
+type StreamClass int
+
+// Stream classes. Web streams are small and frequent; interactive streams
+// are tiny; bulk streams are rare and large.
+const (
+	Web StreamClass = iota + 1
+	Interactive
+	Bulk
+)
+
+// Stream is one client-generated transfer.
+type Stream struct {
+	Start time.Duration
+	Bytes float64
+	Class StreamClass
+}
+
+// ModelParams tunes the Markov traffic model.
+type ModelParams struct {
+	// MeanThink is the mean idle time between streams.
+	MeanThink time.Duration
+	// PWeb/PInteractive/PBulk are the state transition probabilities out
+	// of idle; they must sum to at most 1 (the remainder re-enters idle).
+	PWeb, PInteractive, PBulk float64
+	// Mean sizes per class in bytes.
+	WebBytes, InteractiveBytes, BulkBytes float64
+}
+
+// DefaultParams returns parameters calibrated so that a population of
+// clients produces Tor-like load: mostly sub-MiB web fetches with a
+// heavy tail of multi-MiB bulk flows.
+func DefaultParams() ModelParams {
+	return ModelParams{
+		MeanThink:        30 * time.Second,
+		PWeb:             0.70,
+		PInteractive:     0.15,
+		PBulk:            0.15,
+		WebBytes:         320 << 10, // ~320 KiB
+		InteractiveBytes: 8 << 10,   // ~8 KiB
+		BulkBytes:        5 << 20,   // ~5 MiB
+	}
+}
+
+// Client is one Markov-model user generating streams.
+type Client struct {
+	params ModelParams
+	rng    *rand.Rand
+}
+
+// NewClient creates a client with its own deterministic RNG stream.
+func NewClient(params ModelParams, seed int64) *Client {
+	return &Client{params: params, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Generate emits all streams the client starts within [0, horizon).
+func (c *Client) Generate(horizon time.Duration) []Stream {
+	var out []Stream
+	now := time.Duration(0)
+	for {
+		think := c.expDuration(c.params.MeanThink)
+		now += think
+		if now >= horizon {
+			return out
+		}
+		u := c.rng.Float64()
+		var class StreamClass
+		var mean float64
+		switch {
+		case u < c.params.PWeb:
+			class, mean = Web, c.params.WebBytes
+		case u < c.params.PWeb+c.params.PInteractive:
+			class, mean = Interactive, c.params.InteractiveBytes
+		case u < c.params.PWeb+c.params.PInteractive+c.params.PBulk:
+			class, mean = Bulk, c.params.BulkBytes
+		default:
+			continue // back to idle
+		}
+		size := c.lognormalBytes(mean)
+		out = append(out, Stream{Start: now, Bytes: size, Class: class})
+	}
+}
+
+// expDuration draws an exponential holding time with the given mean.
+func (c *Client) expDuration(mean time.Duration) time.Duration {
+	if mean <= 0 {
+		return 0
+	}
+	return time.Duration(c.rng.ExpFloat64() * float64(mean))
+}
+
+// lognormalBytes draws a size with the given mean and a right-skewed shape
+// (σ=0.75 of the underlying normal), floored at one cell payload.
+func (c *Client) lognormalBytes(mean float64) float64 {
+	const sigma = 0.75
+	mu := math.Log(mean) - sigma*sigma/2
+	v := math.Exp(mu + sigma*c.rng.NormFloat64())
+	if v < 512 {
+		v = 512
+	}
+	return v
+}
+
+// Population generates streams for n clients over the horizon and returns
+// them per client. Client i uses seed base+i so populations are
+// reproducible.
+func Population(params ModelParams, n int, baseSeed int64, horizon time.Duration) [][]Stream {
+	out := make([][]Stream, n)
+	for i := range out {
+		out[i] = NewClient(params, baseSeed+int64(i)).Generate(horizon)
+	}
+	return out
+}
+
+// OfferedLoadBps returns the mean offered load of a population in bits per
+// second over the horizon.
+func OfferedLoadBps(streams [][]Stream, horizon time.Duration) float64 {
+	var total float64
+	for _, cs := range streams {
+		for _, s := range cs {
+			total += s.Bytes
+		}
+	}
+	if horizon <= 0 {
+		return 0
+	}
+	return total * 8 / horizon.Seconds()
+}
+
+// Scale multiplies every stream size by factor, implementing the paper's
+// 115 % and 130 % extra-load configurations (§7).
+func Scale(streams [][]Stream, factor float64) [][]Stream {
+	out := make([][]Stream, len(streams))
+	for i, cs := range streams {
+		out[i] = make([]Stream, len(cs))
+		for j, s := range cs {
+			s.Bytes *= factor
+			out[i][j] = s
+		}
+	}
+	return out
+}

@@ -1,0 +1,143 @@
+package trace
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	p := DefaultParams()
+	a := NewClient(p, 42).Generate(time.Hour)
+	b := NewClient(p, 42).Generate(time.Hour)
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("stream %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	c := NewClient(p, 43).Generate(time.Hour)
+	if len(c) == len(a) {
+		same := true
+		for i := range c {
+			if c[i] != a[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatal("different seeds produced identical traces")
+		}
+	}
+}
+
+func TestStreamsWithinHorizon(t *testing.T) {
+	horizon := 30 * time.Minute
+	for _, s := range NewClient(DefaultParams(), 1).Generate(horizon) {
+		if s.Start < 0 || s.Start >= horizon {
+			t.Fatalf("stream outside horizon: %v", s.Start)
+		}
+		if s.Bytes < 512 {
+			t.Fatalf("stream below one cell payload: %v", s.Bytes)
+		}
+	}
+}
+
+func TestStreamStartsMonotone(t *testing.T) {
+	streams := NewClient(DefaultParams(), 7).Generate(time.Hour)
+	for i := 1; i < len(streams); i++ {
+		if streams[i].Start < streams[i-1].Start {
+			t.Fatal("stream starts must be non-decreasing")
+		}
+	}
+}
+
+func TestClassMix(t *testing.T) {
+	// Over a long horizon the class mix should roughly match the
+	// transition probabilities.
+	streams := NewClient(DefaultParams(), 99).Generate(100 * time.Hour)
+	if len(streams) < 1000 {
+		t.Fatalf("too few streams to test mix: %d", len(streams))
+	}
+	counts := map[StreamClass]int{}
+	for _, s := range streams {
+		counts[s.Class]++
+	}
+	webFrac := float64(counts[Web]) / float64(len(streams))
+	if math.Abs(webFrac-0.70) > 0.05 {
+		t.Fatalf("web fraction: got %v want ≈0.70", webFrac)
+	}
+	if counts[Bulk] == 0 || counts[Interactive] == 0 {
+		t.Fatal("expected all classes present")
+	}
+}
+
+func TestBulkDominatesBytes(t *testing.T) {
+	// The heavy tail: bulk streams are a minority by count but carry the
+	// majority of bytes — the property that makes load balancing matter.
+	streams := NewClient(DefaultParams(), 5).Generate(100 * time.Hour)
+	var bulkBytes, total float64
+	for _, s := range streams {
+		total += s.Bytes
+		if s.Class == Bulk {
+			bulkBytes += s.Bytes
+		}
+	}
+	if bulkBytes/total < 0.5 {
+		t.Fatalf("bulk bytes fraction: got %v want > 0.5", bulkBytes/total)
+	}
+}
+
+func TestPopulationReproducible(t *testing.T) {
+	p := DefaultParams()
+	a := Population(p, 5, 1000, time.Hour)
+	b := Population(p, 5, 1000, time.Hour)
+	for i := range a {
+		if len(a[i]) != len(b[i]) {
+			t.Fatalf("client %d trace lengths differ", i)
+		}
+	}
+	if len(a) != 5 {
+		t.Fatalf("population size: %d", len(a))
+	}
+}
+
+func TestOfferedLoadScalesWithClients(t *testing.T) {
+	p := DefaultParams()
+	small := OfferedLoadBps(Population(p, 10, 1, 10*time.Hour), 10*time.Hour)
+	large := OfferedLoadBps(Population(p, 100, 1, 10*time.Hour), 10*time.Hour)
+	if large < 5*small {
+		t.Fatalf("10× clients should offer ≈10× load: %v vs %v", small, large)
+	}
+}
+
+func TestOfferedLoadZeroHorizon(t *testing.T) {
+	if got := OfferedLoadBps(nil, 0); got != 0 {
+		t.Fatalf("zero horizon: %v", got)
+	}
+}
+
+func TestScale(t *testing.T) {
+	p := DefaultParams()
+	base := Population(p, 3, 50, time.Hour)
+	scaled := Scale(base, 1.3)
+	for i := range base {
+		for j := range base[i] {
+			want := base[i][j].Bytes * 1.3
+			if math.Abs(scaled[i][j].Bytes-want) > 1e-9 {
+				t.Fatalf("scale: got %v want %v", scaled[i][j].Bytes, want)
+			}
+			if scaled[i][j].Start != base[i][j].Start {
+				t.Fatal("scale must not change start times")
+			}
+		}
+	}
+	// 130 % load: offered load is 1.3×.
+	lb := OfferedLoadBps(base, time.Hour)
+	ls := OfferedLoadBps(scaled, time.Hour)
+	if math.Abs(ls/lb-1.3) > 1e-9 {
+		t.Fatalf("offered load ratio: got %v want 1.3", ls/lb)
+	}
+}

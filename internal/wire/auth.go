@@ -1,0 +1,91 @@
+package wire
+
+import (
+	"crypto/ed25519"
+	"crypto/rand"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Identity is an ed25519 keypair identifying a measurer (its public key is
+// distributed to targets by the BWAuth, whose own key the consensus
+// anchors — §4.1).
+type Identity struct {
+	Pub  ed25519.PublicKey
+	Priv ed25519.PrivateKey
+}
+
+// NewIdentity generates a fresh identity.
+func NewIdentity() (Identity, error) {
+	pub, priv, err := ed25519.GenerateKey(rand.Reader)
+	if err != nil {
+		return Identity{}, fmt.Errorf("generate identity: %w", err)
+	}
+	return Identity{Pub: pub, Priv: priv}, nil
+}
+
+// Authentication errors.
+var (
+	ErrAuthRejected  = errors.New("wire: authentication rejected")
+	ErrNotAuthorized = errors.New("wire: measurer key not authorized")
+)
+
+const nonceLen = 32
+
+// serverChallenge sends a nonce and verifies the client's Auth frame
+// against the allowed key set. It returns the authenticated public key.
+func serverChallenge(rw io.ReadWriter, allowed map[string]bool) (ed25519.PublicKey, error) {
+	nonce := make([]byte, nonceLen)
+	if _, err := rand.Read(nonce); err != nil {
+		return nil, fmt.Errorf("nonce: %w", err)
+	}
+	if _, err := rw.Write(nonce); err != nil {
+		return nil, fmt.Errorf("send nonce: %w", err)
+	}
+	t, payload, err := ReadFrame(rw)
+	if err != nil {
+		return nil, err
+	}
+	if t != FrameAuth || len(payload) != ed25519.PublicKeySize+ed25519.SignatureSize {
+		_ = WriteFrame(rw, FrameReject, nil)
+		return nil, ErrBadFrame
+	}
+	pub := ed25519.PublicKey(payload[:ed25519.PublicKeySize])
+	sig := payload[ed25519.PublicKeySize:]
+	if !allowed[string(pub)] {
+		_ = WriteFrame(rw, FrameReject, nil)
+		return nil, ErrNotAuthorized
+	}
+	if !ed25519.Verify(pub, nonce, sig) {
+		_ = WriteFrame(rw, FrameReject, nil)
+		return nil, ErrAuthRejected
+	}
+	if err := WriteFrame(rw, FrameAuthOK, nil); err != nil {
+		return nil, err
+	}
+	return pub, nil
+}
+
+// clientAuthenticate answers the server's challenge with id's signature.
+func clientAuthenticate(rw io.ReadWriter, id Identity) error {
+	nonce := make([]byte, nonceLen)
+	if _, err := io.ReadFull(rw, nonce); err != nil {
+		return fmt.Errorf("read nonce: %w", err)
+	}
+	sig := ed25519.Sign(id.Priv, nonce)
+	payload := make([]byte, 0, ed25519.PublicKeySize+ed25519.SignatureSize)
+	payload = append(payload, id.Pub...)
+	payload = append(payload, sig...)
+	if err := WriteFrame(rw, FrameAuth, payload); err != nil {
+		return err
+	}
+	t, _, err := ReadFrame(rw)
+	if err != nil {
+		return err
+	}
+	if t != FrameAuthOK {
+		return ErrAuthRejected
+	}
+	return nil
+}

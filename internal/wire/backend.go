@@ -1,0 +1,86 @@
+package wire
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"flashflow/internal/core"
+)
+
+// Backend implements core.Backend over real connections: each measurement
+// slot fans the allocation out to the team members, runs the wire protocol
+// concurrently, and reassembles per-measurer per-second byte counts.
+type Backend struct {
+	// Members is the measurement team, index-aligned with the core team
+	// slice used for allocation.
+	Members []Member
+	// CheckProb is the echo verification probability p.
+	CheckProb float64
+	// Seed drives the deterministic payload streams.
+	Seed int64
+}
+
+// Member is one measurer: an identity plus a dialer for each target.
+type Member struct {
+	Identity Identity
+	Dial     func(target string) Dialer
+}
+
+var _ core.Backend = (*Backend)(nil)
+
+// RunMeasurement implements core.Backend.
+func (b *Backend) RunMeasurement(target string, alloc core.Allocation, seconds int) (core.MeasurementData, error) {
+	if len(alloc.PerMeasurerBps) != len(b.Members) {
+		return core.MeasurementData{}, fmt.Errorf("wire: allocation for %d measurers, team has %d", len(alloc.PerMeasurerBps), len(b.Members))
+	}
+	data := core.MeasurementData{
+		MeasBytes: make([][]float64, len(b.Members)),
+		NormBytes: make([]float64, seconds),
+	}
+	for i := range data.MeasBytes {
+		data.MeasBytes[i] = make([]float64, seconds)
+	}
+
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	for i, a := range alloc.PerMeasurerBps {
+		if a <= 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(idx int, rate float64, sockets int) {
+			defer wg.Done()
+			res, err := Measure(b.Members[idx].Dial(target), MeasureOptions{
+				Identity:  b.Members[idx].Identity,
+				Sockets:   sockets,
+				RateBps:   rate,
+				Duration:  time.Duration(seconds) * time.Second,
+				CheckProb: b.CheckProb,
+				Seed:      b.Seed + int64(idx)*1000,
+			})
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				if firstErr == nil {
+					firstErr = fmt.Errorf("measurer %d: %w", idx, err)
+				}
+				return
+			}
+			for j := 0; j < seconds && j < len(res.PerSecondBytes); j++ {
+				data.MeasBytes[idx][j] = res.PerSecondBytes[j]
+			}
+			if res.Failed {
+				data.Failed = true
+			}
+		}(i, a, alloc.SocketsPer[i])
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return core.MeasurementData{}, firstErr
+	}
+	return data, nil
+}

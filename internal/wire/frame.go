@@ -1,0 +1,87 @@
+// Package wire implements the FlashFlow measurement protocol over real
+// network connections: authenticated connections between a BWAuth's
+// measurers and a target relay (§4.1), measurement-circuit setup with an
+// X25519 key exchange, cell streaming with relay-side decryption and echo,
+// probabilistic echo-content verification, and per-second byte accounting.
+//
+// This package is the reproduction's substitute for the paper's 1,200-line
+// patch to Tor v0.3.5.7: instead of patching Tor, the target side is a
+// standalone relay speaking the same measurement protocol with real
+// cryptography on real sockets. The simulation experiments use
+// core.SimBackend; this package exists so the protocol itself — handshake,
+// framing, crypto, verification, accounting — is exercised for real, and
+// it powers the runnable examples and the wire Backend.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// FrameType identifies a control frame.
+type FrameType uint8
+
+// Control frame types exchanged before and during the cell stream.
+const (
+	// FrameAuth carries the connecting measurer's public key and its
+	// signature over the server's nonce.
+	FrameAuth FrameType = 1
+	// FrameAuthOK acknowledges successful authentication.
+	FrameAuthOK FrameType = 2
+	// FrameCreate carries the measurer's X25519 public key to establish
+	// the measurement circuit (the paper's new circuit-creation cell).
+	FrameCreate FrameType = 3
+	// FrameCreated carries the target's X25519 public key.
+	FrameCreated FrameType = 4
+	// FrameReject indicates authentication or admission failure.
+	FrameReject FrameType = 5
+)
+
+// maxFramePayload bounds control frame payloads.
+const maxFramePayload = 4096
+
+// Frame errors.
+var (
+	ErrFrameTooLarge = errors.New("wire: frame payload too large")
+	ErrBadFrame      = errors.New("wire: malformed frame")
+)
+
+// WriteFrame writes a length-prefixed control frame.
+func WriteFrame(w io.Writer, t FrameType, payload []byte) error {
+	if len(payload) > maxFramePayload {
+		return ErrFrameTooLarge
+	}
+	hdr := make([]byte, 5)
+	binary.BigEndian.PutUint32(hdr[:4], uint32(len(payload)))
+	hdr[4] = byte(t)
+	if _, err := w.Write(hdr); err != nil {
+		return fmt.Errorf("write frame header: %w", err)
+	}
+	if len(payload) > 0 {
+		if _, err := w.Write(payload); err != nil {
+			return fmt.Errorf("write frame payload: %w", err)
+		}
+	}
+	return nil
+}
+
+// ReadFrame reads one control frame.
+func ReadFrame(r io.Reader) (FrameType, []byte, error) {
+	hdr := make([]byte, 5)
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		return 0, nil, fmt.Errorf("read frame header: %w", err)
+	}
+	n := binary.BigEndian.Uint32(hdr[:4])
+	if n > maxFramePayload {
+		return 0, nil, ErrFrameTooLarge
+	}
+	payload := make([]byte, n)
+	if n > 0 {
+		if _, err := io.ReadFull(r, payload); err != nil {
+			return 0, nil, fmt.Errorf("read frame payload: %w", err)
+		}
+	}
+	return FrameType(hdr[4]), payload, nil
+}

@@ -1,0 +1,296 @@
+package wire
+
+import (
+	"crypto/ecdh"
+	"crypto/rand"
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	mrand "math/rand"
+	"net"
+	"sync"
+	"time"
+
+	"flashflow/internal/cell"
+)
+
+// Dialer opens a connection to the target relay.
+type Dialer func() (net.Conn, error)
+
+// MeasureOptions configures one measurer's participation in a measurement
+// slot.
+type MeasureOptions struct {
+	// Identity authenticates the measurer to the target.
+	Identity Identity
+	// Sockets is this measurer's socket share s/(m) (§4.1).
+	Sockets int
+	// RateBps is the measurer's allocation a_i; each socket paces itself
+	// to an even share.
+	RateBps float64
+	// Duration is the measurement slot length t.
+	Duration time.Duration
+	// CheckProb is the probability p of recording a sent cell's payload
+	// and verifying the echoed contents (§4.1).
+	CheckProb float64
+	// Seed makes the cell payload stream and check sampling reproducible.
+	Seed int64
+}
+
+// MeasureResult is one measurer's view of a slot.
+type MeasureResult struct {
+	// PerSecondBytes[j] is the number of measurement bytes echoed back
+	// during second j.
+	PerSecondBytes []float64
+	// CellsChecked counts echoed cells whose content was verified.
+	CellsChecked int
+	// Failed is set when any checked echo had wrong contents; the BWAuth
+	// discards the measurement (§4.1).
+	Failed bool
+}
+
+// Measure runs one measurer's side of a measurement slot: it opens
+// opts.Sockets connections, authenticates, builds a measurement circuit on
+// each, then streams MsmtData cells full of random bytes as fast as the
+// per-socket rate allows, verifying echoed contents with probability p.
+func Measure(dial Dialer, opts MeasureOptions) (MeasureResult, error) {
+	if opts.Sockets <= 0 {
+		return MeasureResult{}, errors.New("wire: need at least one socket")
+	}
+	if opts.Duration <= 0 {
+		return MeasureResult{}, errors.New("wire: nonpositive duration")
+	}
+	seconds := int(math.Ceil(opts.Duration.Seconds()))
+	perSocketRate := opts.RateBps / float64(opts.Sockets)
+
+	var (
+		mu       sync.Mutex
+		buckets  = make([]float64, seconds)
+		checked  int
+		failed   bool
+		firstErr error
+	)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for s := 0; s < opts.Sockets; s++ {
+		wg.Add(1)
+		go func(sockIdx int) {
+			defer wg.Done()
+			res, err := measureSocket(dial, opts, perSocketRate, start, seconds, opts.Seed+int64(sockIdx))
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil && firstErr == nil {
+				firstErr = err
+			}
+			for j, b := range res.PerSecondBytes {
+				if j < seconds {
+					buckets[j] += b
+				}
+			}
+			checked += res.CellsChecked
+			if res.Failed {
+				failed = true
+			}
+		}(s)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return MeasureResult{}, firstErr
+	}
+	return MeasureResult{PerSecondBytes: buckets, CellsChecked: checked, Failed: failed}, nil
+}
+
+// measureSocket drives a single measurement connection.
+func measureSocket(dial Dialer, opts MeasureOptions, rateBps float64, start time.Time, seconds int, seed int64) (MeasureResult, error) {
+	conn, err := dial()
+	if err != nil {
+		return MeasureResult{}, fmt.Errorf("dial: %w", err)
+	}
+	defer conn.Close()
+
+	if err := clientAuthenticate(conn, opts.Identity); err != nil {
+		return MeasureResult{}, err
+	}
+	circ, err := clientKeyExchange(conn)
+	if err != nil {
+		return MeasureResult{}, err
+	}
+
+	res := MeasureResult{PerSecondBytes: make([]float64, seconds)}
+	rng := mrand.New(mrand.NewSource(seed))
+
+	// Digest queue of checked cells: the TCP stream preserves order, so
+	// the reader compares by sequence number.
+	type check struct {
+		seq    uint64
+		digest [8]byte
+	}
+	var (
+		checksMu sync.Mutex
+		checks   []check
+	)
+
+	// Flow control: bound the number of un-echoed cells in flight per
+	// socket, as the paper's clients take "care not to overflow circuit
+	// queue length limits" (§3.4). Without it, a fast sender buries a
+	// slower target in kernel buffers and the slot cannot drain cleanly.
+	const inflightWindow = 64
+	tokens := make(chan struct{}, inflightWindow)
+
+	readerDone := make(chan error, 1)
+	go func() {
+		buf := make([]byte, cell.Size)
+		var c cell.Cell
+		var recvSeq uint64
+		for {
+			if _, err := io.ReadFull(conn, buf); err != nil {
+				readerDone <- fmt.Errorf("read echo: %w", err)
+				return
+			}
+			if err := c.Unmarshal(buf); err != nil {
+				readerDone <- err
+				return
+			}
+			if c.Cmd == cell.MsmtEnd {
+				readerDone <- nil
+				return
+			}
+			select {
+			case <-tokens:
+			default:
+			}
+			idx := int(time.Since(start) / time.Second)
+			if idx >= 0 && idx < seconds {
+				res.PerSecondBytes[idx] += cell.Size
+			}
+			checksMu.Lock()
+			if len(checks) > 0 && checks[0].seq == recvSeq {
+				res.CellsChecked++
+				if cell.Digest(c.Payload[:]) != checks[0].digest {
+					res.Failed = true
+				}
+				checks = checks[1:]
+			}
+			checksMu.Unlock()
+			recvSeq++
+		}
+	}()
+
+	// abort tears the connection down and waits for the reader so that no
+	// goroutine still writes to res when we return it.
+	abort := func(e error) (MeasureResult, error) {
+		conn.Close()
+		<-readerDone
+		return res, e
+	}
+
+	// Sender: paced stream of random-content cells.
+	var pace pacer
+	pace.rateBps = rateBps
+	var sendSeq uint64
+	deadline := start.Add(opts.Duration)
+	out := make([]byte, cell.Size)
+	var c cell.Cell
+	c.CircID = 1
+	c.Cmd = cell.MsmtData
+	for {
+		now := time.Now()
+		if !now.Before(deadline) {
+			break
+		}
+		// Acquire an in-flight slot, but never sleep past the deadline.
+		waitTimer := time.NewTimer(deadline.Sub(now))
+		select {
+		case tokens <- struct{}{}:
+			waitTimer.Stop()
+		case <-waitTimer.C:
+			continue // deadline reached while window was full
+		}
+		fillRandom(rng, c.Payload[:])
+		if opts.CheckProb > 0 && rng.Float64() < opts.CheckProb {
+			checksMu.Lock()
+			checks = append(checks, check{seq: sendSeq, digest: cell.Digest(c.Payload[:])})
+			checksMu.Unlock()
+		}
+		// Encrypt forward; the honest target decrypts back to the random
+		// plaintext we recorded.
+		circ.Forward.Apply(&c)
+		pace.wait(cell.Size * 8)
+		if _, err := c.Marshal(out); err != nil {
+			return abort(err)
+		}
+		if _, err := conn.Write(out); err != nil {
+			return abort(fmt.Errorf("send cell: %w", err))
+		}
+		sendSeq++
+	}
+	// Signal the end of the slot and wait for the echo stream to drain.
+	var end cell.Cell
+	end.CircID = 1
+	end.Cmd = cell.MsmtEnd
+	if _, err := end.Marshal(out); err != nil {
+		return abort(err)
+	}
+	if _, err := conn.Write(out); err != nil {
+		return abort(fmt.Errorf("send end: %w", err))
+	}
+	select {
+	case err := <-readerDone:
+		if err != nil {
+			return res, err
+		}
+	case <-time.After(5 * time.Second):
+		return abort(errors.New("wire: timed out draining echo stream"))
+	}
+	return res, nil
+}
+
+// clientKeyExchange initiates the X25519 exchange and derives circuit keys.
+func clientKeyExchange(rw io.ReadWriter) (*cell.Circuit, error) {
+	curve := ecdh.X25519()
+	priv, err := curve.GenerateKey(rand.Reader)
+	if err != nil {
+		return nil, fmt.Errorf("keygen: %w", err)
+	}
+	if err := WriteFrame(rw, FrameCreate, priv.PublicKey().Bytes()); err != nil {
+		return nil, err
+	}
+	ft, payload, err := ReadFrame(rw)
+	if err != nil {
+		return nil, err
+	}
+	if ft != FrameCreated || len(payload) != 32 {
+		return nil, ErrBadFrame
+	}
+	peer, err := curve.NewPublicKey(payload)
+	if err != nil {
+		return nil, fmt.Errorf("peer key: %w", err)
+	}
+	shared, err := priv.ECDH(peer)
+	if err != nil {
+		return nil, fmt.Errorf("ecdh: %w", err)
+	}
+	secret := sha256.Sum256(shared)
+	return cell.NewCircuit(1, secret[:])
+}
+
+// fillRandom fills buf from a fast deterministic stream (crypto-strength
+// randomness is unnecessary for payload content; unpredictability to the
+// *target* comes from the forward encryption layer).
+func fillRandom(rng *mrand.Rand, buf []byte) {
+	for i := 0; i+8 <= len(buf); i += 8 {
+		v := rng.Uint64()
+		buf[i] = byte(v)
+		buf[i+1] = byte(v >> 8)
+		buf[i+2] = byte(v >> 16)
+		buf[i+3] = byte(v >> 24)
+		buf[i+4] = byte(v >> 32)
+		buf[i+5] = byte(v >> 40)
+		buf[i+6] = byte(v >> 48)
+		buf[i+7] = byte(v >> 56)
+	}
+	for i := len(buf) - len(buf)%8; i < len(buf); i++ {
+		buf[i] = byte(rng.Uint32())
+	}
+}

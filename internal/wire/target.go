@@ -1,0 +1,239 @@
+package wire
+
+import (
+	"crypto/ecdh"
+	"crypto/ed25519"
+	"crypto/rand"
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"flashflow/internal/cell"
+)
+
+// TargetConfig configures the target-relay side of the measurement
+// protocol.
+type TargetConfig struct {
+	// RateBps limits the aggregate echo rate across all measurement
+	// connections (the relay's capacity or configured limit). Zero means
+	// unlimited.
+	RateBps float64
+	// Corrupt, if set, makes the target skip decryption and echo the
+	// still-encrypted cell — the forging misbehaviour that echo checks
+	// must catch (§5).
+	Corrupt bool
+}
+
+// Target is the relay-side endpoint: it accepts authenticated measurement
+// connections, performs the circuit key exchange, and decrypt-echoes
+// measurement cells subject to its rate limit.
+type Target struct {
+	cfg TargetConfig
+
+	mu      sync.Mutex
+	allowed map[string]bool
+	pace    pacer
+	counts  secondCounter
+
+	wg      sync.WaitGroup
+	closing chan struct{}
+}
+
+// NewTarget creates a target with no authorized measurers.
+func NewTarget(cfg TargetConfig) *Target {
+	t := &Target{
+		cfg:     cfg,
+		allowed: make(map[string]bool),
+		closing: make(chan struct{}),
+	}
+	t.pace.rateBps = cfg.RateBps
+	return t
+}
+
+// Authorize grants the given measurer public keys access for the current
+// measurement (the BWAuth sends the target its team's keys, §4.1).
+func (t *Target) Authorize(keys ...ed25519.PublicKey) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, k := range keys {
+		t.allowed[string(k)] = true
+	}
+}
+
+// Revoke removes all authorizations (end of the measurement slot).
+func (t *Target) Revoke() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.allowed = make(map[string]bool)
+}
+
+// ForwardedBytesPerSecond returns the per-second forwarded measurement
+// bytes observed since the first cell.
+func (t *Target) ForwardedBytesPerSecond() []float64 {
+	return t.counts.snapshot()
+}
+
+// Serve accepts and handles connections until the listener closes.
+func (t *Target) Serve(l net.Listener) {
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return
+		}
+		t.wg.Add(1)
+		go func() {
+			defer t.wg.Done()
+			_ = t.HandleConn(conn)
+		}()
+	}
+}
+
+// Close waits for in-flight handlers (listeners must be closed by the
+// caller first).
+func (t *Target) Close() {
+	close(t.closing)
+	t.wg.Wait()
+}
+
+// HandleConn runs the full target-side protocol on one connection:
+// challenge-authenticate, key-exchange, then decrypt-and-echo until the
+// measurer sends MsmtEnd or the connection drops.
+func (t *Target) HandleConn(conn net.Conn) error {
+	defer conn.Close()
+	t.mu.Lock()
+	allowed := make(map[string]bool, len(t.allowed))
+	for k := range t.allowed {
+		allowed[k] = true
+	}
+	t.mu.Unlock()
+
+	if _, err := serverChallenge(conn, allowed); err != nil {
+		return fmt.Errorf("target auth: %w", err)
+	}
+	circ, err := serverKeyExchange(conn)
+	if err != nil {
+		return fmt.Errorf("target kex: %w", err)
+	}
+
+	buf := make([]byte, cell.Size)
+	var c cell.Cell
+	for {
+		if _, err := io.ReadFull(conn, buf); err != nil {
+			if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+				return nil
+			}
+			return fmt.Errorf("target read: %w", err)
+		}
+		if err := c.Unmarshal(buf); err != nil {
+			return err
+		}
+		switch c.Cmd {
+		case cell.MsmtEnd:
+			// Echo the End so the measurer's reader can finish cleanly.
+			if _, err := conn.Write(buf); err != nil {
+				return err
+			}
+			return nil
+		case cell.MsmtData:
+			if !t.cfg.Corrupt {
+				// The relay's real work: decrypt the cell payload.
+				circ.Forward.Apply(&c)
+			}
+			t.pace.wait(cell.Size * 8)
+			out := make([]byte, cell.Size)
+			if _, err := c.Marshal(out); err != nil {
+				return err
+			}
+			if _, err := conn.Write(out); err != nil {
+				return fmt.Errorf("target echo: %w", err)
+			}
+			t.counts.add(cell.Size)
+		default:
+			return fmt.Errorf("target: unexpected cell %v", c.Cmd)
+		}
+	}
+}
+
+// serverKeyExchange answers a FrameCreate with FrameCreated and derives
+// the measurement circuit keys.
+func serverKeyExchange(rw io.ReadWriter) (*cell.Circuit, error) {
+	ft, payload, err := ReadFrame(rw)
+	if err != nil {
+		return nil, err
+	}
+	if ft != FrameCreate || len(payload) != 32 {
+		return nil, ErrBadFrame
+	}
+	curve := ecdh.X25519()
+	peerPub, err := curve.NewPublicKey(payload)
+	if err != nil {
+		return nil, fmt.Errorf("peer key: %w", err)
+	}
+	priv, err := curve.GenerateKey(rand.Reader)
+	if err != nil {
+		return nil, fmt.Errorf("keygen: %w", err)
+	}
+	if err := WriteFrame(rw, FrameCreated, priv.PublicKey().Bytes()); err != nil {
+		return nil, err
+	}
+	shared, err := priv.ECDH(peerPub)
+	if err != nil {
+		return nil, fmt.Errorf("ecdh: %w", err)
+	}
+	secret := sha256.Sum256(shared)
+	return cell.NewCircuit(1, secret[:])
+}
+
+// pacer throttles aggregate throughput to rateBps using wall-clock time.
+type pacer struct {
+	mu       sync.Mutex
+	rateBps  float64
+	start    time.Time
+	sentBits float64
+}
+
+func (p *pacer) wait(bits float64) {
+	if p.rateBps <= 0 {
+		return
+	}
+	p.mu.Lock()
+	if p.start.IsZero() {
+		p.start = time.Now()
+	}
+	p.sentBits += bits
+	due := p.start.Add(time.Duration(p.sentBits / p.rateBps * float64(time.Second)))
+	p.mu.Unlock()
+	if d := time.Until(due); d > 0 {
+		time.Sleep(d)
+	}
+}
+
+// secondCounter accumulates bytes into wall-clock second buckets.
+type secondCounter struct {
+	mu      sync.Mutex
+	start   time.Time
+	buckets []float64
+}
+
+func (s *secondCounter) add(bytes float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.start.IsZero() {
+		s.start = time.Now()
+	}
+	idx := int(time.Since(s.start) / time.Second)
+	for len(s.buckets) <= idx {
+		s.buckets = append(s.buckets, 0)
+	}
+	s.buckets[idx] += bytes
+}
+
+func (s *secondCounter) snapshot() []float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]float64(nil), s.buckets...)
+}

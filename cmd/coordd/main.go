@@ -1,0 +1,176 @@
+// Command coordd runs FlashFlow as a long-lived continuous-measurement
+// service (internal/coord): it spins up an in-process population of target
+// relays speaking the real wire protocol over localhost TCP, then drives
+// scheduler rounds over the whole population until interrupted — measuring
+// every relay each round with a bounded worker pool, reusing pooled
+// connections across rounds, retrying failed slots with backoff, feeding
+// each round's medians into the next round's priors, and periodically
+// writing v3bw-style bandwidth-file snapshots.
+//
+// SIGINT or SIGTERM triggers a graceful shutdown: in-flight measurement
+// slots are drained, the final (partial) round is reported, and the
+// process exits cleanly.
+//
+// Usage:
+//
+//	go run ./cmd/coordd [-relays 4] [-measurers 2] [-workers 4] \
+//	    [-rounds 0] [-interval 2s] [-slot 1] [-pool 4] [-pool-ttl 90s] \
+//	    [-snapshot-dir DIR] [-attempts 3] [-relay-rate 0]
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"flashflow/internal/coord"
+	"flashflow/internal/core"
+	"flashflow/internal/metrics"
+	"flashflow/internal/wire"
+)
+
+func main() {
+	if err := run(); err != nil && err != context.Canceled {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		relays      = flag.Int("relays", 4, "number of in-process target relays")
+		baseMbit    = flag.Float64("rate", 8, "slowest relay capacity in Mbit/s (others step up from it)")
+		measurers   = flag.Int("measurers", 2, "measurement team size")
+		workers     = flag.Int("workers", 4, "concurrent slot executions")
+		rounds      = flag.Int("rounds", 0, "rounds to run (0 = until SIGINT)")
+		interval    = flag.Duration("interval", 2*time.Second, "pause between rounds")
+		slotSecs    = flag.Int("slot", 1, "measurement slot length t in seconds")
+		sockets     = flag.Int("sockets", 4, "total measurement sockets s")
+		poolSize    = flag.Int("pool", 4, "max idle pooled connections per target")
+		poolTTL     = flag.Duration("pool-ttl", 90*time.Second, "idle connection TTL")
+		snapshotDir = flag.String("snapshot-dir", "", "directory for v3bw snapshots (empty = none)")
+		attempts    = flag.Int("attempts", 3, "max measurement attempts per slot")
+		relayRate   = flag.Float64("relay-rate", 0, "per-relay attempt rate limit per second (0 = off)")
+	)
+	flag.Parse()
+	if *slotSecs <= 0 {
+		// Guard explicitly: a zero SlotSeconds would read as "params not
+		// set" downstream and silently select the 30-second default.
+		return fmt.Errorf("coordd: -slot must be positive, got %d", *slotSecs)
+	}
+	if *relays <= 0 {
+		return fmt.Errorf("coordd: -relays must be positive, got %d", *relays)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	// Measurement team identities.
+	ids := make([]wire.Identity, *measurers)
+	for i := range ids {
+		var err error
+		ids[i], err = wire.NewIdentity()
+		if err != nil {
+			return err
+		}
+	}
+
+	// In-process relay population: real wire targets on localhost, with
+	// capacities stepping up from the base rate.
+	addrs := make(map[string]string, *relays)
+	source := make(coord.StaticRelays, 0, *relays)
+	var listeners []net.Listener
+	defer func() {
+		for _, l := range listeners {
+			l.Close()
+		}
+	}()
+	for i := 0; i < *relays; i++ {
+		name := fmt.Sprintf("relay%02d", i)
+		rate := *baseMbit * 1e6 * (1 + 0.5*float64(i))
+		tgt := wire.NewTarget(wire.TargetConfig{RateBps: rate})
+		for _, id := range ids {
+			tgt.Authorize(id.Pub)
+		}
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return err
+		}
+		listeners = append(listeners, l)
+		go tgt.Serve(l)
+		addrs[name] = l.Addr().String()
+		source = append(source, core.RelayEstimate{Name: name, EstimateBps: rate})
+		fmt.Printf("%s: %s, capacity %.1f Mbit/s\n", name, l.Addr(), rate/1e6)
+	}
+
+	p := core.DefaultParams()
+	p.SlotSeconds = *slotSecs
+	p.Sockets = *sockets
+	p.CheckProb = 0.01
+
+	pool := coord.NewPool(*poolSize, *poolTTL)
+	defer pool.Close()
+
+	members := make([]wire.Member, len(ids))
+	for i := range ids {
+		member := i
+		members[i] = wire.Member{
+			Identity: ids[i],
+			Dial: func(target string) wire.Dialer {
+				addr := addrs[target]
+				// Pool key carries the measurer identity so reuse never
+				// crosses identities.
+				key := fmt.Sprintf("%s/m%d", target, member)
+				return pool.Dialer(key, func() (net.Conn, error) {
+					return net.Dial("tcp", addr)
+				})
+			},
+		}
+	}
+	team := make([]*core.Measurer, len(ids))
+	for i := range team {
+		team[i] = &core.Measurer{Name: fmt.Sprintf("m%d", i), CapacityBps: 500e6, Cores: 2}
+	}
+	backend := &wire.Backend{Members: members, CheckProb: p.CheckProb, Seed: time.Now().UnixNano()}
+	auths := []*core.BWAuth{core.NewBWAuth("bw0", team, backend, p)}
+
+	counters := metrics.NewCounters()
+	c, err := coord.New(coord.Config{
+		Params:              p,
+		Workers:             *workers,
+		MaxAttempts:         *attempts,
+		RelayAttemptsPerSec: *relayRate,
+		RelayBurst:          2,
+		RoundInterval:       *interval,
+		MaxRounds:           *rounds,
+		SnapshotDir:         *snapshotDir,
+		Pool:                pool,
+		Counters:            counters,
+		OnRound: func(r coord.RoundReport) {
+			fmt.Println(r)
+			if r.SnapshotPath != "" {
+				fmt.Printf("  snapshot: %s\n", r.SnapshotPath)
+			}
+			for _, um := range r.Unmeasured {
+				fmt.Printf("  unmeasured: %s@%s after %d attempts: %s\n", um.Relay, um.BWAuth, um.Attempts, um.Reason)
+			}
+		},
+	}, auths, source)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("coordd: %d relays, %d measurers, %d workers; ctrl-C for graceful shutdown\n",
+		*relays, *measurers, *workers)
+	err = c.Run(ctx)
+	if err == context.Canceled {
+		fmt.Println("coordd: interrupted — in-flight slots drained")
+	}
+	fmt.Print(counters.String())
+	return err
+}

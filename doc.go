@@ -3,11 +3,13 @@
 //
 // The library lives under internal/: the FlashFlow measurement system
 // (internal/core), the wire protocol over real connections
-// (internal/wire), and every substrate the paper depends on — a Tor-like
-// relay stack, a flow-level network simulator, a directory-authority
-// substrate, the TorFlow baseline, the §3 metrics analysis, and a
-// Shadow-like full-network simulation. See DESIGN.md for the system
-// inventory and the per-experiment index, EXPERIMENTS.md for
+// (internal/wire), the continuous measurement coordinator that runs
+// FlashFlow as a long-lived service over the whole relay population
+// (internal/coord, served by cmd/coordd), and every substrate the paper
+// depends on — a Tor-like relay stack, a flow-level network simulator, a
+// directory-authority substrate, the TorFlow baseline, the §3 metrics
+// analysis, and a Shadow-like full-network simulation. See DESIGN.md for
+// the system inventory and the per-experiment index, EXPERIMENTS.md for
 // paper-vs-measured results, and bench_test.go for the harness that
 // regenerates every table and figure.
 package flashflow

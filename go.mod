@@ -1,0 +1,3 @@
+module flashflow
+
+go 1.24

@@ -1,0 +1,71 @@
+package coord
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Backoff computes retry delays for failed or inconclusive measurement
+// slots: exponential doubling from Base capped at Max, with half-jitter —
+// the delay before attempt i is drawn uniformly from [d/2, d] where
+// d = min(Base·2^(i−1), Max) — so a burst of simultaneous failures (a
+// flapping relay taking a whole slot's assignments down with it) does not
+// retry in lockstep. Attempt 0 carries no delay.
+//
+// Both jitter bounds are monotone non-decreasing in the attempt number
+// until they reach the cap; coord_test.go pins that property.
+type Backoff struct {
+	// Base is the uncapped delay before the first retry (attempt 1).
+	Base time.Duration
+	// Max caps the grown delay (the jitter lower bound is Max/2 there).
+	Max time.Duration
+
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// NewBackoff creates a backoff schedule with a deterministic jitter
+// stream.
+func NewBackoff(base, max time.Duration, seed int64) *Backoff {
+	if base <= 0 {
+		base = 100 * time.Millisecond
+	}
+	if max < base {
+		max = base
+	}
+	return &Backoff{Base: base, Max: max, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Bounds returns the [lo, hi] jitter interval for attempt i without
+// consuming randomness. Attempt 0 is [0, 0].
+func (b *Backoff) Bounds(attempt int) (lo, hi time.Duration) {
+	if attempt <= 0 {
+		return 0, 0
+	}
+	hi = b.Base
+	for i := 1; i < attempt; i++ {
+		hi *= 2
+		if hi >= b.Max {
+			hi = b.Max
+			break
+		}
+	}
+	if hi > b.Max {
+		hi = b.Max
+	}
+	return hi / 2, hi
+}
+
+// Next returns the jittered delay to wait before the given attempt
+// (0-based; attempt 0 returns zero so the first try runs immediately).
+func (b *Backoff) Next(attempt int) time.Duration {
+	lo, hi := b.Bounds(attempt)
+	if hi <= lo {
+		return lo
+	}
+	b.mu.Lock()
+	d := lo + time.Duration(b.rng.Int63n(int64(hi-lo)+1))
+	b.mu.Unlock()
+	return d
+}

@@ -1,0 +1,64 @@
+package coord
+
+import (
+	"testing"
+	"time"
+)
+
+// TestBackoffScheduleMonotoneWithJitterBounds pins the backoff contract:
+// attempt 0 is immediate, the jitter interval for attempt i is
+// [d/2, d] with d = min(base·2^(i−1), max), and both interval bounds grow
+// monotonically until they reach the cap.
+func TestBackoffScheduleMonotoneWithJitterBounds(t *testing.T) {
+	base := 100 * time.Millisecond
+	max := 800 * time.Millisecond
+	b := NewBackoff(base, max, 1)
+
+	if d := b.Next(0); d != 0 {
+		t.Fatalf("attempt 0 should be immediate, got %v", d)
+	}
+
+	wantHi := []time.Duration{
+		100 * time.Millisecond,
+		200 * time.Millisecond,
+		400 * time.Millisecond,
+		800 * time.Millisecond,
+		800 * time.Millisecond, // capped
+		800 * time.Millisecond,
+	}
+	var prevLo, prevHi time.Duration
+	for i := 1; i <= len(wantHi); i++ {
+		lo, hi := b.Bounds(i)
+		if hi != wantHi[i-1] {
+			t.Fatalf("attempt %d: hi = %v, want %v", i, hi, wantHi[i-1])
+		}
+		if lo != hi/2 {
+			t.Fatalf("attempt %d: lo = %v, want %v", i, lo, hi/2)
+		}
+		if lo < prevLo || hi < prevHi {
+			t.Fatalf("attempt %d: bounds shrank: [%v,%v] after [%v,%v]", i, lo, hi, prevLo, prevHi)
+		}
+		prevLo, prevHi = lo, hi
+		// The jittered draw stays inside the interval.
+		for j := 0; j < 200; j++ {
+			if d := b.Next(i); d < lo || d > hi {
+				t.Fatalf("attempt %d: jittered delay %v outside [%v, %v]", i, d, lo, hi)
+			}
+		}
+	}
+}
+
+func TestBackoffDefaults(t *testing.T) {
+	b := NewBackoff(0, 0, 1)
+	if b.Base <= 0 || b.Max < b.Base {
+		t.Fatalf("defaults: base %v max %v", b.Base, b.Max)
+	}
+	// Max below base is raised to base.
+	b2 := NewBackoff(time.Second, time.Millisecond, 1)
+	if b2.Max != time.Second {
+		t.Fatalf("max below base: %v", b2.Max)
+	}
+	if lo, hi := b2.Bounds(5); hi != time.Second || lo != 500*time.Millisecond {
+		t.Fatalf("capped bounds: [%v, %v]", lo, hi)
+	}
+}

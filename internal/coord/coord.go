@@ -1,0 +1,671 @@
+// Package coord runs FlashFlow as a long-lived service: a Coordinator
+// owns a set of bandwidth authorities and repeatedly executes the §4.3
+// measurement schedule over the full relay population — one round per
+// measurement period — feeding each round's estimates back into the next
+// round's scheduling priors and publishing v3bw-style bandwidth-file
+// snapshots for directory-authority aggregation (§4.2–§5).
+//
+// The seed system only supported one-shot runs; this package adds the
+// operational machinery a continuous deployment needs: a bounded worker
+// pool executing a round's slot assignments concurrently against
+// concurrency-safe BWAuths, retry with exponential backoff and jitter for
+// failed or inconclusive slots, a per-relay rate limiter so a flapping
+// relay cannot monopolize team capacity, a per-target connection pool
+// (Pool) reusing authenticated wire connections across rounds, and a
+// Status/counters surface wired into internal/metrics.
+package coord
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"flashflow/internal/core"
+	"flashflow/internal/dirauth"
+	"flashflow/internal/metrics"
+	"flashflow/internal/stats"
+)
+
+// RelaySource yields the relay population at the start of each round: the
+// consensus in a real deployment, a fixed list in tests and demos. The
+// returned estimates are only used for relays the coordinator has not yet
+// measured; afterwards its own medians take over as priors.
+type RelaySource interface {
+	Relays() []core.RelayEstimate
+}
+
+// StaticRelays is a fixed relay population.
+type StaticRelays []core.RelayEstimate
+
+// Relays implements RelaySource.
+func (s StaticRelays) Relays() []core.RelayEstimate {
+	return append([]core.RelayEstimate(nil), s...)
+}
+
+// Config tunes the Coordinator. Zero values select the documented
+// defaults.
+type Config struct {
+	// Params are the FlashFlow measurement parameters shared by every
+	// BWAuth. Defaults to core.DefaultParams().
+	Params core.Params
+	// Workers bounds concurrently executing slot assignments (default 4).
+	Workers int
+	// MaxAttempts is the per-slot measurement attempt budget including
+	// the first try (default 3). A slot failing every attempt is reported
+	// in RoundReport.Unmeasured rather than silently dropped.
+	MaxAttempts int
+	// RetryBase and RetryMax shape the backoff schedule between attempts
+	// (defaults 200 ms and 5 s).
+	RetryBase, RetryMax time.Duration
+	// RelayAttemptsPerSec and RelayBurst configure the per-relay attempt
+	// limiter; zero rate disables it.
+	RelayAttemptsPerSec float64
+	RelayBurst          int
+	// RoundInterval is the pause between the end of one round and the
+	// start of the next; zero runs rounds back to back.
+	RoundInterval time.Duration
+	// MaxRounds stops Run after that many rounds; zero runs until the
+	// context is cancelled.
+	MaxRounds int
+	// SnapshotDir, when set, receives a v3bw-style bandwidth-file
+	// snapshot every SnapshotEvery rounds (default every round).
+	SnapshotDir   string
+	SnapshotEvery int
+	// Pool, when set, is pruned between rounds and surfaced in Status
+	// and round reports. The caller wires it into the wire backend's
+	// dialers with Pool.Dialer.
+	Pool *Pool
+	// Counters receives the coordinator's operational counters; a fresh
+	// registry is created when nil.
+	Counters *metrics.Counters
+	// OnRound, when set, is called after every round with its report.
+	OnRound func(RoundReport)
+	// Seed drives the backoff jitter stream (default 1).
+	Seed int64
+}
+
+func (cfg Config) withDefaults() Config {
+	// Only a fully zero Params means "use the defaults"; a partially
+	// filled struct passes through so Validate can reject it instead of
+	// the coordinator silently discarding the caller's fields.
+	if cfg.Params == (core.Params{}) {
+		cfg.Params = core.DefaultParams()
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 4
+	}
+	if cfg.MaxAttempts <= 0 {
+		cfg.MaxAttempts = 3
+	}
+	if cfg.RetryBase <= 0 {
+		cfg.RetryBase = 200 * time.Millisecond
+	}
+	if cfg.RetryMax <= 0 {
+		cfg.RetryMax = 5 * time.Second
+	}
+	if cfg.SnapshotEvery <= 0 {
+		cfg.SnapshotEvery = 1
+	}
+	if cfg.Counters == nil {
+		cfg.Counters = metrics.NewCounters()
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	return cfg
+}
+
+// Unmeasured records a slot whose relay produced no estimate this round:
+// every attempt failed, or the shutdown drained it before it ran.
+type Unmeasured struct {
+	Relay    string
+	BWAuth   string
+	Attempts int
+	Reason   string
+}
+
+// RoundReport summarizes one completed (or interrupted) round.
+type RoundReport struct {
+	Round    int
+	Duration time.Duration
+	// Relays is the population size; Scheduled counts slot assignments
+	// (relays × BWAuths that placed them).
+	Relays    int
+	Scheduled int
+	// Estimates holds the per-relay median estimate across BWAuths from
+	// this round's measurements — the priors for the next round.
+	Estimates map[string]float64
+	// Conclusive and Inconclusive count finished slot assignments by
+	// outcome quality; Retries counts re-queued attempts.
+	Conclusive   int
+	Inconclusive int
+	Retries      int
+	RateLimited  int
+	// Unmeasured lists slots with no estimate after every attempt.
+	Unmeasured []Unmeasured
+	// Unscheduled lists relays the §4.3 scheduler could not place.
+	Unscheduled []string
+	// Partial marks a round interrupted by shutdown: in-flight slots were
+	// drained, queued ones were not started.
+	Partial bool
+	// SnapshotPath is the v3bw file written for this round, if any.
+	SnapshotPath string
+	// Pool is the pool counter snapshot at round end (zero without a pool).
+	Pool PoolStats
+}
+
+// String renders a one-line round summary.
+func (r RoundReport) String() string {
+	return fmt.Sprintf("round %d: %d relays, %d/%d slots conclusive, %d inconclusive, %d unmeasured, %d retries, pool %d/%d hit/miss, %v",
+		r.Round, r.Relays, r.Conclusive, r.Scheduled, r.Inconclusive, len(r.Unmeasured), r.Retries, r.Pool.Hits, r.Pool.Misses, r.Duration.Round(time.Millisecond))
+}
+
+// Status is a point-in-time view of the coordinator.
+type Status struct {
+	// Round is the round currently executing (or last finished).
+	Round int
+	// InFlight counts measurements executing right now.
+	InFlight int
+	// Counters is a snapshot of the operational counters.
+	Counters map[string]int64
+	// LastRound is the most recent round report, nil before the first
+	// round completes.
+	LastRound *RoundReport
+}
+
+// Coordinator drives continuous measurement rounds. Create with New, run
+// with Run; Status may be called from any goroutine.
+type Coordinator struct {
+	cfg     Config
+	auths   []*core.BWAuth
+	source  RelaySource
+	backoff *Backoff
+	limiter *RelayLimiter
+
+	mu       sync.Mutex
+	round    int
+	inFlight int
+	priors   map[string]float64
+	last     *RoundReport
+}
+
+// New validates the configuration and creates a Coordinator.
+func New(cfg Config, auths []*core.BWAuth, source RelaySource) (*Coordinator, error) {
+	cfg = cfg.withDefaults()
+	if len(auths) == 0 {
+		return nil, errors.New("coord: need at least one BWAuth")
+	}
+	seen := make(map[string]bool, len(auths))
+	for _, a := range auths {
+		if a == nil || a.Name == "" {
+			return nil, errors.New("coord: BWAuth without a name")
+		}
+		if seen[a.Name] {
+			return nil, fmt.Errorf("coord: duplicate BWAuth name %q", a.Name)
+		}
+		seen[a.Name] = true
+	}
+	if source == nil {
+		return nil, errors.New("coord: nil relay source")
+	}
+	if err := cfg.Params.Validate(); err != nil {
+		return nil, err
+	}
+	return &Coordinator{
+		cfg:     cfg,
+		auths:   auths,
+		source:  source,
+		backoff: NewBackoff(cfg.RetryBase, cfg.RetryMax, cfg.Seed),
+		limiter: NewRelayLimiter(cfg.RelayAttemptsPerSec, cfg.RelayBurst),
+		priors:  make(map[string]float64),
+	}, nil
+}
+
+// Status returns a snapshot of the coordinator's state.
+func (c *Coordinator) Status() Status {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := Status{
+		Round:    c.round,
+		InFlight: c.inFlight,
+		Counters: c.cfg.Counters.Snapshot(),
+	}
+	if c.last != nil {
+		rep := *c.last
+		s.LastRound = &rep
+	}
+	return s
+}
+
+// Priors returns the coordinator's current per-relay priors (the medians
+// of the most recent round that measured each relay).
+func (c *Coordinator) Priors() map[string]float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]float64, len(c.priors))
+	for k, v := range c.priors {
+		out[k] = v
+	}
+	return out
+}
+
+// Run executes measurement rounds until the context is cancelled or
+// cfg.MaxRounds rounds have completed. On cancellation, in-flight
+// measurements are drained before Run returns the context's error; slots
+// that had not started are reported as unmeasured in the final (partial)
+// round report.
+func (c *Coordinator) Run(ctx context.Context) error {
+	for round := 1; ; round++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		c.mu.Lock()
+		c.round = round
+		c.mu.Unlock()
+
+		rep := c.runRound(ctx, round)
+		c.finishRound(&rep)
+		if c.cfg.OnRound != nil {
+			c.cfg.OnRound(rep)
+		}
+		if rep.Partial {
+			return ctx.Err()
+		}
+		if c.cfg.MaxRounds > 0 && round >= c.cfg.MaxRounds {
+			return nil
+		}
+		if c.cfg.Pool != nil {
+			c.cfg.Pool.Prune()
+		}
+		if c.cfg.RoundInterval > 0 {
+			t := time.NewTimer(c.cfg.RoundInterval)
+			select {
+			case <-ctx.Done():
+				t.Stop()
+				return ctx.Err()
+			case <-t.C:
+			}
+		}
+	}
+}
+
+// finishRound publishes the report: counters, snapshot file, last-round
+// state.
+func (c *Coordinator) finishRound(rep *RoundReport) {
+	ctr := c.cfg.Counters
+	ctr.Inc("coord_rounds_completed")
+	ctr.Add("coord_slots_unmeasured", int64(len(rep.Unmeasured)))
+	if c.cfg.Pool != nil {
+		rep.Pool = c.cfg.Pool.Stats()
+		ctr.Set("coord_pool_hits", rep.Pool.Hits)
+		ctr.Set("coord_pool_misses", rep.Pool.Misses)
+		ctr.Set("coord_pool_evictions", rep.Pool.Evictions)
+		ctr.Set("coord_pool_idle", int64(rep.Pool.Idle))
+	}
+	if c.cfg.SnapshotDir != "" && rep.Round%c.cfg.SnapshotEvery == 0 {
+		path, err := c.writeSnapshot(rep.Round)
+		if err == nil {
+			rep.SnapshotPath = path
+			ctr.Inc("coord_snapshots_written")
+		} else {
+			ctr.Inc("coord_snapshot_errors")
+		}
+	}
+	c.mu.Lock()
+	repCopy := *rep
+	c.last = &repCopy
+	c.mu.Unlock()
+}
+
+// population builds this round's scheduler input: the source's relay list
+// with the coordinator's own medians substituted as priors for every
+// relay measured in a previous round — the feedback loop that lets an
+// accurate round shrink the next round's excess allocations.
+func (c *Coordinator) population() []core.RelayEstimate {
+	relays := c.source.Relays()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for i := range relays {
+		if prior, ok := c.priors[relays[i].Name]; ok && prior > 0 {
+			relays[i].EstimateBps = prior
+			relays[i].New = false
+		} else if relays[i].EstimateBps <= 0 {
+			relays[i].EstimateBps = core.NewRelayPrior(nil, c.cfg.Params)
+			relays[i].New = true
+		}
+	}
+	return relays
+}
+
+// roundSeed runs the §4.3 commit-reveal shared-randomness protocol across
+// the BWAuths and derives this round's schedule seed.
+func (c *Coordinator) roundSeed(round int) ([]byte, error) {
+	commits := make([]core.Commitment, 0, len(c.auths))
+	reveals := make([]core.Reveal, 0, len(c.auths))
+	for _, a := range c.auths {
+		r, err := core.NewRandomReveal(a.Name)
+		if err != nil {
+			return nil, err
+		}
+		commits = append(commits, r.Commit())
+		reveals = append(reveals, r)
+	}
+	shared, err := core.SharedRandomness(commits, reveals)
+	if err != nil {
+		return nil, err
+	}
+	return core.PeriodSeed(shared, uint64(round)), nil
+}
+
+// maxCapacityDeferrals bounds how often a slot may be deferred because
+// in-flight measurements hold the team's residual capacity, guaranteeing
+// termination even under sustained contention.
+const maxCapacityDeferrals = 8
+
+// slotJob is one schedule assignment moving through the retry pipeline.
+type slotJob struct {
+	auth    int
+	relay   string
+	slot    int
+	attempt int // measurement attempts consumed so far
+	// Deferral counts, separate so rate-limit waits cannot exhaust the
+	// capacity-collision budget; neither consumes a measurement attempt.
+	rlDeferrals  int
+	capDeferrals int
+	outcome      core.MeasureOutcome
+	hasOutcome   bool
+}
+
+// roundCollector accumulates a round's results under its own lock.
+type roundCollector struct {
+	mu           sync.Mutex
+	perRelay     map[string][]float64
+	conclusive   int
+	inconclusive int
+	retries      int
+	rateLimited  int
+	unmeasured   []Unmeasured
+}
+
+func (rc *roundCollector) addEstimate(relay string, bps float64) {
+	rc.mu.Lock()
+	rc.perRelay[relay] = append(rc.perRelay[relay], bps)
+	rc.mu.Unlock()
+}
+
+// runRound executes one full round: population, seed, schedule, then the
+// worker pool over every slot assignment with retries.
+func (c *Coordinator) runRound(ctx context.Context, round int) RoundReport {
+	start := time.Now()
+	rep := RoundReport{Round: round, Estimates: make(map[string]float64)}
+
+	population := c.population()
+	rep.Relays = len(population)
+	// Seed each BWAuth's measurement prior from the population estimate,
+	// so the first measurement's doubling loop starts from the same prior
+	// the schedule reserved capacity for. Priors are not publishable: a
+	// relay that fails every attempt stays out of the bandwidth file.
+	for _, r := range population {
+		if r.EstimateBps <= 0 {
+			continue
+		}
+		for _, a := range c.auths {
+			a.SetPrior(r.Name, r.EstimateBps)
+		}
+	}
+
+	seed, err := c.roundSeed(round)
+	if err != nil {
+		rep.Unmeasured = append(rep.Unmeasured, Unmeasured{Reason: "seed: " + err.Error()})
+		rep.Duration = time.Since(start)
+		return rep
+	}
+	teamCaps := make([]float64, len(c.auths))
+	for i, a := range c.auths {
+		teamCaps[i] = core.TeamCapacityBps(a.Team)
+	}
+	sched, err := core.BuildSchedule(seed, population, teamCaps, c.cfg.Params)
+	if err != nil {
+		rep.Unmeasured = append(rep.Unmeasured, Unmeasured{Reason: "schedule: " + err.Error()})
+		rep.Duration = time.Since(start)
+		return rep
+	}
+	rep.Unscheduled = append(rep.Unscheduled, sched.Unscheduled...)
+
+	// Flatten slot-major so earlier slots start first, preserving the
+	// schedule's rough ordering under the worker pool.
+	var jobs []*slotJob
+	for slot := 0; slot < sched.NumSlots; slot++ {
+		for b := range sched.PerBWAuth {
+			for _, a := range sched.PerBWAuth[b][slot] {
+				jobs = append(jobs, &slotJob{auth: b, relay: a.Relay, slot: slot})
+			}
+		}
+	}
+	rep.Scheduled = len(jobs)
+	c.cfg.Counters.Add("coord_slots_scheduled", int64(len(jobs)))
+
+	col := &roundCollector{perRelay: make(map[string][]float64)}
+	c.execute(ctx, jobs, col)
+
+	col.mu.Lock()
+	rep.Conclusive = col.conclusive
+	rep.Inconclusive = col.inconclusive
+	rep.Retries = col.retries
+	rep.RateLimited = col.rateLimited
+	rep.Unmeasured = append(rep.Unmeasured, col.unmeasured...)
+	medians := make(map[string]float64, len(col.perRelay))
+	for relay, ests := range col.perRelay {
+		medians[relay] = stats.Median(ests)
+	}
+	col.mu.Unlock()
+
+	rep.Estimates = medians
+	c.mu.Lock()
+	for relay, m := range medians {
+		c.priors[relay] = m
+	}
+	c.mu.Unlock()
+
+	// Forget relays that left the population: limiter buckets, the
+	// coordinator's priors, and the BWAuths' tables would otherwise grow
+	// (and keep publishing departed relays) for the life of the service.
+	keep := make(map[string]bool, len(population))
+	for _, r := range population {
+		keep[r.Name] = true
+	}
+	c.limiter.Retain(keep)
+	for _, a := range c.auths {
+		a.Retain(keep)
+	}
+	c.mu.Lock()
+	for name := range c.priors {
+		if !keep[name] {
+			delete(c.priors, name)
+		}
+	}
+	c.mu.Unlock()
+
+	rep.Partial = ctx.Err() != nil
+	rep.Duration = time.Since(start)
+	return rep
+}
+
+// execute runs the jobs on the bounded worker pool, re-queueing retries
+// after their backoff delay. It returns when every job has been finalized
+// (measured, exhausted, or drained by shutdown).
+func (c *Coordinator) execute(ctx context.Context, jobs []*slotJob, col *roundCollector) {
+	if len(jobs) == 0 {
+		return
+	}
+	// Capacity len(jobs) guarantees enqueues never block: a job is in the
+	// queue, running, or waiting on a retry timer — never duplicated.
+	queue := make(chan *slotJob, len(jobs))
+	var pending sync.WaitGroup
+	pending.Add(len(jobs))
+	for _, j := range jobs {
+		queue <- j
+	}
+
+	var workers sync.WaitGroup
+	for w := 0; w < c.cfg.Workers; w++ {
+		workers.Add(1)
+		go func() {
+			defer workers.Done()
+			for j := range queue {
+				c.runJob(ctx, j, queue, &pending, col)
+			}
+		}()
+	}
+	pending.Wait()
+	close(queue)
+	workers.Wait()
+}
+
+// runJob performs one attempt of one slot assignment.
+func (c *Coordinator) runJob(ctx context.Context, j *slotJob, queue chan<- *slotJob, pending *sync.WaitGroup, col *roundCollector) {
+	ctr := c.cfg.Counters
+	if ctx.Err() != nil {
+		c.finalize(j, col, pending, "shutdown before slot started")
+		return
+	}
+	if !c.limiter.Allow(j.relay) {
+		ctr.Inc("coord_slots_rate_limited")
+		col.mu.Lock()
+		col.rateLimited++
+		col.mu.Unlock()
+		// Deferral does not consume a measurement attempt; the bucket
+		// refills while the job waits out a backoff delay.
+		j.rlDeferrals++
+		c.requeue(ctx, j, queue, pending, col, "rate limited")
+		return
+	}
+
+	ctr.Inc("coord_slots_attempted")
+	c.mu.Lock()
+	c.inFlight++
+	c.mu.Unlock()
+	out, err := c.auths[j.auth].MeasureTarget(j.relay)
+	c.mu.Lock()
+	c.inFlight--
+	c.mu.Unlock()
+	j.attempt++
+
+	if err != nil {
+		ctr.Inc("coord_slot_errors")
+		// Salvage any estimate the failed run produced (e.g. the doubling
+		// loop's earlier attempts succeeded before a connection dropped):
+		// finalize reports a job with an estimate as inconclusively
+		// measured rather than unmeasured.
+		if out.EstimateBps > 0 {
+			j.outcome, j.hasOutcome = out, true
+		}
+		if errors.Is(err, core.ErrInsufficientCapacity) && j.capDeferrals < maxCapacityDeferrals {
+			// The allocation collided with in-flight measurements holding
+			// the team's residual capacity — a scheduling artifact of
+			// overlapping slots, not a relay failure. Defer with backoff
+			// instead of burning one of the relay's attempts.
+			j.attempt--
+			j.capDeferrals++
+			c.requeue(ctx, j, queue, pending, col, "insufficient residual team capacity")
+			return
+		}
+		c.retryOrFail(ctx, j, queue, pending, col, err.Error())
+		return
+	}
+	j.outcome, j.hasOutcome = out, true
+	if out.Conclusive {
+		ctr.Inc("coord_slots_conclusive")
+		col.mu.Lock()
+		col.conclusive++
+		col.mu.Unlock()
+		col.addEstimate(j.relay, out.EstimateBps)
+		pending.Done()
+		return
+	}
+	ctr.Inc("coord_slots_inconclusive")
+	c.retryOrFail(ctx, j, queue, pending, col, "inconclusive")
+}
+
+// retryOrFail re-queues the job with backoff if attempts remain, otherwise
+// finalizes it.
+func (c *Coordinator) retryOrFail(ctx context.Context, j *slotJob, queue chan<- *slotJob, pending *sync.WaitGroup, col *roundCollector, reason string) {
+	if j.attempt >= c.cfg.MaxAttempts {
+		c.finalize(j, col, pending, reason)
+		return
+	}
+	c.requeue(ctx, j, queue, pending, col, reason)
+}
+
+// requeue schedules the job's next attempt after its backoff delay. If
+// shutdown arrives while the job waits, it is finalized instead.
+func (c *Coordinator) requeue(ctx context.Context, j *slotJob, queue chan<- *slotJob, pending *sync.WaitGroup, col *roundCollector, reason string) {
+	c.cfg.Counters.Inc("coord_slot_retries")
+	col.mu.Lock()
+	col.retries++
+	col.mu.Unlock()
+	// Never wait zero: a deferral before the first attempt (rate limit,
+	// capacity collision) would otherwise hot-loop through the queue
+	// until its condition clears.
+	step := j.attempt
+	if d := j.rlDeferrals + j.capDeferrals; d > step {
+		step = d
+	}
+	if step < 1 {
+		step = 1
+	}
+	delay := c.backoff.Next(step)
+	time.AfterFunc(delay, func() {
+		select {
+		case <-ctx.Done():
+			c.finalize(j, col, pending, "shutdown during retry backoff after: "+reason)
+		default:
+			queue <- j
+		}
+	})
+}
+
+// finalize records a job's terminal state and releases it. A job with any
+// estimate counts as inconclusively measured; one with none lands in the
+// unmeasured list — never silently dropped.
+func (c *Coordinator) finalize(j *slotJob, col *roundCollector, pending *sync.WaitGroup, reason string) {
+	if j.hasOutcome && j.outcome.EstimateBps > 0 {
+		col.mu.Lock()
+		col.inconclusive++
+		col.mu.Unlock()
+		col.addEstimate(j.relay, j.outcome.EstimateBps)
+	} else {
+		col.mu.Lock()
+		col.unmeasured = append(col.unmeasured, Unmeasured{
+			Relay:    j.relay,
+			BWAuth:   c.auths[j.auth].Name,
+			Attempts: j.attempt,
+			Reason:   reason,
+		})
+		col.mu.Unlock()
+	}
+	pending.Done()
+}
+
+// writeSnapshot merges every BWAuth's current bandwidth file and writes a
+// v3bw-style snapshot for the round.
+func (c *Coordinator) writeSnapshot(round int) (string, error) {
+	at := time.Duration(round) * c.cfg.Params.Period
+	files := make([]*dirauth.BandwidthFile, len(c.auths))
+	for i, a := range c.auths {
+		files[i] = a.BandwidthFile(at)
+	}
+	merged := dirauth.MergeMedianFile("coord", at, files)
+	if err := os.MkdirAll(c.cfg.SnapshotDir, 0o755); err != nil {
+		return "", err
+	}
+	path := filepath.Join(c.cfg.SnapshotDir, fmt.Sprintf("v3bw-round-%05d.txt", round))
+	if err := os.WriteFile(path, []byte(dirauth.FormatV3BW(merged)), 0o644); err != nil {
+		return "", err
+	}
+	return path, nil
+}

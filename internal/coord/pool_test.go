@@ -1,0 +1,203 @@
+package coord
+
+import (
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"flashflow/internal/wire"
+)
+
+// pipeServer fabricates dialable connections: each dial returns the client
+// half of a net.Pipe whose server half is parked (a quietly listening
+// peer), matching an idle measurement connection.
+type pipeServer struct {
+	mu      sync.Mutex
+	dials   int
+	servers []net.Conn
+}
+
+func (s *pipeServer) dial() (net.Conn, error) {
+	c1, c2 := net.Pipe()
+	s.mu.Lock()
+	s.dials++
+	s.servers = append(s.servers, c2)
+	s.mu.Unlock()
+	return c1, nil
+}
+
+func (s *pipeServer) dialCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.dials
+}
+
+func (s *pipeServer) closeAll() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, c := range s.servers {
+		c.Close()
+	}
+}
+
+func markReusable(t *testing.T, c net.Conn) {
+	t.Helper()
+	sess, ok := c.(wire.Session)
+	if !ok {
+		t.Fatal("pooled conn must implement wire.Session")
+	}
+	sess.MarkReusable()
+}
+
+func TestPoolReusesHealthyConn(t *testing.T) {
+	srv := &pipeServer{}
+	defer srv.closeAll()
+	p := NewPool(2, time.Minute)
+	defer p.Close()
+	dial := p.Dialer("tgt", srv.dial)
+
+	c1, err := dial()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1.(wire.Session).MarkAuthenticated()
+	markReusable(t, c1)
+	if err := c1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	c2, err := dial()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if srv.dialCount() != 1 {
+		t.Fatalf("reuse should not dial: %d dials", srv.dialCount())
+	}
+	if !c2.(wire.Session).Authenticated() {
+		t.Fatal("authentication must persist across reuse")
+	}
+	st := p.Stats()
+	if st.Hits != 1 || st.Misses != 1 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+func TestPoolNeverExceedsCap(t *testing.T) {
+	srv := &pipeServer{}
+	defer srv.closeAll()
+	p := NewPool(2, time.Minute)
+	defer p.Close()
+	dial := p.Dialer("tgt", srv.dial)
+
+	conns := make([]net.Conn, 5)
+	for i := range conns {
+		c, err := dial()
+		if err != nil {
+			t.Fatal(err)
+		}
+		conns[i] = c
+	}
+	for _, c := range conns {
+		markReusable(t, c)
+		c.Close()
+	}
+	st := p.Stats()
+	if st.Idle != 2 {
+		t.Fatalf("idle %d exceeds cap 2", st.Idle)
+	}
+	if st.Overflow != 3 {
+		t.Fatalf("overflow: %+v", st)
+	}
+}
+
+func TestPoolEvictsStaleConns(t *testing.T) {
+	srv := &pipeServer{}
+	defer srv.closeAll()
+	p := NewPool(2, 10*time.Millisecond)
+	defer p.Close()
+	dial := p.Dialer("tgt", srv.dial)
+
+	c, _ := dial()
+	markReusable(t, c)
+	c.Close()
+	time.Sleep(25 * time.Millisecond)
+
+	if _, err := dial(); err != nil {
+		t.Fatal(err)
+	}
+	if srv.dialCount() != 2 {
+		t.Fatalf("stale conn should be evicted, dials = %d", srv.dialCount())
+	}
+	if st := p.Stats(); st.Evictions != 1 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+func TestPoolEvictsDeadConns(t *testing.T) {
+	srv := &pipeServer{}
+	p := NewPool(2, time.Minute)
+	defer p.Close()
+	dial := p.Dialer("tgt", srv.dial)
+
+	c, _ := dial()
+	markReusable(t, c)
+	c.Close()
+	srv.closeAll() // peer goes away while the conn is parked
+
+	if _, err := dial(); err != nil {
+		t.Fatal(err)
+	}
+	if srv.dialCount() != 2 {
+		t.Fatalf("dead conn should fail the health probe, dials = %d", srv.dialCount())
+	}
+	if st := p.Stats(); st.Evictions != 1 || st.Idle != 0 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+func TestPoolAbortedConnNotParked(t *testing.T) {
+	srv := &pipeServer{}
+	defer srv.closeAll()
+	p := NewPool(2, time.Minute)
+	defer p.Close()
+	dial := p.Dialer("tgt", srv.dial)
+
+	c, _ := dial()
+	// No MarkReusable: the measurement aborted mid-protocol.
+	c.Close()
+	if st := p.Stats(); st.Idle != 0 {
+		t.Fatalf("aborted conn must not be parked: %+v", st)
+	}
+	if _, err := dial(); err != nil {
+		t.Fatal(err)
+	}
+	if srv.dialCount() != 2 {
+		t.Fatalf("dials = %d", srv.dialCount())
+	}
+}
+
+func TestPoolPruneAndClose(t *testing.T) {
+	srv := &pipeServer{}
+	defer srv.closeAll()
+	p := NewPool(4, 5*time.Millisecond)
+	dial := p.Dialer("tgt", srv.dial)
+
+	c, _ := dial()
+	markReusable(t, c)
+	c.Close()
+	time.Sleep(15 * time.Millisecond)
+	p.Prune()
+	if st := p.Stats(); st.Idle != 0 || st.Evictions != 1 {
+		t.Fatalf("after prune: %+v", st)
+	}
+
+	// Close makes future parks close instead of pooling.
+	c2, _ := dial()
+	p.Close()
+	markReusable(t, c2)
+	c2.Close()
+	if st := p.Stats(); st.Idle != 0 {
+		t.Fatalf("park after close: %+v", st)
+	}
+}

@@ -1,0 +1,167 @@
+package coord
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"net"
+	"testing"
+	"time"
+
+	"flashflow/internal/core"
+	"flashflow/internal/wire"
+)
+
+// TestCoordinatorWireRoundsWithPool is the end-to-end acceptance test: a
+// Coordinator runs three consecutive scheduler rounds against the
+// in-process relay stack (real wire protocol over localhost TCP), with
+// connection reuse observable after round 1 and a permanently failing
+// relay retried with backoff and reported unmeasured.
+func TestCoordinatorWireRoundsWithPool(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wire rounds take a few seconds of real slot time")
+	}
+
+	rates := map[string]float64{"alpha": 8e6, "beta": 12e6, "gamma": 16e6}
+
+	// Measurement team: two members, identities authorized at every
+	// honest target.
+	ids := make([]wire.Identity, 2)
+	for i := range ids {
+		var err error
+		ids[i], err = wire.NewIdentity()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	addrs := make(map[string]string)
+	for name, rate := range rates {
+		tgt := wire.NewTarget(wire.TargetConfig{RateBps: rate})
+		tgt.Authorize(ids[0].Pub, ids[1].Pub)
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer l.Close()
+		go tgt.Serve(l)
+		addrs[name] = l.Addr().String()
+	}
+	// "reject" speaks the protocol but authorizes nobody, so every
+	// attempt fails at authentication — the retry path over real wire.
+	rejectTgt := wire.NewTarget(wire.TargetConfig{RateBps: 8e6})
+	rl, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rl.Close()
+	go rejectTgt.Serve(rl)
+	addrs["reject"] = rl.Addr().String()
+
+	pool := NewPool(4, time.Minute)
+	defer pool.Close()
+
+	members := make([]wire.Member, len(ids))
+	for i := range ids {
+		member := i
+		members[i] = wire.Member{
+			Identity: ids[i],
+			Dial: func(target string) wire.Dialer {
+				addr := addrs[target]
+				key := fmt.Sprintf("%s/m%d", target, member)
+				return pool.Dialer(key, func() (net.Conn, error) {
+					return net.Dial("tcp", addr)
+				})
+			},
+		}
+	}
+
+	p := core.DefaultParams()
+	p.SlotSeconds = 1
+	p.Sockets = 4
+	p.CheckProb = 0.01
+
+	backend := &wire.Backend{Members: members, CheckProb: p.CheckProb, Seed: 7}
+	team := []*core.Measurer{
+		{Name: "m1", CapacityBps: 200e6, Cores: 2},
+		{Name: "m2", CapacityBps: 200e6, Cores: 2},
+	}
+	auths := []*core.BWAuth{core.NewBWAuth("bw0", team, backend, p)}
+
+	source := StaticRelays{
+		{Name: "alpha", EstimateBps: rates["alpha"]},
+		{Name: "beta", EstimateBps: rates["beta"]},
+		{Name: "gamma", EstimateBps: rates["gamma"]},
+		{Name: "reject", EstimateBps: 8e6},
+	}
+
+	var reports []RoundReport
+	c, err := New(Config{
+		Params:      p,
+		Workers:     4,
+		MaxAttempts: 2,
+		RetryBase:   10 * time.Millisecond,
+		RetryMax:    50 * time.Millisecond,
+		MaxRounds:   3,
+		Pool:        pool,
+		OnRound:     func(r RoundReport) { reports = append(reports, r) },
+	}, auths, source)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	if len(reports) != 3 {
+		t.Fatalf("rounds completed: %d", len(reports))
+	}
+	for i, rep := range reports {
+		for name, rate := range rates {
+			got, ok := rep.Estimates[name]
+			if !ok {
+				t.Fatalf("round %d: %s unmeasured: %s", rep.Round, name, rep)
+			}
+			if math.Abs(got-rate)/rate > 0.3 {
+				t.Fatalf("round %d: %s estimate %.1f Mbit/s, true %.1f Mbit/s",
+					rep.Round, name, got/1e6, rate/1e6)
+			}
+		}
+		// The rejecting relay burns its attempt budget and is reported.
+		found := false
+		for _, um := range rep.Unmeasured {
+			if um.Relay == "reject" {
+				found = true
+				if um.Attempts != 2 {
+					t.Fatalf("round %d: reject attempts %d, want 2", rep.Round, um.Attempts)
+				}
+			}
+		}
+		if !found {
+			t.Fatalf("round %d: reject missing from unmeasured: %+v", rep.Round, rep.Unmeasured)
+		}
+		if rep.Retries == 0 {
+			t.Fatalf("round %d: reject should have been retried", rep.Round)
+		}
+		// Connection reuse: from round 2 on, slots ride pooled conns.
+		if i > 0 && rep.Pool.Hits == 0 {
+			t.Fatalf("round %d: no pool hits: %+v", rep.Round, rep.Pool)
+		}
+	}
+	if reports[0].Pool.Misses == 0 {
+		t.Fatal("round 1 should dial fresh connections")
+	}
+	if reports[2].Pool.Hits <= reports[1].Pool.Hits {
+		t.Fatalf("hits should keep accumulating: %+v then %+v", reports[1].Pool, reports[2].Pool)
+	}
+
+	// Every honest relay's slot concluded on the real protocol each
+	// round: 3 relays × 3 rounds.
+	var conclusive int
+	for _, rep := range reports {
+		conclusive += rep.Conclusive
+	}
+	if conclusive != 9 {
+		t.Fatalf("conclusive slots: %d, want 9", conclusive)
+	}
+}

@@ -55,6 +55,17 @@ var ErrInsufficientCapacity = errors.New("core: insufficient team capacity")
 // needed to reach the target. It returns the allocation without mutating
 // the measurers; callers commit it with Commit.
 func AllocateGreedy(team []*Measurer, needBps float64, p Params) (Allocation, error) {
+	return AllocateGreedyFrom(team, needBps, 0, p)
+}
+
+// AllocateGreedyFrom is AllocateGreedy with the equal-residual tie-break
+// rotated to start at the given index. Under concurrent measurements the
+// plain index tie-break races — whichever slot allocates first grabs the
+// first measurer, so a relay's measurer assignment flips from round to
+// round. The continuous coordinator derives the rotation from the relay
+// name (see MeasureRelayGuarded), pinning each relay to the same
+// measurers across rounds so their pooled connections stay warm.
+func AllocateGreedyFrom(team []*Measurer, needBps float64, prefer int, p Params) (Allocation, error) {
 	if needBps <= 0 {
 		return Allocation{}, fmt.Errorf("core: nonpositive capacity request %v", needBps)
 	}
@@ -71,11 +82,15 @@ func AllocateGreedy(team []*Measurer, needBps float64, p Params) (Allocation, er
 		Processes:      make([]int, len(team)),
 		SocketsPer:     make([]int, len(team)),
 	}
+	prefer %= len(team)
+	if prefer < 0 {
+		prefer += len(team)
+	}
 	// Order of consideration: most residual capacity first; ties broken
-	// by index for determinism.
+	// by index rotated to the preferred start, for determinism.
 	order := make([]int, len(team))
 	for i := range order {
-		order[i] = i
+		order[i] = (prefer + i) % len(team)
 	}
 	sort.SliceStable(order, func(a, b int) bool {
 		return team[order[a]].ResidualBps() > team[order[b]].ResidualBps()
@@ -205,7 +220,11 @@ func Release(team []*Measurer, a Allocation) {
 	for i, amt := range a.PerMeasurerBps {
 		if i < len(team) {
 			team[i].CommittedBps -= amt
-			if team[i].CommittedBps < 0 {
+			// Snap sub-bit residue to zero: interleaved Commit/Release
+			// pairs leave float dust ((a+b)−a−b ≠ 0) that would otherwise
+			// silently reorder the greedy allocation's residual-capacity
+			// tie-break between otherwise-idle measurers.
+			if team[i].CommittedBps < 1 {
 				team[i].CommittedBps = 0
 			}
 		}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sync"
 	"time"
 
 	"flashflow/internal/cell"
@@ -91,6 +92,12 @@ type SimTarget struct {
 
 // SimBackend implements Backend over the path and relay models, standing
 // in for the paper's Internet experiments (§6).
+//
+// Concurrent RunMeasurement calls are serialized on an internal mutex:
+// the simulation mutates the shared RNG and the target relay models, and
+// unlike a real measurement it consumes no wall-clock time, so
+// serialization keeps it deterministic per-call without limiting the
+// throughput of callers like internal/coord that overlap slots.
 type SimBackend struct {
 	// Paths[i] models the path from team measurer i to any target (the
 	// paper's targets all live on US-SW).
@@ -100,6 +107,7 @@ type SimBackend struct {
 	// CheckProb is the echo-verification probability p.
 	CheckProb float64
 
+	mu  sync.Mutex
 	rng *rand.Rand
 }
 
@@ -120,6 +128,8 @@ func (b *SimBackend) AddTarget(name string, t *SimTarget) { b.Targets[name] = t 
 
 // RunMeasurement implements Backend.
 func (b *SimBackend) RunMeasurement(target string, alloc Allocation, seconds int) (MeasurementData, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
 	tgt, ok := b.Targets[target]
 	if !ok {
 		return MeasurementData{}, fmt.Errorf("core: unknown target %q", target)

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"flashflow/internal/dirauth"
@@ -10,14 +11,29 @@ import (
 // BWAuth is a bandwidth authority running FlashFlow with its own
 // measurement team (§4). It measures relays, maintains per-relay capacity
 // estimates, and emits bandwidth files for DirAuth aggregation.
+//
+// A BWAuth is safe for concurrent MeasureTarget calls: the state mutex
+// guards the estimate table, and the team gate serializes capacity
+// allocation against the shared team while the measurements themselves run
+// concurrently. internal/coord relies on this to execute a schedule slot's
+// assignments on a worker pool.
 type BWAuth struct {
 	Name    string
 	Team    []*Measurer
 	Backend Backend
 	Params  Params
 
-	// estimates holds the latest conclusive capacity estimate per relay.
+	// mu guards estimates, priors, and history.
+	mu sync.Mutex
+	// teamGate serializes allocation commit/release against Team.
+	teamGate sync.Mutex
+	// estimates holds the latest measured capacity estimate per relay —
+	// the values published in the bandwidth file.
 	estimates map[string]float64
+	// priors holds externally seeded starting points (advertised
+	// bandwidths, a coordinator's population estimates) consulted only
+	// when a relay has never been measured; they are never published.
+	priors map[string]float64
 	// history holds last-month measured capacities, feeding the
 	// new-relay prior.
 	history []float64
@@ -31,38 +47,92 @@ func NewBWAuth(name string, team []*Measurer, backend Backend, p Params) *BWAuth
 		Backend:   backend,
 		Params:    p,
 		estimates: make(map[string]float64),
+		priors:    make(map[string]float64),
 	}
 }
 
 // Estimate returns the BWAuth's current capacity estimate for a relay.
 func (b *BWAuth) Estimate(relayName string) (float64, bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
 	v, ok := b.estimates[relayName]
 	return v, ok
 }
 
-// SetEstimate seeds a prior estimate (e.g. from a previous period).
+// SetEstimate seeds a prior estimate (e.g. from a previous period). The
+// value is treated as a real estimate: it feeds the measurement prior and
+// is published in the bandwidth file.
 func (b *BWAuth) SetEstimate(relayName string, bps float64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
 	b.estimates[relayName] = bps
+}
+
+// SetPrior seeds a measurement starting point for a relay without making
+// it publishable: the doubling loop uses it as z0 until the relay is
+// actually measured, but BandwidthFile never emits it. The continuous
+// coordinator seeds population estimates this way so a relay that fails
+// every measurement attempt is not reported with a fabricated capacity.
+func (b *BWAuth) SetPrior(relayName string, bps float64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.priors[relayName] = bps
+}
+
+// Retain drops estimates and priors for every relay not in keep, so a
+// long-lived deployment stops publishing relays that left the consensus
+// and does not grow its tables across population churn.
+func (b *BWAuth) Retain(keep map[string]bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for name := range b.estimates {
+		if !keep[name] {
+			delete(b.estimates, name)
+		}
+	}
+	for name := range b.priors {
+		if !keep[name] {
+			delete(b.priors, name)
+		}
+	}
 }
 
 // MeasureTarget measures one relay, using the stored estimate as the old-
 // relay prior or the percentile prior for new relays, and records the
 // result.
 func (b *BWAuth) MeasureTarget(relayName string) (MeasureOutcome, error) {
+	b.mu.Lock()
 	z0, ok := b.estimates[relayName]
 	if !ok || z0 <= 0 {
-		z0 = NewRelayPrior(b.history, b.Params)
+		z0, ok = b.priors[relayName]
+		if !ok || z0 <= 0 {
+			z0 = NewRelayPrior(b.history, b.Params)
+		}
 	}
-	out, err := MeasureRelay(b.Backend, b.Team, relayName, z0, b.Params)
+	b.mu.Unlock()
+	out, err := MeasureRelayGuarded(b.Backend, b.Team, &b.teamGate, relayName, z0, b.Params)
 	if err != nil {
 		return out, err
 	}
 	if out.EstimateBps > 0 {
+		b.mu.Lock()
 		b.estimates[relayName] = out.EstimateBps
 		b.history = append(b.history, out.EstimateBps)
+		// Keep the history bounded to roughly its "last month" intent: a
+		// long-lived coordinator would otherwise grow it (and slow the
+		// percentile in NewRelayPrior) without limit. Trimming at 2× and
+		// keeping the newest half amortizes the copy.
+		if len(b.history) > 2*maxHistory {
+			b.history = append(b.history[:0:0], b.history[len(b.history)-maxHistory:]...)
+		}
+		b.mu.Unlock()
 	}
 	return out, nil
 }
+
+// maxHistory bounds the retained measurement history feeding the
+// new-relay prior.
+const maxHistory = 16384
 
 // MeasureAll measures every named relay in order, returning per-relay
 // outcomes. Relays whose measurement errors (e.g. echo-verification
@@ -86,6 +156,8 @@ func (b *BWAuth) MeasureAll(relayNames []string) (map[string]MeasureOutcome, map
 // capacity value (Table 2: FlashFlow provides capacity values directly).
 func (b *BWAuth) BandwidthFile(at time.Duration) *dirauth.BandwidthFile {
 	f := dirauth.NewBandwidthFile(b.Name, at)
+	b.mu.Lock()
+	defer b.mu.Unlock()
 	for name, est := range b.estimates {
 		f.Set(name, est, est)
 	}

@@ -3,6 +3,8 @@ package core
 import (
 	"errors"
 	"fmt"
+	"hash/fnv"
+	"sync"
 
 	"flashflow/internal/stats"
 )
@@ -47,12 +49,29 @@ func (o MeasureOutcome) SlotsUsed() int { return len(o.Attempts) }
 // ErrNoEstimate indicates MeasureRelay could not produce any estimate.
 var ErrNoEstimate = errors.New("core: no estimate produced")
 
+// noopLocker is the gate used by the sequential MeasureRelay path.
+type noopLocker struct{}
+
+func (noopLocker) Lock()   {}
+func (noopLocker) Unlock() {}
+
 // MeasureRelay runs the §4.2 measurement process for one relay: allocate
 // f·z0 capacity, measure, accept if the estimate is small enough relative
 // to the allocation; otherwise set z0 = max(z, 2·z0) and repeat with more
 // capacity. z0Bps is the prior estimate (an old relay's previous estimate,
 // or the new-relay percentile prior).
 func MeasureRelay(backend Backend, team []*Measurer, relayName string, z0Bps float64, p Params) (MeasureOutcome, error) {
+	return MeasureRelayGuarded(backend, team, noopLocker{}, relayName, z0Bps, p)
+}
+
+// MeasureRelayGuarded is MeasureRelay with every read or write of the
+// team's committed capacity serialized through gate, so concurrent
+// measurements (internal/coord runs a schedule slot's assignments on a
+// worker pool) can safely share one team. The backend call itself runs
+// outside the lock. Under concurrency AllocateGreedy can fail with
+// ErrInsufficientCapacity when in-flight measurements hold the residual
+// capacity; callers treat that as a retryable condition.
+func MeasureRelayGuarded(backend Backend, team []*Measurer, gate sync.Locker, relayName string, z0Bps float64, p Params) (MeasureOutcome, error) {
 	if err := p.Validate(); err != nil {
 		return MeasureOutcome{}, err
 	}
@@ -71,13 +90,18 @@ func MeasureRelay(backend Backend, team []*Measurer, relayName string, z0Bps flo
 			need = teamCap
 			atCeiling = true
 		}
-		alloc, err := AllocateGreedy(team, need, p)
+		gate.Lock()
+		alloc, err := AllocateGreedyFrom(team, need, relayPreferredMeasurer(relayName, len(team)), p)
 		if err != nil {
+			gate.Unlock()
 			return out, err
 		}
 		Commit(team, alloc)
+		gate.Unlock()
 		data, err := backend.RunMeasurement(relayName, alloc, p.SlotSeconds)
+		gate.Lock()
 		Release(team, alloc)
+		gate.Unlock()
 		if err != nil {
 			return out, fmt.Errorf("measure %s: %w", relayName, err)
 		}
@@ -114,6 +138,18 @@ func MeasureRelay(backend Backend, team []*Measurer, relayName string, z0Bps flo
 		return out, ErrNoEstimate
 	}
 	return out, nil
+}
+
+// relayPreferredMeasurer maps a relay name to a stable starting index for
+// the allocation tie-break, so a relay keeps landing on the same measurers
+// (and their pooled connections) across measurement rounds.
+func relayPreferredMeasurer(relayName string, teamSize int) int {
+	if teamSize <= 0 {
+		return 0
+	}
+	h := fnv.New32a()
+	h.Write([]byte(relayName))
+	return int(h.Sum32() % uint32(teamSize))
 }
 
 // NewRelayPrior returns the z0 prior for a relay without a usable estimate:

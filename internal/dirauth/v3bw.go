@@ -1,0 +1,129 @@
+package dirauth
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// This file implements a v3bw-style serialization of bandwidth files — the
+// on-disk format a continuously running FlashFlow deployment publishes for
+// directory-authority consumption (§4, Table 2). The layout follows Tor's
+// bandwidth-file spec in spirit: a timestamp line, "key=value" header
+// lines, a terminator, then one relay per line. Relays are identified by
+// nickname (unique in this reproduction) rather than fingerprint.
+
+// v3bw format constants.
+const (
+	v3bwVersion    = "1.0.0"
+	v3bwSoftware   = "flashflow"
+	v3bwTerminator = "====="
+)
+
+// FormatV3BW renders a bandwidth file in the v3bw-style text format.
+// Entries are sorted by relay name so the output is deterministic.
+func FormatV3BW(f *BandwidthFile) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d\n", int64(f.At/time.Second))
+	fmt.Fprintf(&b, "version=%s\n", v3bwVersion)
+	fmt.Fprintf(&b, "software=%s\n", v3bwSoftware)
+	fmt.Fprintf(&b, "producer=%s\n", f.Producer)
+	b.WriteString(v3bwTerminator + "\n")
+
+	names := make([]string, 0, len(f.Entries))
+	for n := range f.Entries {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		e := f.Entries[n]
+		// bw is in kilobits/s like Tor's consensus weights; capacity
+		// keeps full bits/s resolution (FlashFlow's distinguishing
+		// output, Table 2).
+		fmt.Fprintf(&b, "node_id=%s bw=%d capacity=%.0f\n", n, int64(e.WeightBps/1000), e.CapacityBps)
+	}
+	return b.String()
+}
+
+// ParseV3BW parses the FormatV3BW text format back into a bandwidth file.
+func ParseV3BW(r io.Reader) (*BandwidthFile, error) {
+	sc := bufio.NewScanner(r)
+	if !sc.Scan() {
+		return nil, fmt.Errorf("dirauth: v3bw: empty input")
+	}
+	secs, err := strconv.ParseInt(strings.TrimSpace(sc.Text()), 10, 64)
+	if err != nil {
+		return nil, fmt.Errorf("dirauth: v3bw timestamp: %w", err)
+	}
+	f := NewBandwidthFile("", time.Duration(secs)*time.Second)
+
+	// Header lines until the terminator.
+	for {
+		if !sc.Scan() {
+			return nil, fmt.Errorf("dirauth: v3bw: missing terminator")
+		}
+		line := strings.TrimSpace(sc.Text())
+		if line == v3bwTerminator {
+			break
+		}
+		if k, v, ok := strings.Cut(line, "="); ok && k == "producer" {
+			f.Producer = v
+		}
+	}
+
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		var name string
+		var weightBps, capacityBps float64
+		for _, field := range strings.Fields(line) {
+			k, v, ok := strings.Cut(field, "=")
+			if !ok {
+				return nil, fmt.Errorf("dirauth: v3bw: bad field %q", field)
+			}
+			switch k {
+			case "node_id":
+				name = v
+			case "bw":
+				kb, err := strconv.ParseInt(v, 10, 64)
+				if err != nil {
+					return nil, fmt.Errorf("dirauth: v3bw bw: %w", err)
+				}
+				weightBps = float64(kb) * 1000
+			case "capacity":
+				c, err := strconv.ParseFloat(v, 64)
+				if err != nil {
+					return nil, fmt.Errorf("dirauth: v3bw capacity: %w", err)
+				}
+				capacityBps = c
+			}
+		}
+		if name == "" {
+			return nil, fmt.Errorf("dirauth: v3bw: relay line without node_id: %q", line)
+		}
+		f.Set(name, weightBps, capacityBps)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("dirauth: v3bw read: %w", err)
+	}
+	return f, nil
+}
+
+// MergeMedianFile aggregates several BWAuths' bandwidth files into one
+// publishable file: per-relay median capacity across the files that
+// measured the relay, used as both weight and capacity (FlashFlow reports
+// capacities directly, Table 2). It is the snapshot-producing counterpart
+// of AggregateMedian, which feeds consensus weights instead.
+func MergeMedianFile(producer string, at time.Duration, files []*BandwidthFile) *BandwidthFile {
+	merged := NewBandwidthFile(producer, at)
+	for name, capBps := range MedianCapacities(files) {
+		merged.Set(name, capBps, capBps)
+	}
+	return merged
+}

@@ -1,0 +1,87 @@
+package dirauth
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestV3BWRoundTrip(t *testing.T) {
+	f := NewBandwidthFile("bw0", 90*time.Second)
+	f.Set("relayB", 20e6, 21e6)
+	f.Set("relayA", 5e6, 5.5e6)
+
+	text := FormatV3BW(f)
+	got, err := ParseV3BW(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Producer != "bw0" {
+		t.Fatalf("producer: %q", got.Producer)
+	}
+	if got.At != 90*time.Second {
+		t.Fatalf("at: %v", got.At)
+	}
+	if len(got.Entries) != 2 {
+		t.Fatalf("entries: %v", got.Entries)
+	}
+	a := got.Entries["relayA"]
+	if a.CapacityBps != 5.5e6 {
+		t.Fatalf("relayA capacity: %v", a.CapacityBps)
+	}
+	// Weight survives at kb/s resolution.
+	if a.WeightBps != 5e6 {
+		t.Fatalf("relayA weight: %v", a.WeightBps)
+	}
+}
+
+func TestV3BWDeterministicOrder(t *testing.T) {
+	f := NewBandwidthFile("bw0", 0)
+	f.Set("zeta", 1e6, 1e6)
+	f.Set("alpha", 2e6, 2e6)
+	text := FormatV3BW(f)
+	if strings.Index(text, "node_id=alpha") > strings.Index(text, "node_id=zeta") {
+		t.Fatalf("entries not sorted:\n%s", text)
+	}
+	// Repeated formatting is byte-identical.
+	if text != FormatV3BW(f) {
+		t.Fatal("formatting is not deterministic")
+	}
+}
+
+func TestV3BWParseRejectsGarbage(t *testing.T) {
+	for _, in := range []string{
+		"",
+		"notatimestamp\n=====\n",
+		"10\nversion=1.0.0\n", // no terminator
+		"10\n=====\nbw=5\n",   // relay line without node_id
+	} {
+		if _, err := ParseV3BW(strings.NewReader(in)); err == nil {
+			t.Fatalf("input %q should fail", in)
+		}
+	}
+}
+
+func TestMergeMedianFile(t *testing.T) {
+	mk := func(name string, caps map[string]float64) *BandwidthFile {
+		f := NewBandwidthFile(name, 0)
+		for n, c := range caps {
+			f.Set(n, c, c)
+		}
+		return f
+	}
+	merged := MergeMedianFile("coord", time.Hour, []*BandwidthFile{
+		mk("a", map[string]float64{"r1": 10e6, "r2": 40e6}),
+		mk("b", map[string]float64{"r1": 20e6, "r2": 50e6}),
+		mk("c", map[string]float64{"r1": 30e6}),
+	})
+	if got := merged.Entries["r1"].CapacityBps; got != 20e6 {
+		t.Fatalf("r1 median: %v", got)
+	}
+	if got := merged.Entries["r2"].CapacityBps; got != 45e6 {
+		t.Fatalf("r2 median: %v", got)
+	}
+	if merged.Producer != "coord" || merged.At != time.Hour {
+		t.Fatalf("metadata: %q %v", merged.Producer, merged.At)
+	}
+}

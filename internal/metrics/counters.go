@@ -1,0 +1,74 @@
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Counters is a small thread-safe named-counter registry. Long-running
+// services (internal/coord's continuous measurement coordinator) use it to
+// expose operational state — rounds completed, slots retried, pool hits —
+// alongside the paper's offline analyses that the rest of this package
+// implements.
+type Counters struct {
+	mu   sync.RWMutex
+	vals map[string]int64
+}
+
+// NewCounters creates an empty registry.
+func NewCounters() *Counters {
+	return &Counters{vals: make(map[string]int64)}
+}
+
+// Add adds delta to the named counter, creating it at zero first.
+func (c *Counters) Add(name string, delta int64) {
+	c.mu.Lock()
+	c.vals[name] += delta
+	c.mu.Unlock()
+}
+
+// Inc increments the named counter by one.
+func (c *Counters) Inc(name string) { c.Add(name, 1) }
+
+// Set overwrites the named counter (for gauges like pool idle size).
+func (c *Counters) Set(name string, v int64) {
+	c.mu.Lock()
+	c.vals[name] = v
+	c.mu.Unlock()
+}
+
+// Get returns the named counter's value (zero if never touched).
+func (c *Counters) Get(name string) int64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.vals[name]
+}
+
+// Snapshot returns a copy of every counter.
+func (c *Counters) Snapshot() map[string]int64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make(map[string]int64, len(c.vals))
+	for k, v := range c.vals {
+		out[k] = v
+	}
+	return out
+}
+
+// String renders the counters sorted by name, one "name=value" per line —
+// the format coordd prints on shutdown.
+func (c *Counters) String() string {
+	snap := c.Snapshot()
+	names := make([]string, 0, len(snap))
+	for n := range snap {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	for _, n := range names {
+		fmt.Fprintf(&b, "%s=%d\n", n, snap[n])
+	}
+	return b.String()
+}

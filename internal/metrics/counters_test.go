@@ -1,0 +1,57 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCountersBasic(t *testing.T) {
+	c := NewCounters()
+	if got := c.Get("missing"); got != 0 {
+		t.Fatalf("untouched counter: %d", got)
+	}
+	c.Inc("a")
+	c.Add("a", 4)
+	c.Set("b", 7)
+	if got := c.Get("a"); got != 5 {
+		t.Fatalf("a = %d, want 5", got)
+	}
+	snap := c.Snapshot()
+	if snap["a"] != 5 || snap["b"] != 7 {
+		t.Fatalf("snapshot: %v", snap)
+	}
+	// Snapshot is a copy.
+	snap["a"] = 99
+	if got := c.Get("a"); got != 5 {
+		t.Fatalf("snapshot aliasing: a = %d", got)
+	}
+}
+
+func TestCountersConcurrent(t *testing.T) {
+	c := NewCounters()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc("n")
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Get("n"); got != 8000 {
+		t.Fatalf("n = %d, want 8000", got)
+	}
+}
+
+func TestCountersStringSorted(t *testing.T) {
+	c := NewCounters()
+	c.Set("zz", 1)
+	c.Set("aa", 2)
+	s := c.String()
+	if strings.Index(s, "aa=2") > strings.Index(s, "zz=1") {
+		t.Fatalf("not sorted: %q", s)
+	}
+}

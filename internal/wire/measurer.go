@@ -19,6 +19,24 @@ import (
 // Dialer opens a connection to the target relay.
 type Dialer func() (net.Conn, error)
 
+// Session is optionally implemented by connections that outlive a single
+// measurement, such as the pooled connections of internal/coord. Measure
+// skips the identity handshake on a connection whose session is already
+// authenticated (the target keeps the authentication for the life of the
+// connection), and marks the session reusable only when the slot ends with
+// the protocol in a clean state — the MsmtEnd echo fully drained — so a
+// torn-down or desynchronized connection is never returned to a pool.
+type Session interface {
+	// Authenticated reports whether a previous measurement on this
+	// connection already completed the identity handshake.
+	Authenticated() bool
+	// MarkAuthenticated records a completed identity handshake.
+	MarkAuthenticated()
+	// MarkReusable records that the measurement ended cleanly and the
+	// connection can carry another measurement circuit.
+	MarkReusable()
+}
+
 // MeasureOptions configures one measurer's participation in a measurement
 // slot.
 type MeasureOptions struct {
@@ -109,8 +127,14 @@ func measureSocket(dial Dialer, opts MeasureOptions, rateBps float64, start time
 	}
 	defer conn.Close()
 
-	if err := clientAuthenticate(conn, opts.Identity); err != nil {
-		return MeasureResult{}, err
+	sess, _ := conn.(Session)
+	if sess == nil || !sess.Authenticated() {
+		if err := clientAuthenticate(conn, opts.Identity); err != nil {
+			return MeasureResult{}, err
+		}
+		if sess != nil {
+			sess.MarkAuthenticated()
+		}
 	}
 	circ, err := clientKeyExchange(conn)
 	if err != nil {
@@ -242,6 +266,9 @@ func measureSocket(dial Dialer, opts MeasureOptions, rateBps float64, start time
 		}
 	case <-time.After(5 * time.Second):
 		return abort(errors.New("wire: timed out draining echo stream"))
+	}
+	if sess != nil {
+		sess.MarkReusable()
 	}
 	return res, nil
 }

@@ -81,6 +81,9 @@ func TestTargetRejectsGarbageHandshake(t *testing.T) {
 }
 
 func TestTargetHandlesAbruptDisconnect(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-time measurement slots")
+	}
 	id, _ := NewIdentity()
 	addr, tgt, cleanup := startTarget(t, TargetConfig{RateBps: 8 * mbit}, id)
 	defer cleanup()
@@ -126,6 +129,9 @@ func TestTargetHandlesAbruptDisconnect(t *testing.T) {
 }
 
 func TestConcurrentMeasurersShareTargetRate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-time measurement slots")
+	}
 	// Two measurers with distinct identities measuring simultaneously:
 	// the target's pacer splits its rate between them; the sum should be
 	// near the configured rate, not double it.

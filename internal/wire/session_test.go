@@ -1,0 +1,124 @@
+package wire
+
+import (
+	"net"
+	"testing"
+	"time"
+)
+
+// sessionConn wraps a net.Conn with Session state, standing in for the
+// pooled connections of internal/coord.
+type sessionConn struct {
+	net.Conn
+	authed   bool
+	reusable bool
+	closed   bool
+}
+
+func (s *sessionConn) Authenticated() bool { return s.authed }
+func (s *sessionConn) MarkAuthenticated()  { s.authed = true }
+func (s *sessionConn) MarkReusable()       { s.reusable = true }
+func (s *sessionConn) Close() error {
+	// A pooled connection survives the measurer's Close when the slot
+	// completed cleanly; only an aborted connection really closes.
+	if s.reusable {
+		return nil
+	}
+	s.closed = true
+	return s.Conn.Close()
+}
+
+// TestMeasureReusesSessionConnection runs two measurements back to back on
+// one connection: the second must skip the identity handshake (the target
+// authenticates a connection once) and still produce echo traffic.
+func TestMeasureReusesSessionConnection(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-time measurement slots")
+	}
+	id, err := NewIdentity()
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, _, stop := startTarget(t, TargetConfig{RateBps: 40 * mbit}, id)
+	defer stop()
+
+	raw, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess := &sessionConn{Conn: raw}
+	defer raw.Close()
+	dial := func() (net.Conn, error) { return sess, nil }
+
+	opts := MeasureOptions{
+		Identity: id,
+		Sockets:  1,
+		RateBps:  8 * mbit,
+		Duration: time.Second,
+		Seed:     1,
+	}
+	for round := 0; round < 2; round++ {
+		sess.reusable = false
+		res, err := Measure(dial, opts)
+		if err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		var total float64
+		for _, b := range res.PerSecondBytes {
+			total += b
+		}
+		if total == 0 {
+			t.Fatalf("round %d: no bytes echoed", round)
+		}
+		if !sess.reusable {
+			t.Fatalf("round %d: clean slot should mark the session reusable", round)
+		}
+		if sess.closed {
+			t.Fatalf("round %d: connection should not be closed", round)
+		}
+	}
+	if !sess.authed {
+		t.Fatal("session should be marked authenticated")
+	}
+}
+
+// TestRevokeCutsOffOpenSessionConnection: revoking a measurer's
+// authorization must stop further measurements even on a connection the
+// measurer already holds open (the pooled-connection case) — the target
+// re-checks the live allowed set before each circuit.
+func TestRevokeCutsOffOpenSessionConnection(t *testing.T) {
+	id, err := NewIdentity()
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, tgt, stop := startTarget(t, TargetConfig{RateBps: 40 * mbit}, id)
+	defer stop()
+
+	raw, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess := &sessionConn{Conn: raw}
+	defer raw.Close()
+	dial := func() (net.Conn, error) { return sess, nil }
+
+	opts := MeasureOptions{
+		Identity: id,
+		Sockets:  1,
+		RateBps:  8 * mbit,
+		Duration: 300 * time.Millisecond,
+		Seed:     1,
+	}
+	if _, err := Measure(dial, opts); err != nil {
+		t.Fatalf("first measurement: %v", err)
+	}
+	if !sess.reusable {
+		t.Fatal("first slot should leave the session reusable")
+	}
+
+	tgt.Revoke()
+	sess.reusable = false
+	if _, err := Measure(dial, opts); err == nil {
+		t.Fatal("measurement on a revoked session should fail")
+	}
+}

@@ -36,11 +36,12 @@ type Target struct {
 
 	mu      sync.Mutex
 	allowed map[string]bool
+	conns   map[net.Conn]struct{}
+	closed  bool
 	pace    pacer
 	counts  secondCounter
 
-	wg      sync.WaitGroup
-	closing chan struct{}
+	wg sync.WaitGroup
 }
 
 // NewTarget creates a target with no authorized measurers.
@@ -48,7 +49,7 @@ func NewTarget(cfg TargetConfig) *Target {
 	t := &Target{
 		cfg:     cfg,
 		allowed: make(map[string]bool),
-		closing: make(chan struct{}),
+		conns:   make(map[net.Conn]struct{}),
 	}
 	t.pace.rateBps = cfg.RateBps
 	return t
@@ -92,31 +93,88 @@ func (t *Target) Serve(l net.Listener) {
 	}
 }
 
-// Close waits for in-flight handlers (listeners must be closed by the
-// caller first).
+// Close force-closes every open connection — handlers may otherwise
+// block forever reading a connection a measurement coordinator keeps
+// parked in its pool — and waits for the handlers to exit (listeners must
+// be closed by the caller first). The closed flag and the connection set
+// share one critical section with HandleConn's registration, so no
+// handler can slip a connection in after Close has swept the set.
 func (t *Target) Close() {
-	close(t.closing)
+	t.mu.Lock()
+	t.closed = true
+	for c := range t.conns {
+		c.Close()
+	}
+	t.mu.Unlock()
 	t.wg.Wait()
 }
 
 // HandleConn runs the full target-side protocol on one connection:
-// challenge-authenticate, key-exchange, then decrypt-and-echo until the
-// measurer sends MsmtEnd or the connection drops.
+// challenge-authenticate, then serve measurement circuits — key-exchange
+// followed by decrypt-and-echo until MsmtEnd — in a loop, so a connection
+// held open by a measurement coordinator (internal/coord) carries one
+// circuit per slot without re-dialing or re-authenticating. The connection
+// ends when the measurer closes it.
 func (t *Target) HandleConn(conn net.Conn) error {
 	defer conn.Close()
 	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil
+	}
+	t.conns[conn] = struct{}{}
 	allowed := make(map[string]bool, len(t.allowed))
 	for k := range t.allowed {
 		allowed[k] = true
 	}
 	t.mu.Unlock()
+	defer func() {
+		t.mu.Lock()
+		delete(t.conns, conn)
+		t.mu.Unlock()
+	}()
 
-	if _, err := serverChallenge(conn, allowed); err != nil {
+	pub, err := serverChallenge(conn, allowed)
+	if err != nil {
 		return fmt.Errorf("target auth: %w", err)
 	}
+	for {
+		if err := t.serveCircuit(conn, pub); err != nil {
+			if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+				return nil
+			}
+			return err
+		}
+	}
+}
+
+// authorized reports whether the key is in the current allowed set.
+func (t *Target) authorized(pub ed25519.PublicKey) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.allowed[string(pub)]
+}
+
+// errRevoked reports a circuit request from a measurer whose
+// authorization was withdrawn after the connection authenticated.
+var errRevoked = errors.New("wire: measurer authorization revoked")
+
+// serveCircuit serves one measurement circuit: key exchange, then
+// decrypt-and-echo until the measurer sends MsmtEnd. A nil return means
+// the circuit completed cleanly and the connection may carry another.
+// The measurer's authorization is re-checked when the circuit request
+// arrives: Revoke must cut off a measurer even on a connection it already
+// holds open (the pooled-connection case).
+func (t *Target) serveCircuit(conn net.Conn, pub ed25519.PublicKey) error {
 	circ, err := serverKeyExchange(conn)
 	if err != nil {
+		if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+			return err
+		}
 		return fmt.Errorf("target kex: %w", err)
+	}
+	if !t.authorized(pub) {
+		return errRevoked
 	}
 
 	buf := make([]byte, cell.Size)
@@ -124,7 +182,7 @@ func (t *Target) HandleConn(conn net.Conn) error {
 	for {
 		if _, err := io.ReadFull(conn, buf); err != nil {
 			if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
-				return nil
+				return err
 			}
 			return fmt.Errorf("target read: %w", err)
 		}
@@ -193,17 +251,28 @@ type pacer struct {
 	mu       sync.Mutex
 	rateBps  float64
 	start    time.Time
+	last     time.Time
 	sentBits float64
 }
+
+// pacerIdleReset bounds how much unused pacing credit an idle gap may
+// accumulate: after this much quiet the pacing window restarts. Without
+// it, a target parked between measurement rounds (pooled connections,
+// internal/coord) banks the whole gap as credit and echoes the next
+// slot's opening cells unpaced, inflating that slot's estimate.
+const pacerIdleReset = 500 * time.Millisecond
 
 func (p *pacer) wait(bits float64) {
 	if p.rateBps <= 0 {
 		return
 	}
 	p.mu.Lock()
-	if p.start.IsZero() {
-		p.start = time.Now()
+	now := time.Now()
+	if p.start.IsZero() || now.Sub(p.last) > pacerIdleReset {
+		p.start = now
+		p.sentBits = 0
 	}
+	p.last = now
 	p.sentBits += bits
 	due := p.start.Add(time.Duration(p.sentBits / p.rateBps * float64(time.Second)))
 	p.mu.Unlock()
@@ -219,6 +288,11 @@ type secondCounter struct {
 	buckets []float64
 }
 
+// maxSecondBuckets bounds the per-second series: a long-lived target
+// (continuous coordinator rounds) restarts the window instead of growing
+// one bucket per second of uptime forever.
+const maxSecondBuckets = 4096
+
 func (s *secondCounter) add(bytes float64) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -226,6 +300,11 @@ func (s *secondCounter) add(bytes float64) {
 		s.start = time.Now()
 	}
 	idx := int(time.Since(s.start) / time.Second)
+	if idx >= maxSecondBuckets {
+		s.start = time.Now()
+		s.buckets = s.buckets[:0]
+		idx = 0
+	}
 	for len(s.buckets) <= idx {
 		s.buckets = append(s.buckets, 0)
 	}

@@ -143,6 +143,9 @@ func TestAuthRejectsBadSignature(t *testing.T) {
 }
 
 func TestMeasureHonestTargetEchoesAtRate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-time measurement slots")
+	}
 	id, _ := NewIdentity()
 	const rate = 16 * mbit
 	addr, _, cleanup := startTarget(t, TargetConfig{RateBps: rate}, id)
@@ -176,6 +179,9 @@ func TestMeasureHonestTargetEchoesAtRate(t *testing.T) {
 }
 
 func TestMeasureDetectsCorruptTarget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-time measurement slots")
+	}
 	id, _ := NewIdentity()
 	addr, _, cleanup := startTarget(t, TargetConfig{RateBps: 16 * mbit, Corrupt: true}, id)
 	defer cleanup()
@@ -236,6 +242,9 @@ func TestTargetRevoke(t *testing.T) {
 }
 
 func TestTargetCountsForwardedBytes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-time measurement slots")
+	}
 	id, _ := NewIdentity()
 	addr, tgt, cleanup := startTarget(t, TargetConfig{RateBps: 8 * mbit}, id)
 	defer cleanup()
@@ -259,6 +268,9 @@ func TestTargetCountsForwardedBytes(t *testing.T) {
 }
 
 func TestWireBackendEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-time measurement slots")
+	}
 	// Full pipeline: core.MeasureRelay over the real wire protocol
 	// against a 12 Mbit/s-limited target with a 2-measurer team.
 	ids := make([]Identity, 2)

@@ -1,0 +1,105 @@
+// Command bench runs the FlashFlow data-plane performance harness
+// (internal/perf) and writes a machine-readable BENCH_wire.json report.
+//
+// Typical uses:
+//
+//	go run ./cmd/bench                         # full run, report to BENCH_wire.json
+//	go run ./cmd/bench -quick                  # CI smoke run (short windows)
+//	go run ./cmd/bench -scenarios cell-crypto  # one scenario
+//	go run ./cmd/bench -quick -baseline BENCH_baseline.json
+//	                                           # fail (exit 1) on >20% regression
+//	go run ./cmd/bench -out BENCH_baseline.json
+//	                                           # refresh the checked-in baseline
+//
+// The regression check compares cells/sec per scenario against the
+// baseline report, normalizing each scenario's ratio by the median ratio
+// across scenarios so a uniformly slower or faster machine cancels out
+// and the check tracks protocol overhead, not absolute machine speed.
+// Allocations per cell are checked too: growth beyond one alloc/cell
+// fails regardless of throughput.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"flashflow/internal/perf"
+)
+
+func main() {
+	var (
+		quick      = flag.Bool("quick", false, "short measurement windows for CI smoke runs")
+		out        = flag.String("out", "BENCH_wire.json", "report output path (- for stdout only)")
+		scenarios  = flag.String("scenarios", "", "comma-separated scenario subset (default: all)")
+		baseline   = flag.String("baseline", "", "baseline report to compare against; regressions exit nonzero")
+		maxRegress = flag.Float64("max-regress", 0.20, "allowed fractional cells/sec regression vs baseline")
+		repeat     = flag.Int("repeat", 1, "run each scenario N times, keep the fastest (damps CI noise)")
+		list       = flag.Bool("list", false, "list scenarios and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, s := range perf.Scenarios() {
+			fmt.Printf("%-18s %s\n", s.Name, s.Desc)
+		}
+		return
+	}
+
+	var names []string
+	if *scenarios != "" {
+		for _, n := range strings.Split(*scenarios, ",") {
+			if n = strings.TrimSpace(n); n != "" {
+				names = append(names, n)
+			}
+		}
+	}
+
+	rep, err := perf.Run(names, perf.Options{Quick: *quick, Repeat: *repeat})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+
+	for _, r := range rep.Results {
+		fmt.Printf("%-18s %12.0f cells/s %9.1f MB/s %8.2f allocs/cell (%d cells in %.2fs)\n",
+			r.Scenario, r.CellsPerSec, r.MBPerSec, r.AllocsPerOp, r.Cells, r.Seconds)
+	}
+
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bench:", err)
+			os.Exit(1)
+		}
+		if err := rep.WriteJSON(f); err != nil {
+			f.Close()
+			fmt.Fprintln(os.Stderr, "bench:", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "bench:", err)
+			os.Exit(1)
+		}
+		fmt.Println("report:", *out)
+	}
+
+	if *baseline != "" {
+		base, err := perf.LoadReport(*baseline)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bench:", err)
+			os.Exit(1)
+		}
+		regs := perf.Compare(base, rep, *maxRegress)
+		if len(regs) > 0 {
+			fmt.Fprintf(os.Stderr, "bench: %d scenario(s) regressed more than %.0f%% vs %s:\n",
+				len(regs), *maxRegress*100, *baseline)
+			for _, g := range regs {
+				fmt.Fprintln(os.Stderr, "  "+g.String())
+			}
+			os.Exit(1)
+		}
+		fmt.Printf("baseline check: ok (within %.0f%% of %s)\n", *maxRegress*100, *baseline)
+	}
+}

@@ -110,6 +110,31 @@ func (c *Cell) Unmarshal(buf []byte) error {
 	return nil
 }
 
+// The in-place accessors below are the allocation-free view of an encoded
+// cell: the measurement data plane operates directly on wire buffers
+// (header parse, payload crypto, digest checks) without ever materializing
+// a Cell struct or copying the 509-byte payload. Callers must pass a slice
+// of at least Size bytes; the accessors do not re-validate length beyond
+// what slicing enforces.
+
+// PutHeader writes the 5-byte cell header (circuit ID + command) into buf,
+// leaving the payload bytes untouched. buf must hold at least Size bytes.
+func PutHeader(buf []byte, circID uint32, cmd Command) {
+	binary.BigEndian.PutUint32(buf[0:4], circID)
+	buf[4] = byte(cmd)
+}
+
+// CircIDOf returns the circuit ID of the encoded cell in buf.
+func CircIDOf(buf []byte) uint32 { return binary.BigEndian.Uint32(buf[0:4]) }
+
+// CommandOf returns the command of the encoded cell in buf.
+func CommandOf(buf []byte) Command { return Command(buf[4]) }
+
+// PayloadOf returns the payload portion of the encoded cell in buf,
+// aliasing buf (no copy). Mutations through the returned slice — payload
+// fill, in-place crypto — are visible in the wire buffer.
+func PayloadOf(buf []byte) []byte { return buf[5:Size] }
+
 // KeyMaterial holds the directional keys for one circuit hop, derived from
 // the handshake shared secret. Forward keys encrypt measurer→relay cells;
 // backward keys encrypt relay→measurer cells.
@@ -156,7 +181,18 @@ func NewCryptoState(key, iv [16]byte) (*CryptoState, error) {
 // Apply encrypts or decrypts the cell payload in place (CTR mode is an
 // involution when both sides keep matching stream positions).
 func (s *CryptoState) Apply(c *Cell) {
-	s.stream.XORKeyStream(c.Payload[:], c.Payload[:])
+	s.ApplyBytes(c.Payload[:])
+}
+
+// ApplyBytes encrypts or decrypts one cell payload in place directly on a
+// wire buffer (typically PayloadOf of an encoded cell). This is the
+// zero-allocation hot path: the cipher stream was allocated once at
+// circuit setup and XORKeyStream never touches the heap. Each call
+// advances the stream by exactly len(p) bytes, so cells must still be
+// processed in order and payload slices must all be PayloadSize long for
+// the two endpoints to stay in step.
+func (s *CryptoState) ApplyBytes(p []byte) {
+	s.stream.XORKeyStream(p, p)
 	s.count++
 }
 

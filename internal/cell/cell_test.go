@@ -254,6 +254,104 @@ func TestRandomPayloadEchoDetectsForgery(t *testing.T) {
 	}
 }
 
+// Zero-allocation guards: the per-cell operations of the measurement data
+// plane — header encode/parse, in-place payload crypto, digest — must not
+// touch the heap. These are the invariants the batched wire path depends
+// on; a regression here shows up as GC pressure at line rate.
+
+func TestApplyBytesZeroAllocs(t *testing.T) {
+	circ, err := NewCircuit(1, []byte("alloc-guard"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, Size)
+	if n := testing.AllocsPerRun(200, func() {
+		circ.Forward.ApplyBytes(PayloadOf(buf))
+	}); n != 0 {
+		t.Fatalf("ApplyBytes allocates %v per cell, want 0", n)
+	}
+}
+
+func TestHeaderAndDigestZeroAllocs(t *testing.T) {
+	buf := make([]byte, Size)
+	var sink [8]byte
+	if n := testing.AllocsPerRun(200, func() {
+		PutHeader(buf, 1, MsmtData)
+		if CommandOf(buf) != MsmtData || CircIDOf(buf) != 1 {
+			t.Fatal("header round trip")
+		}
+		sink = Digest(PayloadOf(buf))
+	}); n != 0 {
+		t.Fatalf("header+digest path allocates %v per cell, want 0", n)
+	}
+	_ = sink
+}
+
+func TestMarshalUnmarshalZeroAllocs(t *testing.T) {
+	var c, d Cell
+	buf := make([]byte, Size)
+	if n := testing.AllocsPerRun(200, func() {
+		if _, err := c.Marshal(buf); err != nil {
+			t.Fatal(err)
+		}
+		if err := d.Unmarshal(buf); err != nil {
+			t.Fatal(err)
+		}
+	}); n != 0 {
+		t.Fatalf("marshal/unmarshal allocates %v per cell, want 0", n)
+	}
+}
+
+func TestInPlaceAccessorsMatchMarshal(t *testing.T) {
+	var c Cell
+	c.CircID = 0x01020304
+	c.Cmd = MsmtData
+	for i := range c.Payload {
+		c.Payload[i] = byte(i * 7)
+	}
+	buf := make([]byte, Size)
+	if _, err := c.Marshal(buf); err != nil {
+		t.Fatal(err)
+	}
+	if CircIDOf(buf) != c.CircID || CommandOf(buf) != c.Cmd {
+		t.Fatal("in-place header accessors disagree with Marshal")
+	}
+	if [PayloadSize]byte(PayloadOf(buf)) != c.Payload {
+		t.Fatal("PayloadOf disagrees with Marshal")
+	}
+
+	var raw [Size]byte
+	PutHeader(raw[:], c.CircID, c.Cmd)
+	copy(PayloadOf(raw[:]), c.Payload[:])
+	var d Cell
+	if err := d.Unmarshal(raw[:]); err != nil {
+		t.Fatal(err)
+	}
+	if d != c {
+		t.Fatal("PutHeader+PayloadOf encoding disagrees with Unmarshal")
+	}
+}
+
+func TestApplyBytesMatchesApply(t *testing.T) {
+	secret := []byte("equivalence")
+	a, _ := NewCircuit(1, secret)
+	b, _ := NewCircuit(1, secret)
+
+	var c Cell
+	copy(c.Payload[:], []byte("same stream position"))
+	raw := make([]byte, Size)
+	copy(PayloadOf(raw), c.Payload[:])
+
+	a.Forward.Apply(&c)
+	b.Forward.ApplyBytes(PayloadOf(raw))
+	if [PayloadSize]byte(PayloadOf(raw)) != c.Payload {
+		t.Fatal("ApplyBytes and Apply diverge at the same stream position")
+	}
+	if a.Forward.Processed() != b.Forward.Processed() {
+		t.Fatal("cell counters diverge")
+	}
+}
+
 func BenchmarkCellCrypto(b *testing.B) {
 	m, _ := NewCircuit(1, []byte("bench"))
 	var c Cell
@@ -272,6 +370,37 @@ func BenchmarkMarshal(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := c.Marshal(buf); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCircuitCryptoBytes is the raw cell.Circuit crypto throughput on
+// the in-place path — the ceiling every wire scenario is bounded by.
+func BenchmarkCircuitCryptoBytes(b *testing.B) {
+	circ, _ := NewCircuit(1, []byte("bench"))
+	buf := make([]byte, Size)
+	b.SetBytes(Size)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		circ.Forward.ApplyBytes(PayloadOf(buf))
+	}
+}
+
+// BenchmarkBatchEncrypt measures the full sender-side per-batch cost:
+// header writes plus in-place encryption of a pooled batch.
+func BenchmarkBatchEncrypt(b *testing.B) {
+	circ, _ := NewCircuit(1, []byte("bench"))
+	buf := GetBatch()
+	defer PutBatch(buf)
+	b.SetBytes(BatchBytes)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for off := 0; off < BatchBytes; off += Size {
+			cb := (*buf)[off : off+Size]
+			PutHeader(cb, 1, MsmtData)
+			circ.Forward.ApplyBytes(PayloadOf(cb))
 		}
 	}
 }

@@ -1,0 +1,44 @@
+package cell
+
+import "sync"
+
+// BatchCells is the number of cells carried by one pooled batch buffer.
+// The measurement data plane encodes/decodes up to BatchCells cells into
+// one contiguous buffer and moves them with a single Write/Read, so this
+// constant sets the syscall amortization factor of the hot path. 32 cells
+// ≈ 16 KiB per batch: large enough that the per-syscall overhead is noise,
+// small enough that pacing per batch stays smooth at low rates.
+const BatchCells = 32
+
+// BatchBytes is the byte length of one pooled batch buffer.
+const BatchBytes = BatchCells * Size
+
+// batchPool recycles batch buffers across measurement sockets and circuit
+// serves. Buffers are handed out as *[]byte so Get/Put themselves do not
+// allocate a slice header on the heap.
+var batchPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, BatchBytes)
+		return &b
+	},
+}
+
+// GetBatch returns a BatchBytes-long buffer from the pool. Contents are
+// unspecified (buffers are reused without clearing); callers own the
+// buffer until they pass it to PutBatch and must not retain any slice
+// aliasing it afterwards. See DESIGN.md "Buffer ownership" for the rules.
+func GetBatch() *[]byte {
+	return batchPool.Get().(*[]byte)
+}
+
+// PutBatch returns a buffer obtained from GetBatch to the pool. It
+// tolerates callers that resliced the buffer, restoring the full length;
+// nil or foreign (too-small) buffers are dropped rather than poisoning
+// the pool.
+func PutBatch(b *[]byte) {
+	if b == nil || cap(*b) < BatchBytes {
+		return
+	}
+	*b = (*b)[:BatchBytes]
+	batchPool.Put(b)
+}

@@ -1,0 +1,39 @@
+package cell
+
+import "testing"
+
+func TestBatchPoolRoundTrip(t *testing.T) {
+	b := GetBatch()
+	if len(*b) != BatchBytes {
+		t.Fatalf("batch length: got %d want %d", len(*b), BatchBytes)
+	}
+	// Reslice (as protocol code does when flushing a partial batch) and
+	// return: the pool must restore the full length on the next Get.
+	*b = (*b)[:Size]
+	PutBatch(b)
+	c := GetBatch()
+	defer PutBatch(c)
+	if len(*c) != BatchBytes {
+		t.Fatalf("recycled batch length: got %d want %d", len(*c), BatchBytes)
+	}
+}
+
+func TestBatchPoolRejectsForeignBuffers(t *testing.T) {
+	PutBatch(nil) // must not panic
+	small := make([]byte, Size)
+	PutBatch(&small) // dropped, not pooled
+	b := GetBatch()
+	defer PutBatch(b)
+	if len(*b) != BatchBytes {
+		t.Fatalf("pool returned foreign buffer of length %d", len(*b))
+	}
+}
+
+func TestBatchConstants(t *testing.T) {
+	if BatchBytes != BatchCells*Size {
+		t.Fatalf("BatchBytes %d != BatchCells*Size %d", BatchBytes, BatchCells*Size)
+	}
+	if BatchCells < 1 {
+		t.Fatal("BatchCells must be positive")
+	}
+}

@@ -1,0 +1,245 @@
+package perf
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+// fastOpts keeps scenario windows tiny so the test suite stays quick.
+var fastOpts = Options{Quick: true, Duration: 50 * time.Millisecond, Relays: 10}
+
+func TestRunAllScenariosQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-time measurement windows")
+	}
+	rep, err := Run(nil, fastOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Results) != len(Scenarios()) {
+		t.Fatalf("results: got %d want %d", len(rep.Results), len(Scenarios()))
+	}
+	for _, r := range rep.Results {
+		if r.CellsPerSec <= 0 || r.Cells <= 0 {
+			t.Fatalf("%s: nonpositive throughput: %+v", r.Scenario, r)
+		}
+		if r.MBPerSec <= 0 {
+			t.Fatalf("%s: nonpositive MB/s", r.Scenario)
+		}
+	}
+}
+
+func TestRunRepeatKeepsOneResultPerScenario(t *testing.T) {
+	opts := fastOpts
+	opts.Repeat = 3
+	rep, err := Run([]string{"cell-crypto"}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Results) != 1 {
+		t.Fatalf("repeat must keep one (best) result, got %d", len(rep.Results))
+	}
+	if rep.Results[0].CellsPerSec <= 0 {
+		t.Fatal("best-of-N result empty")
+	}
+}
+
+func TestRunSubsetAndUnknown(t *testing.T) {
+	rep, err := Run([]string{"cell-crypto"}, fastOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Results) != 1 || rep.Results[0].Scenario != "cell-crypto" {
+		t.Fatalf("subset run: %+v", rep.Results)
+	}
+	if _, err := Run([]string{"no-such-scenario"}, fastOpts); err == nil {
+		t.Fatal("unknown scenario must error")
+	}
+}
+
+func TestReportJSONRoundTrip(t *testing.T) {
+	rep, err := Run([]string{"cell-crypto"}, fastOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Schema != 1 || len(back.Results) != 1 {
+		t.Fatalf("round trip: %+v", back)
+	}
+	if back.Results[0].CellsPerSec != rep.Results[0].CellsPerSec {
+		t.Fatal("cells/sec lost in round trip")
+	}
+}
+
+func report(results ...Result) Report {
+	return Report{Schema: 1, Results: results}
+}
+
+func TestCompareFlagsRegression(t *testing.T) {
+	// Below minNormalizeScenarios shared scenarios the comparison is raw.
+	base := report(Result{Scenario: "wire-echo-single", CellsPerSec: 1000})
+	cur := report(Result{Scenario: "wire-echo-single", CellsPerSec: 700})
+	regs := Compare(base, cur, 0.20)
+	if len(regs) != 1 || regs[0].Scenario != "wire-echo-single" {
+		t.Fatalf("regressions: %+v", regs)
+	}
+	if regs[0].Normalized {
+		t.Fatal("too few scenarios to normalize: ratio must be raw")
+	}
+	if regs[0].Ratio < 0.69 || regs[0].Ratio > 0.71 {
+		t.Fatalf("ratio: %v", regs[0].Ratio)
+	}
+	if Compare(base, report(Result{Scenario: "wire-echo-single", CellsPerSec: 850}), 0.20) != nil {
+		t.Fatal("15% drop within 20% threshold must pass")
+	}
+}
+
+func TestCompareMedianNormalizesMachineSpeed(t *testing.T) {
+	base := report(
+		Result{Scenario: "cell-crypto", CellsPerSec: 8e6},
+		Result{Scenario: "cell-encode", CellsPerSec: 2e6},
+		Result{Scenario: "wire-echo-single", CellsPerSec: 1e6},
+		Result{Scenario: "wire-echo-team", CellsPerSec: 9e5},
+	)
+	// Modest uniform machine-speed difference (12% slower runner): every
+	// ratio moves together, the median cancels it, nothing regresses.
+	uniform := report(
+		Result{Scenario: "cell-crypto", CellsPerSec: 7e6},
+		Result{Scenario: "cell-encode", CellsPerSec: 1.75e6},
+		Result{Scenario: "wire-echo-single", CellsPerSec: 8.8e5},
+		Result{Scenario: "wire-echo-team", CellsPerSec: 7.9e5},
+	)
+	if regs := Compare(base, uniform, 0.20); regs != nil {
+		t.Fatalf("uniform machine-speed difference flagged as regression: %+v", regs)
+	}
+
+	// Same machine speed overall, but one scenario lost half its
+	// throughput: it stands out against the median and is flagged.
+	oneBad := report(
+		Result{Scenario: "cell-crypto", CellsPerSec: 8e6},
+		Result{Scenario: "cell-encode", CellsPerSec: 2e6},
+		Result{Scenario: "wire-echo-single", CellsPerSec: 5e5},
+		Result{Scenario: "wire-echo-team", CellsPerSec: 9e5},
+	)
+	regs := Compare(base, oneBad, 0.20)
+	if len(regs) != 1 || regs[0].Scenario != "wire-echo-single" || !regs[0].Normalized {
+		t.Fatalf("single-scenario regression missed: %+v", regs)
+	}
+}
+
+func TestCompareNoisyScenarioDoesNotPoisonOthers(t *testing.T) {
+	// One scenario runs 30% FAST on this run (noise). Under median
+	// normalization the others sit at ratio ~1/median and must not be
+	// flagged — this was the failure mode of normalizing by a single
+	// reference scenario.
+	base := report(
+		Result{Scenario: "cell-crypto", CellsPerSec: 8e6},
+		Result{Scenario: "cell-encode", CellsPerSec: 2e6},
+		Result{Scenario: "wire-echo-single", CellsPerSec: 1e6},
+		Result{Scenario: "wire-echo-team", CellsPerSec: 9e5},
+		Result{Scenario: "coord-round", CellsPerSec: 1e8},
+	)
+	cur := report(
+		Result{Scenario: "cell-crypto", CellsPerSec: 10.4e6}, // +30% noise spike
+		Result{Scenario: "cell-encode", CellsPerSec: 2e6},
+		Result{Scenario: "wire-echo-single", CellsPerSec: 1e6},
+		Result{Scenario: "wire-echo-team", CellsPerSec: 9e5},
+		Result{Scenario: "coord-round", CellsPerSec: 1e8},
+	)
+	if regs := Compare(base, cur, 0.20); regs != nil {
+		t.Fatalf("one fast outlier poisoned the others: %+v", regs)
+	}
+}
+
+func TestCompareBroadImprovementDoesNotFlagUntouched(t *testing.T) {
+	// A PR doubles most scenarios without refreshing the baseline: the
+	// elevated median must not manufacture a regression out of the
+	// untouched scenario (normalization divisor is capped at 1).
+	base := report(
+		Result{Scenario: "cell-crypto", CellsPerSec: 8e6},
+		Result{Scenario: "cell-encode", CellsPerSec: 2e6},
+		Result{Scenario: "wire-echo-single", CellsPerSec: 1e6},
+		Result{Scenario: "wire-echo-team", CellsPerSec: 9e5},
+		Result{Scenario: "coord-round", CellsPerSec: 1e8},
+	)
+	cur := report(
+		Result{Scenario: "cell-crypto", CellsPerSec: 8e6}, // untouched
+		Result{Scenario: "cell-encode", CellsPerSec: 4e6},
+		Result{Scenario: "wire-echo-single", CellsPerSec: 2e6},
+		Result{Scenario: "wire-echo-team", CellsPerSec: 1.8e6},
+		Result{Scenario: "coord-round", CellsPerSec: 2e8},
+	)
+	if regs := Compare(base, cur, 0.20); regs != nil {
+		t.Fatalf("broad improvement flagged untouched scenario: %+v", regs)
+	}
+}
+
+func TestCompareBroadRegressionMovesSuiteMedian(t *testing.T) {
+	// A regression hitting most scenarios (e.g. a crypto-path slowdown)
+	// drags the normalization median down; per-scenario ratios then look
+	// fine, so Compare must flag the suite median itself rather than
+	// silently passing.
+	base := report(
+		Result{Scenario: "cell-crypto", CellsPerSec: 8e6},
+		Result{Scenario: "cell-encode", CellsPerSec: 2e6},
+		Result{Scenario: "wire-echo-single", CellsPerSec: 1e6},
+		Result{Scenario: "wire-echo-team", CellsPerSec: 9e5},
+		Result{Scenario: "coord-round", CellsPerSec: 1e8},
+	)
+	cur := report(
+		Result{Scenario: "cell-crypto", CellsPerSec: 4e6},
+		Result{Scenario: "cell-encode", CellsPerSec: 1e6},
+		Result{Scenario: "wire-echo-single", CellsPerSec: 5e5},
+		Result{Scenario: "wire-echo-team", CellsPerSec: 4.5e5},
+		Result{Scenario: "coord-round", CellsPerSec: 1e8}, // no crypto: unaffected
+	)
+	regs := Compare(base, cur, 0.20)
+	found := false
+	for _, g := range regs {
+		if g.Scenario == SuiteMedianScenario {
+			found = true
+			if g.Ratio > 0.51 || g.Ratio < 0.49 {
+				t.Fatalf("suite-median ratio: %v", g.Ratio)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("broad regression not flagged via suite median: %+v", regs)
+	}
+}
+
+func TestCompareAllocGrowthFails(t *testing.T) {
+	// An allocation creeping into a hot path must fail the comparison
+	// even when throughput looks fine.
+	base := report(Result{Scenario: "cell-crypto", CellsPerSec: 8e6, AllocsPerOp: 0})
+	leaky := report(Result{Scenario: "cell-crypto", CellsPerSec: 8e6, AllocsPerOp: 2})
+	regs := Compare(base, leaky, 0.20)
+	if len(regs) != 1 || regs[0].Metric != "allocs_per_cell" {
+		t.Fatalf("alloc regression missed: %+v", regs)
+	}
+	// Sub-slack drift (handshake amortization wobble) must pass.
+	drift := report(Result{Scenario: "cell-crypto", CellsPerSec: 8e6, AllocsPerOp: 0.4})
+	if regs := Compare(base, drift, 0.20); regs != nil {
+		t.Fatalf("alloc drift within slack flagged: %+v", regs)
+	}
+}
+
+func TestCompareSkipsMissingScenarios(t *testing.T) {
+	base := report(
+		Result{Scenario: "wire-echo-single", CellsPerSec: 1000},
+		Result{Scenario: "coord-round", CellsPerSec: 500},
+	)
+	cur := report(Result{Scenario: "wire-echo-single", CellsPerSec: 990})
+	if regs := Compare(base, cur, 0.20); regs != nil {
+		t.Fatalf("missing scenario treated as regression: %+v", regs)
+	}
+}

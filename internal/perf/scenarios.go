@@ -1,0 +1,278 @@
+package perf
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	mrand "math/rand"
+	"net"
+	"runtime"
+	"sync"
+	"time"
+
+	"flashflow/internal/cell"
+	"flashflow/internal/coord"
+	"flashflow/internal/core"
+	"flashflow/internal/wire"
+)
+
+// memSnapshot captures the process allocation counters around a scenario
+// so the report can state allocations per cell. Wire scenarios include
+// handshake and goroutine-startup allocations, so their steady-state cost
+// is amortized over the run — the hard 0 allocs/cell guarantee is pinned
+// separately by the testing.AllocsPerRun guards in internal/cell and
+// internal/wire.
+type memSnapshot struct{ mallocs, bytes uint64 }
+
+func readMem() memSnapshot {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return memSnapshot{mallocs: ms.Mallocs, bytes: ms.TotalAlloc}
+}
+
+// finish assembles a Result from totals.
+func finish(cells int64, elapsed time.Duration, before, after memSnapshot) Result {
+	sec := elapsed.Seconds()
+	r := Result{
+		Cells:   cells,
+		Seconds: sec,
+	}
+	if sec > 0 {
+		r.CellsPerSec = float64(cells) / sec
+		r.MBPerSec = float64(cells) * cell.Size / 1e6 / sec
+	}
+	if cells > 0 {
+		r.AllocsPerOp = float64(after.mallocs-before.mallocs) / float64(cells)
+		r.BytesPerCell = float64(after.bytes-before.bytes) / float64(cells)
+	}
+	return r
+}
+
+// runCellCrypto measures raw single-stream AES-CTR cell throughput: the
+// hardware ceiling every wire scenario is bounded by (§4.1 — the target
+// must do this work for every measurement cell).
+func runCellCrypto(opts Options) (Result, error) {
+	circ, err := cell.NewCircuit(1, []byte("perf-cell-crypto"))
+	if err != nil {
+		return Result{}, err
+	}
+	buf := cell.GetBatch()
+	defer cell.PutBatch(buf)
+	payloads := make([][]byte, cell.BatchCells)
+	for i := range payloads {
+		payloads[i] = cell.PayloadOf((*buf)[i*cell.Size:])
+	}
+
+	window := opts.window()
+	before := readMem()
+	start := time.Now()
+	var cells int64
+	for time.Since(start) < window {
+		for _, p := range payloads {
+			circ.Forward.ApplyBytes(p)
+		}
+		cells += cell.BatchCells
+	}
+	return finish(cells, time.Since(start), before, readMem()), nil
+}
+
+// runCellEncode measures the full sender-side per-cell cost: header write,
+// deterministic payload fill, and in-place forward encryption of a pooled
+// batch — everything measureSocket does per cell except the socket write.
+func runCellEncode(opts Options) (Result, error) {
+	circ, err := cell.NewCircuit(1, []byte("perf-cell-encode"))
+	if err != nil {
+		return Result{}, err
+	}
+	rng := mrand.New(mrand.NewSource(1))
+	buf := cell.GetBatch()
+	defer cell.PutBatch(buf)
+	out := *buf
+
+	window := opts.window()
+	before := readMem()
+	start := time.Now()
+	var cells int64
+	for time.Since(start) < window {
+		for i := 0; i < cell.BatchCells; i++ {
+			cb := out[i*cell.Size : (i+1)*cell.Size]
+			cell.PutHeader(cb, 1, cell.MsmtData)
+			wire.FillPayload(rng, cell.PayloadOf(cb))
+			circ.Forward.ApplyBytes(cell.PayloadOf(cb))
+		}
+		cells += cell.BatchCells
+	}
+	return finish(cells, time.Since(start), before, readMem()), nil
+}
+
+// echoScenario runs real Measure slots against an unlimited-rate loopback
+// target and reports end-to-end echoed-cell throughput.
+func echoScenario(opts Options, measurers, socketsPer int, checkProb float64) (Result, error) {
+	ids := make([]wire.Identity, measurers)
+	for i := range ids {
+		id, err := wire.NewIdentity()
+		if err != nil {
+			return Result{}, err
+		}
+		ids[i] = id
+	}
+	tgt := wire.NewTarget(wire.TargetConfig{}) // RateBps 0: unlimited
+	for _, id := range ids {
+		tgt.Authorize(id.Pub)
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return Result{}, err
+	}
+	go tgt.Serve(l)
+	defer func() {
+		l.Close()
+		tgt.Close()
+	}()
+	addr := l.Addr().String()
+	dial := func() (net.Conn, error) { return net.Dial("tcp", addr) }
+
+	window := opts.window()
+	before := readMem()
+	start := time.Now()
+	var (
+		wg      sync.WaitGroup
+		mu      sync.Mutex
+		total   float64
+		firstEr error
+	)
+	for i := range ids {
+		wg.Add(1)
+		go func(idx int) {
+			defer wg.Done()
+			res, err := wire.Measure(dial, wire.MeasureOptions{
+				Identity:  ids[idx],
+				Sockets:   socketsPer,
+				RateBps:   0, // unpaced: run as fast as the path allows
+				Duration:  window,
+				CheckProb: checkProb,
+				Seed:      int64(idx + 1),
+			})
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				if firstEr == nil {
+					firstEr = err
+				}
+				return
+			}
+			if res.Failed {
+				if firstEr == nil {
+					firstEr = errors.New("perf: echo verification failed against honest target")
+				}
+				return
+			}
+			for _, b := range res.PerSecondBytes {
+				total += b
+			}
+		}(i)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if firstEr != nil {
+		return Result{}, firstEr
+	}
+	cells := int64(total / cell.Size)
+	return finish(cells, elapsed, before, readMem()), nil
+}
+
+func runWireEchoSingle(opts Options) (Result, error) {
+	return echoScenario(opts, 1, 1, 0)
+}
+
+func runWireEchoTeam(opts Options) (Result, error) {
+	return echoScenario(opts, 2, 4, 0.01)
+}
+
+// instantBackend is a deterministic core.Backend whose measurements
+// complete immediately: a target echoes min(capacity, allocation) for the
+// slot. It isolates the coordinator's scheduling/aggregation throughput
+// from wall-clock slot durations while still producing the full per-second
+// data volume the real data plane would carry.
+type instantBackend struct {
+	capBps map[string]float64
+
+	mu    sync.Mutex
+	bytes float64
+}
+
+func (b *instantBackend) RunMeasurement(target string, alloc core.Allocation, seconds int) (core.MeasurementData, error) {
+	capBps, ok := b.capBps[target]
+	if !ok {
+		return core.MeasurementData{}, fmt.Errorf("perf: unknown target %s", target)
+	}
+	echo := math.Min(capBps, alloc.TotalBps)
+	series := make([]float64, seconds)
+	var total float64
+	for j := range series {
+		series[j] = echo / 8 // bytes per second
+		total += series[j]
+	}
+	b.mu.Lock()
+	b.bytes += total
+	b.mu.Unlock()
+	return core.MeasurementData{MeasBytes: [][]float64{series}}, nil
+}
+
+func (b *instantBackend) total() float64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.bytes
+}
+
+// runCoordRound drives full coordinator rounds — §4.3 scheduling, worker
+// pool, aggregation, prior feedback — over a simulated relay population
+// for the measurement window and reports the simulated measurement volume
+// the coordinator sustained.
+func runCoordRound(opts Options) (Result, error) {
+	n := opts.relays()
+	caps := make(map[string]float64, n)
+	var source coord.StaticRelays
+	for i := 0; i < n; i++ {
+		name := fmt.Sprintf("relay-%03d", i)
+		capBps := 5e6 + float64(i%40)*2.5e6 // 5–102.5 Mbit/s spread
+		caps[name] = capBps
+		source = append(source, core.RelayEstimate{Name: name, EstimateBps: capBps})
+	}
+	backend := &instantBackend{capBps: caps}
+	p := core.DefaultParams()
+	p.SlotSeconds = 2
+	team := []*core.Measurer{
+		{Name: "m1", CapacityBps: 500e6, Cores: 4},
+		{Name: "m2", CapacityBps: 500e6, Cores: 4},
+	}
+	auth := core.NewBWAuth("bw0", team, backend, p)
+
+	window := opts.window()
+	ctx, cancel := context.WithTimeout(context.Background(), window)
+	defer cancel()
+	c, err := coord.New(coord.Config{
+		Params:      p,
+		Workers:     8,
+		MaxAttempts: 2,
+		RetryBase:   time.Millisecond,
+		RetryMax:    4 * time.Millisecond,
+	}, []*core.BWAuth{auth}, source)
+	if err != nil {
+		return Result{}, err
+	}
+
+	before := readMem()
+	start := time.Now()
+	err = c.Run(ctx)
+	elapsed := time.Since(start)
+	if err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		return Result{}, err
+	}
+	cells := int64(backend.total() / cell.Size)
+	if cells == 0 {
+		return Result{}, errors.New("perf: coordinator round measured nothing")
+	}
+	return finish(cells, elapsed, before, readMem()), nil
+}

@@ -1,0 +1,85 @@
+package wire
+
+import (
+	mrand "math/rand"
+	"testing"
+
+	"flashflow/internal/cell"
+)
+
+// Zero-allocation guards for the measurement data plane (ISSUE 2
+// acceptance: 0 allocs/cell in steady state). Each test exercises the
+// exact per-cell operations its wire path performs, minus the socket:
+// the socket I/O itself (conn.Read/Write on pooled buffers) does not
+// allocate, so these guards pin the full per-cell cost.
+
+// TestSenderEncodePathZeroAllocs covers measureSocket's batch assembly:
+// header write, payload fill, in-place forward encryption.
+func TestSenderEncodePathZeroAllocs(t *testing.T) {
+	circ, err := cell.NewCircuit(1, []byte("alloc"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := mrand.New(mrand.NewSource(1))
+	buf := cell.GetBatch()
+	defer cell.PutBatch(buf)
+	out := *buf
+	if n := testing.AllocsPerRun(100, func() {
+		for i := 0; i < cell.BatchCells; i++ {
+			cb := out[i*cell.Size : (i+1)*cell.Size]
+			cell.PutHeader(cb, 1, cell.MsmtData)
+			FillPayload(rng, cell.PayloadOf(cb))
+			circ.Forward.ApplyBytes(cell.PayloadOf(cb))
+		}
+	}); n != 0 {
+		t.Fatalf("sender encode path: %v allocs per %d-cell batch, want 0", n, cell.BatchCells)
+	}
+}
+
+// TestTargetEchoPathZeroAllocs covers serveCircuit's per-batch work:
+// command dispatch and in-place decryption of every cell in a batch.
+func TestTargetEchoPathZeroAllocs(t *testing.T) {
+	circ, err := cell.NewCircuit(1, []byte("alloc"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := cell.GetBatch()
+	defer cell.PutBatch(buf)
+	batch := *buf
+	for i := 0; i < cell.BatchCells; i++ {
+		cell.PutHeader(batch[i*cell.Size:], 1, cell.MsmtData)
+	}
+	if n := testing.AllocsPerRun(100, func() {
+		for i := 0; i < cell.BatchCells; i++ {
+			cb := batch[i*cell.Size : (i+1)*cell.Size]
+			if cell.CommandOf(cb) == cell.MsmtData {
+				circ.Forward.ApplyBytes(cell.PayloadOf(cb))
+			}
+		}
+	}); n != 0 {
+		t.Fatalf("target echo path: %v allocs per %d-cell batch, want 0", n, cell.BatchCells)
+	}
+}
+
+// TestReaderDecodePathZeroAllocs covers the measurer reader: batched
+// refill through cellReader plus per-cell header parse and digest check.
+func TestReaderDecodePathZeroAllocs(t *testing.T) {
+	cr := newCellReader(newCellStream(), make([]byte, cell.BatchBytes))
+	want := cell.Digest(make([]byte, cell.PayloadSize))
+	if n := testing.AllocsPerRun(100, func() {
+		for i := 0; i < cell.BatchCells; i++ {
+			cb, err := cr.next()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if cell.CommandOf(cb) != cell.MsmtData {
+				t.Fatal("unexpected command")
+			}
+			if cell.Digest(cell.PayloadOf(cb)) != want {
+				t.Fatal("digest mismatch")
+			}
+		}
+	}); n != 0 {
+		t.Fatalf("reader decode path: %v allocs per %d-cell batch, want 0", n, cell.BatchCells)
+	}
+}

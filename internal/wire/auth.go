@@ -33,9 +33,16 @@ var (
 
 const nonceLen = 32
 
+// frameScratchLen is the per-connection scratch size for handshake frame
+// payloads: large enough for the biggest handshake frame (FrameAuth's
+// key+signature, 96 bytes).
+const frameScratchLen = 128
+
 // serverChallenge sends a nonce and verifies the client's Auth frame
 // against the allowed key set. It returns the authenticated public key.
-func serverChallenge(rw io.ReadWriter, allowed map[string]bool) (ed25519.PublicKey, error) {
+// scratch, when non-nil, receives the frame payload; the returned key is
+// copied out of it.
+func serverChallenge(rw io.ReadWriter, allowed map[string]bool, scratch []byte) (ed25519.PublicKey, error) {
 	nonce := make([]byte, nonceLen)
 	if _, err := rand.Read(nonce); err != nil {
 		return nil, fmt.Errorf("nonce: %w", err)
@@ -43,7 +50,7 @@ func serverChallenge(rw io.ReadWriter, allowed map[string]bool) (ed25519.PublicK
 	if _, err := rw.Write(nonce); err != nil {
 		return nil, fmt.Errorf("send nonce: %w", err)
 	}
-	t, payload, err := ReadFrame(rw)
+	t, payload, err := ReadFrameInto(rw, scratch)
 	if err != nil {
 		return nil, err
 	}
@@ -51,7 +58,9 @@ func serverChallenge(rw io.ReadWriter, allowed map[string]bool) (ed25519.PublicK
 		_ = WriteFrame(rw, FrameReject, nil)
 		return nil, ErrBadFrame
 	}
-	pub := ed25519.PublicKey(payload[:ed25519.PublicKeySize])
+	// Copy: the key outlives the scratch buffer (it is re-checked before
+	// every circuit on this connection).
+	pub := append(ed25519.PublicKey(nil), payload[:ed25519.PublicKeySize]...)
 	sig := payload[ed25519.PublicKeySize:]
 	if !allowed[string(pub)] {
 		_ = WriteFrame(rw, FrameReject, nil)
@@ -80,7 +89,8 @@ func clientAuthenticate(rw io.ReadWriter, id Identity) error {
 	if err := WriteFrame(rw, FrameAuth, payload); err != nil {
 		return err
 	}
-	t, _, err := ReadFrame(rw)
+	var scratch [frameScratchLen]byte
+	t, _, err := ReadFrameInto(rw, scratch[:])
 	if err != nil {
 		return err
 	}

@@ -48,36 +48,54 @@ var (
 	ErrBadFrame      = errors.New("wire: malformed frame")
 )
 
-// WriteFrame writes a length-prefixed control frame.
+// frameHeaderLen is the length prefix (4 bytes) plus the type byte.
+const frameHeaderLen = 5
+
+// WriteFrame writes a length-prefixed control frame. Header and payload go
+// out in a single Write so a frame is never split across two syscalls
+// (and never interleaves with another writer's bytes on a shared conn).
 func WriteFrame(w io.Writer, t FrameType, payload []byte) error {
 	if len(payload) > maxFramePayload {
 		return ErrFrameTooLarge
 	}
-	hdr := make([]byte, 5)
-	binary.BigEndian.PutUint32(hdr[:4], uint32(len(payload)))
-	hdr[4] = byte(t)
-	if _, err := w.Write(hdr); err != nil {
-		return fmt.Errorf("write frame header: %w", err)
-	}
-	if len(payload) > 0 {
-		if _, err := w.Write(payload); err != nil {
-			return fmt.Errorf("write frame payload: %w", err)
-		}
+	buf := make([]byte, frameHeaderLen+len(payload))
+	binary.BigEndian.PutUint32(buf[:4], uint32(len(payload)))
+	buf[4] = byte(t)
+	copy(buf[frameHeaderLen:], payload)
+	if _, err := w.Write(buf); err != nil {
+		return fmt.Errorf("write frame: %w", err)
 	}
 	return nil
 }
 
-// ReadFrame reads one control frame.
+// ReadFrame reads one control frame, allocating a fresh payload buffer the
+// caller owns. Protocol loops that read frames repeatedly should use
+// ReadFrameInto with a per-connection scratch buffer instead.
 func ReadFrame(r io.Reader) (FrameType, []byte, error) {
-	hdr := make([]byte, 5)
-	if _, err := io.ReadFull(r, hdr); err != nil {
+	return ReadFrameInto(r, nil)
+}
+
+// ReadFrameInto reads one control frame, decoding the payload into scratch
+// when it is large enough (the returned payload then aliases scratch and
+// is only valid until the next ReadFrameInto call with the same buffer).
+// A nil or too-small scratch falls back to allocating. Callers that retain
+// payload bytes beyond the next read — authenticated public keys, for
+// example — must copy them out.
+func ReadFrameInto(r io.Reader, scratch []byte) (FrameType, []byte, error) {
+	var hdr [frameHeaderLen]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		return 0, nil, fmt.Errorf("read frame header: %w", err)
 	}
 	n := binary.BigEndian.Uint32(hdr[:4])
 	if n > maxFramePayload {
 		return 0, nil, ErrFrameTooLarge
 	}
-	payload := make([]byte, n)
+	var payload []byte
+	if uint32(len(scratch)) >= n {
+		payload = scratch[:n]
+	} else {
+		payload = make([]byte, n)
+	}
 	if n > 0 {
 		if _, err := io.ReadFull(r, payload); err != nil {
 			return 0, nil, fmt.Errorf("read frame payload: %w", err)

@@ -119,6 +119,13 @@ func Measure(dial Dialer, opts MeasureOptions) (MeasureResult, error) {
 	return MeasureResult{PerSecondBytes: buckets, CellsChecked: checked, Failed: failed}, nil
 }
 
+// inflightWindow bounds the number of un-echoed cells in flight per
+// socket, as the paper's clients take "care not to overflow circuit queue
+// length limits" (§3.4). Without it, a fast sender buries a slower target
+// in kernel buffers and the slot cannot drain cleanly. The window is a
+// small multiple of the batch size so batching never starves the pipeline.
+const inflightWindow = 8 * cell.BatchCells
+
 // measureSocket drives a single measurement connection.
 func measureSocket(dial Dialer, opts MeasureOptions, rateBps float64, start time.Time, seconds int, seed int64) (MeasureResult, error) {
 	conn, err := dial()
@@ -155,28 +162,24 @@ func measureSocket(dial Dialer, opts MeasureOptions, rateBps float64, start time
 		checks   []check
 	)
 
-	// Flow control: bound the number of un-echoed cells in flight per
-	// socket, as the paper's clients take "care not to overflow circuit
-	// queue length limits" (§3.4). Without it, a fast sender buries a
-	// slower target in kernel buffers and the slot cannot drain cleanly.
-	const inflightWindow = 64
 	tokens := make(chan struct{}, inflightWindow)
 
+	// Reader: consume the echo stream batch-refilled from a pooled buffer,
+	// with per-cell accounting done in place — no per-cell allocation, no
+	// per-cell copy.
+	readBuf := cell.GetBatch()
+	defer cell.PutBatch(readBuf)
 	readerDone := make(chan error, 1)
 	go func() {
-		buf := make([]byte, cell.Size)
-		var c cell.Cell
+		cr := newCellReader(conn, *readBuf)
 		var recvSeq uint64
 		for {
-			if _, err := io.ReadFull(conn, buf); err != nil {
+			cb, err := cr.next()
+			if err != nil {
 				readerDone <- fmt.Errorf("read echo: %w", err)
 				return
 			}
-			if err := c.Unmarshal(buf); err != nil {
-				readerDone <- err
-				return
-			}
-			if c.Cmd == cell.MsmtEnd {
+			if cell.CommandOf(cb) == cell.MsmtEnd {
 				readerDone <- nil
 				return
 			}
@@ -188,15 +191,17 @@ func measureSocket(dial Dialer, opts MeasureOptions, rateBps float64, start time
 			if idx >= 0 && idx < seconds {
 				res.PerSecondBytes[idx] += cell.Size
 			}
-			checksMu.Lock()
-			if len(checks) > 0 && checks[0].seq == recvSeq {
-				res.CellsChecked++
-				if cell.Digest(c.Payload[:]) != checks[0].digest {
-					res.Failed = true
+			if opts.CheckProb > 0 {
+				checksMu.Lock()
+				if len(checks) > 0 && checks[0].seq == recvSeq {
+					res.CellsChecked++
+					if cell.Digest(cell.PayloadOf(cb)) != checks[0].digest {
+						res.Failed = true
+					}
+					checks = checks[1:]
 				}
-				checks = checks[1:]
+				checksMu.Unlock()
 			}
-			checksMu.Unlock()
 			recvSeq++
 		}
 	}()
@@ -209,54 +214,77 @@ func measureSocket(dial Dialer, opts MeasureOptions, rateBps float64, start time
 		return res, e
 	}
 
-	// Sender: paced stream of random-content cells.
+	// Sender: paced batches of random-content cells. Each iteration
+	// assembles up to cell.BatchCells cells in a pooled contiguous buffer
+	// — header, payload fill, probabilistic check recording, in-place
+	// forward encryption — then credits the pacer once for the whole
+	// batch and ships it with a single Write.
+	sendBuf := cell.GetBatch()
+	defer cell.PutBatch(sendBuf)
+	out := *sendBuf
+
 	var pace pacer
 	pace.rateBps = rateBps
 	var sendSeq uint64
 	deadline := start.Add(opts.Duration)
-	out := make([]byte, cell.Size)
-	var c cell.Cell
-	c.CircID = 1
-	c.Cmd = cell.MsmtData
+	waitTimer := time.NewTimer(time.Hour)
+	if !waitTimer.Stop() {
+		<-waitTimer.C
+	}
+	defer waitTimer.Stop()
 	for {
 		now := time.Now()
 		if !now.Before(deadline) {
 			break
 		}
-		// Acquire an in-flight slot, but never sleep past the deadline.
-		waitTimer := time.NewTimer(deadline.Sub(now))
-		select {
-		case tokens <- struct{}{}:
-			waitTimer.Stop()
-		case <-waitTimer.C:
-			continue // deadline reached while window was full
+		// Take as many free in-flight slots as the batch can hold;
+		// block for the first one only, and never past the deadline.
+		n := 0
+	greedy:
+		for n < cell.BatchCells {
+			select {
+			case tokens <- struct{}{}:
+				n++
+			default:
+				break greedy
+			}
 		}
-		fillRandom(rng, c.Payload[:])
-		if opts.CheckProb > 0 && rng.Float64() < opts.CheckProb {
-			checksMu.Lock()
-			checks = append(checks, check{seq: sendSeq, digest: cell.Digest(c.Payload[:])})
-			checksMu.Unlock()
+		if n == 0 {
+			waitTimer.Reset(deadline.Sub(now))
+			select {
+			case tokens <- struct{}{}:
+				if !waitTimer.Stop() {
+					<-waitTimer.C
+				}
+				n = 1
+			case <-waitTimer.C:
+				continue // deadline reached while window was full
+			}
 		}
-		// Encrypt forward; the honest target decrypts back to the random
-		// plaintext we recorded.
-		circ.Forward.Apply(&c)
-		pace.wait(cell.Size * 8)
-		if _, err := c.Marshal(out); err != nil {
-			return abort(err)
+		for i := 0; i < n; i++ {
+			cb := out[i*cell.Size : (i+1)*cell.Size]
+			cell.PutHeader(cb, 1, cell.MsmtData)
+			FillPayload(rng, cell.PayloadOf(cb))
+			if opts.CheckProb > 0 && rng.Float64() < opts.CheckProb {
+				checksMu.Lock()
+				checks = append(checks, check{seq: sendSeq + uint64(i), digest: cell.Digest(cell.PayloadOf(cb))})
+				checksMu.Unlock()
+			}
+			// Encrypt forward; the honest target decrypts back to the
+			// random plaintext we recorded.
+			circ.Forward.ApplyBytes(cell.PayloadOf(cb))
 		}
-		if _, err := conn.Write(out); err != nil {
-			return abort(fmt.Errorf("send cell: %w", err))
+		pace.wait(float64(n * cell.Size * 8))
+		if _, err := conn.Write(out[:n*cell.Size]); err != nil {
+			return abort(fmt.Errorf("send cells: %w", err))
 		}
-		sendSeq++
+		sendSeq += uint64(n)
 	}
 	// Signal the end of the slot and wait for the echo stream to drain.
-	var end cell.Cell
-	end.CircID = 1
-	end.Cmd = cell.MsmtEnd
-	if _, err := end.Marshal(out); err != nil {
-		return abort(err)
-	}
-	if _, err := conn.Write(out); err != nil {
+	end := out[:cell.Size]
+	cell.PutHeader(end, 1, cell.MsmtEnd)
+	clear(cell.PayloadOf(end))
+	if _, err := conn.Write(end); err != nil {
 		return abort(fmt.Errorf("send end: %w", err))
 	}
 	select {
@@ -283,7 +311,8 @@ func clientKeyExchange(rw io.ReadWriter) (*cell.Circuit, error) {
 	if err := WriteFrame(rw, FrameCreate, priv.PublicKey().Bytes()); err != nil {
 		return nil, err
 	}
-	ft, payload, err := ReadFrame(rw)
+	var scratch [64]byte
+	ft, payload, err := ReadFrameInto(rw, scratch[:])
 	if err != nil {
 		return nil, err
 	}
@@ -302,10 +331,11 @@ func clientKeyExchange(rw io.ReadWriter) (*cell.Circuit, error) {
 	return cell.NewCircuit(1, secret[:])
 }
 
-// fillRandom fills buf from a fast deterministic stream (crypto-strength
+// FillPayload fills buf from a fast deterministic stream (crypto-strength
 // randomness is unnecessary for payload content; unpredictability to the
-// *target* comes from the forward encryption layer).
-func fillRandom(rng *mrand.Rand, buf []byte) {
+// *target* comes from the forward encryption layer). Exported so the perf
+// harness measures the exact fill the sender performs.
+func FillPayload(rng *mrand.Rand, buf []byte) {
 	for i := 0; i+8 <= len(buf); i += 8 {
 		v := rng.Uint64()
 		buf[i] = byte(v)

@@ -134,12 +134,15 @@ func (t *Target) HandleConn(conn net.Conn) error {
 		t.mu.Unlock()
 	}()
 
-	pub, err := serverChallenge(conn, allowed)
+	// One control-frame scratch buffer serves every handshake on this
+	// connection; frame payloads are copied out when retained.
+	var frameScratch [frameScratchLen]byte
+	pub, err := serverChallenge(conn, allowed, frameScratch[:])
 	if err != nil {
 		return fmt.Errorf("target auth: %w", err)
 	}
 	for {
-		if err := t.serveCircuit(conn, pub); err != nil {
+		if err := t.serveCircuit(conn, pub, frameScratch[:]); err != nil {
 			if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
 				return nil
 			}
@@ -159,14 +162,20 @@ func (t *Target) authorized(pub ed25519.PublicKey) bool {
 // authorization was withdrawn after the connection authenticated.
 var errRevoked = errors.New("wire: measurer authorization revoked")
 
-// serveCircuit serves one measurement circuit: key exchange, then
+// serveCircuit serves one measurement circuit: key exchange, then batched
 // decrypt-and-echo until the measurer sends MsmtEnd. A nil return means
 // the circuit completed cleanly and the connection may carry another.
 // The measurer's authorization is re-checked when the circuit request
 // arrives: Revoke must cut off a measurer even on a connection it already
 // holds open (the pooled-connection case).
-func (t *Target) serveCircuit(conn net.Conn, pub ed25519.PublicKey) error {
-	circ, err := serverKeyExchange(conn)
+//
+// The echo loop is the relay's hot path and runs allocation-free in steady
+// state: a pooled batch buffer is refilled with one Read for many cells,
+// each cell is decrypted in place (§4.1 — the relay does its real crypto
+// work), the pacer is credited once per batch, and the whole batch is
+// echoed with one Write.
+func (t *Target) serveCircuit(conn net.Conn, pub ed25519.PublicKey, frameScratch []byte) error {
+	circ, err := serverKeyExchange(conn, frameScratch)
 	if err != nil {
 		if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
 			return err
@@ -177,49 +186,57 @@ func (t *Target) serveCircuit(conn net.Conn, pub ed25519.PublicKey) error {
 		return errRevoked
 	}
 
-	buf := make([]byte, cell.Size)
-	var c cell.Cell
+	batchBuf := cell.GetBatch()
+	defer cell.PutBatch(batchBuf)
+	cr := newCellReader(conn, *batchBuf)
 	for {
-		if _, err := io.ReadFull(conn, buf); err != nil {
+		batch, err := cr.nextBatch()
+		if err != nil {
 			if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
 				return err
 			}
 			return fmt.Errorf("target read: %w", err)
 		}
-		if err := c.Unmarshal(buf); err != nil {
-			return err
+		k := len(batch) / cell.Size
+		for i := 0; i < k; i++ {
+			cb := batch[i*cell.Size : (i+1)*cell.Size]
+			switch cmd := cell.CommandOf(cb); cmd {
+			case cell.MsmtData:
+				if !t.cfg.Corrupt {
+					// The relay's real work: decrypt the cell payload.
+					circ.Forward.ApplyBytes(cell.PayloadOf(cb))
+				}
+			case cell.MsmtEnd:
+				// Echo the decrypted data prefix plus the End marker in
+				// one write so the measurer's reader can finish cleanly;
+				// only the data cells are paced and counted.
+				if i > 0 {
+					t.pace.wait(float64(i * cell.Size * 8))
+				}
+				if _, err := conn.Write(batch[:(i+1)*cell.Size]); err != nil {
+					return fmt.Errorf("target echo: %w", err)
+				}
+				if i > 0 {
+					t.counts.add(float64(i * cell.Size))
+				}
+				return nil
+			default:
+				return fmt.Errorf("target: unexpected cell %v", cmd)
+			}
 		}
-		switch c.Cmd {
-		case cell.MsmtEnd:
-			// Echo the End so the measurer's reader can finish cleanly.
-			if _, err := conn.Write(buf); err != nil {
-				return err
-			}
-			return nil
-		case cell.MsmtData:
-			if !t.cfg.Corrupt {
-				// The relay's real work: decrypt the cell payload.
-				circ.Forward.Apply(&c)
-			}
-			t.pace.wait(cell.Size * 8)
-			out := make([]byte, cell.Size)
-			if _, err := c.Marshal(out); err != nil {
-				return err
-			}
-			if _, err := conn.Write(out); err != nil {
-				return fmt.Errorf("target echo: %w", err)
-			}
-			t.counts.add(cell.Size)
-		default:
-			return fmt.Errorf("target: unexpected cell %v", c.Cmd)
+		t.pace.wait(float64(k * cell.Size * 8))
+		if _, err := conn.Write(batch); err != nil {
+			return fmt.Errorf("target echo: %w", err)
 		}
+		t.counts.add(float64(k * cell.Size))
 	}
 }
 
 // serverKeyExchange answers a FrameCreate with FrameCreated and derives
-// the measurement circuit keys.
-func serverKeyExchange(rw io.ReadWriter) (*cell.Circuit, error) {
-	ft, payload, err := ReadFrame(rw)
+// the measurement circuit keys. scratch, when non-nil, receives the frame
+// payload (nothing from it is retained past the return).
+func serverKeyExchange(rw io.ReadWriter, scratch []byte) (*cell.Circuit, error) {
+	ft, payload, err := ReadFrameInto(rw, scratch)
 	if err != nil {
 		return nil, err
 	}

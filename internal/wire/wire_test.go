@@ -91,7 +91,7 @@ func TestAuthHandshakeOverPipe(t *testing.T) {
 	defer server.Close()
 	done := make(chan error, 1)
 	go func() {
-		_, err := serverChallenge(server, map[string]bool{string(id.Pub): true})
+		_, err := serverChallenge(server, map[string]bool{string(id.Pub): true}, nil)
 		done <- err
 	}()
 	if err := clientAuthenticate(client, id); err != nil {
@@ -110,7 +110,7 @@ func TestAuthRejectsUnknownKey(t *testing.T) {
 	defer server.Close()
 	done := make(chan error, 1)
 	go func() {
-		_, err := serverChallenge(server, map[string]bool{string(good.Pub): true})
+		_, err := serverChallenge(server, map[string]bool{string(good.Pub): true}, nil)
 		done <- err
 	}()
 	if err := clientAuthenticate(client, evil); err == nil {
@@ -131,7 +131,7 @@ func TestAuthRejectsBadSignature(t *testing.T) {
 	defer server.Close()
 	done := make(chan error, 1)
 	go func() {
-		_, err := serverChallenge(server, map[string]bool{string(id.Pub): true})
+		_, err := serverChallenge(server, map[string]bool{string(id.Pub): true}, nil)
 		done <- err
 	}()
 	if err := clientAuthenticate(client, forged); err == nil {

@@ -8,14 +8,16 @@
 // writing v3bw-style bandwidth-file snapshots.
 //
 // SIGINT or SIGTERM triggers a graceful shutdown: in-flight measurement
-// slots are drained, the final (partial) round is reported, and the
-// process exits cleanly.
+// slots are cancelled mid-slot (the streaming backends tear them down
+// within about one second of data, salvaging the completed seconds as
+// partial estimates), the final (partial) round is reported, and the
+// process exits cleanly — no waiting out full slots.
 //
 // Usage:
 //
 //	go run ./cmd/coordd [-relays 4] [-measurers 2] [-workers 4] \
-//	    [-rounds 0] [-interval 2s] [-slot 1] [-pool 4] [-pool-ttl 90s] \
-//	    [-snapshot-dir DIR] [-attempts 3] [-relay-rate 0]
+//	    [-rounds 0] [-interval 2s] [-slot 1] [-slot-timeout 0] [-pool 4] \
+//	    [-pool-ttl 90s] [-snapshot-dir DIR] [-attempts 3] [-relay-rate 0]
 package main
 
 import (
@@ -55,6 +57,7 @@ func run() error {
 		poolTTL     = flag.Duration("pool-ttl", 90*time.Second, "idle connection TTL")
 		snapshotDir = flag.String("snapshot-dir", "", "directory for v3bw snapshots (empty = none)")
 		attempts    = flag.Int("attempts", 3, "max measurement attempts per slot")
+		slotTimeout = flag.Duration("slot-timeout", 0, "wall-clock bound per slot assignment; its context is cancelled on expiry (0 = off)")
 		relayRate   = flag.Float64("relay-rate", 0, "per-relay attempt rate limit per second (0 = off)")
 	)
 	flag.Parse()
@@ -144,6 +147,7 @@ func run() error {
 		Params:              p,
 		Workers:             *workers,
 		MaxAttempts:         *attempts,
+		SlotTimeout:         *slotTimeout,
 		RelayAttemptsPerSec: *relayRate,
 		RelayBurst:          2,
 		RoundInterval:       *interval,
@@ -169,7 +173,7 @@ func run() error {
 		*relays, *measurers, *workers)
 	err = c.Run(ctx)
 	if err == context.Canceled {
-		fmt.Println("coordd: interrupted — in-flight slots drained")
+		fmt.Println("coordd: interrupted — in-flight slots cancelled and drained")
 	}
 	fmt.Print(counters.String())
 	return err

@@ -3,16 +3,25 @@
 // self-contained demonstration of the wire protocol and the §4
 // measurement pipeline.
 //
+// SIGINT/SIGTERM cancel the run instead of killing the process
+// mid-measurement: the in-flight slot is torn down promptly and the
+// partial outcome — every attempt completed or salvaged before the
+// signal — is printed before exiting.
+//
 // Usage:
 //
 //	go run ./cmd/flashflow [-rate 20] [-seconds 5] [-measurers 2] [-sockets 16]
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"net"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"flashflow/internal/core"
@@ -21,6 +30,9 @@ import (
 
 func main() {
 	if err := run(); err != nil {
+		if errors.Is(err, context.Canceled) {
+			os.Exit(130) // interrupted, partial outcome already printed
+		}
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
@@ -36,6 +48,9 @@ func run() error {
 		corrupt   = flag.Bool("corrupt", false, "make the target forge echoes (detection demo)")
 	)
 	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	rate := *rateMbit * 1e6
 	target := wire.NewTarget(wire.TargetConfig{RateBps: rate, Corrupt: *corrupt})
@@ -79,17 +94,40 @@ func run() error {
 	}
 	backend := &wire.Backend{Members: members, CheckProb: checkProb, Seed: time.Now().UnixNano()}
 
-	fmt.Printf("target %s at %.0f Mbit/s; team of %d, s=%d, t=%ds, f=%.2f\n",
+	fmt.Printf("target %s at %.0f Mbit/s; team of %d, s=%d, t=%ds, f=%.2f (ctrl-C cancels cleanly)\n",
 		addr, rate/1e6, *measurers, p.Sockets, p.SlotSeconds, p.ExcessFactor())
-	out, err := core.MeasureRelay(backend, team, "target", rate, p)
+	out, err := core.MeasureRelay(ctx, backend, team, "target", rate, p)
+	printAttempts(out)
+	if errors.Is(err, context.Canceled) {
+		// The signal tore the in-flight slot down; the attempts above
+		// include whatever partial seconds were salvaged from it.
+		if out.EstimateBps > 0 {
+			fmt.Printf("interrupted: partial estimate %.2f Mbit/s from %d attempt(s), %d slot-seconds (inconclusive)\n",
+				out.EstimateBps/1e6, len(out.Attempts), out.SlotSecondsUsed())
+		} else {
+			fmt.Println("interrupted before any measurement second completed")
+		}
+		return err
+	}
 	if err != nil {
 		return fmt.Errorf("measurement: %w", err)
 	}
-	for i, a := range out.Attempts {
-		fmt.Printf("attempt %d: alloc %.1f Mbit/s → %.2f Mbit/s (accepted=%v)\n",
-			i+1, a.AllocatedBps/1e6, a.EstimateBps/1e6, a.Accepted)
-	}
-	fmt.Printf("estimate %.2f Mbit/s (%.1f%% of configured rate), conclusive=%v\n",
-		out.EstimateBps/1e6, out.EstimateBps/rate*100, out.Conclusive)
+	fmt.Printf("estimate %.2f Mbit/s (%.1f%% of configured rate), conclusive=%v, %d slot-seconds\n",
+		out.EstimateBps/1e6, out.EstimateBps/rate*100, out.Conclusive, out.SlotSecondsUsed())
 	return nil
+}
+
+// printAttempts renders the doubling-loop attempts, marking early-aborted
+// and partial slots with the seconds they actually consumed.
+func printAttempts(out core.MeasureOutcome) {
+	for i, a := range out.Attempts {
+		note := ""
+		if a.Aborted {
+			note = fmt.Sprintf(" [aborted after %ds]", a.Seconds)
+		} else if a.Seconds > 0 && !a.Accepted && !a.Aborted {
+			note = fmt.Sprintf(" [%ds]", a.Seconds)
+		}
+		fmt.Printf("attempt %d: alloc %.1f Mbit/s → %.2f Mbit/s (accepted=%v)%s\n",
+			i+1, a.AllocatedBps/1e6, a.EstimateBps/1e6, a.Accepted, note)
+	}
 }

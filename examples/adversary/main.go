@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"log"
@@ -52,7 +53,7 @@ func run() error {
 		LinkBps:  1e9,
 		Behavior: core.BehaviorHonest,
 	})
-	out, err := core.MeasureRelay(b, team(), "honest", trueCap, p)
+	out, err := core.MeasureRelay(context.Background(), b, team(), "honest", trueCap, p)
 	if err != nil {
 		return err
 	}
@@ -66,7 +67,7 @@ func run() error {
 		LinkBps:  1e9,
 		Behavior: core.BehaviorInflateNormal,
 	})
-	out, err = core.MeasureRelay(b2, team(), "liar", trueCap, p)
+	out, err = core.MeasureRelay(context.Background(), b2, team(), "liar", trueCap, p)
 	if err != nil {
 		return err
 	}
@@ -81,7 +82,7 @@ func run() error {
 		Behavior:   core.BehaviorForgeEcho,
 		ForgeBoost: 2,
 	})
-	_, err = core.MeasureRelay(b3, team(), "forger", trueCap, p)
+	_, err = core.MeasureRelay(context.Background(), b3, team(), "forger", trueCap, p)
 	if errors.Is(err, core.ErrMeasurementFailed) {
 		fmt.Println("forging relay:  measurement FAILED (echo verification caught it)")
 	} else if err != nil {

@@ -90,6 +90,9 @@ func run() error {
 		MaxAttempts: 3,
 		RetryBase:   50 * time.Millisecond,
 		MaxRounds:   3,
+		// A wedged slot is cancelled (and retried) rather than hanging a
+		// worker forever; the streaming backend tears it down promptly.
+		SlotTimeout: 30 * time.Second,
 		Pool:        pool,
 		OnRound: func(r coord.RoundReport) {
 			fmt.Println(r)

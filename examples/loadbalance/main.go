@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -26,7 +27,7 @@ func run() error {
 	fmt.Printf("network: %d relays, %.1f Gbit/s total capacity\n",
 		len(relays), shadow.TotalCapacityBps(relays)/1e9)
 
-	ffWeights, err := shadow.MeasureWithFlashFlow(relays, 1)
+	ffWeights, err := shadow.MeasureWithFlashFlow(context.Background(), relays, 1)
 	if err != nil {
 		return err
 	}

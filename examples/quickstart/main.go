@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"net"
@@ -68,7 +69,7 @@ func run() error {
 		p.Multiplier, p.ExcessFactor(), p.Ratio, p.SlotSeconds, p.Sockets)
 
 	start := time.Now()
-	out, err := core.MeasureRelay(backend, team, "demo-relay", targetRate, p)
+	out, err := core.MeasureRelay(context.Background(), backend, team, "demo-relay", targetRate, p)
 	if err != nil {
 		return err
 	}

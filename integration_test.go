@@ -7,6 +7,7 @@ package flashflow
 // pipeline feeding the §7 evaluation.
 
 import (
+	"context"
 	"fmt"
 	"testing"
 	"time"
@@ -102,7 +103,7 @@ func TestFullPeriodPipeline(t *testing.T) {
 			auths[b].SetEstimate(names[i], r.AdvertisedBps)
 		}
 	}
-	period := core.RunPeriod(auths, names)
+	period := core.RunPeriod(context.Background(), auths, names)
 	if len(period.Errors) != 0 {
 		t.Fatalf("measurement errors: %v", period.Errors)
 	}
@@ -191,7 +192,7 @@ func TestPeriodWithAdversaries(t *testing.T) {
 			auths[b].SetEstimate(n, 200e6)
 		}
 	}
-	period := core.RunPeriod(auths, []string{"honest", "liar", "forger"})
+	period := core.RunPeriod(context.Background(), auths, []string{"honest", "liar", "forger"})
 
 	// The forger fails at every BWAuth.
 	forgerErrors := 0

@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"sync"
 	"time"
 
@@ -65,6 +66,12 @@ type Config struct {
 	// limiter; zero rate disables it.
 	RelayAttemptsPerSec float64
 	RelayBurst          int
+	// SlotTimeout bounds one slot assignment's wall-clock time (the whole
+	// §4.2 doubling loop for that relay, across its measurement attempts):
+	// the per-slot context is cancelled when it expires, the backend tears
+	// the measurement down promptly, and the slot is retried or reported
+	// like any other failure. Zero disables the bound.
+	SlotTimeout time.Duration
 	// RoundInterval is the pause between the end of one round and the
 	// start of the next; zero runs rounds back to back.
 	RoundInterval time.Duration
@@ -164,12 +171,34 @@ func (r RoundReport) String() string {
 		r.Round, r.Relays, r.Conclusive, r.Scheduled, r.Inconclusive, len(r.Unmeasured), r.Retries, r.Pool.Hits, r.Pool.Misses, r.Duration.Round(time.Millisecond))
 }
 
+// SlotProgress is a live view of one in-flight measurement, fed by the
+// streaming sample pipeline: the coordinator tees every backend sample, so
+// Status can report how far each relay's current slot has advanced while
+// it is still running.
+type SlotProgress struct {
+	Relay  string
+	BWAuth string
+	// AllocatedBps is the current attempt's total allocation.
+	AllocatedBps float64
+	// SlotSeconds is the attempt's scheduled length; Second counts the
+	// seconds streamed so far (0 before the first sample).
+	SlotSeconds int
+	Second      int
+	// Bytes is the total measurement bytes observed so far this attempt.
+	Bytes float64
+	// Started is when the current attempt's slot began.
+	Started time.Time
+}
+
 // Status is a point-in-time view of the coordinator.
 type Status struct {
 	// Round is the round currently executing (or last finished).
 	Round int
 	// InFlight counts measurements executing right now.
 	InFlight int
+	// Measuring lists the in-flight slots with their live per-second
+	// progress, sorted by relay then BWAuth.
+	Measuring []SlotProgress
 	// Counters is a snapshot of the operational counters.
 	Counters map[string]int64
 	// LastRound is the most recent round report, nil before the first
@@ -191,9 +220,14 @@ type Coordinator struct {
 	inFlight int
 	priors   map[string]float64
 	last     *RoundReport
+	progress map[string]*SlotProgress
 }
 
-// New validates the configuration and creates a Coordinator.
+// New validates the configuration and creates a Coordinator. Each
+// BWAuth's Backend is wrapped with a thin tee that feeds the streaming
+// per-second samples into the coordinator's live progress view
+// (Status().Measuring); the wrapped backend forwards everything else
+// unchanged.
 func New(cfg Config, auths []*core.BWAuth, source RelaySource) (*Coordinator, error) {
 	cfg = cfg.withDefaults()
 	if len(auths) == 0 {
@@ -215,14 +249,72 @@ func New(cfg Config, auths []*core.BWAuth, source RelaySource) (*Coordinator, er
 	if err := cfg.Params.Validate(); err != nil {
 		return nil, err
 	}
-	return &Coordinator{
-		cfg:     cfg,
-		auths:   auths,
-		source:  source,
-		backoff: NewBackoff(cfg.RetryBase, cfg.RetryMax, cfg.Seed),
-		limiter: NewRelayLimiter(cfg.RelayAttemptsPerSec, cfg.RelayBurst),
-		priors:  make(map[string]float64),
-	}, nil
+	c := &Coordinator{
+		cfg:      cfg,
+		auths:    auths,
+		source:   source,
+		backoff:  NewBackoff(cfg.RetryBase, cfg.RetryMax, cfg.Seed),
+		limiter:  NewRelayLimiter(cfg.RelayAttemptsPerSec, cfg.RelayBurst),
+		priors:   make(map[string]float64),
+		progress: make(map[string]*SlotProgress),
+	}
+	for _, a := range auths {
+		inner := a.Backend
+		// Re-creating a coordinator over the same BWAuths (a restart
+		// pattern) must not chain tees: unwrap any previous coordinator's
+		// wrapper so the old coordinator's progress table — and the old
+		// coordinator itself — stop being reachable from the backend.
+		if tee, ok := inner.(*progressTee); ok {
+			inner = tee.inner
+		}
+		a.Backend = &progressTee{inner: inner, c: c, auth: a.Name}
+	}
+	return c, nil
+}
+
+// progressTee wraps a core.Backend so every slot's stream of per-second
+// samples also updates the coordinator's live progress table. The caller's
+// sink (the §4.2 early-abort watcher installed by MeasureRelayGuarded)
+// still sees every sample.
+type progressTee struct {
+	inner core.Backend
+	c     *Coordinator
+	auth  string
+}
+
+func (t *progressTee) RunMeasurement(ctx context.Context, target string, alloc core.Allocation, seconds int, sink core.SampleSink) (core.MeasurementData, error) {
+	key := t.auth + "/" + target
+	t.c.mu.Lock()
+	t.c.progress[key] = &SlotProgress{
+		Relay:        target,
+		BWAuth:       t.auth,
+		AllocatedBps: alloc.TotalBps,
+		SlotSeconds:  seconds,
+		Started:      time.Now(),
+	}
+	t.c.mu.Unlock()
+	defer func() {
+		t.c.mu.Lock()
+		delete(t.c.progress, key)
+		t.c.mu.Unlock()
+	}()
+	tee := func(s core.Sample) {
+		var bytes float64
+		for _, v := range s.MeasBytes {
+			bytes += v
+		}
+		bytes += s.NormBytes
+		t.c.mu.Lock()
+		if p, ok := t.c.progress[key]; ok {
+			p.Second = s.Second + 1
+			p.Bytes += bytes
+		}
+		t.c.mu.Unlock()
+		if sink != nil {
+			sink(s)
+		}
+	}
+	return t.inner.RunMeasurement(ctx, target, alloc, seconds, tee)
 }
 
 // Status returns a snapshot of the coordinator's state.
@@ -234,6 +326,15 @@ func (c *Coordinator) Status() Status {
 		InFlight: c.inFlight,
 		Counters: c.cfg.Counters.Snapshot(),
 	}
+	for _, p := range c.progress {
+		s.Measuring = append(s.Measuring, *p)
+	}
+	sort.Slice(s.Measuring, func(i, j int) bool {
+		if s.Measuring[i].Relay != s.Measuring[j].Relay {
+			return s.Measuring[i].Relay < s.Measuring[j].Relay
+		}
+		return s.Measuring[i].BWAuth < s.Measuring[j].BWAuth
+	})
 	if c.last != nil {
 		rep := *c.last
 		s.LastRound = &rep
@@ -255,9 +356,11 @@ func (c *Coordinator) Priors() map[string]float64 {
 
 // Run executes measurement rounds until the context is cancelled or
 // cfg.MaxRounds rounds have completed. On cancellation, in-flight
-// measurements are drained before Run returns the context's error; slots
-// that had not started are reported as unmeasured in the final (partial)
-// round report.
+// measurement slots are themselves cancelled — the streaming backends
+// tear them down within about one second of data — and drained before Run
+// returns the context's error; their completed seconds are salvaged as
+// partial estimates where possible, and slots that had not started are
+// reported as unmeasured in the final (partial) round report.
 func (c *Coordinator) Run(ctx context.Context) error {
 	for round := 1; ; round++ {
 		if err := ctx.Err(); err != nil {
@@ -549,7 +652,17 @@ func (c *Coordinator) runJob(ctx context.Context, j *slotJob, queue chan<- *slot
 	c.mu.Lock()
 	c.inFlight++
 	c.mu.Unlock()
-	out, err := c.auths[j.auth].MeasureTarget(j.relay)
+	// Per-slot context: shutdown cancels the in-flight measurement (the
+	// backend tears the slot down within about a second of data instead of
+	// waiting out the full slot), and the optional slot timeout bounds a
+	// wedged slot the same way.
+	slotCtx := ctx
+	cancelSlot := context.CancelFunc(func() {})
+	if c.cfg.SlotTimeout > 0 {
+		slotCtx, cancelSlot = context.WithTimeout(ctx, c.cfg.SlotTimeout)
+	}
+	out, err := c.auths[j.auth].MeasureTarget(slotCtx, j.relay)
+	cancelSlot()
 	c.mu.Lock()
 	c.inFlight--
 	c.mu.Unlock()
@@ -558,11 +671,23 @@ func (c *Coordinator) runJob(ctx context.Context, j *slotJob, queue chan<- *slot
 	if err != nil {
 		ctr.Inc("coord_slot_errors")
 		// Salvage any estimate the failed run produced (e.g. the doubling
-		// loop's earlier attempts succeeded before a connection dropped):
+		// loop's earlier attempts succeeded before a connection dropped,
+		// or a cancelled slot's completed seconds were aggregated):
 		// finalize reports a job with an estimate as inconclusively
 		// measured rather than unmeasured.
 		if out.EstimateBps > 0 {
 			j.outcome, j.hasOutcome = out, true
+		}
+		if ctx.Err() != nil {
+			// Shutdown cancelled the in-flight slot; don't burn backoff
+			// timers on a dying coordinator.
+			c.finalize(j, col, pending, "shutdown cancelled in-flight slot")
+			return
+		}
+		if errors.Is(err, context.DeadlineExceeded) {
+			ctr.Inc("coord_slot_timeouts")
+			c.retryOrFail(ctx, j, queue, pending, col, "slot timeout after "+c.cfg.SlotTimeout.String())
+			return
 		}
 		if errors.Is(err, core.ErrInsufficientCapacity) && j.capDeferrals < maxCapacityDeferrals {
 			// The allocation collided with in-flight measurements holding

@@ -27,36 +27,41 @@ func readV3BW(path string) (*dirauth.BandwidthFile, error) {
 // fakeBackend is a deterministic core.Backend: a target echoes
 // min(capacity, allocation) every second, so measurements behave like an
 // ideal noise-free relay — conclusive exactly when the allocation carries
-// the §4.2 excess factor over true capacity. Per-target failure budgets
-// and a global block channel drive the retry and shutdown tests.
+// the §4.2 excess factor over true capacity. Per-target failure budgets,
+// a global block channel, and an optional per-second delay drive the
+// retry, shutdown, and cancellation-latency tests.
 type fakeBackend struct {
-	mu       sync.Mutex
-	capBps   map[string]float64
-	failures map[string]int // fail this many calls (-1: always)
-	capErrs  map[string]int // fail this many calls with ErrInsufficientCapacity (-1: always)
-	failFrom map[string]int // fail every call from this per-target call index (1-based) on
-	callsPer map[string]int
-	allocs   []float64 // TotalBps per RunMeasurement call, in order
-	started  int
-	finished int
-	block    chan struct{} // when non-nil, RunMeasurement waits on it
+	mu          sync.Mutex
+	capBps      map[string]float64
+	failures    map[string]int // fail this many calls (-1: always)
+	capErrs     map[string]int // fail this many calls with ErrInsufficientCapacity (-1: always)
+	failFrom    map[string]int // fail every call from this per-target call index (1-based) on
+	callsPer    map[string]int
+	allocs      []float64 // TotalBps per RunMeasurement call, in order
+	started     int
+	finished    int
+	block       chan struct{}  // when non-nil, RunMeasurement waits on it (or ctx)
+	secondDelay time.Duration  // when >0, each simulated second costs this much wall clock
+	lateSeconds map[string]int // seconds emitted after ctx cancellation, per target
 }
 
 func newFakeBackend(caps map[string]float64) *fakeBackend {
 	return &fakeBackend{
-		capBps:   caps,
-		failures: make(map[string]int),
-		capErrs:  make(map[string]int),
-		failFrom: make(map[string]int),
-		callsPer: make(map[string]int),
+		capBps:      caps,
+		failures:    make(map[string]int),
+		capErrs:     make(map[string]int),
+		failFrom:    make(map[string]int),
+		callsPer:    make(map[string]int),
+		lateSeconds: make(map[string]int),
 	}
 }
 
-func (f *fakeBackend) RunMeasurement(target string, alloc core.Allocation, seconds int) (core.MeasurementData, error) {
+func (f *fakeBackend) RunMeasurement(ctx context.Context, target string, alloc core.Allocation, seconds int, sink core.SampleSink) (core.MeasurementData, error) {
 	f.mu.Lock()
 	f.started++
 	f.allocs = append(f.allocs, alloc.TotalBps)
 	block := f.block
+	delay := f.secondDelay
 	fail := false
 	if n := f.failures[target]; n != 0 {
 		fail = true
@@ -78,14 +83,18 @@ func (f *fakeBackend) RunMeasurement(target string, alloc core.Allocation, secon
 	capBps, known := f.capBps[target]
 	f.mu.Unlock()
 
-	if block != nil {
-		<-block
-	}
 	defer func() {
 		f.mu.Lock()
 		f.finished++
 		f.mu.Unlock()
 	}()
+	if block != nil {
+		select {
+		case <-block:
+		case <-ctx.Done():
+			return core.MeasurementData{}, ctx.Err()
+		}
+	}
 	if capErr {
 		return core.MeasurementData{}, fmt.Errorf("fake alloc: %w", core.ErrInsufficientCapacity)
 	}
@@ -96,9 +105,32 @@ func (f *fakeBackend) RunMeasurement(target string, alloc core.Allocation, secon
 		return core.MeasurementData{}, fmt.Errorf("fake: unknown target %s", target)
 	}
 	echo := math.Min(capBps, alloc.TotalBps)
-	series := make([]float64, seconds)
-	for j := range series {
-		series[j] = echo / 8 // bytes per second
+	series := make([]float64, 0, seconds)
+	for j := 0; j < seconds; j++ {
+		if err := ctx.Err(); err != nil {
+			return core.MeasurementData{MeasBytes: [][]float64{series}}, err
+		}
+		if delay > 0 {
+			timer := time.NewTimer(delay)
+			select {
+			case <-timer.C:
+			case <-ctx.Done():
+				timer.Stop()
+				return core.MeasurementData{MeasBytes: [][]float64{series}}, ctx.Err()
+			}
+			if ctx.Err() != nil {
+				// Emitting a second after cancellation counts against the
+				// prompt-teardown contract; record it so tests can bound
+				// the teardown in simulated seconds.
+				f.mu.Lock()
+				f.lateSeconds[target]++
+				f.mu.Unlock()
+			}
+		}
+		series = append(series, echo/8) // bytes per second
+		if sink != nil {
+			sink(core.Sample{Second: j, MeasBytes: series[j : j+1]})
+		}
 	}
 	return core.MeasurementData{MeasBytes: [][]float64{series}}, nil
 }
@@ -304,11 +336,15 @@ func TestRoundsFeedPriors(t *testing.T) {
 	}
 }
 
-// TestGracefulShutdownDrainsInFlight pins the shutdown contract: on
-// cancellation, measurements already executing run to completion (started
-// == finished on the backend), queued slots are reported unmeasured with a
-// shutdown reason, and the final report is marked partial.
-func TestGracefulShutdownDrainsInFlight(t *testing.T) {
+// TestGracefulShutdownCancelsInFlight pins the shutdown contract of the
+// streaming pipeline: on cancellation, measurements already executing are
+// cancelled (the backend sees ctx.Done and returns immediately — the block
+// channel is never released), every backend call still returns (started ==
+// finished), queued and cancelled slots are reported unmeasured with a
+// shutdown reason, and the final report is marked partial. The old
+// contract waited out in-flight slots; the refactored coordinator must
+// not.
+func TestGracefulShutdownCancelsInFlight(t *testing.T) {
 	caps := make(map[string]float64)
 	var source StaticRelays
 	for i := 0; i < 8; i++ {
@@ -317,7 +353,7 @@ func TestGracefulShutdownDrainsInFlight(t *testing.T) {
 		source = append(source, core.RelayEstimate{Name: name, EstimateBps: 20e6})
 	}
 	backend := newFakeBackend(caps)
-	backend.block = make(chan struct{})
+	backend.block = make(chan struct{}) // never closed: only cancellation can release a slot
 	p := testParams()
 	auths := []*core.BWAuth{testAuth("bw0", backend, p)}
 
@@ -348,7 +384,6 @@ func TestGracefulShutdownDrainsInFlight(t *testing.T) {
 		time.Sleep(time.Millisecond)
 	}
 	cancel()
-	close(backend.block) // release the in-flight measurements
 
 	select {
 	case err := <-done:
@@ -367,17 +402,136 @@ func TestGracefulShutdownDrainsInFlight(t *testing.T) {
 	if rep == nil || !rep.Partial {
 		t.Fatalf("final report should be partial: %+v", rep)
 	}
-	if rep.Conclusive != started {
-		t.Fatalf("drained slots should conclude: conclusive %d, started %d", rep.Conclusive, started)
+	if rep.Conclusive != 0 {
+		t.Fatalf("no slot can conclude when the backend only unblocks on cancel: %+v", rep)
 	}
-	if len(rep.Unmeasured) != rep.Scheduled-started {
-		t.Fatalf("queued slots must be reported: %d unmeasured, %d scheduled, %d started",
-			len(rep.Unmeasured), rep.Scheduled, started)
+	if len(rep.Unmeasured) != rep.Scheduled {
+		t.Fatalf("every slot must be reported: %d unmeasured, %d scheduled",
+			len(rep.Unmeasured), rep.Scheduled)
 	}
 	for _, um := range rep.Unmeasured {
 		if !strings.Contains(um.Reason, "shutdown") {
 			t.Fatalf("reason: %+v", um)
 		}
+	}
+}
+
+// TestShutdownCancellationLatency is the headline latency guarantee of the
+// streaming refactor: with a deliberately slow backend (200 ms per
+// simulated second, 30-second slots — a six-second slot), cancelling Run's
+// context must return well under one slot length, and the backend must
+// stop within two simulated seconds of the cancellation.
+func TestShutdownCancellationLatency(t *testing.T) {
+	const perSecond = 200 * time.Millisecond
+	backend := newFakeBackend(map[string]float64{"slow": 20e6})
+	backend.secondDelay = perSecond
+	p := testParams()
+	p.SlotSeconds = 30 // full slot = 6 s of wall clock on this backend
+	auths := []*core.BWAuth{testAuth("bw0", backend, p)}
+	c, err := New(Config{
+		Params:      p,
+		Workers:     1,
+		MaxAttempts: 1,
+		RetryBase:   time.Millisecond,
+	}, auths, StaticRelays{{Name: "slow", EstimateBps: 20e6}})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- c.Run(ctx) }()
+
+	// Let the slot stream a few seconds, then pull the plug.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if st := c.Status(); len(st.Measuring) > 0 && st.Measuring[0].Second >= 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("slot never started streaming")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	cancelAt := time.Now()
+	cancel()
+	select {
+	case err := <-done:
+		if err != context.Canceled {
+			t.Fatalf("Run returned %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Run did not return after cancellation")
+	}
+	latency := time.Since(cancelAt)
+	slot := time.Duration(p.SlotSeconds) * perSecond
+	if latency > slot/3 {
+		t.Fatalf("shutdown latency %v not well under one slot (%v)", latency, slot)
+	}
+	backend.mu.Lock()
+	late := backend.lateSeconds["slow"]
+	backend.mu.Unlock()
+	if late > 2 {
+		t.Fatalf("backend emitted %d seconds after cancellation, want ≤ 2", late)
+	}
+
+	// The cancelled slot's completed seconds were salvaged into a partial
+	// estimate rather than thrown away.
+	rep := c.Status().LastRound
+	if rep == nil || !rep.Partial {
+		t.Fatalf("final report should be partial: %+v", rep)
+	}
+	if est := rep.Estimates["slow"]; est <= 0 {
+		t.Fatalf("cancelled slot's completed seconds should be salvaged: %+v", rep)
+	}
+}
+
+// TestStatusReportsLiveProgress checks the progress tee: while a slow slot
+// streams, Status().Measuring exposes the relay, its allocation, and an
+// advancing second counter.
+func TestStatusReportsLiveProgress(t *testing.T) {
+	backend := newFakeBackend(map[string]float64{"r": 20e6})
+	backend.secondDelay = 20 * time.Millisecond
+	p := testParams()
+	p.SlotSeconds = 50
+	auths := []*core.BWAuth{testAuth("bw0", backend, p)}
+	c, err := New(Config{
+		Params:      p,
+		Workers:     1,
+		MaxAttempts: 1,
+		RetryBase:   time.Millisecond,
+		MaxRounds:   1,
+	}, auths, StaticRelays{{Name: "r", EstimateBps: 20e6}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- c.Run(context.Background()) }()
+
+	deadline := time.Now().Add(5 * time.Second)
+	var seen SlotProgress
+	for {
+		st := c.Status()
+		if len(st.Measuring) > 0 && st.Measuring[0].Second >= 2 {
+			seen = st.Measuring[0]
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("no live progress observed")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if seen.Relay != "r" || seen.BWAuth != "bw0" {
+		t.Fatalf("progress identity: %+v", seen)
+	}
+	if seen.AllocatedBps <= 0 || seen.Bytes <= 0 || seen.SlotSeconds != 50 {
+		t.Fatalf("progress payload: %+v", seen)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if got := len(c.Status().Measuring); got != 0 {
+		t.Fatalf("progress entries must be cleared after the slot: %d", got)
 	}
 }
 

@@ -1,0 +1,160 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+// TestEarlyAbortCutsUndersizedAttemptsShort pins the streaming early-abort
+// rule: every doubling attempt whose allocation cannot possibly yield an
+// accepted estimate is cancelled once ⌊t/2⌋+1 seconds prove it, while the
+// final (sufficient) attempt runs its full slot and concludes.
+func TestEarlyAbortCutsUndersizedAttemptsShort(t *testing.T) {
+	backend := &fakeBackend{capacityBps: 400e6}
+	team := team3x1G()
+	p := DefaultParams() // SlotSeconds = 30
+	out, err := MeasureRelay(context.Background(), backend, team, "r", 40e6, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Conclusive || len(out.Attempts) < 2 {
+		t.Fatalf("should converge over multiple attempts: %+v", out)
+	}
+	majority := p.SlotSeconds/2 + 1
+	for i, a := range out.Attempts[:len(out.Attempts)-1] {
+		if !a.Aborted {
+			t.Fatalf("undersized attempt %d should be aborted early: %+v", i, a)
+		}
+		if a.Seconds != majority {
+			t.Fatalf("attempt %d consumed %d seconds, want the %d-second majority", i, a.Seconds, majority)
+		}
+		if a.Accepted {
+			t.Fatalf("aborted attempt %d cannot be accepted", i)
+		}
+		if a.EstimateBps <= 0 {
+			t.Fatalf("aborted attempt %d should salvage a partial estimate", i)
+		}
+	}
+	last := out.Attempts[len(out.Attempts)-1]
+	if last.Aborted || last.Seconds != p.SlotSeconds || !last.Accepted {
+		t.Fatalf("final attempt should run the full slot and conclude: %+v", last)
+	}
+	full := out.SlotsUsed() * p.SlotSeconds
+	if out.SlotSecondsUsed() >= full {
+		t.Fatalf("early abort saved nothing: %d slot-seconds used of %d fixed-length", out.SlotSecondsUsed(), full)
+	}
+}
+
+// TestDisableEarlyAbortRunsFullSlots checks the A/B knob: with the rule
+// disabled, every attempt — undersized or not — consumes its full
+// SlotSeconds, reproducing the pre-streaming pipeline.
+func TestDisableEarlyAbortRunsFullSlots(t *testing.T) {
+	backend := &fakeBackend{capacityBps: 400e6}
+	team := team3x1G()
+	p := DefaultParams()
+	p.DisableEarlyAbort = true
+	out, err := MeasureRelay(context.Background(), backend, team, "r", 40e6, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Conclusive || len(out.Attempts) < 2 {
+		t.Fatalf("should converge over multiple attempts: %+v", out)
+	}
+	for i, a := range out.Attempts {
+		if a.Aborted || a.Seconds != p.SlotSeconds {
+			t.Fatalf("attempt %d should run the full slot with abort disabled: %+v", i, a)
+		}
+	}
+	if out.SlotSecondsUsed() != out.SlotsUsed()*p.SlotSeconds {
+		t.Fatalf("fixed-length accounting wrong: %d used, %d slots", out.SlotSecondsUsed(), out.SlotsUsed())
+	}
+}
+
+// forgedAbortBackend saturates the acceptance bound (triggering the early
+// abort) while also flagging an echo-verification failure in the partial
+// data it returns on cancellation — the forging-relay-meets-abort race.
+type forgedAbortBackend struct{ fakeBackend }
+
+func (f *forgedAbortBackend) RunMeasurement(ctx context.Context, target string, alloc Allocation, seconds int, sink SampleSink) (MeasurementData, error) {
+	data, err := f.fakeBackend.RunMeasurement(ctx, target, alloc, seconds, sink)
+	data.Failed = true
+	return data, err
+}
+
+// TestEarlyAbortDoesNotSwallowEchoFailure pins the precedence of the §4.1
+// security check over the §4.2 early abort: a slot whose echo
+// verification caught the relay forging must be discarded with
+// ErrMeasurementFailed even when the abort watcher cancelled it first.
+func TestEarlyAbortDoesNotSwallowEchoFailure(t *testing.T) {
+	backend := &forgedAbortBackend{fakeBackend{capacityBps: 400e6}}
+	team := team3x1G()
+	// Undersized prior: the first attempt saturates its allocation, so the
+	// abort watcher fires mid-slot.
+	_, err := MeasureRelay(context.Background(), backend, team, "r", 40e6, DefaultParams())
+	if !errors.Is(err, ErrMeasurementFailed) {
+		t.Fatalf("forged slot must be discarded, got %v", err)
+	}
+}
+
+// cancellingBackend emits per-second samples like fakeBackend but invokes
+// a hook after each emitted second — the test uses it to cancel the outer
+// context mid-slot, simulating a SIGINT landing during a measurement.
+type cancellingBackend struct {
+	fakeBackend
+	afterSecond func(j int)
+}
+
+func (c *cancellingBackend) RunMeasurement(ctx context.Context, target string, alloc Allocation, seconds int, sink SampleSink) (MeasurementData, error) {
+	hooked := func(s Sample) {
+		if sink != nil {
+			sink(s)
+		}
+		c.afterSecond(s.Second)
+	}
+	return c.fakeBackend.RunMeasurement(ctx, target, alloc, seconds, hooked)
+}
+
+// TestExternalCancelSalvagesPartialAttempt pins the shutdown contract at
+// the core layer: cancelling the caller's context mid-slot returns
+// context.Canceled promptly, with the completed seconds aggregated into a
+// partial (never accepted) attempt instead of thrown away.
+func TestExternalCancelSalvagesPartialAttempt(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	backend := &cancellingBackend{fakeBackend: fakeBackend{capacityBps: 100e6}}
+	backend.afterSecond = func(j int) {
+		if j == 4 {
+			cancel()
+		}
+	}
+	team := team3x1G()
+	p := DefaultParams()
+	// Prior matches capacity, so without cancellation this would conclude
+	// in one full 30-second slot.
+	out, err := MeasureRelay(ctx, backend, team, "r", 100e6, p)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if out.Conclusive {
+		t.Fatal("a cancelled measurement cannot be conclusive")
+	}
+	if len(out.Attempts) != 1 {
+		t.Fatalf("partial attempt should be salvaged: %+v", out.Attempts)
+	}
+	a := out.Attempts[0]
+	if a.Seconds != 5 {
+		t.Fatalf("salvaged %d seconds, want the 5 completed before cancel", a.Seconds)
+	}
+	if a.Accepted || a.EstimateBps <= 0 {
+		t.Fatalf("salvaged attempt must carry an unaccepted partial estimate: %+v", a)
+	}
+	if out.EstimateBps != a.EstimateBps {
+		t.Fatalf("outcome estimate should reflect the salvaged attempt: %+v", out)
+	}
+	// Releasing capacity must survive the cancelled path too.
+	for _, m := range team {
+		if m.CommittedBps != 0 {
+			t.Fatalf("capacity leaked on cancelled measurement: %v", m.CommittedBps)
+		}
+	}
+}

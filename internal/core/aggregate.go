@@ -20,6 +20,30 @@ type MeasurementData struct {
 	// Failed indicates a measurer reported an echo-verification failure;
 	// the BWAuth discards the measurement (§4.1).
 	Failed bool
+	// Incomplete indicates one or more measurers dropped out mid-slot
+	// while the rest kept measuring: the per-second series undercount the
+	// relay's demonstrated capacity, so the data is an honest lower bound
+	// — usable to drive the §4.2 doubling loop, never to conclude a
+	// measurement.
+	Incomplete bool
+}
+
+// Truncate trims every per-second series to the first n seconds — the
+// shape backends return when a slot is cancelled after n completed
+// seconds. The Failed and Incomplete flags are preserved.
+func (d MeasurementData) Truncate(n int) MeasurementData {
+	if n < 0 {
+		n = 0
+	}
+	for i := range d.MeasBytes {
+		if len(d.MeasBytes[i]) > n {
+			d.MeasBytes[i] = d.MeasBytes[i][:n]
+		}
+	}
+	if len(d.NormBytes) > n {
+		d.NormBytes = d.NormBytes[:n]
+	}
+	return d
 }
 
 // AggregateResult is the outcome of aggregating one measurement slot.

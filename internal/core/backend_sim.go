@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -126,8 +127,13 @@ func NewSimBackend(paths []PathModel, seed int64) *SimBackend {
 // AddTarget registers a target relay model.
 func (b *SimBackend) AddTarget(name string, t *SimTarget) { b.Targets[name] = t }
 
-// RunMeasurement implements Backend.
-func (b *SimBackend) RunMeasurement(target string, alloc Allocation, seconds int) (MeasurementData, error) {
+// RunMeasurement implements Backend. The simulated slot consumes no wall
+// clock, but its tick loop still checks ctx between seconds so a caller's
+// early abort or shutdown truncates the slot exactly as it would a real
+// one, and emits a Sample per simulated second to sink. The sink runs
+// with the backend's internal mutex held: it must not call back into the
+// backend.
+func (b *SimBackend) RunMeasurement(ctx context.Context, target string, alloc Allocation, seconds int, sink SampleSink) (MeasurementData, error) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	tgt, ok := b.Targets[target]
@@ -166,7 +172,13 @@ func (b *SimBackend) RunMeasurement(target string, alloc Allocation, seconds int
 	// the paper's ε2 = +5 % while undershoot has the longer tail.
 	capFactor := clampedRange(b.rng, tgt.CapSigma, 0.7, 1.03)
 
+	sampleRow := make([]float64, m)
 	for j := 0; j < seconds; j++ {
+		if err := ctx.Err(); err != nil {
+			// Cancelled mid-slot: hand back the seconds that completed so
+			// the caller can salvage them into the attempt record.
+			return data.Truncate(j), err
+		}
 		// Each measurer's offered rate: its allocation, capped by what
 		// the path can carry with its socket share.
 		demands := make([]float64, m)
@@ -240,8 +252,15 @@ func (b *SimBackend) RunMeasurement(target string, alloc Allocation, seconds int
 			pDetect := 1 - math.Pow(1-b.CheckProb, forgedCells)
 			if b.rng.Float64() < pDetect {
 				data.Failed = true
-				return data, nil
+				return data.Truncate(j + 1), nil
 			}
+		}
+
+		if sink != nil {
+			for i := range sampleRow {
+				sampleRow[i] = data.MeasBytes[i][j]
+			}
+			sink(Sample{Second: j, MeasBytes: sampleRow, NormBytes: data.NormBytes[j]})
 		}
 	}
 	return data, nil

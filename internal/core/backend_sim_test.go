@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"testing"
 	"time"
@@ -41,7 +42,7 @@ func TestSimBackendMeasuresHonestRelay(t *testing.T) {
 	b := NewSimBackend(paperPaths(), 1)
 	b.AddTarget("t", honestTarget(250e6))
 	team := paperTeam()
-	out, err := MeasureRelay(b, team, "t", 250e6, p)
+	out, err := MeasureRelay(context.Background(), b, team, "t", 250e6, p)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -60,7 +61,7 @@ func TestSimBackendAccuracyAcrossCapacities(t *testing.T) {
 	for _, capMbit := range []float64{10, 250, 500, 750, 890} {
 		b := NewSimBackend(paperPaths(), int64(capMbit))
 		b.AddTarget("t", honestTarget(capMbit*1e6))
-		out, err := MeasureRelay(b, paperTeam(), "t", capMbit*1e6, p)
+		out, err := MeasureRelay(context.Background(), b, paperTeam(), "t", capMbit*1e6, p)
 		if err != nil {
 			t.Fatalf("cap %v: %v", capMbit, err)
 		}
@@ -74,7 +75,7 @@ func TestSimBackendAccuracyAcrossCapacities(t *testing.T) {
 func TestSimBackendUnknownTarget(t *testing.T) {
 	b := NewSimBackend(paperPaths(), 1)
 	alloc := Allocation{PerMeasurerBps: make([]float64, 4), SocketsPer: make([]int, 4)}
-	if _, err := b.RunMeasurement("nope", alloc, 1); err == nil {
+	if _, err := b.RunMeasurement(context.Background(), "nope", alloc, 1, nil); err == nil {
 		t.Fatal("unknown target should error")
 	}
 }
@@ -83,7 +84,7 @@ func TestSimBackendAllocationPathMismatch(t *testing.T) {
 	b := NewSimBackend(paperPaths(), 1)
 	b.AddTarget("t", honestTarget(100e6))
 	alloc := Allocation{PerMeasurerBps: []float64{1e6}, SocketsPer: []int{10}}
-	if _, err := b.RunMeasurement("t", alloc, 1); err == nil {
+	if _, err := b.RunMeasurement(context.Background(), "t", alloc, 1, nil); err == nil {
 		t.Fatal("mismatched allocation should error")
 	}
 }
@@ -97,7 +98,7 @@ func TestLyingRelayBoundedByMaxInflation(t *testing.T) {
 	tgt := honestTarget(trueCap)
 	tgt.Behavior = BehaviorInflateNormal
 	b.AddTarget("liar", tgt)
-	out, err := MeasureRelay(b, paperTeam(), "liar", trueCap, p)
+	out, err := MeasureRelay(context.Background(), b, paperTeam(), "liar", trueCap, p)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -122,7 +123,7 @@ func TestForgingRelayDetected(t *testing.T) {
 	tgt.Behavior = BehaviorForgeEcho
 	tgt.ForgeBoost = 2
 	b.AddTarget("forger", tgt)
-	_, err := MeasureRelay(b, paperTeam(), "forger", 250e6, p)
+	_, err := MeasureRelay(context.Background(), b, paperTeam(), "forger", 250e6, p)
 	if err == nil {
 		t.Fatal("forging relay should fail the measurement")
 	}
@@ -172,7 +173,7 @@ func TestBackgroundTrafficFig7(t *testing.T) {
 	b := NewSimBackend(paperPaths(), 11)
 	b.AddTarget("t", tgt)
 	team := paperTeam()
-	out, err := MeasureRelay(b, team, "t", 250e6, p)
+	out, err := MeasureRelay(context.Background(), b, team, "t", 250e6, p)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -99,8 +100,9 @@ func (b *BWAuth) Retain(keep map[string]bool) {
 
 // MeasureTarget measures one relay, using the stored estimate as the old-
 // relay prior or the percentile prior for new relays, and records the
-// result.
-func (b *BWAuth) MeasureTarget(relayName string) (MeasureOutcome, error) {
+// result. Cancelling ctx tears down the in-flight slot promptly; a
+// partial estimate salvaged from the interrupted slot is still recorded.
+func (b *BWAuth) MeasureTarget(ctx context.Context, relayName string) (MeasureOutcome, error) {
 	b.mu.Lock()
 	z0, ok := b.estimates[relayName]
 	if !ok || z0 <= 0 {
@@ -110,7 +112,7 @@ func (b *BWAuth) MeasureTarget(relayName string) (MeasureOutcome, error) {
 		}
 	}
 	b.mu.Unlock()
-	out, err := MeasureRelayGuarded(b.Backend, b.Team, &b.teamGate, relayName, z0, b.Params)
+	out, err := MeasureRelayGuarded(ctx, b.Backend, b.Team, &b.teamGate, relayName, z0, b.Params)
 	if err != nil {
 		return out, err
 	}
@@ -137,11 +139,11 @@ const maxHistory = 16384
 // MeasureAll measures every named relay in order, returning per-relay
 // outcomes. Relays whose measurement errors (e.g. echo-verification
 // failure) are recorded with a zero estimate and the error.
-func (b *BWAuth) MeasureAll(relayNames []string) (map[string]MeasureOutcome, map[string]error) {
+func (b *BWAuth) MeasureAll(ctx context.Context, relayNames []string) (map[string]MeasureOutcome, map[string]error) {
 	outcomes := make(map[string]MeasureOutcome, len(relayNames))
 	errs := make(map[string]error)
 	for _, name := range relayNames {
-		out, err := b.MeasureTarget(name)
+		out, err := b.MeasureTarget(ctx, name)
 		if err != nil {
 			errs[name] = fmt.Errorf("bwauth %s: %w", b.Name, err)
 			continue
@@ -178,14 +180,14 @@ type RunPeriodResult struct {
 // RunPeriod has every BWAuth measure every relay once (the §4.3 schedule
 // guarantees each relay one slot per BWAuth per period; here the slots'
 // effects are captured by the backends) and aggregates the medians.
-func RunPeriod(auths []*BWAuth, relayNames []string) RunPeriodResult {
+func RunPeriod(ctx context.Context, auths []*BWAuth, relayNames []string) RunPeriodResult {
 	res := RunPeriodResult{
 		MedianEstimates: make(map[string]float64, len(relayNames)),
 		Errors:          make(map[string]error),
 	}
 	files := make([]*dirauth.BandwidthFile, 0, len(auths))
 	for _, a := range auths {
-		outcomes, errs := a.MeasureAll(relayNames)
+		outcomes, errs := a.MeasureAll(ctx, relayNames)
 		res.PerBWAuth = append(res.PerBWAuth, outcomes)
 		for relayName, err := range errs {
 			res.Errors[a.Name+"/"+relayName] = err

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -18,7 +19,7 @@ func newTestBWAuth(name string, seed int64, targets map[string]float64) *BWAuth 
 func TestBWAuthMeasureTargetStoresEstimate(t *testing.T) {
 	a := newTestBWAuth("bw1", 1, map[string]float64{"r1": 200e6})
 	a.SetEstimate("r1", 200e6)
-	out, err := a.MeasureTarget("r1")
+	out, err := a.MeasureTarget(context.Background(), "r1")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -33,7 +34,7 @@ func TestBWAuthNewRelayUsesPrior(t *testing.T) {
 	// prior (falling back to 50 Mbit/s) and still converges on a 400
 	// Mbit/s relay via the doubling loop.
 	a := newTestBWAuth("bw1", 2, map[string]float64{"fresh": 400e6})
-	out, err := a.MeasureTarget("fresh")
+	out, err := a.MeasureTarget(context.Background(), "fresh")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -55,7 +56,7 @@ func TestBWAuthMeasureAllAndBandwidthFile(t *testing.T) {
 	for n, c := range targets {
 		a.SetEstimate(n, c)
 	}
-	outcomes, errs := a.MeasureAll([]string{"a", "b"})
+	outcomes, errs := a.MeasureAll(context.Background(), []string{"a", "b"})
 	if len(errs) != 0 {
 		t.Fatalf("errors: %v", errs)
 	}
@@ -82,7 +83,7 @@ func TestRunPeriodMedianAcrossBWAuths(t *testing.T) {
 			auths[i].SetEstimate(n, c)
 		}
 	}
-	res := RunPeriod(auths, []string{"a", "b"})
+	res := RunPeriod(context.Background(), auths, []string{"a", "b"})
 	if len(res.Errors) != 0 {
 		t.Fatalf("errors: %v", res.Errors)
 	}
@@ -108,7 +109,7 @@ func TestRunPeriodMedianResistsOneBadTeam(t *testing.T) {
 	for _, a := range []*BWAuth{good1, good2, bad} {
 		a.SetEstimate("a", 200e6)
 	}
-	res := RunPeriod([]*BWAuth{good1, good2, bad}, []string{"a"})
+	res := RunPeriod(context.Background(), []*BWAuth{good1, good2, bad}, []string{"a"})
 	rel := res.MedianEstimates["a"] / 200e6
 	if rel < 0.8 || rel > 1.1 {
 		t.Fatalf("median with one bad team: rel=%v", rel)
@@ -125,8 +126,8 @@ func NewSimBackendWithTarget(seed int64, name string, capBps float64) *SimBacken
 // doublingBackend wraps a backend and doubles every reported byte count.
 type doublingBackend struct{ inner Backend }
 
-func (d doublingBackend) RunMeasurement(target string, alloc Allocation, seconds int) (MeasurementData, error) {
-	data, err := d.inner.RunMeasurement(target, alloc, seconds)
+func (d doublingBackend) RunMeasurement(ctx context.Context, target string, alloc Allocation, seconds int, sink SampleSink) (MeasurementData, error) {
+	data, err := d.inner.RunMeasurement(ctx, target, alloc, seconds, sink)
 	if err != nil {
 		return data, err
 	}
@@ -149,7 +150,7 @@ func TestBWAuthForgingRelayReportedAsError(t *testing.T) {
 	b.AddTarget("f", tgt)
 	a := NewBWAuth("bw", paperTeam(), b, DefaultParams())
 	a.SetEstimate("f", 250e6)
-	_, errs := a.MeasureAll([]string{"f"})
+	_, errs := a.MeasureAll(context.Background(), []string{"f"})
 	if len(errs) != 1 {
 		t.Fatalf("expected one error, got %v", errs)
 	}
@@ -158,7 +159,7 @@ func TestBWAuthForgingRelayReportedAsError(t *testing.T) {
 func TestBWAuthHistoryFeedsPrior(t *testing.T) {
 	a := newTestBWAuth("bw", 31, map[string]float64{"x": 100e6})
 	a.SetEstimate("x", 100e6)
-	if _, err := a.MeasureTarget("x"); err != nil {
+	if _, err := a.MeasureTarget(context.Background(), "x"); err != nil {
 		t.Fatal(err)
 	}
 	prior := NewRelayPrior(a.history, a.Params)

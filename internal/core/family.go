@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -25,8 +26,9 @@ type PairBackend interface {
 	Backend
 	// RunPairMeasurement measures both targets simultaneously, splitting
 	// the allocation evenly between them, and returns each target's
-	// per-second measurement bytes.
-	RunPairMeasurement(targetA, targetB string, alloc Allocation, seconds int) (MeasurementData, MeasurementData, error)
+	// per-second measurement bytes. Implementations honor ctx exactly as
+	// Backend.RunMeasurement does.
+	RunPairMeasurement(ctx context.Context, targetA, targetB string, alloc Allocation, seconds int) (MeasurementData, MeasurementData, error)
 }
 
 // FamilyVerdict is the outcome of a co-location test.
@@ -56,19 +58,19 @@ const sharedThreshold = 0.75
 
 // TestFamilyPair measures two suspect relays individually and then
 // simultaneously, and classifies whether they share a machine.
-func TestFamilyPair(backend Backend, team []*Measurer, relayA, relayB string, priorA, priorB float64, p Params) (FamilyVerdict, error) {
+func TestFamilyPair(ctx context.Context, backend Backend, team []*Measurer, relayA, relayB string, priorA, priorB float64, p Params) (FamilyVerdict, error) {
 	pair, ok := backend.(PairBackend)
 	if !ok {
 		return FamilyVerdict{}, ErrPairUnsupported
 	}
 	v := FamilyVerdict{RelayA: relayA, RelayB: relayB}
 
-	outA, err := MeasureRelay(backend, team, relayA, priorA, p)
+	outA, err := MeasureRelay(ctx, backend, team, relayA, priorA, p)
 	if err != nil {
 		return v, fmt.Errorf("solo %s: %w", relayA, err)
 	}
 	v.SoloBpsA = outA.EstimateBps
-	outB, err := MeasureRelay(backend, team, relayB, priorB, p)
+	outB, err := MeasureRelay(ctx, backend, team, relayB, priorB, p)
 	if err != nil {
 		return v, fmt.Errorf("solo %s: %w", relayB, err)
 	}
@@ -83,7 +85,7 @@ func TestFamilyPair(backend Backend, team []*Measurer, relayA, relayB string, pr
 	if err != nil {
 		return v, err
 	}
-	dataA, dataB, err := pair.RunPairMeasurement(relayA, relayB, alloc, p.SlotSeconds)
+	dataA, dataB, err := pair.RunPairMeasurement(ctx, relayA, relayB, alloc, p.SlotSeconds)
 	if err != nil {
 		return v, fmt.Errorf("pair measurement: %w", err)
 	}
@@ -130,7 +132,7 @@ var _ PairBackend = (*SimBackend)(nil)
 // RunPairMeasurement implements PairBackend: the allocation is split
 // evenly between the two targets; co-located targets share a relay model,
 // so their joint throughput is bounded by the one machine.
-func (b *SimBackend) RunPairMeasurement(targetA, targetB string, alloc Allocation, seconds int) (MeasurementData, MeasurementData, error) {
+func (b *SimBackend) RunPairMeasurement(ctx context.Context, targetA, targetB string, alloc Allocation, seconds int) (MeasurementData, MeasurementData, error) {
 	half := Allocation{
 		PerMeasurerBps: make([]float64, len(alloc.PerMeasurerBps)),
 		Processes:      alloc.Processes,
@@ -155,11 +157,11 @@ func (b *SimBackend) RunPairMeasurement(targetA, targetB string, alloc Allocatio
 	shared := ta.Relay == tb.Relay
 
 	if !shared {
-		dataA, err := b.RunMeasurement(targetA, half, seconds)
+		dataA, err := b.RunMeasurement(ctx, targetA, half, seconds, nil)
 		if err != nil {
 			return MeasurementData{}, MeasurementData{}, err
 		}
-		dataB, err := b.RunMeasurement(targetB, half, seconds)
+		dataB, err := b.RunMeasurement(ctx, targetB, half, seconds, nil)
 		if err != nil {
 			return MeasurementData{}, MeasurementData{}, err
 		}
@@ -168,7 +170,7 @@ func (b *SimBackend) RunPairMeasurement(targetA, targetB string, alloc Allocatio
 	// Shared machine: run one measurement against the machine with the
 	// full allocation and attribute half of the demonstrated capacity to
 	// each name — both suspects' traffic competes for the same relay.
-	data, err := b.RunMeasurement(targetA, alloc, seconds)
+	data, err := b.RunMeasurement(ctx, targetA, alloc, seconds, nil)
 	if err != nil {
 		return MeasurementData{}, MeasurementData{}, err
 	}

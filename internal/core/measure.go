@@ -1,10 +1,12 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"hash/fnv"
 	"sync"
+	"sync/atomic"
 
 	"flashflow/internal/stats"
 )
@@ -18,7 +20,19 @@ type Backend interface {
 	// RunMeasurement measures the named target for the given number of
 	// seconds with the per-measurer rate allocation (bits/s, aligned with
 	// the team) and socket split.
-	RunMeasurement(target string, alloc Allocation, seconds int) (MeasurementData, error)
+	//
+	// The slot is cancellable: implementations must honor ctx and tear the
+	// slot down promptly — within about one second of data — when it is
+	// cancelled, returning the data for the seconds that completed before
+	// cancellation together with ctx.Err(). Callers that cancelled
+	// deliberately (the §4.2 early abort, a coordinator shutdown) salvage
+	// that partial data instead of discarding the slot.
+	//
+	// The slot is observable: when sink is non-nil, the implementation
+	// delivers a Sample for every completed second while the slot runs.
+	// The returned MeasurementData remains the authoritative record; the
+	// stream is a live view of the same numbers.
+	RunMeasurement(ctx context.Context, target string, alloc Allocation, seconds int, sink SampleSink) (MeasurementData, error)
 }
 
 // MeasureOutcome records the result of measuring one relay, including the
@@ -41,10 +55,30 @@ type MeasureAttempt struct {
 	AllocatedBps float64
 	EstimateBps  float64
 	Accepted     bool
+	// Seconds is the number of slot seconds the attempt actually consumed.
+	// Equal to Params.SlotSeconds for a full slot; smaller when the
+	// attempt was aborted early or interrupted.
+	Seconds int
+	// Aborted marks an attempt cut short by the early-abort rule: a
+	// majority of the slot's seconds already exceeded the acceptance
+	// bound, so the final median provably could not be accepted and the
+	// loop jumped straight to the next doubling step.
+	Aborted bool
 }
 
 // SlotsUsed returns how many measurement slots the outcome consumed.
 func (o MeasureOutcome) SlotsUsed() int { return len(o.Attempts) }
+
+// SlotSecondsUsed returns the total measurement seconds the outcome
+// consumed across all attempts — the quantity the early-abort rule
+// reduces relative to SlotsUsed()·SlotSeconds.
+func (o MeasureOutcome) SlotSecondsUsed() int {
+	var s int
+	for _, a := range o.Attempts {
+		s += a.Seconds
+	}
+	return s
+}
 
 // ErrNoEstimate indicates MeasureRelay could not produce any estimate.
 var ErrNoEstimate = errors.New("core: no estimate produced")
@@ -59,9 +93,39 @@ func (noopLocker) Unlock() {}
 // f·z0 capacity, measure, accept if the estimate is small enough relative
 // to the allocation; otherwise set z0 = max(z, 2·z0) and repeat with more
 // capacity. z0Bps is the prior estimate (an old relay's previous estimate,
-// or the new-relay percentile prior).
-func MeasureRelay(backend Backend, team []*Measurer, relayName string, z0Bps float64, p Params) (MeasureOutcome, error) {
-	return MeasureRelayGuarded(backend, team, noopLocker{}, relayName, z0Bps, p)
+// or the new-relay percentile prior). Cancelling ctx tears down the
+// in-flight slot promptly; the returned outcome carries any attempts (and
+// partial attempt) completed before cancellation alongside ctx's error.
+func MeasureRelay(ctx context.Context, backend Backend, team []*Measurer, relayName string, z0Bps float64, p Params) (MeasureOutcome, error) {
+	return MeasureRelayGuarded(ctx, backend, team, noopLocker{}, relayName, z0Bps, p)
+}
+
+// abortWatcher implements the §4.2 early-abort rule over a sample stream.
+// The acceptance condition compares the median of the slot's per-second
+// totals against the bound B = Σa_i·(1−ε1)/m: once ⌊t/2⌋+1 seconds have
+// totals at or above B, the median over all t seconds is at least B no
+// matter what the remaining seconds deliver, so the attempt can only end
+// rejected and the slot is cancelled immediately.
+type abortWatcher struct {
+	boundBytes float64 // per-second total (bytes) at/above which a second counts against acceptance
+	ratio      float64
+	needed     int
+	over       int
+	cancel     context.CancelFunc
+	aborted    atomic.Bool
+}
+
+func (w *abortWatcher) sink(s Sample) {
+	if w.aborted.Load() {
+		return
+	}
+	if SampleTotalBytes(s, w.ratio) >= w.boundBytes {
+		w.over++
+		if w.over >= w.needed {
+			w.aborted.Store(true)
+			w.cancel()
+		}
+	}
 }
 
 // MeasureRelayGuarded is MeasureRelay with every read or write of the
@@ -71,7 +135,7 @@ func MeasureRelay(backend Backend, team []*Measurer, relayName string, z0Bps flo
 // outside the lock. Under concurrency AllocateGreedy can fail with
 // ErrInsufficientCapacity when in-flight measurements hold the residual
 // capacity; callers treat that as a retryable condition.
-func MeasureRelayGuarded(backend Backend, team []*Measurer, gate sync.Locker, relayName string, z0Bps float64, p Params) (MeasureOutcome, error) {
+func MeasureRelayGuarded(ctx context.Context, backend Backend, team []*Measurer, gate sync.Locker, relayName string, z0Bps float64, p Params) (MeasureOutcome, error) {
 	if err := p.Validate(); err != nil {
 		return MeasureOutcome{}, err
 	}
@@ -81,6 +145,9 @@ func MeasureRelayGuarded(backend Backend, team []*Measurer, gate sync.Locker, re
 	out := MeasureOutcome{Relay: relayName}
 	teamCap := TeamCapacityBps(team)
 	for attempt := 0; attempt < p.MaxMeasureAttempts; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return out, fmt.Errorf("measure %s: %w", relayName, err)
+		}
 		need := RequiredBps(z0Bps, p)
 		atCeiling := false
 		if need > teamCap {
@@ -98,23 +165,94 @@ func MeasureRelayGuarded(backend Backend, team []*Measurer, gate sync.Locker, re
 		}
 		Commit(team, alloc)
 		gate.Unlock()
-		data, err := backend.RunMeasurement(relayName, alloc, p.SlotSeconds)
+
+		// Early abort only pays off when a further doubling step exists to
+		// jump to: at the team's ceiling or on the final attempt the slot
+		// runs to completion so the reported (inconclusive) estimate keeps
+		// its full median quality.
+		attemptCtx, cancelAttempt := context.WithCancel(ctx)
+		var watcher *abortWatcher
+		sink := SampleSink(nil)
+		if !p.DisableEarlyAbort && !atCeiling && attempt < p.MaxMeasureAttempts-1 {
+			watcher = &abortWatcher{
+				boundBytes: alloc.TotalBps * (1 - p.Eps1) / p.Multiplier / 8,
+				ratio:      p.Ratio,
+				needed:     p.SlotSeconds/2 + 1,
+				cancel:     cancelAttempt,
+			}
+			sink = watcher.sink
+		}
+		data, err := backend.RunMeasurement(attemptCtx, relayName, alloc, p.SlotSeconds, sink)
+		cancelAttempt()
 		gate.Lock()
 		Release(team, alloc)
 		gate.Unlock()
-		if err != nil {
+
+		aborted := watcher != nil && watcher.aborted.Load() && ctx.Err() == nil
+		if err != nil && !(aborted && errors.Is(err, context.Canceled)) {
+			// A real failure (or external cancellation): salvage whatever
+			// the slot delivered before dying into the attempt record, so
+			// callers (the coordinator's retry pipeline, a ctrl-C'd CLI)
+			// still see the partial estimate. A zero estimate (e.g. every
+			// wire member died before echoing a byte) carries no
+			// information and is not recorded.
+			if zBps, secs, ok := partialEstimate(data, p); ok && zBps > 0 {
+				out.Attempts = append(out.Attempts, MeasureAttempt{
+					AllocatedBps: alloc.TotalBps,
+					EstimateBps:  zBps,
+					Seconds:      secs,
+				})
+				out.EstimateBps = zBps
+			}
 			return out, fmt.Errorf("measure %s: %w", relayName, err)
 		}
+
+		if aborted {
+			// The §4.1 echo-verification check outranks the abort: a slot
+			// that caught the relay forging must be discarded exactly as a
+			// full-length slot would be, never silently continued.
+			if data.Failed {
+				return out, fmt.Errorf("aggregate %s: %w", relayName, ErrMeasurementFailed)
+			}
+			// §4.2 early abort: the majority of observed seconds already
+			// exceeded the acceptance bound, so this allocation can only
+			// end rejected. Record the partial attempt and jump straight
+			// to the next doubling step.
+			zBps, secs, _ := partialEstimate(data, p)
+			out.Attempts = append(out.Attempts, MeasureAttempt{
+				AllocatedBps: alloc.TotalBps,
+				EstimateBps:  zBps,
+				Seconds:      secs,
+				Aborted:      true,
+			})
+			if zBps > 0 {
+				out.EstimateBps = zBps
+			}
+			if zBps > 2*z0Bps {
+				z0Bps = zBps
+			} else {
+				z0Bps = 2 * z0Bps
+			}
+			continue
+		}
+
 		agg, err := Aggregate(data, p.Ratio)
 		if err != nil {
 			return out, fmt.Errorf("aggregate %s: %w", relayName, err)
 		}
 		zBps := agg.EstimateBytesPerSec * 8
 		accepted := EstimateAccepted(agg.EstimateBytesPerSec, alloc.TotalBps, p)
+		if data.Incomplete {
+			// A measurer dropped out mid-slot: the surviving members'
+			// bytes are an honest lower bound, good enough to drive the
+			// doubling loop but never to conclude a measurement.
+			accepted = false
+		}
 		out.Attempts = append(out.Attempts, MeasureAttempt{
 			AllocatedBps: alloc.TotalBps,
 			EstimateBps:  zBps,
 			Accepted:     accepted,
+			Seconds:      dataSeconds(data),
 		})
 		out.EstimateBps = zBps
 		if accepted {
@@ -138,6 +276,26 @@ func MeasureRelayGuarded(backend Backend, team []*Measurer, gate sync.Locker, re
 		return out, ErrNoEstimate
 	}
 	return out, nil
+}
+
+// dataSeconds returns the number of per-second entries the data carries.
+func dataSeconds(data MeasurementData) int {
+	if len(data.MeasBytes) == 0 {
+		return 0
+	}
+	return len(data.MeasBytes[0])
+}
+
+// partialEstimate aggregates a possibly truncated slot. It reports ok
+// only when the data contains at least one complete second and passes the
+// echo-verification check — a failed slot must never contribute an
+// estimate.
+func partialEstimate(data MeasurementData, p Params) (zBps float64, seconds int, ok bool) {
+	agg, err := Aggregate(data, p.Ratio)
+	if err != nil {
+		return 0, dataSeconds(data), false
+	}
+	return agg.EstimateBytesPerSec * 8, dataSeconds(data), true
 }
 
 // relayPreferredMeasurer maps a relay name to a stable starting index for

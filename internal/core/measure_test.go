@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"testing"
 )
@@ -13,7 +14,7 @@ type fakeBackend struct {
 	allocsSeen  []float64
 }
 
-func (f *fakeBackend) RunMeasurement(target string, alloc Allocation, seconds int) (MeasurementData, error) {
+func (f *fakeBackend) RunMeasurement(ctx context.Context, target string, alloc Allocation, seconds int, sink SampleSink) (MeasurementData, error) {
 	f.allocsSeen = append(f.allocsSeen, alloc.TotalBps)
 	rate := f.capacityBps
 	if alloc.TotalBps < rate {
@@ -23,12 +24,22 @@ func (f *fakeBackend) RunMeasurement(target string, alloc Allocation, seconds in
 	for i := range data.MeasBytes {
 		data.MeasBytes[i] = make([]float64, seconds)
 	}
-	// Split the echoed rate across participants proportionally.
+	// Split the echoed rate across participants proportionally, emitting
+	// a streamed sample per second and honoring cancellation between
+	// seconds like a real backend.
+	row := make([]float64, len(alloc.PerMeasurerBps))
 	for j := 0; j < seconds; j++ {
+		if err := ctx.Err(); err != nil {
+			return data.Truncate(j), err
+		}
 		for i, a := range alloc.PerMeasurerBps {
 			if alloc.TotalBps > 0 {
 				data.MeasBytes[i][j] = rate * (a / alloc.TotalBps) / 8
 			}
+			row[i] = data.MeasBytes[i][j]
+		}
+		if sink != nil {
+			sink(Sample{Second: j, MeasBytes: row})
 		}
 	}
 	return data, nil
@@ -38,7 +49,7 @@ func TestMeasureRelayAccurateAfterOneAttempt(t *testing.T) {
 	// Prior equals true capacity: §4.2 proves one measurement suffices.
 	backend := &fakeBackend{capacityBps: 100e6}
 	team := team3x1G()
-	out, err := MeasureRelay(backend, team, "r", 100e6, DefaultParams())
+	out, err := MeasureRelay(context.Background(), backend, team, "r", 100e6, DefaultParams())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -58,7 +69,7 @@ func TestMeasureRelayDoublesOnUnderestimate(t *testing.T) {
 	// until the allocation suffices.
 	backend := &fakeBackend{capacityBps: 400e6}
 	team := team3x1G()
-	out, err := MeasureRelay(backend, team, "r", 40e6, DefaultParams())
+	out, err := MeasureRelay(context.Background(), backend, team, "r", 40e6, DefaultParams())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -84,7 +95,7 @@ func TestMeasureRelayCeilingInconclusive(t *testing.T) {
 	// reports an inconclusive (but best-effort) estimate.
 	backend := &fakeBackend{capacityBps: 2.9e9}
 	team := team3x1G()
-	out, err := MeasureRelay(backend, team, "r", 1.5e9, DefaultParams())
+	out, err := MeasureRelay(context.Background(), backend, team, "r", 1.5e9, DefaultParams())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -101,7 +112,7 @@ func TestMeasureRelayOverestimatedPriorStillAccurate(t *testing.T) {
 	// estimate lands at the true capacity and is conclusive immediately.
 	backend := &fakeBackend{capacityBps: 50e6}
 	team := team3x1G()
-	out, err := MeasureRelay(backend, team, "r", 200e6, DefaultParams())
+	out, err := MeasureRelay(context.Background(), backend, team, "r", 200e6, DefaultParams())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -115,7 +126,7 @@ func TestMeasureRelayOverestimatedPriorStillAccurate(t *testing.T) {
 
 func TestMeasureRelayBadPrior(t *testing.T) {
 	backend := &fakeBackend{capacityBps: 1}
-	if _, err := MeasureRelay(backend, team3x1G(), "r", 0, DefaultParams()); err == nil {
+	if _, err := MeasureRelay(context.Background(), backend, team3x1G(), "r", 0, DefaultParams()); err == nil {
 		t.Fatal("zero prior should error")
 	}
 }
@@ -123,7 +134,7 @@ func TestMeasureRelayBadPrior(t *testing.T) {
 func TestMeasureRelayReleasesCapacity(t *testing.T) {
 	backend := &fakeBackend{capacityBps: 100e6}
 	team := team3x1G()
-	if _, err := MeasureRelay(backend, team, "r", 100e6, DefaultParams()); err != nil {
+	if _, err := MeasureRelay(context.Background(), backend, team, "r", 100e6, DefaultParams()); err != nil {
 		t.Fatal(err)
 	}
 	for _, m := range team {

@@ -42,6 +42,15 @@ type Params struct {
 	NewRelayPercentile float64
 	// MaxMeasureAttempts bounds the doubling loop per relay per period.
 	MaxMeasureAttempts int
+	// DisableEarlyAbort turns off the streaming early-abort rule and runs
+	// every measurement slot to its full SlotSeconds length, as the
+	// original batch pipeline did. The default (false) aborts a slot as
+	// soon as a majority of its seconds prove the estimate cannot be
+	// accepted for the current allocation, jumping straight to the next
+	// doubling step. Kept as a knob for A/B comparison (the
+	// coord-round-abort perf scenario) and for operators who prefer
+	// fixed-length slots.
+	DisableEarlyAbort bool
 }
 
 // DefaultParams returns the paper's recommended parameter settings.

@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"testing"
 
@@ -189,7 +190,7 @@ func TestFamilyPairDetectsSybils(t *testing.T) {
 	const machineCap = 300e6
 	b := colocatedBackend(t, machineCap)
 	p := DefaultParams()
-	v, err := TestFamilyPair(b, paperTeam(), "sybilA", "sybilB", machineCap, machineCap, p)
+	v, err := TestFamilyPair(context.Background(), b, paperTeam(), "sybilA", "sybilB", machineCap, machineCap, p)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -209,7 +210,7 @@ func TestFamilyPairPassesIndependentRelays(t *testing.T) {
 	b.AddTarget("indepA", honestTarget(200e6))
 	b.AddTarget("indepB", honestTarget(250e6))
 	p := DefaultParams()
-	v, err := TestFamilyPair(b, paperTeam(), "indepA", "indepB", 200e6, 250e6, p)
+	v, err := TestFamilyPair(context.Background(), b, paperTeam(), "indepA", "indepB", 200e6, 250e6, p)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -226,7 +227,7 @@ func TestFamilyPairUnknownTarget(t *testing.T) {
 	b := NewSimBackend(paperPaths(), 7)
 	b.AddTarget("only", honestTarget(100e6))
 	p := DefaultParams()
-	if _, err := TestFamilyPair(b, paperTeam(), "only", "ghost", 100e6, 100e6, p); err == nil {
+	if _, err := TestFamilyPair(context.Background(), b, paperTeam(), "only", "ghost", 100e6, 100e6, p); err == nil {
 		t.Fatal("unknown pair member should error")
 	}
 	if err := b.ColocateTargets("only", "ghost"); err == nil {
@@ -239,13 +240,13 @@ func TestFamilyPairUnknownTarget(t *testing.T) {
 
 type plainBackend struct{}
 
-func (plainBackend) RunMeasurement(string, Allocation, int) (MeasurementData, error) {
+func (plainBackend) RunMeasurement(context.Context, string, Allocation, int, SampleSink) (MeasurementData, error) {
 	return MeasurementData{}, nil
 }
 
 func TestFamilyPairRequiresPairBackend(t *testing.T) {
 	p := DefaultParams()
-	if _, err := TestFamilyPair(plainBackend{}, paperTeam(), "a", "b", 1, 1, p); !errors.Is(err, ErrPairUnsupported) {
+	if _, err := TestFamilyPair(context.Background(), plainBackend{}, paperTeam(), "a", "b", 1, 1, p); !errors.Is(err, ErrPairUnsupported) {
 		t.Fatalf("want ErrPairUnsupported, got %v", err)
 	}
 }

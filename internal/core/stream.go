@@ -1,0 +1,55 @@
+package core
+
+// Sample is one second of measurement data, delivered to a SampleSink
+// while the slot is still running. It carries exactly the per-second
+// quantities the §4.1 aggregation consumes — per-measurer echoed
+// measurement bytes and the relay-reported normal-traffic bytes — so a
+// consumer can maintain a running estimate without waiting for the slot
+// to finish.
+type Sample struct {
+	// Second is the zero-based index of the completed second within the
+	// slot. Samples arrive in order, one per completed second.
+	Second int
+	// MeasBytes[i] is measurer i's echoed measurement bytes during this
+	// second. The slice is owned by the backend and only valid for the
+	// duration of the sink call: a sink that retains the values must copy
+	// them.
+	MeasBytes []float64
+	// NormBytes is the relay-reported normal-traffic bytes during this
+	// second (zero for backends without in-band reporting, e.g. the wire
+	// protocol's current framing).
+	NormBytes float64
+}
+
+// SampleSink receives per-second samples as a backend produces them.
+// Backends call the sink sequentially (samples never arrive concurrently)
+// from the goroutine driving the slot; the sink must return quickly and
+// must not call back into the backend. A nil sink is always allowed and
+// means the caller does not want intermediate results.
+//
+// The canonical sink is the one MeasureRelayGuarded installs: it keeps a
+// running count of seconds whose total provably exceeds the §4.2
+// acceptance bound and cancels the slot's context once the final median
+// cannot be accepted anymore, jumping straight to the next doubling step.
+type SampleSink func(Sample)
+
+// sum of a sample's per-measurer bytes.
+func sampleMeasTotal(s Sample) float64 {
+	var x float64
+	for _, v := range s.MeasBytes {
+		x += v
+	}
+	return x
+}
+
+// SampleTotalBytes returns the §4.1 per-second total z_j implied by the
+// sample: measured bytes plus the normal-traffic report clamped to the
+// ratio limit y ≤ x·r/(1−r).
+func SampleTotalBytes(s Sample, ratio float64) float64 {
+	x := sampleMeasTotal(s)
+	y := s.NormBytes
+	if limit := x * ratio / (1 - ratio); y > limit {
+		y = limit
+	}
+	return x + y
+}

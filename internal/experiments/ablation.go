@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -32,7 +33,7 @@ func ablationRatio(quick bool) (Report, error) {
 			LinkBps:  954e6,
 			Behavior: core.BehaviorInflateNormal,
 		})
-		out, err := core.MeasureRelay(b, paperTeam(), "liar", trueCap, p)
+		out, err := core.MeasureRelay(context.Background(), b, paperTeam(), "liar", trueCap, p)
 		if err != nil {
 			return Report{}, err
 		}
@@ -173,7 +174,7 @@ func ablationFamily(bool) (Report, error) {
 	if err := b.ColocateTargets("sybilA", "sybilB"); err != nil {
 		return Report{}, err
 	}
-	v, err := core.TestFamilyPair(b, paperTeam(), "sybilA", "sybilB", machineCap, machineCap, p)
+	v, err := core.TestFamilyPair(context.Background(), b, paperTeam(), "sybilA", "sybilB", machineCap, machineCap, p)
 	if err != nil {
 		return Report{}, err
 	}

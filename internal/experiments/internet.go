@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -234,7 +235,7 @@ func runAccuracyMeasurement(backend *core.SimBackend, team []*core.Measurer, tar
 	if err != nil {
 		return 0, err
 	}
-	data, err := backend.RunMeasurement(target, alloc, seconds)
+	data, err := backend.RunMeasurement(context.Background(), target, alloc, seconds, nil)
 	if err != nil {
 		return 0, err
 	}
@@ -401,7 +402,7 @@ func fig7(bool) (Report, error) {
 	if err != nil {
 		return Report{}, err
 	}
-	data, err := backend.RunMeasurement("t", alloc, p.SlotSeconds)
+	data, err := backend.RunMeasurement(context.Background(), "t", alloc, p.SlotSeconds, nil)
 	if err != nil {
 		return Report{}, err
 	}

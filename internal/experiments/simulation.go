@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"time"
@@ -80,7 +81,7 @@ func shadowSetup(quick bool) ([]shadow.RelaySpec, []float64, []float64, error) {
 		n, total = 60, 3e9
 	}
 	relays := shadow.SampleNetwork(n, total, 42)
-	ff, err := shadow.MeasureWithFlashFlow(relays, 1)
+	ff, err := shadow.MeasureWithFlashFlow(context.Background(), relays, 1)
 	if err != nil {
 		return nil, nil, nil, err
 	}

@@ -17,6 +17,7 @@
 package netsim
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -281,10 +282,24 @@ func (n *Network) Step() {
 
 // Run advances the simulation for the given duration.
 func (n *Network) Run(d time.Duration) {
+	_ = n.RunContext(context.Background(), d)
+}
+
+// RunContext advances the simulation for the given duration, checking ctx
+// between ticks: a cancelled context stops the tick loop at the next
+// boundary and returns the context's error, leaving the per-tick series
+// recorded so far intact. This is what lets simulation-backed measurement
+// slots honor the streaming pipeline's early abort and shutdown
+// cancellation without consuming the rest of their simulated time.
+func (n *Network) RunContext(ctx context.Context, d time.Duration) error {
 	steps := int(d / n.tick)
 	for i := 0; i < steps; i++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		n.Step()
 	}
+	return nil
 }
 
 // Host is a convenience bundling the two directional link resources of an

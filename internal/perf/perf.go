@@ -36,6 +36,10 @@ type Result struct {
 	MBPerSec     float64 `json:"mb_per_sec"`
 	AllocsPerOp  float64 `json:"allocs_per_cell"`
 	BytesPerCell float64 `json:"bytes_per_cell"`
+	// Extra carries scenario-specific metrics (e.g. the coord-round-abort
+	// slot-second comparison). Compare ignores it; it is reported for
+	// humans and dashboards reading BENCH_wire.json.
+	Extra map[string]float64 `json:"extra,omitempty"`
 }
 
 // Report is the machine-readable output of a harness run.
@@ -105,6 +109,7 @@ func Scenarios() []Scenario {
 		{Name: "wire-echo-single", Desc: "one measurement circuit over loopback TCP, unlimited rate", Run: runWireEchoSingle},
 		{Name: "wire-echo-team", Desc: "two-measurer team, multiple connections, one target", Run: runWireEchoTeam},
 		{Name: "coord-round", Desc: "coordinator scheduling round over a simulated relay population", Run: runCoordRound},
+		{Name: "coord-round-abort", Desc: "slot-seconds saved by §4.2 early abort vs fixed-length slots, undersized priors", Run: runCoordRoundAbort},
 	}
 }
 

@@ -146,7 +146,7 @@ func echoScenario(opts Options, measurers, socketsPer int, checkProb float64) (R
 		wg.Add(1)
 		go func(idx int) {
 			defer wg.Done()
-			res, err := wire.Measure(dial, wire.MeasureOptions{
+			res, err := wire.Measure(context.Background(), dial, wire.MeasureOptions{
 				Identity:  ids[idx],
 				Sockets:   socketsPer,
 				RateBps:   0, // unpaced: run as fast as the path allows
@@ -192,38 +192,175 @@ func runWireEchoTeam(opts Options) (Result, error) {
 
 // instantBackend is a deterministic core.Backend whose measurements
 // complete immediately: a target echoes min(capacity, allocation) for the
-// slot. It isolates the coordinator's scheduling/aggregation throughput
-// from wall-clock slot durations while still producing the full per-second
-// data volume the real data plane would carry.
+// slot, one streamed sample per simulated second. It isolates the
+// coordinator's scheduling/aggregation throughput from wall-clock slot
+// durations while still producing the full per-second data volume the
+// real data plane would carry. Between simulated seconds it checks ctx —
+// the §4.2 early abort cancels the slot exactly as it would on the wire —
+// and it counts simulated slot-seconds both as emitted (what the
+// streaming pipeline consumed) and as scheduled (what a fixed-length
+// pipeline would have consumed), so the abort scenario can report the
+// slot-seconds saved.
 type instantBackend struct {
 	capBps map[string]float64
 
-	mu    sync.Mutex
-	bytes float64
+	mu        sync.Mutex
+	bytes     float64
+	emitted   int64 // simulated seconds actually run
+	scheduled int64 // simulated seconds a fixed-length slot would have run
+	slots     int64 // measurement attempts executed
 }
 
-func (b *instantBackend) RunMeasurement(target string, alloc core.Allocation, seconds int) (core.MeasurementData, error) {
+func (b *instantBackend) RunMeasurement(ctx context.Context, target string, alloc core.Allocation, seconds int, sink core.SampleSink) (core.MeasurementData, error) {
 	capBps, ok := b.capBps[target]
 	if !ok {
 		return core.MeasurementData{}, fmt.Errorf("perf: unknown target %s", target)
 	}
-	echo := math.Min(capBps, alloc.TotalBps)
-	series := make([]float64, seconds)
-	var total float64
-	for j := range series {
-		series[j] = echo / 8 // bytes per second
-		total += series[j]
-	}
 	b.mu.Lock()
-	b.bytes += total
+	b.slots++
+	b.scheduled += int64(seconds)
 	b.mu.Unlock()
+	echo := math.Min(capBps, alloc.TotalBps)
+	series := make([]float64, 0, seconds)
+	var total float64
+	for j := 0; j < seconds; j++ {
+		if err := ctx.Err(); err != nil {
+			b.account(total, int64(j))
+			return core.MeasurementData{MeasBytes: [][]float64{series}}, err
+		}
+		series = append(series, echo/8) // bytes per second
+		total += echo / 8
+		if sink != nil {
+			sink(core.Sample{Second: j, MeasBytes: series[j : j+1]})
+		}
+	}
+	b.account(total, int64(seconds))
 	return core.MeasurementData{MeasBytes: [][]float64{series}}, nil
+}
+
+func (b *instantBackend) account(bytes float64, secs int64) {
+	b.mu.Lock()
+	b.bytes += bytes
+	b.emitted += secs
+	b.mu.Unlock()
 }
 
 func (b *instantBackend) total() float64 {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	return b.bytes
+}
+
+func (b *instantBackend) slotSeconds() (emitted, scheduled, slots int64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.emitted, b.scheduled, b.slots
+}
+
+// runAbortRound executes one full coordinator round over a mixed-capacity
+// population whose priors are badly undersized (capacity/16), so every
+// relay's §4.2 doubling loop needs several attempts before its allocation
+// carries the excess factor. With early abort enabled the undersized
+// attempts are cut off as soon as a majority of their seconds prove the
+// estimate unacceptable; with it disabled every attempt runs its full
+// SlotSeconds — the fixed-length baseline the refactor replaces.
+func runAbortRound(opts Options, disableAbort bool) (*instantBackend, time.Duration, error) {
+	n := opts.relays()
+	caps := make(map[string]float64, n)
+	var source coord.StaticRelays
+	for i := 0; i < n; i++ {
+		name := fmt.Sprintf("relay-%03d", i)
+		capBps := 5e6 + float64(i%40)*2.5e6 // 5–102.5 Mbit/s spread
+		caps[name] = capBps
+		source = append(source, core.RelayEstimate{Name: name, EstimateBps: capBps / 16})
+	}
+	backend := &instantBackend{capBps: caps}
+	p := core.DefaultParams()
+	p.SlotSeconds = 10
+	p.DisableEarlyAbort = disableAbort
+	team := []*core.Measurer{
+		{Name: "m1", CapacityBps: 500e6, Cores: 4},
+		{Name: "m2", CapacityBps: 500e6, Cores: 4},
+	}
+	auth := core.NewBWAuth("bw0", team, backend, p)
+	c, err := coord.New(coord.Config{
+		Params:      p,
+		Workers:     8,
+		MaxAttempts: 2,
+		MaxRounds:   1,
+		RetryBase:   time.Millisecond,
+		RetryMax:    4 * time.Millisecond,
+	}, []*core.BWAuth{auth}, source)
+	if err != nil {
+		return nil, 0, err
+	}
+	start := time.Now()
+	if err := c.Run(context.Background()); err != nil {
+		return nil, 0, err
+	}
+	return backend, time.Since(start), nil
+}
+
+// runCoordRoundAbort quantifies the streaming pipeline's early abort: it
+// repeats the undersized-prior round (a fresh coordinator each iteration,
+// so the prior feedback never converges the doubling attempts away) for
+// the whole measurement window — a single round finishes in milliseconds
+// on the instant backend, so iterating is what makes the cells/sec figure
+// stable enough for the CI regression gate — then runs the identical round
+// once with early abort disabled as the fixed-length baseline. The
+// Result's throughput numbers describe the early-abort iterations; the
+// Extra map carries the per-round slot-second comparison for
+// BENCH_wire.json. The scenario fails if early abort does not reduce
+// slot-seconds — that reduction is the point of the refactor.
+func runCoordRoundAbort(opts Options) (Result, error) {
+	window := opts.window()
+	before := readMem()
+	start := time.Now()
+	var (
+		cells      int64
+		abortSecs  int64
+		abortSlots int64
+		iterations int64
+	)
+	for {
+		backend, _, err := runAbortRound(opts, false)
+		if err != nil {
+			return Result{}, err
+		}
+		emitted, _, slots := backend.slotSeconds()
+		abortSecs += emitted
+		abortSlots += slots
+		cells += int64(backend.total() / cell.Size)
+		iterations++
+		if time.Since(start) >= window {
+			break
+		}
+	}
+	elapsed := time.Since(start)
+	after := readMem()
+
+	fixedBackend, _, err := runAbortRound(opts, true)
+	if err != nil {
+		return Result{}, err
+	}
+	fixedSecs, _, fixedSlots := fixedBackend.slotSeconds()
+	perRoundAbort := float64(abortSecs) / float64(iterations)
+	if abortSecs <= 0 || fixedSecs <= 0 {
+		return Result{}, errors.New("perf: abort scenario measured nothing")
+	}
+	if perRoundAbort >= float64(fixedSecs) {
+		return Result{}, fmt.Errorf("perf: early abort saved no slot-seconds (%.0f per round with abort vs %d fixed)", perRoundAbort, fixedSecs)
+	}
+	res := finish(cells, elapsed, before, after)
+	res.Extra = map[string]float64{
+		"rounds":                   float64(iterations),
+		"slot_seconds_early_abort": perRoundAbort,
+		"slot_seconds_fixed":       float64(fixedSecs),
+		"slot_seconds_saved_frac":  1 - perRoundAbort/float64(fixedSecs),
+		"slots_early_abort":        float64(abortSlots) / float64(iterations),
+		"slots_fixed":              float64(fixedSlots),
+	}
+	return res, nil
 }
 
 // runCoordRound drives full coordinator rounds — §4.3 scheduling, worker

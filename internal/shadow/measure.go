@@ -1,6 +1,7 @@
 package shadow
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -23,7 +24,7 @@ const ConcurrencySigma = 0.18
 // population using the §7 setup — 3 measurers with 1 Gbit/s each — and
 // returns per-relay capacity-estimate weights (FlashFlow reports capacity
 // as the weight).
-func MeasureWithFlashFlow(relays []RelaySpec, seed int64) ([]float64, error) {
+func MeasureWithFlashFlow(ctx context.Context, relays []RelaySpec, seed int64) ([]float64, error) {
 	paths := []core.PathModel{
 		{RTT: 40 * time.Millisecond, LinkBps: 1e9, BiasSigma: 0.06, JitterSigma: 0.03},
 		{RTT: 90 * time.Millisecond, LinkBps: 1e9, BiasSigma: 0.06, JitterSigma: 0.03},
@@ -55,7 +56,7 @@ func MeasureWithFlashFlow(relays []RelaySpec, seed int64) ([]float64, error) {
 	}
 	weights := make([]float64, len(relays))
 	for i, name := range names {
-		out, err := auth.MeasureTarget(name)
+		out, err := auth.MeasureTarget(ctx, name)
 		if err != nil {
 			return nil, fmt.Errorf("flashflow measure %s: %w", name, err)
 		}

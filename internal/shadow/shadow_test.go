@@ -1,6 +1,7 @@
 package shadow
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -184,7 +185,7 @@ func TestMeasureWithFlashFlowAccuracy(t *testing.T) {
 	// capacity error ≈14 % in the paper (we accept ≤25 %), and network
 	// weight error ≈4 % (we accept ≤15 %).
 	relays := SampleNetwork(40, 3e9, 5)
-	ff, err := MeasureWithFlashFlow(relays, 11)
+	ff, err := MeasureWithFlashFlow(context.Background(), relays, 11)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -200,7 +201,7 @@ func TestMeasureWithFlashFlowAccuracy(t *testing.T) {
 func TestFlashFlowBeatsTorFlowOnWeightError(t *testing.T) {
 	// Fig. 8b: FlashFlow's NWE (≈4 %) ≪ TorFlow's (≈29 %).
 	relays := SampleNetwork(40, 3e9, 6)
-	ff, err := MeasureWithFlashFlow(relays, 21)
+	ff, err := MeasureWithFlashFlow(context.Background(), relays, 21)
 	if err != nil {
 		t.Fatal(err)
 	}

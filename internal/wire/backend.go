@@ -1,6 +1,7 @@
 package wire
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -10,7 +11,9 @@ import (
 
 // Backend implements core.Backend over real connections: each measurement
 // slot fans the allocation out to the team members, runs the wire protocol
-// concurrently, and reassembles per-measurer per-second byte counts.
+// concurrently, streams per-second samples to the caller's sink as the
+// wall-clock seconds complete, and reassembles per-measurer per-second
+// byte counts into the authoritative MeasurementData.
 type Backend struct {
 	// Members is the measurement team, index-aligned with the core team
 	// slice used for allocation.
@@ -29,8 +32,68 @@ type Member struct {
 
 var _ core.Backend = (*Backend)(nil)
 
+// sampleMatrix merges the per-member OnSecond callbacks into ordered
+// core.Samples: second j is emitted once every participating member has
+// reported it, so a sample never undercounts a member whose second-boundary
+// callback is a few scheduler ticks behind. A member that dies stops
+// reporting and the stream simply ends early — the final MeasurementData
+// remains the authoritative record.
+type sampleMatrix struct {
+	mu           sync.Mutex
+	bytes        [][]float64 // [member][second]
+	reported     []int       // members that have reported each second
+	participants int
+	row          []float64 // reused scratch for the emitted sample
+	sink         core.SampleSink
+	next         int // next second to emit
+}
+
+func newSampleMatrix(members, seconds, participants int, sink core.SampleSink) *sampleMatrix {
+	sm := &sampleMatrix{
+		bytes:        make([][]float64, members),
+		reported:     make([]int, seconds),
+		participants: participants,
+		row:          make([]float64, members),
+		sink:         sink,
+	}
+	for i := range sm.bytes {
+		sm.bytes[i] = make([]float64, seconds)
+	}
+	return sm
+}
+
+func (sm *sampleMatrix) record(member, second int, bytes float64) {
+	sm.mu.Lock()
+	defer sm.mu.Unlock()
+	if second < 0 || second >= len(sm.reported) {
+		return
+	}
+	sm.bytes[member][second] = bytes
+	sm.reported[second]++
+	for sm.next < len(sm.reported) && sm.reported[sm.next] >= sm.participants {
+		for i := range sm.bytes {
+			sm.row[i] = sm.bytes[i][sm.next]
+		}
+		// The wire protocol has no in-band normal-traffic report yet, so
+		// NormBytes stays zero (matching the final MeasurementData).
+		sm.sink(core.Sample{Second: sm.next, MeasBytes: sm.row})
+		sm.next++
+	}
+}
+
 // RunMeasurement implements core.Backend.
-func (b *Backend) RunMeasurement(target string, alloc core.Allocation, seconds int) (core.MeasurementData, error) {
+//
+// Cancellation tears every member's connections down promptly (ctx is
+// plumbed into each Measure, which closes conns and applies ctx deadlines)
+// and the data for fully completed seconds is returned with ctx.Err().
+//
+// A member that fails mid-slot no longer poisons the slot: the surviving
+// members' per-second bytes — and whatever the failed member echoed before
+// dying — are salvaged into the MeasurementData with Incomplete set, so
+// the caller can keep driving the doubling loop on an honest lower bound
+// instead of discarding every byte. Only when every participating member
+// fails is the first error returned.
+func (b *Backend) RunMeasurement(ctx context.Context, target string, alloc core.Allocation, seconds int, sink core.SampleSink) (core.MeasurementData, error) {
 	if len(alloc.PerMeasurerBps) != len(b.Members) {
 		return core.MeasurementData{}, fmt.Errorf("wire: allocation for %d measurers, team has %d", len(alloc.PerMeasurerBps), len(b.Members))
 	}
@@ -42,10 +105,23 @@ func (b *Backend) RunMeasurement(target string, alloc core.Allocation, seconds i
 		data.MeasBytes[i] = make([]float64, seconds)
 	}
 
+	participants := 0
+	for _, a := range alloc.PerMeasurerBps {
+		if a > 0 {
+			participants++
+		}
+	}
+	var sm *sampleMatrix
+	if sink != nil && participants > 0 {
+		sm = newSampleMatrix(len(b.Members), seconds, participants, sink)
+	}
+
 	var (
-		wg       sync.WaitGroup
-		mu       sync.Mutex
-		firstErr error
+		wg        sync.WaitGroup
+		mu        sync.Mutex
+		firstErr  error
+		failures  int
+		completed = seconds // shortest per-member completed window
 	)
 	for i, a := range alloc.PerMeasurerBps {
 		if a <= 0 {
@@ -54,33 +130,55 @@ func (b *Backend) RunMeasurement(target string, alloc core.Allocation, seconds i
 		wg.Add(1)
 		go func(idx int, rate float64, sockets int) {
 			defer wg.Done()
-			res, err := Measure(b.Members[idx].Dial(target), MeasureOptions{
+			opts := MeasureOptions{
 				Identity:  b.Members[idx].Identity,
 				Sockets:   sockets,
 				RateBps:   rate,
 				Duration:  time.Duration(seconds) * time.Second,
 				CheckProb: b.CheckProb,
 				Seed:      b.Seed + int64(idx)*1000,
-			})
+			}
+			if sm != nil {
+				opts.OnSecond = func(second int, bytes float64) {
+					sm.record(idx, second, bytes)
+				}
+			}
+			res, err := Measure(ctx, b.Members[idx].Dial(target), opts)
 			mu.Lock()
 			defer mu.Unlock()
-			if err != nil {
-				if firstErr == nil {
-					firstErr = fmt.Errorf("measurer %d: %w", idx, err)
-				}
-				return
-			}
+			// Salvage whatever the member echoed — even a failed member
+			// usually delivered complete seconds before dying.
 			for j := 0; j < seconds && j < len(res.PerSecondBytes); j++ {
 				data.MeasBytes[idx][j] = res.PerSecondBytes[j]
+			}
+			if len(res.PerSecondBytes) < completed {
+				completed = len(res.PerSecondBytes)
 			}
 			if res.Failed {
 				data.Failed = true
 			}
+			if err != nil {
+				failures++
+				if firstErr == nil {
+					firstErr = fmt.Errorf("measurer %d: %w", idx, err)
+				}
+			}
 		}(i, a, alloc.SocketsPer[i])
 	}
 	wg.Wait()
+
+	if ctxErr := ctx.Err(); ctxErr != nil {
+		// Cancelled slot: report only the seconds every member completed,
+		// evenly truncated so the series stay rectangular.
+		return data.Truncate(completed), ctxErr
+	}
 	if firstErr != nil {
-		return core.MeasurementData{}, firstErr
+		if participants > 0 && failures == participants {
+			// Nothing survived; the salvaged matrix is still returned for
+			// callers that can use a truncated record.
+			return data, firstErr
+		}
+		data.Incomplete = true
 	}
 	return data, nil
 }

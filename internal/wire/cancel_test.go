@@ -1,0 +1,227 @@
+package wire
+
+import (
+	"context"
+	"errors"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"flashflow/internal/core"
+)
+
+// TestMeasureContextCancellation pins the wire layer's cancellation
+// contract: cancelling the context mid-slot closes the connections, the
+// send/recv loops exit, and Measure returns context.Canceled promptly —
+// never waiting out the remaining slot duration — with the completed
+// seconds' bytes salvaged.
+func TestMeasureContextCancellation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-time measurement slots")
+	}
+	id, _ := NewIdentity()
+	addr, _, cleanup := startTarget(t, TargetConfig{}, id)
+	defer cleanup()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		// Let one full second complete so there is something to salvage,
+		// then cancel deep inside the 30-second slot.
+		time.Sleep(1300 * time.Millisecond)
+		cancel()
+	}()
+
+	start := time.Now()
+	res, err := Measure(ctx, tcpDialer(addr), MeasureOptions{
+		Identity: id, Sockets: 2, RateBps: 16 * mbit,
+		Duration: 30 * time.Second, Seed: 5,
+	})
+	elapsed := time.Since(start)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if elapsed > 4*time.Second {
+		t.Fatalf("cancellation took %v; must not wait out the 30s slot", elapsed)
+	}
+	if len(res.PerSecondBytes) < 1 {
+		t.Fatalf("completed second should be salvaged: %v", res.PerSecondBytes)
+	}
+	if res.PerSecondBytes[0] <= 0 {
+		t.Fatalf("salvaged second has no bytes: %v", res.PerSecondBytes)
+	}
+}
+
+// TestMeasureStreamsPerSecondCounts checks OnSecond delivers ordered live
+// per-second byte counts that match the final result for the completed
+// seconds.
+func TestMeasureStreamsPerSecondCounts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-time measurement slots")
+	}
+	id, _ := NewIdentity()
+	addr, _, cleanup := startTarget(t, TargetConfig{}, id)
+	defer cleanup()
+
+	var (
+		mu      sync.Mutex
+		seconds []int
+		bytes   []float64
+	)
+	res, err := Measure(context.Background(), tcpDialer(addr), MeasureOptions{
+		Identity: id, Sockets: 1, RateBps: 8 * mbit,
+		Duration: 2 * time.Second, Seed: 6,
+		OnSecond: func(second int, b float64) {
+			mu.Lock()
+			seconds = append(seconds, second)
+			bytes = append(bytes, b)
+			mu.Unlock()
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(seconds) < 1 {
+		t.Fatal("no per-second samples streamed")
+	}
+	for i, s := range seconds {
+		if s != i {
+			t.Fatalf("samples out of order: %v", seconds)
+		}
+		if bytes[i] <= 0 {
+			t.Fatalf("streamed second %d has no bytes", s)
+		}
+		// The live count can only trail the final tally (cells still in
+		// flight at the boundary land in the final result).
+		if bytes[i] > res.PerSecondBytes[s]+1 {
+			t.Fatalf("streamed %v bytes for second %d, final %v", bytes[i], s, res.PerSecondBytes[s])
+		}
+	}
+}
+
+// TestBackendSalvagesSurvivingMembers pins the member-failure satellite: a
+// team slot where one member cannot even dial must still deliver the
+// surviving member's per-second bytes, marked Incomplete, instead of an
+// empty MeasurementData with an error.
+func TestBackendSalvagesSurvivingMembers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-time measurement slots")
+	}
+	idGood, _ := NewIdentity()
+	idBad, _ := NewIdentity()
+	addr, _, cleanup := startTarget(t, TargetConfig{}, idGood, idBad)
+	defer cleanup()
+
+	backend := &Backend{
+		Members: []Member{
+			{Identity: idGood, Dial: func(string) Dialer { return tcpDialer(addr) }},
+			{Identity: idBad, Dial: func(string) Dialer {
+				return func() (net.Conn, error) { return nil, errors.New("member down") }
+			}},
+		},
+		Seed: 7,
+	}
+	alloc := core.Allocation{
+		PerMeasurerBps: []float64{8 * mbit, 8 * mbit},
+		SocketsPer:     []int{2, 2},
+		TotalBps:       16 * mbit,
+	}
+	data, err := backend.RunMeasurement(context.Background(), "t", alloc, 1, nil)
+	if err != nil {
+		t.Fatalf("surviving member's bytes must not be discarded: %v", err)
+	}
+	if !data.Incomplete {
+		t.Fatal("slot with a dead member must be marked Incomplete")
+	}
+	var good, bad float64
+	for _, b := range data.MeasBytes[0] {
+		good += b
+	}
+	for _, b := range data.MeasBytes[1] {
+		bad += b
+	}
+	if good <= 0 {
+		t.Fatalf("surviving member's bytes missing: %+v", data.MeasBytes)
+	}
+	if bad != 0 {
+		t.Fatalf("dead member cannot have echoed bytes: %+v", data.MeasBytes)
+	}
+}
+
+// TestBackendAllMembersFailedReturnsError: when every member fails the
+// slot has nothing to salvage and the first error propagates.
+func TestBackendAllMembersFailedReturnsError(t *testing.T) {
+	id, _ := NewIdentity()
+	backend := &Backend{Members: []Member{{
+		Identity: id,
+		Dial: func(string) Dialer {
+			return func() (net.Conn, error) { return nil, errors.New("down") }
+		},
+	}}}
+	alloc := core.Allocation{PerMeasurerBps: []float64{mbit}, SocketsPer: []int{1}, TotalBps: mbit}
+	if _, err := backend.RunMeasurement(context.Background(), "t", alloc, 1, nil); err == nil {
+		t.Fatal("all-members-failed slot must error")
+	}
+}
+
+// TestBackendStreamsSamples checks the backend-level sample stream: with
+// two live members, the sink sees ordered samples whose per-member bytes
+// are populated once both members reported the second.
+func TestBackendStreamsSamples(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-time measurement slots")
+	}
+	idA, _ := NewIdentity()
+	idB, _ := NewIdentity()
+	addr, _, cleanup := startTarget(t, TargetConfig{}, idA, idB)
+	defer cleanup()
+
+	backend := &Backend{
+		Members: []Member{
+			{Identity: idA, Dial: func(string) Dialer { return tcpDialer(addr) }},
+			{Identity: idB, Dial: func(string) Dialer { return tcpDialer(addr) }},
+		},
+		Seed: 8,
+	}
+	alloc := core.Allocation{
+		PerMeasurerBps: []float64{8 * mbit, 8 * mbit},
+		SocketsPer:     []int{1, 1},
+		TotalBps:       16 * mbit,
+	}
+	var (
+		mu      sync.Mutex
+		samples []core.Sample
+	)
+	sink := func(s core.Sample) {
+		cp := s
+		cp.MeasBytes = append([]float64(nil), s.MeasBytes...)
+		mu.Lock()
+		samples = append(samples, cp)
+		mu.Unlock()
+	}
+	data, err := backend.RunMeasurement(context.Background(), "t", alloc, 2, sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if data.Failed || data.Incomplete {
+		t.Fatalf("healthy slot flagged: %+v", data)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(samples) < 1 {
+		t.Fatal("no samples streamed")
+	}
+	for i, s := range samples {
+		if s.Second != i {
+			t.Fatalf("samples out of order: %+v", samples)
+		}
+		if len(s.MeasBytes) != 2 {
+			t.Fatalf("sample row should cover the team: %+v", s)
+		}
+		if s.MeasBytes[0] <= 0 || s.MeasBytes[1] <= 0 {
+			t.Fatalf("sample %d missing a member's bytes: %+v", i, s)
+		}
+	}
+}

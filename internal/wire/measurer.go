@@ -1,6 +1,7 @@
 package wire
 
 import (
+	"context"
 	"crypto/ecdh"
 	"crypto/rand"
 	"crypto/sha256"
@@ -11,6 +12,7 @@ import (
 	mrand "math/rand"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"flashflow/internal/cell"
@@ -54,12 +56,20 @@ type MeasureOptions struct {
 	CheckProb float64
 	// Seed makes the cell payload stream and check sampling reproducible.
 	Seed int64
+	// OnSecond, when set, is called once per completed wall-clock second
+	// of the slot, in order, with this measurer's echoed bytes during that
+	// second. The callback runs on a dedicated goroutine; it must return
+	// quickly. It is a live view — cells still in flight at the second
+	// boundary land in the authoritative PerSecondBytes of the final
+	// MeasureResult.
+	OnSecond func(second int, bytes float64)
 }
 
 // MeasureResult is one measurer's view of a slot.
 type MeasureResult struct {
 	// PerSecondBytes[j] is the number of measurement bytes echoed back
-	// during second j.
+	// during second j. Truncated to the completed seconds when the slot
+	// was cancelled mid-way.
 	PerSecondBytes []float64
 	// CellsChecked counts echoed cells whose content was verified.
 	CellsChecked int
@@ -72,7 +82,13 @@ type MeasureResult struct {
 // opts.Sockets connections, authenticates, builds a measurement circuit on
 // each, then streams MsmtData cells full of random bytes as fast as the
 // per-socket rate allows, verifying echoed contents with probability p.
-func Measure(dial Dialer, opts MeasureOptions) (MeasureResult, error) {
+//
+// Cancelling ctx tears the slot down promptly: every connection is closed
+// (and, when ctx carries a deadline, the connections also wear that
+// deadline), the send/recv loops exit, and Measure returns the per-second
+// bytes of the seconds completed before cancellation together with
+// ctx.Err().
+func Measure(ctx context.Context, dial Dialer, opts MeasureOptions) (MeasureResult, error) {
 	if opts.Sockets <= 0 {
 		return MeasureResult{}, errors.New("wire: need at least one socket")
 	}
@@ -82,29 +98,40 @@ func Measure(dial Dialer, opts MeasureOptions) (MeasureResult, error) {
 	seconds := int(math.Ceil(opts.Duration.Seconds()))
 	perSocketRate := opts.RateBps / float64(opts.Sockets)
 
+	// All sockets of this measurer accumulate into one shared set of
+	// per-second buckets, updated with atomic adds so the hot echo loop
+	// stays lock- and allocation-free while the streamer goroutine below
+	// can observe completed seconds concurrently.
+	buckets := make([]atomic.Uint64, seconds)
+
 	var (
 		mu       sync.Mutex
-		buckets  = make([]float64, seconds)
 		checked  int
 		failed   bool
 		firstErr error
 	)
 	start := time.Now()
+
+	done := make(chan struct{})
+	var streamWG sync.WaitGroup
+	if opts.OnSecond != nil {
+		streamWG.Add(1)
+		go func() {
+			defer streamWG.Done()
+			streamSeconds(ctx, done, start, buckets, opts.OnSecond)
+		}()
+	}
+
 	var wg sync.WaitGroup
 	for s := 0; s < opts.Sockets; s++ {
 		wg.Add(1)
 		go func(sockIdx int) {
 			defer wg.Done()
-			res, err := measureSocket(dial, opts, perSocketRate, start, seconds, opts.Seed+int64(sockIdx))
+			res, err := measureSocket(ctx, dial, opts, perSocketRate, start, buckets, seconds, opts.Seed+int64(sockIdx))
 			mu.Lock()
 			defer mu.Unlock()
 			if err != nil && firstErr == nil {
 				firstErr = err
-			}
-			for j, b := range res.PerSecondBytes {
-				if j < seconds {
-					buckets[j] += b
-				}
 			}
 			checked += res.CellsChecked
 			if res.Failed {
@@ -113,10 +140,55 @@ func Measure(dial Dialer, opts MeasureOptions) (MeasureResult, error) {
 		}(s)
 	}
 	wg.Wait()
-	if firstErr != nil {
-		return MeasureResult{}, firstErr
+	close(done)
+	streamWG.Wait()
+
+	completed := seconds
+	if ctxErr := ctx.Err(); ctxErr != nil {
+		// Normalize the per-socket teardown errors (closed connections,
+		// expired deadlines) to the context's own error, and report only
+		// the fully elapsed seconds.
+		firstErr = ctxErr
+		completed = int(time.Since(start) / time.Second)
+		if completed > seconds {
+			completed = seconds
+		}
 	}
-	return MeasureResult{PerSecondBytes: buckets, CellsChecked: checked, Failed: failed}, nil
+	res := MeasureResult{PerSecondBytes: make([]float64, completed), CellsChecked: checked, Failed: failed}
+	for j := 0; j < completed; j++ {
+		res.PerSecondBytes[j] = float64(buckets[j].Load())
+	}
+	if firstErr != nil {
+		return res, firstErr
+	}
+	return res, nil
+}
+
+// streamSeconds delivers each completed second's byte count to onSecond.
+// It waits slightly past every second boundary so late atomic adds from
+// the reader goroutines are included, and stops as soon as the slot's
+// sockets are done or the context is cancelled — an interrupted slot never
+// streams a second it did not complete.
+const streamFlushSlack = 20 * time.Millisecond
+
+func streamSeconds(ctx context.Context, done <-chan struct{}, start time.Time, buckets []atomic.Uint64, onSecond func(int, float64)) {
+	timer := time.NewTimer(0)
+	if !timer.Stop() {
+		<-timer.C
+	}
+	defer timer.Stop()
+	for j := range buckets {
+		boundary := start.Add(time.Duration(j+1)*time.Second + streamFlushSlack)
+		timer.Reset(time.Until(boundary))
+		select {
+		case <-timer.C:
+		case <-ctx.Done():
+			return
+		case <-done:
+			return
+		}
+		onSecond(j, float64(buckets[j].Load()))
+	}
 }
 
 // inflightWindow bounds the number of un-echoed cells in flight per
@@ -126,13 +198,35 @@ func Measure(dial Dialer, opts MeasureOptions) (MeasureResult, error) {
 // small multiple of the batch size so batching never starves the pipeline.
 const inflightWindow = 8 * cell.BatchCells
 
-// measureSocket drives a single measurement connection.
-func measureSocket(dial Dialer, opts MeasureOptions, rateBps float64, start time.Time, seconds int, seed int64) (MeasureResult, error) {
+// measureSocket drives a single measurement connection, adding every
+// echoed cell's bytes into the shared per-second buckets.
+func measureSocket(ctx context.Context, dial Dialer, opts MeasureOptions, rateBps float64, start time.Time, buckets []atomic.Uint64, seconds int, seed int64) (MeasureResult, error) {
+	if err := ctx.Err(); err != nil {
+		return MeasureResult{}, err
+	}
 	conn, err := dial()
 	if err != nil {
 		return MeasureResult{}, fmt.Errorf("dial: %w", err)
 	}
-	defer conn.Close()
+	// Every teardown path — normal return, abort, and the cancellation
+	// watcher below — funnels through one sync.Once: a pooled connection's
+	// Close parks it for reuse, and racing the context watcher against the
+	// deferred close could otherwise park the same connection twice and
+	// hand it to two concurrent measurements later.
+	var closeOnce sync.Once
+	closeConn := func() { closeOnce.Do(func() { conn.Close() }) }
+	defer closeConn()
+
+	// Cancellation plumbing: closing the connection is what actually
+	// unblocks the send/recv loops, so hook it straight to the context;
+	// a context deadline additionally becomes a connection deadline so a
+	// wedged peer cannot stall the slot past its budget even while the
+	// context itself is still alive.
+	stopWatch := context.AfterFunc(ctx, closeConn)
+	defer stopWatch()
+	if dl, ok := ctx.Deadline(); ok {
+		_ = conn.SetDeadline(dl)
+	}
 
 	sess, _ := conn.(Session)
 	if sess == nil || !sess.Authenticated() {
@@ -148,7 +242,7 @@ func measureSocket(dial Dialer, opts MeasureOptions, rateBps float64, start time
 		return MeasureResult{}, err
 	}
 
-	res := MeasureResult{PerSecondBytes: make([]float64, seconds)}
+	var res MeasureResult
 	rng := mrand.New(mrand.NewSource(seed))
 
 	// Digest queue of checked cells: the TCP stream preserves order, so
@@ -189,7 +283,7 @@ func measureSocket(dial Dialer, opts MeasureOptions, rateBps float64, start time
 			}
 			idx := int(time.Since(start) / time.Second)
 			if idx >= 0 && idx < seconds {
-				res.PerSecondBytes[idx] += cell.Size
+				buckets[idx].Add(cell.Size)
 			}
 			if opts.CheckProb > 0 {
 				checksMu.Lock()
@@ -209,8 +303,11 @@ func measureSocket(dial Dialer, opts MeasureOptions, rateBps float64, start time
 	// abort tears the connection down and waits for the reader so that no
 	// goroutine still writes to res when we return it.
 	abort := func(e error) (MeasureResult, error) {
-		conn.Close()
+		closeConn()
 		<-readerDone
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			e = ctxErr
+		}
 		return res, e
 	}
 
@@ -233,6 +330,9 @@ func measureSocket(dial Dialer, opts MeasureOptions, rateBps float64, start time
 	}
 	defer waitTimer.Stop()
 	for {
+		if ctx.Err() != nil {
+			return abort(ctx.Err())
+		}
 		now := time.Now()
 		if !now.Before(deadline) {
 			break
@@ -257,6 +357,8 @@ func measureSocket(dial Dialer, opts MeasureOptions, rateBps float64, start time
 					<-waitTimer.C
 				}
 				n = 1
+			case <-ctx.Done():
+				return abort(ctx.Err())
 			case <-waitTimer.C:
 				continue // deadline reached while window was full
 			}
@@ -287,12 +389,19 @@ func measureSocket(dial Dialer, opts MeasureOptions, rateBps float64, start time
 	if _, err := conn.Write(end); err != nil {
 		return abort(fmt.Errorf("send end: %w", err))
 	}
+	drainTimer := time.NewTimer(5 * time.Second)
+	defer drainTimer.Stop()
 	select {
 	case err := <-readerDone:
 		if err != nil {
+			if ctxErr := ctx.Err(); ctxErr != nil {
+				err = ctxErr
+			}
 			return res, err
 		}
-	case <-time.After(5 * time.Second):
+	case <-ctx.Done():
+		return abort(ctx.Err())
+	case <-drainTimer.C:
 		return abort(errors.New("wire: timed out draining echo stream"))
 	}
 	if sess != nil {

@@ -2,6 +2,7 @@ package wire
 
 import (
 	"bytes"
+	"context"
 	"io"
 	"net"
 	"sync"
@@ -116,7 +117,7 @@ func TestTargetHandlesAbruptDisconnect(t *testing.T) {
 	conn.Close()
 
 	// A fresh, well-behaved measurement still works.
-	res, err := Measure(tcpDialer(addr), MeasureOptions{
+	res, err := Measure(context.Background(), tcpDialer(addr), MeasureOptions{
 		Identity: id, Sockets: 1, RateBps: 4 * mbit, Duration: time.Second, Seed: 11,
 	})
 	if err != nil {
@@ -148,7 +149,7 @@ func TestConcurrentMeasurersShareTargetRate(t *testing.T) {
 		wg.Add(1)
 		go func(idx int, ident Identity) {
 			defer wg.Done()
-			results[idx], errs[idx] = Measure(tcpDialer(addr), MeasureOptions{
+			results[idx], errs[idx] = Measure(context.Background(), tcpDialer(addr), MeasureOptions{
 				Identity: ident, Sockets: 2, RateBps: 32 * mbit,
 				Duration: 2 * time.Second, Seed: int64(20 + idx),
 			})

@@ -1,6 +1,7 @@
 package wire
 
 import (
+	"context"
 	"net"
 	"testing"
 	"time"
@@ -59,7 +60,7 @@ func TestMeasureReusesSessionConnection(t *testing.T) {
 	}
 	for round := 0; round < 2; round++ {
 		sess.reusable = false
-		res, err := Measure(dial, opts)
+		res, err := Measure(context.Background(), dial, opts)
 		if err != nil {
 			t.Fatalf("round %d: %v", round, err)
 		}
@@ -109,7 +110,7 @@ func TestRevokeCutsOffOpenSessionConnection(t *testing.T) {
 		Duration: 300 * time.Millisecond,
 		Seed:     1,
 	}
-	if _, err := Measure(dial, opts); err != nil {
+	if _, err := Measure(context.Background(), dial, opts); err != nil {
 		t.Fatalf("first measurement: %v", err)
 	}
 	if !sess.reusable {
@@ -118,7 +119,7 @@ func TestRevokeCutsOffOpenSessionConnection(t *testing.T) {
 
 	tgt.Revoke()
 	sess.reusable = false
-	if _, err := Measure(dial, opts); err == nil {
+	if _, err := Measure(context.Background(), dial, opts); err == nil {
 		t.Fatal("measurement on a revoked session should fail")
 	}
 }

@@ -2,6 +2,7 @@ package wire
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"net"
 	"testing"
@@ -151,7 +152,7 @@ func TestMeasureHonestTargetEchoesAtRate(t *testing.T) {
 	addr, _, cleanup := startTarget(t, TargetConfig{RateBps: rate}, id)
 	defer cleanup()
 
-	res, err := Measure(tcpDialer(addr), MeasureOptions{
+	res, err := Measure(context.Background(), tcpDialer(addr), MeasureOptions{
 		Identity:  id,
 		Sockets:   4,
 		RateBps:   64 * mbit, // demand well above the target's limit
@@ -186,7 +187,7 @@ func TestMeasureDetectsCorruptTarget(t *testing.T) {
 	addr, _, cleanup := startTarget(t, TargetConfig{RateBps: 16 * mbit, Corrupt: true}, id)
 	defer cleanup()
 
-	res, err := Measure(tcpDialer(addr), MeasureOptions{
+	res, err := Measure(context.Background(), tcpDialer(addr), MeasureOptions{
 		Identity:  id,
 		Sockets:   2,
 		RateBps:   16 * mbit,
@@ -206,7 +207,7 @@ func TestMeasureRejectedWithoutAuthorization(t *testing.T) {
 	id, _ := NewIdentity()
 	addr, _, cleanup := startTarget(t, TargetConfig{}) // nobody authorized
 	defer cleanup()
-	_, err := Measure(tcpDialer(addr), MeasureOptions{
+	_, err := Measure(context.Background(), tcpDialer(addr), MeasureOptions{
 		Identity: id,
 		Sockets:  1,
 		RateBps:  mbit,
@@ -220,10 +221,10 @@ func TestMeasureRejectedWithoutAuthorization(t *testing.T) {
 
 func TestMeasureOptionValidation(t *testing.T) {
 	id, _ := NewIdentity()
-	if _, err := Measure(tcpDialer("x"), MeasureOptions{Identity: id, Sockets: 0, Duration: time.Second}); err == nil {
+	if _, err := Measure(context.Background(), tcpDialer("x"), MeasureOptions{Identity: id, Sockets: 0, Duration: time.Second}); err == nil {
 		t.Fatal("zero sockets should error")
 	}
-	if _, err := Measure(tcpDialer("x"), MeasureOptions{Identity: id, Sockets: 1, Duration: 0}); err == nil {
+	if _, err := Measure(context.Background(), tcpDialer("x"), MeasureOptions{Identity: id, Sockets: 1, Duration: 0}); err == nil {
 		t.Fatal("zero duration should error")
 	}
 }
@@ -233,7 +234,7 @@ func TestTargetRevoke(t *testing.T) {
 	addr, tgt, cleanup := startTarget(t, TargetConfig{RateBps: 8 * mbit}, id)
 	defer cleanup()
 	tgt.Revoke()
-	_, err := Measure(tcpDialer(addr), MeasureOptions{
+	_, err := Measure(context.Background(), tcpDialer(addr), MeasureOptions{
 		Identity: id, Sockets: 1, RateBps: mbit, Duration: time.Second, Seed: 4,
 	})
 	if err == nil {
@@ -248,7 +249,7 @@ func TestTargetCountsForwardedBytes(t *testing.T) {
 	id, _ := NewIdentity()
 	addr, tgt, cleanup := startTarget(t, TargetConfig{RateBps: 8 * mbit}, id)
 	defer cleanup()
-	res, err := Measure(tcpDialer(addr), MeasureOptions{
+	res, err := Measure(context.Background(), tcpDialer(addr), MeasureOptions{
 		Identity: id, Sockets: 1, RateBps: 8 * mbit, Duration: time.Second, Seed: 5,
 	})
 	if err != nil {
@@ -298,7 +299,7 @@ func TestWireBackendEndToEnd(t *testing.T) {
 		{Name: "m0", CapacityBps: 40 * mbit, Cores: 2},
 		{Name: "m1", CapacityBps: 40 * mbit, Cores: 2},
 	}
-	out, err := core.MeasureRelay(backend, team, "t", rate, p)
+	out, err := core.MeasureRelay(context.Background(), backend, team, "t", rate, p)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -311,7 +312,7 @@ func TestWireBackendEndToEnd(t *testing.T) {
 func TestBackendAllocationMismatch(t *testing.T) {
 	backend := &Backend{Members: []Member{}}
 	alloc := core.Allocation{PerMeasurerBps: []float64{1}}
-	if _, err := backend.RunMeasurement("t", alloc, 1); err == nil {
+	if _, err := backend.RunMeasurement(context.Background(), "t", alloc, 1, nil); err == nil {
 		t.Fatal("mismatched team should error")
 	}
 }

@@ -10,6 +10,10 @@
 //	                                           # fail (exit 1) on >20% regression
 //	go run ./cmd/bench -out BENCH_baseline.json
 //	                                           # refresh the checked-in baseline
+//	go run ./cmd/bench -history BENCH_history.jsonl
+//	                                           # append a one-line run summary (perf trajectory)
+//	go run ./cmd/bench -scenarios schedule-build-1m -cpuprofile cpu.out -memprofile mem.out
+//	                                           # profile one scenario with go tool pprof
 //
 // The regression check compares cells/sec per scenario against the
 // baseline report, normalizing each scenario's ratio by the median ratio
@@ -23,6 +27,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"flashflow/internal/perf"
@@ -37,6 +43,9 @@ func main() {
 		maxRegress = flag.Float64("max-regress", 0.20, "allowed fractional cells/sec regression vs baseline")
 		repeat     = flag.Int("repeat", 1, "run each scenario N times, keep the fastest (damps CI noise)")
 		list       = flag.Bool("list", false, "list scenarios and exit")
+		history    = flag.String("history", "", "append a one-line JSON summary of this run to the given JSONL file")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the scenario run to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile taken after the scenario run to this file")
 	)
 	flag.Parse()
 
@@ -56,10 +65,41 @@ func main() {
 		}
 	}
 
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bench:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "bench:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+	}
+
 	rep, err := perf.Run(names, perf.Options{Quick: *quick, Repeat: *repeat})
+	if *cpuprofile != "" {
+		pprof.StopCPUProfile()
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "bench:", err)
 		os.Exit(1)
+	}
+
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bench:", err)
+			os.Exit(1)
+		}
+		runtime.GC() // settle to live objects before the heap snapshot
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			f.Close()
+			fmt.Fprintln(os.Stderr, "bench:", err)
+			os.Exit(1)
+		}
+		f.Close()
 	}
 
 	for _, r := range rep.Results {
@@ -83,6 +123,14 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Println("report:", *out)
+	}
+
+	if *history != "" {
+		if err := perf.AppendHistory(*history, rep); err != nil {
+			fmt.Fprintln(os.Stderr, "bench:", err)
+			os.Exit(1)
+		}
+		fmt.Println("history:", *history)
 	}
 
 	if *baseline != "" {

@@ -27,6 +27,7 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -159,6 +160,14 @@ func run() error {
 			fmt.Println(r)
 			if r.SnapshotPath != "" {
 				fmt.Printf("  snapshot: %s\n", r.SnapshotPath)
+			}
+			if len(r.Unscheduled) > 0 {
+				names := r.Unscheduled
+				if len(names) > 5 {
+					names = names[:5]
+				}
+				fmt.Printf("  unscheduled: %d relay(s) did not fit the schedule (team capacity too small): %s\n",
+					len(r.Unscheduled), strings.Join(names, ", "))
 			}
 			for _, um := range r.Unmeasured {
 				fmt.Printf("  unmeasured: %s@%s after %d attempts: %s\n", um.Relay, um.BWAuth, um.Attempts, um.Reason)

@@ -78,6 +78,17 @@ func run() error {
 	fmt.Printf("randomized period schedule: %d slots, BWAuth 0 busy in %d (%.0f%%), %d unscheduled\n",
 		sched.NumSlots, busy, 100*float64(busy)/float64(sched.NumSlots), len(sched.Unscheduled))
 
+	// Per-relay lookups ride the schedule's precomputed relay→slot
+	// index (O(1) per query — the seed implementation re-scanned every
+	// assignment, which at consensus scale made this loop quadratic).
+	for _, name := range []string{relays[0].Name, relays[len(relays)/2].Name, relays[len(relays)-1].Name} {
+		fmt.Printf("  %s scheduled at", name)
+		for b := range sched.PerBWAuth {
+			fmt.Printf(" bw%d:slot %d", b, sched.SlotOf(b, name))
+		}
+		fmt.Println()
+	}
+
 	// New-relay latency at the July 2019 prior of 51 Mbit/s.
 	occupied := 599.0 / 2880.0
 	for _, n := range []int{1, 3, 98} {

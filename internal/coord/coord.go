@@ -39,12 +39,26 @@ type RelaySource interface {
 	Relays() []core.RelayEstimate
 }
 
+// RelayAppender is an optional RelaySource extension: sources that can
+// append the population into a caller-owned buffer let the coordinator
+// reuse one slice across rounds instead of allocating a fresh population
+// copy every period. At million-relay consensus sizes that copy is the
+// largest per-round allocation the control plane makes.
+type RelayAppender interface {
+	AppendRelays(buf []core.RelayEstimate) []core.RelayEstimate
+}
+
 // StaticRelays is a fixed relay population.
 type StaticRelays []core.RelayEstimate
 
 // Relays implements RelaySource.
 func (s StaticRelays) Relays() []core.RelayEstimate {
 	return append([]core.RelayEstimate(nil), s...)
+}
+
+// AppendRelays implements RelayAppender.
+func (s StaticRelays) AppendRelays(buf []core.RelayEstimate) []core.RelayEstimate {
+	return append(buf, s...)
 }
 
 // Config tunes the Coordinator. Zero values select the documented
@@ -201,6 +215,10 @@ type Status struct {
 	Measuring []SlotProgress
 	// Counters is a snapshot of the operational counters.
 	Counters map[string]int64
+	// Unscheduled counts relays the most recent round's §4.3 scheduler
+	// could not place on at least one BWAuth — capacity pressure the
+	// operator should see without digging through round reports.
+	Unscheduled int
 	// LastRound is the most recent round report, nil before the first
 	// round completes.
 	LastRound *RoundReport
@@ -214,6 +232,20 @@ type Coordinator struct {
 	source  RelaySource
 	backoff *Backoff
 	limiter *RelayLimiter
+
+	// Round-planning arenas, reused across rounds so a steady-state
+	// population plans each period without allocation churn: the
+	// schedule builder's indexed structures, the population buffer
+	// (when the source supports AppendRelays), the flattened job list
+	// and its backing array, the retain set, and the per-round result
+	// collector. All are touched only by Run's goroutine.
+	builder  *core.ScheduleBuilder
+	popBuf   []core.RelayEstimate
+	capsBuf  []float64
+	jobArena []slotJob
+	jobs     []*slotJob
+	keepBuf  map[string]bool
+	col      roundCollector
 
 	mu       sync.Mutex
 	round    int
@@ -255,6 +287,7 @@ func New(cfg Config, auths []*core.BWAuth, source RelaySource) (*Coordinator, er
 		source:   source,
 		backoff:  NewBackoff(cfg.RetryBase, cfg.RetryMax, cfg.Seed),
 		limiter:  NewRelayLimiter(cfg.RelayAttemptsPerSec, cfg.RelayBurst),
+		builder:  core.NewScheduleBuilder(),
 		priors:   make(map[string]float64),
 		progress: make(map[string]*SlotProgress),
 	}
@@ -338,6 +371,7 @@ func (c *Coordinator) Status() Status {
 	if c.last != nil {
 		rep := *c.last
 		s.LastRound = &rep
+		s.Unscheduled = len(rep.Unscheduled)
 	}
 	return s
 }
@@ -402,6 +436,7 @@ func (c *Coordinator) finishRound(rep *RoundReport) {
 	ctr := c.cfg.Counters
 	ctr.Inc("coord_rounds_completed")
 	ctr.Add("coord_slots_unmeasured", int64(len(rep.Unmeasured)))
+	ctr.Add("coord_relays_unscheduled", int64(len(rep.Unscheduled)))
 	if c.cfg.Pool != nil {
 		rep.Pool = c.cfg.Pool.Stats()
 		ctr.Set("coord_pool_hits", rep.Pool.Hits)
@@ -427,9 +462,17 @@ func (c *Coordinator) finishRound(rep *RoundReport) {
 // population builds this round's scheduler input: the source's relay list
 // with the coordinator's own medians substituted as priors for every
 // relay measured in a previous round — the feedback loop that lets an
-// accurate round shrink the next round's excess allocations.
+// accurate round shrink the next round's excess allocations. Sources
+// implementing RelayAppender fill the coordinator's reused buffer
+// instead of allocating a fresh copy each round.
 func (c *Coordinator) population() []core.RelayEstimate {
-	relays := c.source.Relays()
+	var relays []core.RelayEstimate
+	if ap, ok := c.source.(RelayAppender); ok {
+		c.popBuf = ap.AppendRelays(c.popBuf[:0])
+		relays = c.popBuf
+	} else {
+		relays = c.source.Relays()
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	for i := range relays {
@@ -483,7 +526,9 @@ type slotJob struct {
 	hasOutcome   bool
 }
 
-// roundCollector accumulates a round's results under its own lock.
+// roundCollector accumulates a round's results under its own lock. The
+// coordinator owns one and resets it each round, keeping the per-relay
+// map's buckets warm across a stable population.
 type roundCollector struct {
 	mu           sync.Mutex
 	perRelay     map[string][]float64
@@ -492,6 +537,18 @@ type roundCollector struct {
 	retries      int
 	rateLimited  int
 	unmeasured   []Unmeasured
+}
+
+func (rc *roundCollector) reset(relays int) {
+	rc.mu.Lock()
+	if rc.perRelay == nil {
+		rc.perRelay = make(map[string][]float64, relays)
+	} else {
+		clear(rc.perRelay)
+	}
+	rc.conclusive, rc.inconclusive, rc.retries, rc.rateLimited = 0, 0, 0, 0
+	rc.unmeasured = rc.unmeasured[:0]
+	rc.mu.Unlock()
 }
 
 func (rc *roundCollector) addEstimate(relay string, bps float64) {
@@ -512,14 +569,21 @@ func (c *Coordinator) runRound(ctx context.Context, round int) RoundReport {
 	// so the first measurement's doubling loop starts from the same prior
 	// the schedule reserved capacity for. Priors are not publishable: a
 	// relay that fails every attempt stays out of the bandwidth file.
-	for _, r := range population {
-		if r.EstimateBps <= 0 {
-			continue
-		}
-		for _, a := range c.auths {
-			a.SetPrior(r.Name, r.EstimateBps)
-		}
+	// Each BWAuth keeps its own prior table behind its own lock, so the
+	// per-auth sweeps shard cleanly across cores.
+	var priorWG sync.WaitGroup
+	for _, a := range c.auths {
+		priorWG.Add(1)
+		go func(a *core.BWAuth) {
+			defer priorWG.Done()
+			for _, r := range population {
+				if r.EstimateBps > 0 {
+					a.SetPrior(r.Name, r.EstimateBps)
+				}
+			}
+		}(a)
 	}
+	priorWG.Wait()
 
 	seed, err := c.roundSeed(round)
 	if err != nil {
@@ -527,11 +591,18 @@ func (c *Coordinator) runRound(ctx context.Context, round int) RoundReport {
 		rep.Duration = time.Since(start)
 		return rep
 	}
-	teamCaps := make([]float64, len(c.auths))
+	if cap(c.capsBuf) < len(c.auths) {
+		c.capsBuf = make([]float64, len(c.auths))
+	}
+	teamCaps := c.capsBuf[:len(c.auths)]
 	for i, a := range c.auths {
 		teamCaps[i] = core.TeamCapacityBps(a.Team)
 	}
-	sched, err := core.BuildSchedule(seed, population, teamCaps, c.cfg.Params)
+	// The reused builder keeps its indexed slot structures, relay→slot
+	// index, and the schedule's slot arrays warm; the returned schedule
+	// is only valid until the next Build, which is fine — it is fully
+	// flattened into jobs below.
+	sched, err := c.builder.Build(seed, population, teamCaps, c.cfg.Params)
 	if err != nil {
 		rep.Unmeasured = append(rep.Unmeasured, Unmeasured{Reason: "schedule: " + err.Error()})
 		rep.Duration = time.Since(start)
@@ -540,19 +611,30 @@ func (c *Coordinator) runRound(ctx context.Context, round int) RoundReport {
 	rep.Unscheduled = append(rep.Unscheduled, sched.Unscheduled...)
 
 	// Flatten slot-major so earlier slots start first, preserving the
-	// schedule's rough ordering under the worker pool.
-	var jobs []*slotJob
+	// schedule's rough ordering under the worker pool. The job structs
+	// live in one reused arena sized by the schedule's assignment count.
+	total := sched.Assignments()
+	if cap(c.jobArena) < total {
+		c.jobArena = make([]slotJob, total)
+		c.jobs = make([]*slotJob, 0, total)
+	}
+	arena := c.jobArena[:total]
+	jobs := c.jobs[:0]
 	for slot := 0; slot < sched.NumSlots; slot++ {
 		for b := range sched.PerBWAuth {
 			for _, a := range sched.PerBWAuth[b][slot] {
-				jobs = append(jobs, &slotJob{auth: b, relay: a.Relay, slot: slot})
+				j := &arena[len(jobs)]
+				*j = slotJob{auth: b, relay: a.Relay, slot: slot}
+				jobs = append(jobs, j)
 			}
 		}
 	}
+	c.jobs = jobs
 	rep.Scheduled = len(jobs)
 	c.cfg.Counters.Add("coord_slots_scheduled", int64(len(jobs)))
 
-	col := &roundCollector{perRelay: make(map[string][]float64)}
+	col := &c.col
+	col.reset(len(population))
 	c.execute(ctx, jobs, col)
 
 	col.mu.Lock()
@@ -577,7 +659,12 @@ func (c *Coordinator) runRound(ctx context.Context, round int) RoundReport {
 	// Forget relays that left the population: limiter buckets, the
 	// coordinator's priors, and the BWAuths' tables would otherwise grow
 	// (and keep publishing departed relays) for the life of the service.
-	keep := make(map[string]bool, len(population))
+	if c.keepBuf == nil {
+		c.keepBuf = make(map[string]bool, len(population))
+	} else {
+		clear(c.keepBuf)
+	}
+	keep := c.keepBuf
 	for _, r := range population {
 		keep[r.Name] = true
 	}
@@ -776,8 +863,9 @@ func (c *Coordinator) finalize(j *slotJob, col *roundCollector, pending *sync.Wa
 	pending.Done()
 }
 
-// writeSnapshot merges every BWAuth's current bandwidth file and writes a
-// v3bw-style snapshot for the round.
+// writeSnapshot merges every BWAuth's current bandwidth file and streams
+// a v3bw-style snapshot for the round straight to disk: a million-line
+// bandwidth file is never materialized in memory.
 func (c *Coordinator) writeSnapshot(round int) (string, error) {
 	at := time.Duration(round) * c.cfg.Params.Period
 	files := make([]*dirauth.BandwidthFile, len(c.auths))
@@ -789,7 +877,15 @@ func (c *Coordinator) writeSnapshot(round int) (string, error) {
 		return "", err
 	}
 	path := filepath.Join(c.cfg.SnapshotDir, fmt.Sprintf("v3bw-round-%05d.txt", round))
-	if err := os.WriteFile(path, []byte(dirauth.FormatV3BW(merged)), 0o644); err != nil {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return "", err
+	}
+	if _, err := merged.WriteTo(f); err != nil {
+		f.Close()
+		return "", err
+	}
+	if err := f.Close(); err != nil {
 		return "", err
 	}
 	return path, nil

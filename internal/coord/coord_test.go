@@ -769,3 +769,94 @@ func TestSnapshotsWritten(t *testing.T) {
 		t.Fatalf("never-measured relay published in snapshot: %v", f.Entries)
 	}
 }
+
+// TestUnscheduledRelaysSurfaced: a relay whose required capacity exceeds
+// every slot's team budget cannot be placed by the §4.3 scheduler; the
+// coordinator must surface it in the round report, the status view, and
+// the operational counters rather than silently skipping it.
+func TestUnscheduledRelaysSurfaced(t *testing.T) {
+	caps := map[string]float64{"r1": 10e6, "r2": 25e6, "whale": 5e9}
+	p := testParams()
+	auths := []*core.BWAuth{
+		testAuth("bw0", newFakeBackend(caps), p),
+		testAuth("bw1", newFakeBackend(caps), p),
+	}
+	source := StaticRelays{
+		{Name: "r1", EstimateBps: 10e6},
+		{Name: "r2", EstimateBps: 25e6},
+		// Needs f·5e9 ≈ 14.8 Gbit/s of team capacity; the teams have 1.
+		{Name: "whale", EstimateBps: 5e9},
+	}
+	var reports []RoundReport
+	c, err := New(Config{
+		Params:      p,
+		Workers:     2,
+		MaxAttempts: 2,
+		RetryBase:   time.Millisecond,
+		RetryMax:    4 * time.Millisecond,
+		MaxRounds:   1,
+		OnRound:     func(r RoundReport) { reports = append(reports, r) },
+	}, auths, source)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != 1 {
+		t.Fatalf("rounds: %d", len(reports))
+	}
+	rep := reports[0]
+	if len(rep.Unscheduled) != 1 || rep.Unscheduled[0] != "whale" {
+		t.Fatalf("unscheduled: %v", rep.Unscheduled)
+	}
+	// The schedulable relays still ran on both BWAuths.
+	if rep.Scheduled != 4 || rep.Conclusive != 4 {
+		t.Fatalf("scheduled/conclusive: %d/%d", rep.Scheduled, rep.Conclusive)
+	}
+	if _, ok := rep.Estimates["whale"]; ok {
+		t.Fatal("unscheduled relay must not produce an estimate")
+	}
+	st := c.Status()
+	if st.Unscheduled != 1 {
+		t.Fatalf("status unscheduled: %d", st.Unscheduled)
+	}
+	if st.Counters["coord_relays_unscheduled"] != 1 {
+		t.Fatalf("counter: %v", st.Counters["coord_relays_unscheduled"])
+	}
+}
+
+// TestRoundArenasReused: the planning arenas (population buffer, job
+// arena, schedule builder) must not grow per-round allocations on a
+// stable population — pinned loosely by checking the coordinator reuses
+// its population buffer's backing array across rounds.
+func TestRoundArenasReused(t *testing.T) {
+	caps := map[string]float64{"r1": 10e6, "r2": 25e6, "r3": 40e6}
+	p := testParams()
+	auths := []*core.BWAuth{testAuth("bw0", newFakeBackend(caps), p)}
+	source := StaticRelays{
+		{Name: "r1", EstimateBps: 10e6},
+		{Name: "r2", EstimateBps: 25e6},
+		{Name: "r3", EstimateBps: 40e6},
+	}
+	c, err := New(Config{
+		Params:      p,
+		Workers:     2,
+		MaxAttempts: 2,
+		RetryBase:   time.Millisecond,
+		RetryMax:    4 * time.Millisecond,
+		MaxRounds:   3,
+	}, auths, source)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if cap(c.popBuf) < len(source) {
+		t.Fatalf("population buffer not retained: cap %d", cap(c.popBuf))
+	}
+	if cap(c.jobArena) < len(source) {
+		t.Fatalf("job arena not retained: cap %d", cap(c.jobArena))
+	}
+}

@@ -1,0 +1,267 @@
+package core
+
+import "math"
+
+// maxf is max for two float64s without the math.Max NaN/±0 handling —
+// residual capacities are ordinary finite values (or the -Inf padding,
+// which compares fine), and the intrinsic-free branch is measurably
+// cheaper in the placement hot loop.
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// This file holds the indexed data structures behind the fast §4.3
+// schedule builder. The seed implementation re-scanned every slot for
+// every placement (O(S) per relay per BWAuth, with a fresh candidate
+// slice each time); at consensus sizes in the hundreds of thousands or
+// millions of relays that linear scan dominates the whole control plane.
+// slotIndex replaces it with three cooperating structures over one
+// BWAuth's S slots:
+//
+//   - remaining[slot]: the slot's residual team capacity, the single
+//     source of truth both phases mutate through place.
+//
+//   - A Fenwick tree over 0/1 slot membership in the current *feasible
+//     set* — the slots whose residual capacity is at least the need
+//     threshold of the relay being placed. It supports count and
+//     "k-th feasible slot in slot order" in O(log S), which is exactly
+//     what the uniform random draw among feasible slots consumes.
+//
+//   - A max-heap of the slots currently *outside* the feasible set,
+//     keyed by residual capacity. Old relays are placed in
+//     need-descending order, so the feasibility threshold only ever
+//     decreases: lowering it readmits pending slots whose residual
+//     clears the new threshold. A slot leaves the set only when a
+//     placement drops its residual below the threshold, so the total
+//     number of enter/leave events is O(R + S) across the whole build.
+//
+//   - A max-segment tree over residual capacity for the FCFS phase's
+//     earliest-feasible-slot query (leftmost slot with residual ≥ need)
+//     in O(log S), independent of the old-phase threshold machinery.
+//
+// Invariant (old phase): after lowerThreshold(need), the feasible set is
+// exactly {slot : remaining[slot] ≥ need}. The builder draws
+// rng.Intn(count) once per placed relay and maps it through kth, so it
+// consumes the derived RNG stream identically to the reference
+// implementation's slot-order candidate scan — the two builders produce
+// byte-identical schedules (see BuildScheduleReference and the
+// equivalence property tests).
+type slotIndex struct {
+	n         int
+	remaining []float64
+
+	// Max-segment tree: seg[1] is the root, leaves start at segSize.
+	// Padding leaves hold -Inf so they are never feasible.
+	segSize int
+	seg     []float64
+
+	// Fenwick tree (1-based) over feasible-set membership.
+	bit       []int32
+	bitMask   int // largest power of two ≤ n
+	inSet     []bool
+	feasCount int
+
+	pending   slotHeap
+	threshold float64
+}
+
+// slotHeapEntry is a slot waiting to re-enter the feasible set, keyed by
+// the residual capacity it had when it left (residuals never change
+// while a slot is pending, because only feasible slots receive
+// placements).
+type slotHeapEntry struct {
+	rem  float64
+	slot int32
+}
+
+// slotHeap is a hand-rolled max-heap by residual capacity; avoiding
+// container/heap keeps the hot path free of interface boxing.
+type slotHeap []slotHeapEntry
+
+func (h *slotHeap) push(e slotHeapEntry) {
+	*h = append(*h, e)
+	s := *h
+	i := len(s) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if s[parent].rem >= s[i].rem {
+			break
+		}
+		s[parent], s[i] = s[i], s[parent]
+		i = parent
+	}
+}
+
+func (h *slotHeap) popMax() slotHeapEntry {
+	s := *h
+	top := s[0]
+	last := len(s) - 1
+	s[0] = s[last]
+	*h = s[:last]
+	s = s[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		largest := i
+		if l < len(s) && s[l].rem > s[largest].rem {
+			largest = l
+		}
+		if r < len(s) && s[r].rem > s[largest].rem {
+			largest = r
+		}
+		if largest == i {
+			break
+		}
+		s[i], s[largest] = s[largest], s[i]
+		i = largest
+	}
+	return top
+}
+
+// reset sizes the index for n slots of capBps residual capacity each,
+// reusing every backing array from previous builds. The feasible set
+// starts empty with an infinite threshold; the first lowerThreshold call
+// admits the slots.
+func (x *slotIndex) reset(n int, capBps float64) {
+	x.n = n
+	if cap(x.remaining) < n {
+		x.remaining = make([]float64, n)
+		x.inSet = make([]bool, n)
+		x.bit = make([]int32, n+1)
+	}
+	x.remaining = x.remaining[:n]
+	x.inSet = x.inSet[:n]
+	x.bit = x.bit[:n+1]
+	for i := range x.remaining {
+		x.remaining[i] = capBps
+	}
+	for i := range x.inSet {
+		x.inSet[i] = false
+	}
+	for i := range x.bit {
+		x.bit[i] = 0
+	}
+	x.bitMask = 1
+	for x.bitMask<<1 <= n {
+		x.bitMask <<= 1
+	}
+	x.feasCount = 0
+	x.threshold = math.Inf(1)
+
+	segSize := 1
+	for segSize < n {
+		segSize <<= 1
+	}
+	x.segSize = segSize
+	if cap(x.seg) < 2*segSize {
+		x.seg = make([]float64, 2*segSize)
+	}
+	x.seg = x.seg[:2*segSize]
+	for i := 0; i < n; i++ {
+		x.seg[segSize+i] = capBps
+	}
+	negInf := math.Inf(-1)
+	for i := n; i < segSize; i++ {
+		x.seg[segSize+i] = negInf
+	}
+	for i := segSize - 1; i >= 1; i-- {
+		x.seg[i] = maxf(x.seg[2*i], x.seg[2*i+1])
+	}
+
+	// All slots start pending; they share one key, so the slice is
+	// already a valid heap without sifting.
+	if cap(x.pending) < n {
+		x.pending = make(slotHeap, 0, n)
+	}
+	x.pending = x.pending[:n]
+	for i := range x.pending {
+		x.pending[i] = slotHeapEntry{rem: capBps, slot: int32(i)}
+	}
+}
+
+func (x *slotIndex) bitAdd(i int, d int32) {
+	for ; i <= x.n; i += i & -i {
+		x.bit[i] += d
+	}
+}
+
+func (x *slotIndex) setFeasible(slot int) {
+	if x.inSet[slot] {
+		return
+	}
+	x.inSet[slot] = true
+	x.feasCount++
+	x.bitAdd(slot+1, 1)
+}
+
+func (x *slotIndex) clearFeasible(slot int) {
+	if !x.inSet[slot] {
+		return
+	}
+	x.inSet[slot] = false
+	x.feasCount--
+	x.bitAdd(slot+1, -1)
+}
+
+// lowerThreshold moves the feasibility threshold down to need (needs
+// arrive in non-increasing order during the old-relay phase) and admits
+// every pending slot whose residual capacity clears it.
+func (x *slotIndex) lowerThreshold(need float64) {
+	x.threshold = need
+	for len(x.pending) > 0 && x.pending[0].rem >= need {
+		e := x.pending.popMax()
+		x.setFeasible(int(e.slot))
+	}
+}
+
+// kth returns the k-th feasible slot in increasing slot order
+// (0 ≤ k < feasCount) via Fenwick binary lifting.
+func (x *slotIndex) kth(k int) int {
+	pos := 0
+	rem := int32(k + 1)
+	for pw := x.bitMask; pw > 0; pw >>= 1 {
+		if next := pos + pw; next <= x.n && x.bit[next] < rem {
+			pos = next
+			rem -= x.bit[next]
+		}
+	}
+	return pos // 1-based answer is pos+1, so the 0-based slot is pos
+}
+
+// earliest returns the lowest-numbered slot with residual ≥ need, or -1.
+// Used by the FCFS phase; O(log S) via leftmost segment-tree descent.
+func (x *slotIndex) earliest(need float64) int {
+	if x.n == 0 || x.seg[1] < need {
+		return -1
+	}
+	i := 1
+	for i < x.segSize {
+		if x.seg[2*i] >= need {
+			i = 2 * i
+		} else {
+			i = 2*i + 1
+		}
+	}
+	return i - x.segSize
+}
+
+// place commits need bps of the slot's residual capacity and repairs
+// both the segment tree and (when the residual drops below the current
+// threshold) the feasible set.
+func (x *slotIndex) place(slot int, need float64) {
+	x.remaining[slot] -= need
+	v := x.remaining[slot]
+	i := x.segSize + slot
+	x.seg[i] = v
+	for i > 1 {
+		i >>= 1
+		x.seg[i] = maxf(x.seg[2*i], x.seg[2*i+1])
+	}
+	if x.inSet[slot] && v < x.threshold {
+		x.clearFeasible(slot)
+		x.pending.push(slotHeapEntry{rem: v, slot: int32(slot)})
+	}
+}

@@ -1,6 +1,8 @@
 package dirauth
 
 import (
+	"bytes"
+	"fmt"
 	"strings"
 	"testing"
 	"time"
@@ -60,6 +62,76 @@ func TestV3BWParseRejectsGarbage(t *testing.T) {
 			t.Fatalf("input %q should fail", in)
 		}
 	}
+}
+
+func TestV3BWWriteToStreams(t *testing.T) {
+	f := NewBandwidthFile("bw0", 45*time.Second)
+	for i := 0; i < 5000; i++ {
+		f.Set(fmt.Sprintf("relay-%05d", i), float64(i)*1e6, float64(i)*1.1e6)
+	}
+	var buf bytes.Buffer
+	n, err := f.WriteTo(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(buf.Len()) {
+		t.Fatalf("WriteTo reported %d bytes, wrote %d", n, buf.Len())
+	}
+	// The streaming writer and the string formatter are the same bytes.
+	if got := FormatV3BW(f); got != buf.String() {
+		t.Fatal("WriteTo and FormatV3BW disagree")
+	}
+	parsed, err := ParseV3BW(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parsed.Entries) != 5000 {
+		t.Fatalf("entries after roundtrip: %d", len(parsed.Entries))
+	}
+	if got := parsed.Entries["relay-04999"].CapacityBps; got != 4999*1.1e6 {
+		t.Fatalf("capacity after roundtrip: %v", got)
+	}
+	if parsed.Entries["relay-00042"].WeightBps != 42e6 {
+		t.Fatalf("weight after roundtrip: %v", parsed.Entries["relay-00042"].WeightBps)
+	}
+}
+
+func TestV3BWParseAcceptsTabSeparatedFields(t *testing.T) {
+	in := "10\nproducer=x\n=====\nnode_id=r1\tbw=500\tcapacity=5e8\n"
+	f, err := ParseV3BW(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, ok := f.Entries["r1"]
+	if !ok {
+		t.Fatalf("tab-separated relay line lost: %v", f.Entries)
+	}
+	if e.WeightBps != 500e3 || e.CapacityBps != 5e8 {
+		t.Fatalf("tab-separated fields misparsed: %+v", e)
+	}
+}
+
+func TestV3BWWriteToPropagatesError(t *testing.T) {
+	f := NewBandwidthFile("bw0", time.Second)
+	for i := 0; i < 100000; i++ {
+		f.Set(fmt.Sprintf("relay-%06d", i), 1e6, 1e6)
+	}
+	w := &failAfter{limit: 100}
+	if _, err := f.WriteTo(w); err == nil {
+		t.Fatal("write error should surface")
+	}
+}
+
+type failAfter struct {
+	n, limit int
+}
+
+func (w *failAfter) Write(p []byte) (int, error) {
+	w.n += len(p)
+	if w.n > w.limit {
+		return 0, fmt.Errorf("disk full")
+	}
+	return len(p), nil
 }
 
 func TestMergeMedianFile(t *testing.T) {

@@ -1,0 +1,60 @@
+package perf
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// HistoryEntry is one line of BENCH_history.jsonl: a compact per-run
+// summary of every scenario's throughput and allocation rate, appended by
+// cmd/bench -history. The file accretes one line per benchmarked commit,
+// so the perf trajectory across PRs can be plotted without trawling CI
+// artifacts.
+type HistoryEntry struct {
+	Unix          int64              `json:"unix"`
+	GoVersion     string             `json:"go"`
+	GOOS          string             `json:"goos"`
+	GOARCH        string             `json:"goarch"`
+	CPUs          int                `json:"cpus"`
+	Quick         bool               `json:"quick"`
+	CellsPerSec   map[string]float64 `json:"cells_per_sec"`
+	AllocsPerCell map[string]float64 `json:"allocs_per_cell"`
+}
+
+// HistoryEntryOf condenses a report into its history line.
+func HistoryEntryOf(rep Report) HistoryEntry {
+	e := HistoryEntry{
+		Unix:          rep.UnixTime,
+		GoVersion:     rep.GoVersion,
+		GOOS:          rep.GOOS,
+		GOARCH:        rep.GOARCH,
+		CPUs:          rep.CPUs,
+		Quick:         rep.Quick,
+		CellsPerSec:   make(map[string]float64, len(rep.Results)),
+		AllocsPerCell: make(map[string]float64, len(rep.Results)),
+	}
+	for _, r := range rep.Results {
+		e.CellsPerSec[r.Scenario] = r.CellsPerSec
+		e.AllocsPerCell[r.Scenario] = r.AllocsPerOp
+	}
+	return e
+}
+
+// AppendHistory appends the report's history line to the JSONL file at
+// path, creating it if needed.
+func AppendHistory(path string, rep Report) error {
+	line, err := json.Marshal(HistoryEntryOf(rep))
+	if err != nil {
+		return err
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(append(line, '\n')); err != nil {
+		f.Close()
+		return fmt.Errorf("perf: append history: %w", err)
+	}
+	return f.Close()
+}

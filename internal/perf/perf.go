@@ -110,6 +110,9 @@ func Scenarios() []Scenario {
 		{Name: "wire-echo-team", Desc: "two-measurer team, multiple connections, one target", Run: runWireEchoTeam},
 		{Name: "coord-round", Desc: "coordinator scheduling round over a simulated relay population", Run: runCoordRound},
 		{Name: "coord-round-abort", Desc: "slot-seconds saved by §4.2 early abort vs fixed-length slots, undersized priors", Run: runCoordRoundAbort},
+		{Name: "schedule-build-100k", Desc: "indexed §4.3 schedule construction, 100k relays × 3 BWAuths, vs seed reference", Run: runScheduleBuild100k},
+		{Name: "schedule-build-1m", Desc: "indexed §4.3 schedule construction, 1M relays × 3 BWAuths; fails under 10x the seed reference", Run: runScheduleBuild1M},
+		{Name: "v3bw-roundtrip-1m", Desc: "streaming v3bw write + line-at-a-time parse of a 1M-entry bandwidth file", Run: runV3BWRoundtrip},
 	}
 }
 

@@ -3,6 +3,8 @@ package perf
 import (
 	"bytes"
 	"encoding/json"
+	"os"
+	"strings"
 	"testing"
 	"time"
 )
@@ -25,9 +27,49 @@ func TestRunAllScenariosQuick(t *testing.T) {
 		if r.CellsPerSec <= 0 || r.Cells <= 0 {
 			t.Fatalf("%s: nonpositive throughput: %+v", r.Scenario, r)
 		}
-		if r.MBPerSec <= 0 {
+		// Schedule-construction scenarios move placements, not bytes;
+		// they are the only ones allowed to report zero MB/s.
+		if r.MBPerSec <= 0 && !strings.HasPrefix(r.Scenario, "schedule-build") {
 			t.Fatalf("%s: nonpositive MB/s", r.Scenario)
 		}
+	}
+}
+
+func TestAppendHistory(t *testing.T) {
+	rep := Report{
+		Schema:    1,
+		GoVersion: "go-test",
+		GOOS:      "linux",
+		GOARCH:    "amd64",
+		CPUs:      4,
+		UnixTime:  1234,
+		Results: []Result{
+			{Scenario: "cell-crypto", CellsPerSec: 1e6, AllocsPerOp: 0.5},
+			{Scenario: "schedule-build-1m", CellsPerSec: 4e6},
+		},
+	}
+	path := t.TempDir() + "/hist.jsonl"
+	if err := AppendHistory(path, rep); err != nil {
+		t.Fatal(err)
+	}
+	rep.UnixTime = 5678
+	if err := AppendHistory(path, rep); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := bytes.Split(bytes.TrimSpace(data), []byte("\n"))
+	if len(lines) != 2 {
+		t.Fatalf("history lines: %d", len(lines))
+	}
+	var e HistoryEntry
+	if err := json.Unmarshal(lines[1], &e); err != nil {
+		t.Fatal(err)
+	}
+	if e.Unix != 5678 || e.CellsPerSec["schedule-build-1m"] != 4e6 || e.AllocsPerCell["cell-crypto"] != 0.5 {
+		t.Fatalf("entry: %+v", e)
 	}
 }
 

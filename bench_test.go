@@ -66,6 +66,7 @@ func BenchmarkFig8ShadowError(b *testing.B)         { benchExperiment(b, "fig8")
 func BenchmarkFig9ShadowPerformance(b *testing.B)   { benchExperiment(b, "fig9") }
 func BenchmarkTable2AttackAdvantage(b *testing.B)   { benchExperiment(b, "tab2") }
 func BenchmarkSecurityDetection(b *testing.B)       { benchExperiment(b, "security") }
+func BenchmarkAdversaryMatrix(b *testing.B)         { benchExperiment(b, "adversary-matrix") }
 
 // Ablations of the design choices (DESIGN.md §6) and paper extensions.
 func BenchmarkAblationRatio(b *testing.B)    { benchExperiment(b, "ablation-ratio") }

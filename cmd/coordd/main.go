@@ -27,6 +27,7 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"sort"
 	"strings"
 	"syscall"
 	"time"
@@ -183,6 +184,23 @@ func run() error {
 	err = c.Run(ctx)
 	if err == context.Canceled {
 		fmt.Println("coordd: interrupted — in-flight slots cancelled and drained")
+	}
+	// §5 anomaly evidence accumulated over the run: relays whose
+	// measurements tripped the clamp, echo verification, or the
+	// stall/skew/split-view cross-checks (see DESIGN.md).
+	if anomalies := c.Status().Anomalies; len(anomalies) > 0 {
+		names := make([]string, 0, len(anomalies))
+		for name := range anomalies {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		fmt.Println("anomaly suspects:")
+		for _, name := range names {
+			a := anomalies[name]
+			fmt.Printf("  %s: clamped-seconds=%d ratio-clamped=%d echo-failures=%d stall=%d skew=%d split-view=%d\n",
+				name, a.ClampedSeconds, a.RatioClampedSlots, a.EchoFailures,
+				a.StallSuspectSlots, a.SkewSuspectSlots, a.SplitViewRounds)
+		}
 	}
 	fmt.Print(counters.String())
 	return err

@@ -5,6 +5,17 @@
 //	go run ./cmd/experiments -list
 //	go run ./cmd/experiments -exp fig6
 //	go run ./cmd/experiments -all [-quick]
+//
+// The adversary-matrix subcommand runs the live attack × estimator
+// robustness matrix and emits its deterministic JSON report (the one the
+// nightly CI gate consumes):
+//
+//	go run ./cmd/experiments adversary-matrix -seed 1
+//	go run ./cmd/experiments adversary-matrix -seed 1 -out ADVERSARY_matrix.json -max-flashflow 1.4
+//
+// With -max-flashflow > 0 the command exits nonzero when FlashFlow's
+// measured attack advantage exceeds the bound on any attack — the §5
+// analytical limit 1/(1−r) = 1.33 plus noise margin.
 package main
 
 import (
@@ -16,10 +27,58 @@ import (
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "adversary-matrix" {
+		if err := runMatrix(os.Args[2:]); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 	if err := run(); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+}
+
+// runMatrix implements the adversary-matrix subcommand.
+func runMatrix(args []string) error {
+	fs := flag.NewFlagSet("adversary-matrix", flag.ExitOnError)
+	var (
+		seed  = fs.Int64("seed", 1, "matrix RNG seed; equal seeds produce identical reports")
+		quick = fs.Bool("quick", false, "smaller honest populations for smoke runs")
+		out   = fs.String("out", "-", "report path (- for stdout)")
+		gate  = fs.Float64("max-flashflow", 0, "fail (exit 1) if FlashFlow's advantage exceeds this on any attack (0 = no gate)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	rep, err := experiments.AdversaryMatrix(experiments.MatrixOptions{Seed: *seed, Quick: *quick})
+	if err != nil {
+		return err
+	}
+	w := os.Stdout
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := rep.WriteJSON(w); err != nil {
+		return err
+	}
+	if *out != "-" {
+		fmt.Println("report:", *out)
+	}
+	if *gate > 0 && rep.FlashFlowMaxAdvantage > *gate {
+		return fmt.Errorf("adversary-matrix: FlashFlow attack advantage %.3fx exceeds the %.2fx gate (analytical bound %.2fx)",
+			rep.FlashFlowMaxAdvantage, *gate, rep.InflationBound)
+	}
+	if *gate > 0 {
+		fmt.Printf("gate: ok (FlashFlow worst case %.3fx <= %.2fx)\n", rep.FlashFlowMaxAdvantage, *gate)
+	}
+	return nil
 }
 
 func run() error {

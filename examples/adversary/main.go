@@ -13,6 +13,7 @@ import (
 	"log"
 	"time"
 
+	"flashflow/internal/adversary"
 	"flashflow/internal/core"
 	"flashflow/internal/relay"
 	"flashflow/internal/torflow"
@@ -99,6 +100,29 @@ func run() error {
 			core.BurstAttackSuccessProbability(5, q),
 			core.BurstAttackSuccessProbability(9, q))
 	}
+
+	// The same attacks as live injections: internal/adversary wraps any
+	// backend at the sample-stream boundary, and the §5 defenses leave
+	// per-relay anomaly evidence behind (the continuous coordinator
+	// surfaces the same counters via Status() across rounds, retained
+	// across churn so a flapping liar cannot reset its record).
+	fmt.Println("\n== live attack injection (internal/adversary) ==")
+	b4 := core.NewSimBackend(paths(), 5)
+	b4.AddTarget("wrapped-liar", &core.SimTarget{
+		Relay:    relay.New(relay.Config{Name: "wrapped-liar", TorCapBps: trueCap}),
+		LinkBps:  1e9,
+		Behavior: core.BehaviorHonest, // the wrapper, not the sim, does the lying
+	})
+	wrapped := adversary.New(b4, "bw0", 5)
+	wrapped.SetAttack("wrapped-liar", adversary.Inflate{Factor: 50})
+	out, err = core.MeasureRelay(context.Background(), wrapped, team(), "wrapped-liar", trueCap, p)
+	if err != nil {
+		return err
+	}
+	counts := core.OutcomeAnomalies(out, p)
+	fmt.Printf("wrapped liar:   estimate %.1f Mbit/s (%.2f× truth; clamp held) — anomaly evidence: %d clamped seconds\n",
+		out.EstimateBps/1e6, out.EstimateBps/trueCap, counts.ClampedSeconds)
+	fmt.Println("full matrix:    go run ./cmd/experiments adversary-matrix -seed 1")
 
 	// TorFlow baseline for contrast.
 	scanner := torflow.NewScanner(torflow.DefaultScannerConfig(4))

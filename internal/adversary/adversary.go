@@ -1,0 +1,221 @@
+// Package adversary implements the §5 malicious-relay behaviors as live
+// attacks on the measurement pipeline. Where core.SimBackend's
+// TargetBehavior bakes a couple of adversarial modes into the simulation
+// itself, this package attacks at the sample-stream boundary instead: an
+// adversary.Backend wraps any core.Backend — the simulation backend, the
+// wire backend over real sockets, or a benchmark's instant backend — and
+// rewrites the per-second measurement data a compromised relay would
+// rewrite, without the inner backend's cooperation.
+//
+// That boundary is exactly the trust boundary the paper analyzes: a
+// malicious relay controls what it echoes and what it reports, but not
+// what the measurers verifiably received or the BWAuth-side aggregation.
+// Every attack here therefore transforms (per-measurer echoed bytes,
+// relay-reported normal bytes) per second, and the §5 defenses in
+// internal/core — the r-ratio clamp, the 1/(1−r) estimate invariant,
+// echo verification, per-team cross-checks, cross-BWAuth medians — are
+// what bound the damage. The adversary-matrix experiment
+// (internal/experiments) runs every attack against FlashFlow and the
+// TorFlow/PeerFlow/EigenSpeed baselines and checks the bounds hold.
+package adversary
+
+import (
+	"context"
+	"hash/fnv"
+	"math/rand"
+	"sync"
+
+	"flashflow/internal/core"
+	"flashflow/internal/metrics"
+)
+
+// Attack is one malicious-relay behavior. NewSlot is called once per
+// measurement slot with the slot's parameters and a deterministic RNG;
+// the returned Slot rewrites the slot's seconds.
+type Attack interface {
+	// Name identifies the attack in reports and counters.
+	Name() string
+	// NewSlot starts one slot's worth of adversarial state. auth names
+	// the BWAuth the measuring backend belongs to (selective attacks
+	// behave differently per team); rng is seeded deterministically per
+	// (backend, target, slot sequence).
+	NewSlot(auth, target string, alloc core.Allocation, seconds int, rng *rand.Rand) Slot
+}
+
+// Slot rewrites one measurement slot second by second.
+//
+// Transform is called with second indexes in nondecreasing order, and may
+// be called twice for the same second (once while the slot streams, once
+// when the final MeasurementData is rewritten): implementations must be
+// deterministic per second — memoize random draws the first time a second
+// is seen (see the noise helper) so both calls produce identical bytes.
+type Slot interface {
+	// Transform mutates one second's per-measurer echoed bytes and the
+	// relay's normal-traffic report in place. Returning caught=true
+	// means the probabilistic echo check detected forged cells this
+	// second: the backend fails the measurement exactly as an honest
+	// backend would (§4.1 discards it).
+	Transform(second int, measBytes []float64, normBytes *float64) (caught bool)
+}
+
+// Backend wraps an inner core.Backend and applies per-target attacks at
+// the sample-stream boundary. Targets without a configured attack pass
+// through untouched. Safe for concurrent RunMeasurement calls.
+type Backend struct {
+	inner core.Backend
+	// auth names the BWAuth this backend measures for; selective attacks
+	// key on it.
+	auth string
+	seed int64
+	// Counters, when set, receives adversary_slots_attacked and
+	// adversary_slots_caught so harnesses can see the attack surface.
+	Counters *metrics.Counters
+
+	mu      sync.Mutex
+	attacks map[string]Attack
+	slotSeq map[string]int64
+}
+
+var _ core.Backend = (*Backend)(nil)
+
+// New wraps inner for the named BWAuth with a deterministic seed.
+func New(inner core.Backend, auth string, seed int64) *Backend {
+	return &Backend{
+		inner:   inner,
+		auth:    auth,
+		seed:    seed,
+		attacks: make(map[string]Attack),
+		slotSeq: make(map[string]int64),
+	}
+}
+
+// SetAttack arms an attack for one target relay; a nil attack disarms it.
+func (b *Backend) SetAttack(target string, a Attack) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if a == nil {
+		delete(b.attacks, target)
+		return
+	}
+	b.attacks[target] = a
+}
+
+// slotRNG derives the deterministic per-slot RNG: seed ‖ target ‖ slot
+// sequence number, so repeated runs of the same scenario draw identical
+// noise regardless of which other targets were measured in between.
+func (b *Backend) slotRNG(target string) *rand.Rand {
+	h := fnv.New64a()
+	h.Write([]byte(target))
+	seq := b.slotSeq[target]
+	b.slotSeq[target] = seq + 1
+	const mix = uint64(0x9e3779b97f4a7c15)
+	return rand.New(rand.NewSource(b.seed ^ int64(h.Sum64()) ^ int64(uint64(seq+1)*mix)))
+}
+
+// RunMeasurement implements core.Backend. For attacked targets it
+// installs its own sample sink, rewriting each streamed second before the
+// caller's sink (the §4.2 early-abort watcher, the coordinator's progress
+// tee) sees it, and rewrites the returned MeasurementData identically —
+// the stream and the authoritative record always agree, exactly as they
+// do for an honest backend. A slot caught by echo verification is
+// cancelled promptly (the inner backend tears it down like any cancelled
+// slot) and returned truncated with Failed set, matching honest-backend
+// failure semantics.
+func (b *Backend) RunMeasurement(ctx context.Context, target string, alloc core.Allocation, seconds int, sink core.SampleSink) (core.MeasurementData, error) {
+	b.mu.Lock()
+	atk := b.attacks[target]
+	var rng *rand.Rand
+	if atk != nil {
+		rng = b.slotRNG(target)
+	}
+	b.mu.Unlock()
+	if atk == nil {
+		return b.inner.RunMeasurement(ctx, target, alloc, seconds, sink)
+	}
+	if b.Counters != nil {
+		b.Counters.Inc("adversary_slots_attacked")
+	}
+
+	slot := atk.NewSlot(b.auth, target, alloc, seconds, rng)
+	slotCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	// caughtAt is the second at which echo verification caught the relay,
+	// -1 while it evades. Written only by the inner backend's streaming
+	// goroutine, read after RunMeasurement returns (the backend has
+	// stopped streaming by then).
+	caughtAt := -1
+	row := make([]float64, 0, len(alloc.PerMeasurerBps))
+	tee := func(s core.Sample) {
+		if caughtAt >= 0 {
+			return
+		}
+		// Transform a copy: Sample.MeasBytes may alias backend-owned (or
+		// even authoritative) storage, and the contract says sinks must
+		// not mutate it.
+		row = append(row[:0], s.MeasBytes...)
+		norm := s.NormBytes
+		if slot.Transform(s.Second, row, &norm) {
+			caughtAt = s.Second
+			cancel()
+			return
+		}
+		if sink != nil {
+			sink(core.Sample{Second: s.Second, MeasBytes: row, NormBytes: norm})
+		}
+	}
+
+	data, err := b.inner.RunMeasurement(slotCtx, target, alloc, seconds, tee)
+
+	// Rewrite the authoritative record with the same per-second
+	// transforms the stream saw (Slot memoizes its draws, so seconds
+	// already streamed transform identically; seconds the inner backend
+	// never streamed — a nil-sink inner path — draw fresh in order).
+	n := 0
+	if len(data.MeasBytes) > 0 {
+		n = len(data.MeasBytes[0])
+	}
+	scratch := make([]float64, len(data.MeasBytes))
+	for j := 0; j < n; j++ {
+		for i := range data.MeasBytes {
+			scratch[i] = data.MeasBytes[i][j]
+		}
+		var norm float64
+		if j < len(data.NormBytes) {
+			norm = data.NormBytes[j]
+		}
+		caught := slot.Transform(j, scratch, &norm)
+		for i := range data.MeasBytes {
+			data.MeasBytes[i][j] = scratch[i]
+		}
+		if j < len(data.NormBytes) {
+			data.NormBytes[j] = norm
+		}
+		if caught {
+			if caughtAt < 0 || j < caughtAt {
+				caughtAt = j
+			}
+			break
+		}
+		if caughtAt >= 0 && j >= caughtAt {
+			break
+		}
+	}
+
+	if caughtAt >= 0 {
+		// The forging relay was caught: the measurement fails exactly as
+		// an honest backend reports it (§4.1) — truncated at the caught
+		// second, Failed set, no error unless the caller itself
+		// cancelled.
+		if b.Counters != nil {
+			b.Counters.Inc("adversary_slots_caught")
+		}
+		data = data.Truncate(caughtAt + 1)
+		data.Failed = true
+		if ctx.Err() != nil {
+			return data, ctx.Err()
+		}
+		return data, nil
+	}
+	return data, err
+}

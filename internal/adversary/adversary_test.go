@@ -1,0 +1,268 @@
+package adversary
+
+import (
+	"context"
+	"errors"
+	"math"
+	"testing"
+	"time"
+
+	"flashflow/internal/core"
+	"flashflow/internal/metrics"
+	"flashflow/internal/relay"
+)
+
+const trueCapBps = 200e6
+
+func quietPaths() []core.PathModel {
+	return []core.PathModel{
+		{RTT: 40 * time.Millisecond, LinkBps: 1e9},
+		{RTT: 90 * time.Millisecond, LinkBps: 1e9},
+		{RTT: 140 * time.Millisecond, LinkBps: 1e9},
+	}
+}
+
+func team() []*core.Measurer {
+	return []*core.Measurer{
+		{Name: "m1", CapacityBps: 1e9, Cores: 4},
+		{Name: "m2", CapacityBps: 1e9, Cores: 4},
+		{Name: "m3", CapacityBps: 1e9, Cores: 4},
+	}
+}
+
+// simFor builds an honest sim target wrapped by an adversary backend.
+func simFor(t *testing.T, name string, capBps float64, seed int64) *Backend {
+	t.Helper()
+	inner := core.NewSimBackend(quietPaths(), seed)
+	inner.AddTarget(name, &core.SimTarget{
+		Relay:    relay.New(relay.Config{Name: name, TorCapBps: capBps}),
+		LinkBps:  1e9,
+		Behavior: core.BehaviorHonest,
+	})
+	return New(inner, "bw0", seed)
+}
+
+func measure(t *testing.T, b core.Backend, name string, prior float64) (core.MeasureOutcome, error) {
+	t.Helper()
+	return core.MeasureRelay(context.Background(), b, team(), name, prior, core.DefaultParams())
+}
+
+func TestPassThroughHonest(t *testing.T) {
+	b := simFor(t, "honest", trueCapBps, 1)
+	out, err := measure(t, b, "honest", trueCapBps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ratio := out.EstimateBps / trueCapBps; ratio < 0.85 || ratio > 1.1 {
+		t.Fatalf("honest pass-through estimate %.1f Mbit/s = %.2fx truth", out.EstimateBps/1e6, ratio)
+	}
+}
+
+func TestInflateClampedToBound(t *testing.T) {
+	p := core.DefaultParams()
+	b := simFor(t, "liar", trueCapBps, 2)
+	b.SetAttack("liar", Inflate{Factor: 50})
+	out, err := measure(t, b, "liar", trueCapBps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := out.EstimateBps / trueCapBps
+	if ratio > p.MaxInflation()*1.05 {
+		t.Fatalf("inflation attack gained %.2fx, bound is %.2fx", ratio, p.MaxInflation())
+	}
+	if ratio < 1.1 {
+		t.Fatalf("inflation attack gained only %.2fx — the lie should approach the %.2fx clamp", ratio, p.MaxInflation())
+	}
+	// The defense left fingerprints: every full second's report was
+	// clamped.
+	counts := core.OutcomeAnomalies(out, p)
+	if counts.ClampedSeconds == 0 {
+		t.Fatal("inflation attack left no clamped-second anomaly evidence")
+	}
+}
+
+func TestSelectiveLieOnlyHitsTargetAuths(t *testing.T) {
+	attack := SelectiveLie{LieTo: map[string]bool{"bw0": true}, Sub: Inflate{Factor: 50}}
+
+	lied := simFor(t, "split", trueCapBps, 3) // auth bw0
+	lied.SetAttack("split", attack)
+	outLied, err := measure(t, lied, "split", trueCapBps)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	honestAuth := New(coreSimWithTarget("split", trueCapBps, 3), "bw1", 3)
+	honestAuth.SetAttack("split", attack)
+	outHonest, err := measure(t, honestAuth, "split", trueCapBps)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if outLied.EstimateBps < 1.15*trueCapBps {
+		t.Fatalf("lied-to auth saw %.2fx, want inflated", outLied.EstimateBps/trueCapBps)
+	}
+	if outHonest.EstimateBps > 1.1*trueCapBps {
+		t.Fatalf("honest auth saw %.2fx, want ~1x", outHonest.EstimateBps/trueCapBps)
+	}
+}
+
+func coreSimWithTarget(name string, capBps float64, seed int64) *core.SimBackend {
+	inner := core.NewSimBackend(quietPaths(), seed)
+	inner.AddTarget(name, &core.SimTarget{
+		Relay:    relay.New(relay.Config{Name: name, TorCapBps: capBps}),
+		LinkBps:  1e9,
+		Behavior: core.BehaviorHonest,
+	})
+	return inner
+}
+
+func TestEchoCheatCaught(t *testing.T) {
+	p := core.DefaultParams()
+	b := simFor(t, "forger", trueCapBps, 4)
+	ctr := metrics.NewCounters()
+	b.Counters = ctr
+	b.SetAttack("forger", EchoCheat{Boost: 2, CheckProb: p.CheckProb})
+	_, err := measure(t, b, "forger", trueCapBps)
+	// At 1e-5 per-cell checks and ~50k forged cells per second, the
+	// per-second detection probability is ≈0.4: over a 30-second slot the
+	// relay is caught with overwhelming probability.
+	if !errors.Is(err, core.ErrMeasurementFailed) {
+		t.Fatalf("echo-cheat evaded detection: err=%v", err)
+	}
+	if ctr.Get("adversary_slots_caught") == 0 {
+		t.Fatal("caught counter not incremented")
+	}
+}
+
+func TestEchoCheatUncheckedTeamInflates(t *testing.T) {
+	b := simFor(t, "forger", trueCapBps, 5)
+	b.SetAttack("forger", EchoCheat{Boost: 2, CheckProb: 0})
+	out, err := measure(t, b, "forger", trueCapBps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.EstimateBps < 1.5*trueCapBps {
+		t.Fatalf("unchecked echo-cheat gained only %.2fx, want ~2x", out.EstimateBps/trueCapBps)
+	}
+}
+
+func TestColludePoolAndSimultaneousDefense(t *testing.T) {
+	pool := NewPool()
+	pool.AddMember("evil0", trueCapBps)
+	pool.AddMember("evil1", trueCapBps)
+
+	est := func(member string, seed int64) float64 {
+		b := simFor(t, member, trueCapBps, seed)
+		b.SetAttack(member, Collude{Pool: pool, Member: member})
+		out, err := measure(t, b, member, trueCapBps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out.EstimateBps
+	}
+
+	// Measured one at a time, each member demonstrates the whole pool.
+	solo := est("evil0", 6)
+	if solo < 1.7*trueCapBps {
+		t.Fatalf("collusion solo estimate %.2fx, want ~2x (the pool)", solo/trueCapBps)
+	}
+
+	// The §5 defense: measure the family simultaneously — the pool
+	// splits and the family total collapses to the truth.
+	pool.SetSimultaneous([]string{"evil0", "evil1"})
+	defended0 := est("evil0", 7)
+	defended1 := est("evil1", 8)
+	famTotal := defended0 + defended1
+	if famTotal > 1.25*2*trueCapBps {
+		t.Fatalf("simultaneous measurement still credits %.2fx the family's true capacity", famTotal/(2*trueCapBps))
+	}
+}
+
+func TestStallBurnsSlotsWithoutInflation(t *testing.T) {
+	p := core.DefaultParams()
+	// An undersized fresh-relay prior and a large capacity: the stall
+	// attack drags the doubling loop's growth from ×f ≈ 2.95 (honest
+	// echo ≈ the full allocation) down to the ×2 floor, so the gap to
+	// the relay's capacity costs extra slots.
+	const stallCapBps = 800e6
+	prior := 50e6
+
+	honest := simFor(t, "honest", stallCapBps, 9)
+	outHonest, err := measure(t, honest, "honest", prior)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	b := simFor(t, "staller", stallCapBps, 9)
+	b.SetAttack("staller", Stall{Eps1: p.Eps1, Multiplier: p.Multiplier, CapacityBps: stallCapBps})
+	out, err := measure(t, b, "staller", prior)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if out.EstimateBps > p.MaxInflation()*stallCapBps*1.05 {
+		t.Fatalf("stalling inflated the estimate to %.2fx", out.EstimateBps/stallCapBps)
+	}
+	if out.SlotsUsed() <= outHonest.SlotsUsed() {
+		t.Fatalf("stalling burned %d slots vs honest %d — the attack should cost the scheduler slots", out.SlotsUsed(), outHonest.SlotsUsed())
+	}
+	counts := core.OutcomeAnomalies(out, p)
+	if counts.StallSuspectSlots == 0 {
+		t.Fatalf("stall pattern not flagged: %+v (attempts %d)", counts, out.SlotsUsed())
+	}
+	honestCounts := core.OutcomeAnomalies(outHonest, p)
+	if honestCounts.StallSuspectSlots != 0 {
+		t.Fatalf("honest relay flagged as staller: %+v", honestCounts)
+	}
+}
+
+func TestDeterministicAcrossRuns(t *testing.T) {
+	run := func() float64 {
+		b := simFor(t, "liar", trueCapBps, 11)
+		b.SetAttack("liar", Inflate{Factor: 50})
+		out, err := measure(t, b, "liar", trueCapBps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out.EstimateBps
+	}
+	a, bb := run(), run()
+	if math.Abs(a-bb) > 1e-6 {
+		t.Fatalf("nondeterministic attack pipeline: %.3f vs %.3f", a, bb)
+	}
+}
+
+// TestStreamMatchesRecord pins the contract that the transformed sample
+// stream and the returned MeasurementData agree second for second.
+func TestStreamMatchesRecord(t *testing.T) {
+	b := simFor(t, "liar", trueCapBps, 12)
+	b.SetAttack("liar", Inflate{Factor: 50})
+	var streamed []core.Sample
+	sink := func(s core.Sample) {
+		cp := core.Sample{Second: s.Second, NormBytes: s.NormBytes}
+		cp.MeasBytes = append([]float64(nil), s.MeasBytes...)
+		streamed = append(streamed, cp)
+	}
+	p := core.DefaultParams()
+	alloc, err := core.AllocateGreedy(team(), core.RequiredBps(trueCapBps, p), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := b.RunMeasurement(context.Background(), "liar", alloc, p.SlotSeconds, sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(streamed) != p.SlotSeconds {
+		t.Fatalf("streamed %d samples, want %d", len(streamed), p.SlotSeconds)
+	}
+	for _, s := range streamed {
+		for i := range s.MeasBytes {
+			if math.Abs(s.MeasBytes[i]-data.MeasBytes[i][s.Second]) > 1e-9 {
+				t.Fatalf("second %d measurer %d: stream %.1f vs record %.1f", s.Second, i, s.MeasBytes[i], data.MeasBytes[i][s.Second])
+			}
+		}
+		if math.Abs(s.NormBytes-data.NormBytes[s.Second]) > 1e-9 {
+			t.Fatalf("second %d: stream norm %.1f vs record %.1f", s.Second, s.NormBytes, data.NormBytes[s.Second])
+		}
+	}
+}

@@ -1,0 +1,317 @@
+package adversary
+
+import (
+	"math/rand"
+	"sync"
+
+	"flashflow/internal/cell"
+	"flashflow/internal/core"
+)
+
+// draws memoizes one float64 draw per second so a Slot's Transform is
+// deterministic when called twice for the same second (stream pass and
+// authoritative-record pass). Seconds are generated in order on first
+// sight, so a slot whose stream was never consumed draws the identical
+// sequence during the record pass.
+type draws struct {
+	rng  *rand.Rand
+	vals []float64
+}
+
+func (d *draws) at(second int) float64 {
+	for len(d.vals) <= second {
+		d.vals = append(d.vals, d.rng.Float64())
+	}
+	return d.vals[second]
+}
+
+// Inflate is the §5 bandwidth-inflation attack: the relay fabricates its
+// normal-traffic report, claiming Factor times the measurement traffic it
+// actually echoed (core.BehaviorInflateNormal's lie, applied to any
+// backend). The §4.1 r-ratio clamp bounds the resulting estimate to
+// 1/(1−r) times the verified traffic no matter how large Factor is.
+type Inflate struct {
+	// Factor is the claimed normal traffic as a multiple of the real
+	// per-second measurement bytes (10 ≈ the sim backend's lie).
+	Factor float64
+}
+
+// Name implements Attack.
+func (Inflate) Name() string { return "inflate" }
+
+type inflateSlot struct{ factor float64 }
+
+// NewSlot implements Attack.
+func (a Inflate) NewSlot(_, _ string, _ core.Allocation, _ int, _ *rand.Rand) Slot {
+	return inflateSlot{factor: a.Factor}
+}
+
+func (s inflateSlot) Transform(_ int, measBytes []float64, normBytes *float64) bool {
+	var x float64
+	for _, v := range measBytes {
+		x += v
+	}
+	*normBytes = x * s.factor
+	return false
+}
+
+// SelectiveLie runs a sub-attack only against some BWAuths and behaves
+// honestly toward the rest — the split-view attack on the cross-BWAuth
+// median vote. With n BWAuths the median discards the lie unless the
+// relay lies to a majority, and lying to a majority exposes it to every
+// one of those teams' defenses; the coordinator's split-view anomaly
+// counter records the disagreement either way.
+type SelectiveLie struct {
+	// LieTo is the set of BWAuth names that see the sub-attack.
+	LieTo map[string]bool
+	// Sub is the behavior shown to those BWAuths.
+	Sub Attack
+}
+
+// Name implements Attack.
+func (a SelectiveLie) Name() string { return "selective" }
+
+type honestSlot struct{}
+
+func (honestSlot) Transform(int, []float64, *float64) bool { return false }
+
+// NewSlot implements Attack.
+func (a SelectiveLie) NewSlot(auth, target string, alloc core.Allocation, seconds int, rng *rand.Rand) Slot {
+	if a.LieTo[auth] && a.Sub != nil {
+		return a.Sub.NewSlot(auth, target, alloc, seconds, rng)
+	}
+	return honestSlot{}
+}
+
+// EchoCheat is the §5 echo-forging attack: the relay acks measurement
+// cells without performing the relay crypto, gaining Boost times its
+// honest apparent capacity — and exposing every echoed cell to the
+// probability-p content check. Detection per second follows
+// core.DetectionProbability over the cells echoed that second, exactly
+// the sim backend's BehaviorForgeEcho model.
+type EchoCheat struct {
+	// Boost multiplies the echoed bytes (2 ≈ skipping AES on both
+	// directions).
+	Boost float64
+	// CheckProb is the verification probability p each echoed cell is
+	// checked with; zero disables detection (a misconfigured team).
+	CheckProb float64
+}
+
+// Name implements Attack.
+func (EchoCheat) Name() string { return "echo-cheat" }
+
+type echoCheatSlot struct {
+	boost float64
+	p     float64
+	d     draws
+}
+
+// NewSlot implements Attack.
+func (a EchoCheat) NewSlot(_, _ string, _ core.Allocation, _ int, rng *rand.Rand) Slot {
+	return &echoCheatSlot{boost: a.Boost, p: a.CheckProb, d: draws{rng: rng}}
+}
+
+func (s *echoCheatSlot) Transform(second int, measBytes []float64, normBytes *float64) bool {
+	var total float64
+	for i := range measBytes {
+		measBytes[i] *= s.boost
+		total += measBytes[i]
+	}
+	if s.p <= 0 {
+		return false
+	}
+	// Every echoed cell this second is forged (nothing was decrypted).
+	forged := total / float64(cell.Size)
+	return s.d.at(second) < core.DetectionProbability(s.p, forged)
+}
+
+// Pool models a colluding relay family's shared capacity: members lend
+// each other capacity so whichever member is being measured demonstrates
+// the whole pool. The §5 defense is simultaneous measurement — when the
+// suspected family is measured in the same slot (core.TestFamilyPair,
+// or a schedule that co-slots families), the pool splits across the
+// members under measurement and the lie stops paying.
+//
+// SetSimultaneous declares which members the current scenario measures in
+// the same slot; the split is computed from that declaration rather than
+// from runtime overlap so matrix runs are deterministic.
+type Pool struct {
+	mu           sync.Mutex
+	capacity     map[string]float64
+	simultaneous map[string]bool
+}
+
+// NewPool creates an empty family pool.
+func NewPool() *Pool {
+	return &Pool{
+		capacity:     make(map[string]float64),
+		simultaneous: make(map[string]bool),
+	}
+}
+
+// AddMember registers a family member and its true capacity.
+func (p *Pool) AddMember(name string, capacityBps float64) {
+	p.mu.Lock()
+	p.capacity[name] = capacityBps
+	p.mu.Unlock()
+}
+
+// TotalBps returns the family's pooled capacity.
+func (p *Pool) TotalBps() float64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var t float64
+	for _, c := range p.capacity {
+		t += c
+	}
+	return t
+}
+
+// SetSimultaneous declares the members measured in the same slot (the §5
+// defense); nil or empty reverts to one-at-a-time measurement.
+func (p *Pool) SetSimultaneous(members []string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	clear(p.simultaneous)
+	for _, m := range members {
+		p.simultaneous[m] = true
+	}
+}
+
+// shareFor returns the pooled capacity available to one member under the
+// current measurement pattern: the whole pool when measured alone, a
+// 1/k split when k members are co-slotted.
+func (p *Pool) shareFor(member string) float64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var total float64
+	for _, c := range p.capacity {
+		total += c
+	}
+	k := 1
+	if p.simultaneous[member] {
+		k = 0
+		for m := range p.simultaneous {
+			if _, ok := p.capacity[m]; ok {
+				k++
+			}
+		}
+		if k == 0 {
+			k = 1
+		}
+	}
+	return total / float64(k)
+}
+
+// Collude is the family-collusion attack bound to one member: during the
+// member's slot the rest of the family relays on its behalf, so its echo
+// scales up to the pool share — capped by what the measurers actually
+// sent, since even a colluding family cannot echo bytes that never
+// arrived.
+type Collude struct {
+	Pool   *Pool
+	Member string
+}
+
+// Name implements Attack.
+func (Collude) Name() string { return "collude" }
+
+type colludeSlot struct {
+	boost  float64
+	sentBy []float64 // per-measurer per-second send ceiling, bytes
+}
+
+// NewSlot implements Attack.
+func (a Collude) NewSlot(_, _ string, alloc core.Allocation, _ int, _ *rand.Rand) Slot {
+	member := a.Pool.capacityOf(a.Member)
+	boost := 1.0
+	if member > 0 {
+		boost = a.Pool.shareFor(a.Member) / member
+	}
+	if boost < 0 {
+		boost = 0
+	}
+	sent := make([]float64, len(alloc.PerMeasurerBps))
+	for i, bps := range alloc.PerMeasurerBps {
+		sent[i] = bps / 8
+	}
+	return &colludeSlot{boost: boost, sentBy: sent}
+}
+
+func (p *Pool) capacityOf(member string) float64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.capacity[member]
+}
+
+func (s *colludeSlot) Transform(_ int, measBytes []float64, _ *float64) bool {
+	for i := range measBytes {
+		v := measBytes[i] * s.boost
+		if i < len(s.sentBy) && v > s.sentBy[i] {
+			v = s.sentBy[i]
+		}
+		measBytes[i] = v
+	}
+	return false
+}
+
+// Stall is the slot-burning attack: the relay deliberately echoes just
+// above the §4.2 acceptance bound so every attempt ends rejected and the
+// doubling loop — and the scheduler slots and team capacity behind it —
+// is consumed to its limit. The relay cannot echo beyond its own true
+// capacity (stalling is capacity misuse, not crypto forgery), so once the
+// doubling loop's bound outgrows the capacity, the measurement concludes
+// at the honest value; the damage is the slots burned on the way, which
+// the stall-suspect anomaly counter records.
+type Stall struct {
+	// Eps1 and Multiplier mirror the Params the victim measures with;
+	// the rejection threshold per attempt is alloc·(1−Eps1)/Multiplier.
+	Eps1, Multiplier float64
+	// Margin keeps the echo just above the threshold (1.05 default-ish).
+	Margin float64
+	// CapacityBps is the relay's true capacity — the echo ceiling.
+	CapacityBps float64
+}
+
+// Name implements Attack.
+func (Stall) Name() string { return "stall" }
+
+type stallSlot struct {
+	targetBytes float64   // per-second total to echo
+	shares      []float64 // per-measurer fraction of the total
+	sentBy      []float64 // per-measurer ceiling, bytes/s
+}
+
+// NewSlot implements Attack.
+func (a Stall) NewSlot(_, _ string, alloc core.Allocation, _ int, _ *rand.Rand) Slot {
+	margin := a.Margin
+	if margin <= 0 {
+		margin = 1.05
+	}
+	bound := alloc.TotalBps * (1 - a.Eps1) / a.Multiplier * margin
+	if a.CapacityBps > 0 && bound > a.CapacityBps {
+		bound = a.CapacityBps
+	}
+	shares := make([]float64, len(alloc.PerMeasurerBps))
+	sent := make([]float64, len(alloc.PerMeasurerBps))
+	for i, bps := range alloc.PerMeasurerBps {
+		if alloc.TotalBps > 0 {
+			shares[i] = bps / alloc.TotalBps
+		}
+		sent[i] = bps / 8
+	}
+	return &stallSlot{targetBytes: bound / 8, shares: shares, sentBy: sent}
+}
+
+func (s *stallSlot) Transform(_ int, measBytes []float64, normBytes *float64) bool {
+	for i := range measBytes {
+		v := s.targetBytes * s.shares[i]
+		if i < len(s.sentBy) && v > s.sentBy[i] {
+			v = s.sentBy[i]
+		}
+		measBytes[i] = v
+	}
+	*normBytes = 0
+	return false
+}

@@ -1,0 +1,154 @@
+package adversary
+
+import (
+	"context"
+	"net"
+	"testing"
+	"time"
+
+	"flashflow/internal/core"
+	"flashflow/internal/wire"
+)
+
+// TestInflateOverWireBackend pins the tentpole claim that the adversary
+// wrapper operates at the core.Backend boundary: the same Inflate attack
+// that rewrites simulated slots rewrites a real wire measurement over
+// loopback TCP, and the same r-ratio clamp bounds the damage when the
+// data is aggregated. Real-time slot; skipped with -short like the other
+// wall-clock wire tests.
+func TestInflateOverWireBackend(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-time wire measurement slot")
+	}
+	p := core.DefaultParams()
+	p.SlotSeconds = 2
+
+	id, err := wire.NewIdentity()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tgt := wire.NewTarget(wire.TargetConfig{}) // unlimited echo rate
+	tgt.Authorize(id.Pub)
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go tgt.Serve(l)
+	defer tgt.Close()
+	addr := l.Addr().String()
+
+	inner := &wire.Backend{
+		Members: []wire.Member{{
+			Identity: id,
+			Dial: func(string) wire.Dialer {
+				return func() (net.Conn, error) { return net.Dial("tcp", addr) }
+			},
+		}},
+		Seed: 1,
+	}
+	b := New(inner, "bw0", 1)
+	b.SetAttack("relay", Inflate{Factor: 50})
+
+	alloc := core.Allocation{
+		PerMeasurerBps: []float64{32e6},
+		Processes:      []int{1},
+		SocketsPer:     []int{2},
+		TotalBps:       32e6,
+	}
+	data, err := b.RunMeasurement(context.Background(), "relay", alloc, p.SlotSeconds, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg, err := core.Aggregate(data, p.Ratio)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The wire protocol carries no in-band normal-traffic report, so the
+	// lie is the only normal-traffic claim: every second must have been
+	// clamped, and the estimate must sit at exactly the 1/(1-r) bound
+	// over what the measurer verifiably received.
+	if agg.ClampedSeconds != p.SlotSeconds {
+		t.Fatalf("clamped %d of %d seconds", agg.ClampedSeconds, p.SlotSeconds)
+	}
+	bound := core.RatioClampBound(agg.MeasOnlyMedian, p.Ratio)
+	if agg.EstimateBytesPerSec > bound*(1+1e-9) {
+		t.Fatalf("estimate %.0f exceeds the 1/(1-r) bound %.0f over verified bytes", agg.EstimateBytesPerSec, bound)
+	}
+	if ratio := agg.EstimateBytesPerSec / agg.MeasOnlyMedian; ratio < 1.2 {
+		t.Fatalf("lie gained only %.3fx over verified traffic, want ~%.2fx (the clamp ceiling)", ratio, 1/(1-p.Ratio))
+	}
+}
+
+// TestEchoCheatOverWireBackendStreams checks the wrapper's streamed
+// samples over a real socket agree with the final record (the contract
+// the early-abort watcher depends on).
+func TestEchoCheatOverWireBackendStreams(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-time wire measurement slot")
+	}
+	id, err := wire.NewIdentity()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tgt := wire.NewTarget(wire.TargetConfig{})
+	tgt.Authorize(id.Pub)
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go tgt.Serve(l)
+	defer tgt.Close()
+	addr := l.Addr().String()
+
+	inner := &wire.Backend{
+		Members: []wire.Member{{
+			Identity: id,
+			Dial: func(string) wire.Dialer {
+				return func() (net.Conn, error) { return net.Dial("tcp", addr) }
+			},
+		}},
+		Seed: 2,
+	}
+	b := New(inner, "bw0", 2)
+	b.SetAttack("relay", EchoCheat{Boost: 2, CheckProb: 0}) // unchecked team: boost sails through
+
+	var streamed []core.Sample
+	sink := func(s core.Sample) {
+		cp := core.Sample{Second: s.Second, NormBytes: s.NormBytes}
+		cp.MeasBytes = append([]float64(nil), s.MeasBytes...)
+		streamed = append(streamed, cp)
+	}
+	alloc := core.Allocation{
+		PerMeasurerBps: []float64{16e6},
+		Processes:      []int{1},
+		SocketsPer:     []int{1},
+		TotalBps:       16e6,
+	}
+	deadline, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer cancel()
+	data, err := b.RunMeasurement(deadline, "relay", alloc, 2, sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(streamed) == 0 {
+		t.Fatal("no samples streamed")
+	}
+	for _, s := range streamed {
+		for i := range s.MeasBytes {
+			if got := data.MeasBytes[i][s.Second]; got != s.MeasBytes[i] {
+				t.Fatalf("second %d: stream %.0f vs record %.0f", s.Second, s.MeasBytes[i], got)
+			}
+		}
+	}
+	var total float64
+	for _, s := range streamed {
+		for _, v := range s.MeasBytes {
+			total += v
+		}
+	}
+	if total == 0 {
+		t.Fatalf("boosted wire slot echoed nothing: %+v", streamed)
+	}
+}

@@ -100,6 +100,17 @@ type Config struct {
 	// and round reports. The caller wires it into the wire backend's
 	// dialers with Pool.Dialer.
 	Pool *Pool
+	// AnomalyRetainRounds is how many rounds a departed relay's §5
+	// anomaly counters are retained after it leaves the population
+	// (default 8). A relay that departs and rejoins inside the window
+	// keeps its accumulated record — a flapping liar cannot reset its
+	// history by briefly leaving the consensus.
+	AnomalyRetainRounds int
+	// SplitViewFactor is the cross-BWAuth estimate divergence (max/min
+	// within one round) beyond which a relay is flagged for showing
+	// different teams different capacities (default 1.5; §5 selective
+	// lying). Zero selects the default; negative disables the check.
+	SplitViewFactor float64
 	// Counters receives the coordinator's operational counters; a fresh
 	// registry is created when nil.
 	Counters *metrics.Counters
@@ -130,6 +141,12 @@ func (cfg Config) withDefaults() Config {
 	}
 	if cfg.SnapshotEvery <= 0 {
 		cfg.SnapshotEvery = 1
+	}
+	if cfg.AnomalyRetainRounds <= 0 {
+		cfg.AnomalyRetainRounds = 8
+	}
+	if cfg.SplitViewFactor == 0 {
+		cfg.SplitViewFactor = 1.5
 	}
 	if cfg.Counters == nil {
 		cfg.Counters = metrics.NewCounters()
@@ -219,6 +236,12 @@ type Status struct {
 	// could not place on at least one BWAuth — capacity pressure the
 	// operator should see without digging through round reports.
 	Unscheduled int
+	// Anomalies holds every tracked relay's accumulated §5 defense
+	// counters (clamped seconds, echo failures, stall/skew/split-view
+	// suspicion). Entries persist across population churn for the
+	// configured retention window, so a flapping relay's record is
+	// visible here even while it is out of the consensus.
+	Anomalies map[string]core.AnomalyCounts
 	// LastRound is the most recent round report, nil before the first
 	// round completes.
 	LastRound *RoundReport
@@ -253,6 +276,20 @@ type Coordinator struct {
 	priors   map[string]float64
 	last     *RoundReport
 	progress map[string]*SlotProgress
+	// anomalies is the coordinator's own windowed copy of per-relay §5
+	// defense counters: unlike the BWAuths' tables (dropped with the
+	// retain set), entries survive population churn for
+	// AnomalyRetainRounds rounds after the relay was last seen, so a
+	// relay cannot launder its record by flapping in and out of the
+	// consensus.
+	anomalies map[string]*relayAnomaly
+}
+
+// relayAnomaly is one relay's accumulated anomaly evidence plus the last
+// round the relay appeared in the population.
+type relayAnomaly struct {
+	counts   core.AnomalyCounts
+	lastSeen int
 }
 
 // New validates the configuration and creates a Coordinator. Each
@@ -282,14 +319,15 @@ func New(cfg Config, auths []*core.BWAuth, source RelaySource) (*Coordinator, er
 		return nil, err
 	}
 	c := &Coordinator{
-		cfg:      cfg,
-		auths:    auths,
-		source:   source,
-		backoff:  NewBackoff(cfg.RetryBase, cfg.RetryMax, cfg.Seed),
-		limiter:  NewRelayLimiter(cfg.RelayAttemptsPerSec, cfg.RelayBurst),
-		builder:  core.NewScheduleBuilder(),
-		priors:   make(map[string]float64),
-		progress: make(map[string]*SlotProgress),
+		cfg:       cfg,
+		auths:     auths,
+		source:    source,
+		backoff:   NewBackoff(cfg.RetryBase, cfg.RetryMax, cfg.Seed),
+		limiter:   NewRelayLimiter(cfg.RelayAttemptsPerSec, cfg.RelayBurst),
+		builder:   core.NewScheduleBuilder(),
+		priors:    make(map[string]float64),
+		progress:  make(map[string]*SlotProgress),
+		anomalies: make(map[string]*relayAnomaly),
 	}
 	for _, a := range auths {
 		inner := a.Backend
@@ -361,6 +399,12 @@ func (c *Coordinator) Status() Status {
 	}
 	for _, p := range c.progress {
 		s.Measuring = append(s.Measuring, *p)
+	}
+	if len(c.anomalies) > 0 {
+		s.Anomalies = make(map[string]core.AnomalyCounts, len(c.anomalies))
+		for name, a := range c.anomalies {
+			s.Anomalies[name] = a.counts
+		}
 	}
 	sort.Slice(s.Measuring, func(i, j int) bool {
 		if s.Measuring[i].Relay != s.Measuring[j].Relay {
@@ -512,6 +556,50 @@ func (c *Coordinator) roundSeed(round int) ([]byte, error) {
 // termination even under sustained contention.
 const maxCapacityDeferrals = 8
 
+// recordAnomalies folds one relay's new §5 evidence into the windowed
+// table and the operational counters. Zero-count records still refresh
+// lastSeen implicitly via the retention sweep; they are not stored.
+func (c *Coordinator) recordAnomalies(relay string, counts core.AnomalyCounts) {
+	if counts.Total() == 0 {
+		return
+	}
+	ctr := c.cfg.Counters
+	ctr.Add("coord_anomaly_clamped_seconds", counts.ClampedSeconds)
+	ctr.Add("coord_anomaly_ratio_clamped_slots", counts.RatioClampedSlots)
+	ctr.Add("coord_anomaly_echo_failures", counts.EchoFailures)
+	ctr.Add("coord_anomaly_stall_slots", counts.StallSuspectSlots)
+	ctr.Add("coord_anomaly_skew_slots", counts.SkewSuspectSlots)
+	ctr.Add("coord_anomaly_split_view_rounds", counts.SplitViewRounds)
+	c.mu.Lock()
+	a := c.anomalies[relay]
+	if a == nil {
+		a = &relayAnomaly{}
+		c.anomalies[relay] = a
+	}
+	a.counts.Add(counts)
+	a.lastSeen = c.round
+	c.mu.Unlock()
+	ctr.Set("coord_anomaly_relays", int64(c.anomalyCount()))
+}
+
+func (c *Coordinator) anomalyCount() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.anomalies)
+}
+
+// Anomalies returns the relay's accumulated counters (present even while
+// the relay is out of the population, within the retention window).
+func (c *Coordinator) Anomalies(relay string) (core.AnomalyCounts, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	a, ok := c.anomalies[relay]
+	if !ok {
+		return core.AnomalyCounts{}, false
+	}
+	return a.counts, true
+}
+
 // slotJob is one schedule assignment moving through the retry pipeline.
 type slotJob struct {
 	auth    int
@@ -644,10 +732,30 @@ func (c *Coordinator) runRound(ctx context.Context, round int) RoundReport {
 	rep.RateLimited = col.rateLimited
 	rep.Unmeasured = append(rep.Unmeasured, col.unmeasured...)
 	medians := make(map[string]float64, len(col.perRelay))
+	var splitView []string
 	for relay, ests := range col.perRelay {
 		medians[relay] = stats.Median(ests)
+		// §5 selective lying: a relay showing different BWAuths
+		// significantly different capacities within one round.
+		if c.cfg.SplitViewFactor > 0 && len(ests) >= 2 {
+			lo, hi := ests[0], ests[0]
+			for _, e := range ests[1:] {
+				if e < lo {
+					lo = e
+				}
+				if e > hi {
+					hi = e
+				}
+			}
+			if lo > 0 && hi/lo > c.cfg.SplitViewFactor {
+				splitView = append(splitView, relay)
+			}
+		}
 	}
 	col.mu.Unlock()
+	for _, relay := range splitView {
+		c.recordAnomalies(relay, core.AnomalyCounts{SplitViewRounds: 1})
+	}
 
 	rep.Estimates = medians
 	c.mu.Lock()
@@ -678,6 +786,20 @@ func (c *Coordinator) runRound(ctx context.Context, round int) RoundReport {
 			delete(c.priors, name)
 		}
 	}
+	// Anomaly records are retained across churn for the configured
+	// window: a relay still in the population refreshes its lastSeen; a
+	// departed relay's record survives AnomalyRetainRounds rounds, so
+	// rejoining inside the window finds its history intact (the flapping
+	// liar cannot reset its record), and only a long-gone relay's entry
+	// is forgotten.
+	for name, a := range c.anomalies {
+		if keep[name] {
+			a.lastSeen = round
+		} else if round-a.lastSeen > c.cfg.AnomalyRetainRounds {
+			delete(c.anomalies, name)
+		}
+	}
+	c.cfg.Counters.Set("coord_anomaly_relays", int64(len(c.anomalies)))
 	c.mu.Unlock()
 
 	rep.Partial = ctx.Err() != nil
@@ -754,6 +876,18 @@ func (c *Coordinator) runJob(ctx context.Context, j *slotJob, queue chan<- *slot
 	c.inFlight--
 	c.mu.Unlock()
 	j.attempt++
+
+	// Fold the slot's §5 defense evidence into the windowed per-relay
+	// record — including failed slots: an echo-verification catch is the
+	// strongest signal there is. Derived with the measuring BWAuth's own
+	// Params (BWAuths are caller-constructed and may diverge from
+	// cfg.Params), so this window and the BWAuth's table always agree on
+	// the same outcome.
+	counts := core.OutcomeAnomalies(out, c.auths[j.auth].Params)
+	if errors.Is(err, core.ErrMeasurementFailed) {
+		counts.EchoFailures++
+	}
+	c.recordAnomalies(j.relay, counts)
 
 	if err != nil {
 		ctr.Inc("coord_slot_errors")

@@ -56,10 +56,21 @@ type AggregateResult struct {
 	// PerSecondMeas and PerSecondNorm are x_j and the clamped y_j series.
 	PerSecondMeas []float64
 	PerSecondNorm []float64
+	// MeasOnlyMedian is the median of the per-second measurement bytes
+	// x_j alone — the portion of the estimate the measurers verified by
+	// receiving it, with no relay self-report contribution.
+	MeasOnlyMedian float64
 	// ClampedSeconds counts seconds where the relay's normal-traffic
 	// report exceeded the ratio limit and was clamped — nonzero values
 	// indicate either saturation or lying.
 	ClampedSeconds int
+	// RatioClamped marks an estimate that hit the estimate-level
+	// 1/(1−r) invariant clamp (see RatioClampBound). For data whose
+	// seconds passed through the per-second clamp above this can never
+	// fire (the per-second clamp dominates pointwise, and the median is
+	// monotone), so a set flag means the per-second accounting was
+	// bypassed or inconsistent — itself an anomaly signal.
+	RatioClamped bool
 }
 
 // Errors from aggregation.
@@ -120,7 +131,31 @@ func Aggregate(data MeasurementData, ratio float64) (AggregateResult, error) {
 		res.PerSecondTotals[j] = x + y
 	}
 	res.EstimateBytesPerSec = stats.Median(res.PerSecondTotals)
+	res.MeasOnlyMedian = stats.Median(res.PerSecondMeas)
+	// Estimate-level enforcement of the §5 inflation invariant: no matter
+	// how the per-second series were produced, the published estimate
+	// never exceeds 1/(1−r) times the measurement traffic the measurers
+	// verified by receiving it. The relative epsilon keeps float rounding
+	// between x + x·r/(1−r) and x/(1−r) from reading as a violation.
+	if bound := RatioClampBound(res.MeasOnlyMedian, ratio); res.EstimateBytesPerSec > bound*(1+1e-9) {
+		res.EstimateBytesPerSec = bound
+		res.RatioClamped = true
+	}
 	return res, nil
+}
+
+// RatioClampBound returns the §5 ceiling on a capacity estimate given the
+// median verified measurement throughput: measMedian/(1−r) bytes/s, i.e.
+// the relay is credited at most r-ratio worth of claimed normal traffic on
+// top of what the measurers received. Together with the per-second clamp
+// in Aggregate this is the invariant that bounds a lying relay's inflation
+// to 1/(1−r): the per-second clamp guarantees z_j ≤ x_j/(1−r) pointwise,
+// medians are monotone under pointwise domination, so the estimate-level
+// bound holds by construction for per-second-clamped data — enforcing it
+// again here protects any future ingest path that skips the per-second
+// accounting, and flags inconsistent data via RatioClamped.
+func RatioClampBound(measMedianBytesPerSec, ratio float64) float64 {
+	return measMedianBytesPerSec / (1 - ratio)
 }
 
 // EstimateAccepted implements the §4.2 acceptance condition: the estimate

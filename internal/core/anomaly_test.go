@@ -1,0 +1,146 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestRatioClampBoundNeverBindsOnClampedData(t *testing.T) {
+	// Property: for data whose seconds went through Aggregate's
+	// per-second clamp, the estimate-level 1/(1−r) invariant never
+	// binds (pointwise domination + median monotonicity). RatioClamped
+	// firing would mean the accounting is inconsistent.
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		seconds := 1 + rng.Intn(40)
+		measurers := 1 + rng.Intn(4)
+		data := MeasurementData{
+			MeasBytes: make([][]float64, measurers),
+			NormBytes: make([]float64, seconds),
+		}
+		for i := range data.MeasBytes {
+			data.MeasBytes[i] = make([]float64, seconds)
+			for j := range data.MeasBytes[i] {
+				data.MeasBytes[i][j] = rng.Float64() * 1e6
+			}
+		}
+		for j := range data.NormBytes {
+			data.NormBytes[j] = rng.Float64() * 5e6 // often far over the limit
+		}
+		ratio := 0.05 + rng.Float64()*0.7
+		agg, err := Aggregate(data, ratio)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if agg.RatioClamped {
+			t.Fatalf("trial %d: estimate-level clamp fired on per-second-clamped data", trial)
+		}
+		bound := RatioClampBound(agg.MeasOnlyMedian, ratio)
+		if agg.EstimateBytesPerSec > bound*(1+1e-9) {
+			t.Fatalf("trial %d: estimate %.1f exceeds invariant bound %.1f", trial, agg.EstimateBytesPerSec, bound)
+		}
+	}
+}
+
+func TestRatioClampBound(t *testing.T) {
+	if got := RatioClampBound(300, 0.25); math.Abs(got-400) > 1e-9 {
+		t.Fatalf("RatioClampBound(300, 0.25) = %v, want 400", got)
+	}
+}
+
+func TestCrossCheckReportGap(t *testing.T) {
+	// Three measurers, equal shares; the relay claims 10x the credit the
+	// measurement traffic supports in every second.
+	seconds := 5
+	data := MeasurementData{
+		MeasBytes: [][]float64{
+			repeatSeconds(100, seconds),
+			repeatSeconds(100, seconds),
+			repeatSeconds(100, seconds),
+		},
+		NormBytes: repeatSeconds(1000, seconds),
+	}
+	alloc := Allocation{PerMeasurerBps: []float64{800, 800, 800}, TotalBps: 2400}
+	rep := CrossCheck(data, alloc, 0.25)
+	if rep.SuspectSeconds != seconds {
+		t.Fatalf("SuspectSeconds = %d, want %d", rep.SuspectSeconds, seconds)
+	}
+	// limit = 300·(0.25/0.75) = 100; claim 1000 → gap 10.
+	if math.Abs(rep.ReportGap-10) > 1e-9 {
+		t.Fatalf("ReportGap = %v, want 10", rep.ReportGap)
+	}
+	if rep.MeasurerSkew > 1e-9 {
+		t.Fatalf("equal shares skewed: %v", rep.MeasurerSkew)
+	}
+}
+
+func TestCrossCheckMeasurerSkew(t *testing.T) {
+	// The relay echoes to measurer 0 at half rate: its received share is
+	// 0.5/2.5 = 0.2 vs an allocation share of 1/3 — skew 40%.
+	seconds := 4
+	data := MeasurementData{
+		MeasBytes: [][]float64{
+			repeatSeconds(50, seconds),
+			repeatSeconds(100, seconds),
+			repeatSeconds(100, seconds),
+		},
+	}
+	alloc := Allocation{PerMeasurerBps: []float64{800, 800, 800}, TotalBps: 2400}
+	rep := CrossCheck(data, alloc, 0.25)
+	if rep.MeasurerSkew < 0.35 || rep.MeasurerSkew > 0.45 {
+		t.Fatalf("MeasurerSkew = %v, want ≈0.4", rep.MeasurerSkew)
+	}
+}
+
+func repeatSeconds(v float64, n int) []float64 {
+	s := make([]float64, n)
+	for i := range s {
+		s[i] = v
+	}
+	return s
+}
+
+func TestOutcomeAnomaliesStallPattern(t *testing.T) {
+	p := DefaultParams()
+	bound := func(alloc float64) float64 { return alloc * (1 - p.Eps1) / p.Multiplier }
+	out := MeasureOutcome{Attempts: []MeasureAttempt{
+		{AllocatedBps: 100e6, EstimateBps: bound(100e6) * 1.05},
+		{AllocatedBps: 200e6, EstimateBps: bound(200e6) * 1.05},
+		{AllocatedBps: 400e6, EstimateBps: bound(400e6) * 0.5, Accepted: true},
+	}}
+	a := OutcomeAnomalies(out, p)
+	if a.StallSuspectSlots != 2 {
+		t.Fatalf("StallSuspectSlots = %d, want 2", a.StallSuspectSlots)
+	}
+
+	// A single near-bound rejection is ordinary doubling-loop behavior.
+	single := MeasureOutcome{Attempts: []MeasureAttempt{
+		{AllocatedBps: 100e6, EstimateBps: bound(100e6) * 1.05},
+		{AllocatedBps: 200e6, EstimateBps: bound(200e6) * 0.5, Accepted: true},
+	}}
+	if a := OutcomeAnomalies(single, p); a.StallSuspectSlots != 0 {
+		t.Fatalf("single near-bound rejection flagged: %+v", a)
+	}
+}
+
+func TestOutcomeAnomaliesClampedAndSkew(t *testing.T) {
+	p := DefaultParams()
+	out := MeasureOutcome{Attempts: []MeasureAttempt{
+		{AllocatedBps: 100e6, EstimateBps: 90e6, ClampedSeconds: 30, MeasurerSkew: 0.7},
+		{AllocatedBps: 200e6, EstimateBps: 90e6, Accepted: true, RatioClamped: true},
+	}}
+	a := OutcomeAnomalies(out, p)
+	if a.ClampedSeconds != 30 || a.SkewSuspectSlots != 1 || a.RatioClampedSlots != 1 {
+		t.Fatalf("unexpected counts: %+v", a)
+	}
+}
+
+func TestAnomalyCountsAddTotal(t *testing.T) {
+	var a AnomalyCounts
+	a.Add(AnomalyCounts{ClampedSeconds: 2, EchoFailures: 1})
+	a.Add(AnomalyCounts{StallSuspectSlots: 3, SplitViewRounds: 1, SkewSuspectSlots: 1, RatioClampedSlots: 1})
+	if a.Total() != 9 {
+		t.Fatalf("Total = %d, want 9", a.Total())
+	}
+}

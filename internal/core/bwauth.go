@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"time"
@@ -38,6 +39,11 @@ type BWAuth struct {
 	// history holds last-month measured capacities, feeding the
 	// new-relay prior.
 	history []float64
+	// anomalies holds per-relay §5 defense counters (OutcomeAnomalies
+	// plus echo failures), recorded by MeasureTarget. Long-lived callers
+	// that must survive population churn (internal/coord) keep their own
+	// windowed copy; this table follows Retain like the estimates.
+	anomalies map[string]AnomalyCounts
 }
 
 // NewBWAuth creates a BWAuth with the given team and backend.
@@ -49,6 +55,7 @@ func NewBWAuth(name string, team []*Measurer, backend Backend, p Params) *BWAuth
 		Params:    p,
 		estimates: make(map[string]float64),
 		priors:    make(map[string]float64),
+		anomalies: make(map[string]AnomalyCounts),
 	}
 }
 
@@ -80,9 +87,13 @@ func (b *BWAuth) SetPrior(relayName string, bps float64) {
 	b.priors[relayName] = bps
 }
 
-// Retain drops estimates and priors for every relay not in keep, so a
-// long-lived deployment stops publishing relays that left the consensus
-// and does not grow its tables across population churn.
+// Retain drops estimates, priors, and anomaly counters for every relay
+// not in keep, so a long-lived deployment stops publishing relays that
+// left the consensus and does not grow its tables across population
+// churn. Callers that need anomaly evidence to survive churn (so a
+// flapping liar cannot reset its record by briefly departing) keep their
+// own windowed copy — internal/coord retains departed relays' counters
+// for a configurable number of rounds before forgetting them.
 func (b *BWAuth) Retain(keep map[string]bool) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
@@ -96,6 +107,42 @@ func (b *BWAuth) Retain(keep map[string]bool) {
 			delete(b.priors, name)
 		}
 	}
+	for name := range b.anomalies {
+		if !keep[name] {
+			delete(b.anomalies, name)
+		}
+	}
+}
+
+// Anomalies returns the accumulated §5 anomaly counters for a relay.
+func (b *BWAuth) Anomalies(relayName string) (AnomalyCounts, bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	a, ok := b.anomalies[relayName]
+	return a, ok
+}
+
+// AllAnomalies returns a copy of every relay's anomaly counters.
+func (b *BWAuth) AllAnomalies() map[string]AnomalyCounts {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make(map[string]AnomalyCounts, len(b.anomalies))
+	for name, a := range b.anomalies {
+		out[name] = a
+	}
+	return out
+}
+
+// recordAnomalies folds one outcome's evidence into the relay's record.
+func (b *BWAuth) recordAnomalies(relayName string, c AnomalyCounts) {
+	if c.Total() == 0 {
+		return
+	}
+	b.mu.Lock()
+	cur := b.anomalies[relayName]
+	cur.Add(c)
+	b.anomalies[relayName] = cur
+	b.mu.Unlock()
 }
 
 // MeasureTarget measures one relay, using the stored estimate as the old-
@@ -113,6 +160,11 @@ func (b *BWAuth) MeasureTarget(ctx context.Context, relayName string) (MeasureOu
 	}
 	b.mu.Unlock()
 	out, err := MeasureRelayGuarded(ctx, b.Backend, b.Team, &b.teamGate, relayName, z0, b.Params)
+	counts := OutcomeAnomalies(out, b.Params)
+	if errors.Is(err, ErrMeasurementFailed) {
+		counts.EchoFailures++
+	}
+	b.recordAnomalies(relayName, counts)
 	if err != nil {
 		return out, err
 	}

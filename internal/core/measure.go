@@ -64,6 +64,15 @@ type MeasureAttempt struct {
 	// bound, so the final median provably could not be accepted and the
 	// loop jumped straight to the next doubling step.
 	Aborted bool
+	// ClampedSeconds counts the attempt's seconds whose normal-traffic
+	// report hit the §4.1 r-ratio clamp; RatioClamped marks an estimate
+	// clamped by the estimate-level 1/(1−r) invariant (RatioClampBound).
+	// Both feed the §5 anomaly counters (OutcomeAnomalies).
+	ClampedSeconds int
+	RatioClamped   bool
+	// MeasurerSkew is the CrossCheck per-measurer share deviation for
+	// this attempt's slot — evidence of selective echoing within a team.
+	MeasurerSkew float64
 }
 
 // SlotsUsed returns how many measurement slots the outcome consumed.
@@ -196,11 +205,15 @@ func MeasureRelayGuarded(ctx context.Context, backend Backend, team []*Measurer,
 			// still see the partial estimate. A zero estimate (e.g. every
 			// wire member died before echoing a byte) carries no
 			// information and is not recorded.
-			if zBps, secs, ok := partialEstimate(data, p); ok && zBps > 0 {
+			if agg, secs, ok := partialEstimate(data, p); ok && agg.EstimateBytesPerSec > 0 {
+				zBps := agg.EstimateBytesPerSec * 8
 				out.Attempts = append(out.Attempts, MeasureAttempt{
-					AllocatedBps: alloc.TotalBps,
-					EstimateBps:  zBps,
-					Seconds:      secs,
+					AllocatedBps:   alloc.TotalBps,
+					EstimateBps:    zBps,
+					Seconds:        secs,
+					ClampedSeconds: agg.ClampedSeconds,
+					RatioClamped:   agg.RatioClamped,
+					MeasurerSkew:   CrossCheck(data, alloc, p.Ratio).MeasurerSkew,
 				})
 				out.EstimateBps = zBps
 			}
@@ -218,12 +231,16 @@ func MeasureRelayGuarded(ctx context.Context, backend Backend, team []*Measurer,
 			// exceeded the acceptance bound, so this allocation can only
 			// end rejected. Record the partial attempt and jump straight
 			// to the next doubling step.
-			zBps, secs, _ := partialEstimate(data, p)
+			agg, secs, _ := partialEstimate(data, p)
+			zBps := agg.EstimateBytesPerSec * 8
 			out.Attempts = append(out.Attempts, MeasureAttempt{
-				AllocatedBps: alloc.TotalBps,
-				EstimateBps:  zBps,
-				Seconds:      secs,
-				Aborted:      true,
+				AllocatedBps:   alloc.TotalBps,
+				EstimateBps:    zBps,
+				Seconds:        secs,
+				Aborted:        true,
+				ClampedSeconds: agg.ClampedSeconds,
+				RatioClamped:   agg.RatioClamped,
+				MeasurerSkew:   CrossCheck(data, alloc, p.Ratio).MeasurerSkew,
 			})
 			if zBps > 0 {
 				out.EstimateBps = zBps
@@ -249,10 +266,13 @@ func MeasureRelayGuarded(ctx context.Context, backend Backend, team []*Measurer,
 			accepted = false
 		}
 		out.Attempts = append(out.Attempts, MeasureAttempt{
-			AllocatedBps: alloc.TotalBps,
-			EstimateBps:  zBps,
-			Accepted:     accepted,
-			Seconds:      dataSeconds(data),
+			AllocatedBps:   alloc.TotalBps,
+			EstimateBps:    zBps,
+			Accepted:       accepted,
+			Seconds:        dataSeconds(data),
+			ClampedSeconds: agg.ClampedSeconds,
+			RatioClamped:   agg.RatioClamped,
+			MeasurerSkew:   CrossCheck(data, alloc, p.Ratio).MeasurerSkew,
 		})
 		out.EstimateBps = zBps
 		if accepted {
@@ -289,13 +309,15 @@ func dataSeconds(data MeasurementData) int {
 // partialEstimate aggregates a possibly truncated slot. It reports ok
 // only when the data contains at least one complete second and passes the
 // echo-verification check — a failed slot must never contribute an
-// estimate.
-func partialEstimate(data MeasurementData, p Params) (zBps float64, seconds int, ok bool) {
+// estimate. The full AggregateResult is returned so callers can record
+// the attempt's anomaly evidence (clamped seconds, invariant-clamp hits)
+// alongside the salvaged estimate.
+func partialEstimate(data MeasurementData, p Params) (agg AggregateResult, seconds int, ok bool) {
 	agg, err := Aggregate(data, p.Ratio)
 	if err != nil {
-		return 0, dataSeconds(data), false
+		return AggregateResult{}, dataSeconds(data), false
 	}
-	return agg.EstimateBytesPerSec * 8, dataSeconds(data), true
+	return agg, dataSeconds(data), true
 }
 
 // relayPreferredMeasurer maps a relay name to a stable starting index for

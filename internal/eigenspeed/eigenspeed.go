@@ -43,13 +43,21 @@ type Config struct {
 	Iterations int
 	// Epsilon is the L1 convergence threshold.
 	Epsilon float64
+	// RestartAlpha is the trusted-restart probability of the random
+	// walk (EigenTrust-style): each step mixes RestartAlpha of the
+	// trusted prior back in. It is the parameter that bounds the liar
+	// clique's advantage — an absorbing clique retains the walk mass
+	// that enters it, and only the restart drains it — so the
+	// literature's 7.4–28.1× clique figures correspond to restart
+	// values in this range rather than to the lie magnitude.
+	RestartAlpha float64
 	// Seed drives the RNG.
 	Seed int64
 }
 
 // DefaultConfig returns the model defaults.
 func DefaultConfig(seed int64) Config {
-	return Config{NoiseSigma: 0.25, LieFactor: 100, Iterations: 50, Epsilon: 1e-9, Seed: seed}
+	return Config{NoiseSigma: 0.25, LieFactor: 100, Iterations: 50, Epsilon: 1e-9, RestartAlpha: 0.15, Seed: seed}
 }
 
 // Result carries the computed weights.
@@ -100,7 +108,16 @@ func ObservationMatrix(relays []Relay, cfg Config) [][]float64 {
 }
 
 // ComputeWeights runs the trusted-initialized power iteration over the
-// column-normalized observation matrix and returns normalized weights.
+// row-normalized observation matrix — a random walk where the relay the
+// walk sits at distributes its mass according to its own reported
+// observations, the EigenSpeed/EigenTrust construction — with a
+// trusted-prior restart mixed in each step. Row normalization is what
+// makes the liar clique a real attack: a clique member's row puts nearly
+// all of its mass on fellow members, so the clique absorbs walk mass and
+// only the restart bounds the damage. (An earlier revision normalized
+// columns, which made the inflated clique columns self-diluting and the
+// model silently immune to the very attack the literature demonstrates
+// at up to 21.5× — the adversary matrix exposed that as unfaithful.)
 func ComputeWeights(relays []Relay, obs [][]float64, cfg Config) (Result, error) {
 	n := len(relays)
 	if n == 0 {
@@ -109,26 +126,35 @@ func ComputeWeights(relays []Relay, obs [][]float64, cfg Config) (Result, error)
 	if len(obs) != n {
 		return Result{}, fmt.Errorf("eigenspeed: matrix is %d×?, want %d", len(obs), n)
 	}
-	// Initialize from the trusted set (EigenSpeed's defense anchor).
-	w := make([]float64, n)
+	// Initialize from the trusted set (EigenSpeed's defense anchor); the
+	// same distribution is the restart prior.
+	prior := make([]float64, n)
 	trusted := 0
 	for i, r := range relays {
 		if r.Trusted {
-			w[i] = 1
+			prior[i] = 1
 			trusted++
 		}
 	}
 	if trusted == 0 {
 		return Result{}, ErrNoTrusted
 	}
-	w = stats.Normalize(w)
+	prior = stats.Normalize(prior)
+	w := append([]float64(nil), prior...)
 
-	// Column-normalize so the iteration is a random-walk update.
-	col := make([]float64, n)
-	for j := 0; j < n; j++ {
-		for i := 0; i < n; i++ {
-			col[j] += obs[i][j]
+	// Row-normalize each relay's observation vector.
+	row := make([]float64, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			row[i] += obs[i][j]
 		}
+	}
+	alpha := cfg.RestartAlpha
+	if alpha < 0 {
+		alpha = 0
+	}
+	if alpha > 1 {
+		alpha = 1
 	}
 	next := make([]float64, n)
 	iters := 0
@@ -136,11 +162,11 @@ func ComputeWeights(relays []Relay, obs [][]float64, cfg Config) (Result, error)
 		for j := 0; j < n; j++ {
 			var sum float64
 			for i := 0; i < n; i++ {
-				if col[j] > 0 {
-					sum += w[i] * obs[i][j] / col[j]
+				if row[i] > 0 {
+					sum += w[i] * obs[i][j] / row[i]
 				}
 			}
-			next[j] = sum
+			next[j] = (1-alpha)*sum + alpha*prior[j]
 		}
 		next = stats.Normalize(next)
 		var delta float64

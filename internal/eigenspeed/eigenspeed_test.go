@@ -103,10 +103,11 @@ func TestLiarCliqueGainsAdvantage(t *testing.T) {
 }
 
 func TestLieAdvantageSaturates(t *testing.T) {
-	// Column normalization makes the liar advantage saturate: once the
-	// clique dominates its own columns, inflating further cannot add
-	// weight (the literature's advantage figures are likewise bounded by
-	// the trusted-set fraction rather than the lie magnitude).
+	// Row normalization makes the liar advantage saturate: once the
+	// clique's rows put essentially all their mass on fellow members,
+	// inflating further cannot absorb more of the walk — the advantage
+	// is bounded by the trusted-restart drain, not the lie magnitude
+	// (the literature's figures are likewise restart/trust-bounded).
 	honest := honestNetwork(100)
 	small := DefaultConfig(6)
 	small.LieFactor = 10

@@ -1,0 +1,673 @@
+package experiments
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"time"
+
+	"flashflow/internal/adversary"
+	"flashflow/internal/core"
+	"flashflow/internal/eigenspeed"
+	"flashflow/internal/peerflow"
+	"flashflow/internal/relay"
+	"flashflow/internal/stats"
+	"flashflow/internal/torflow"
+)
+
+// The adversary matrix runs every §5 attack class live against FlashFlow
+// — through internal/adversary wrappers over the simulation backend, so
+// the full measurement pipeline (doubling loop, clamps, echo checks,
+// median vote) defends itself — and runs each attack's nearest analog
+// against the TorFlow, PeerFlow, and EigenSpeed baselines from PAPERS.md.
+// The report is deterministic for a given seed: CI regenerates it nightly
+// and fails if FlashFlow's measured advantage ever exceeds
+// MaxFlashFlowAdvantage on any attack.
+
+// MatrixAttacks lists the attack classes in canonical report order.
+var MatrixAttacks = []string{"inflate", "selective", "echo-cheat", "collude", "stall"}
+
+// MatrixEstimators lists the estimators in canonical report order.
+var MatrixEstimators = []string{"flashflow", "torflow", "peerflow", "eigenspeed"}
+
+// MaxFlashFlowAdvantage is the CI gate on FlashFlow's measured attack
+// advantage: the §5 analytical bound 1/(1−r) = 1.33 plus a noise margin.
+const MaxFlashFlowAdvantage = 1.4
+
+// MatrixOptions configures a matrix run.
+type MatrixOptions struct {
+	// Seed drives every RNG in the matrix; equal seeds produce
+	// byte-identical reports.
+	Seed int64
+	// Quick shrinks the honest populations for CI smoke runs.
+	Quick bool
+}
+
+// MatrixCell is one attack × estimator result.
+type MatrixCell struct {
+	Attack    string `json:"attack"`
+	Estimator string `json:"estimator"`
+	// Advantage is the factor by which the attacker's consensus-weight
+	// share exceeds its fair (capacity-proportional) share; 1.0 means
+	// the attack gained nothing, 0 means the attacker was ejected.
+	Advantage float64 `json:"advantage"`
+	// Details carries per-cell diagnostics (estimates, slots burned,
+	// pre-defense advantage, …).
+	Details map[string]float64 `json:"details,omitempty"`
+	// Note documents how the attack maps onto this estimator.
+	Note string `json:"note,omitempty"`
+}
+
+// MatrixReport is the full robustness matrix.
+type MatrixReport struct {
+	Seed           int64   `json:"seed"`
+	Quick          bool    `json:"quick"`
+	InflationBound float64 `json:"inflation_bound"`
+	// FlashFlowMaxAdvantage is the worst FlashFlow cell — the number the
+	// CI gate compares against MaxFlashFlowAdvantage.
+	FlashFlowMaxAdvantage float64      `json:"flashflow_max_advantage"`
+	Cells                 []MatrixCell `json:"cells"`
+}
+
+// Cell looks up one attack × estimator entry.
+func (r MatrixReport) Cell(attack, estimator string) (MatrixCell, bool) {
+	for _, c := range r.Cells {
+		if c.Attack == attack && c.Estimator == estimator {
+			return c, true
+		}
+	}
+	return MatrixCell{}, false
+}
+
+// WriteJSON renders the report as indented JSON. The output is
+// deterministic: cells are in canonical order and map keys marshal
+// sorted, so two runs with the same seed produce identical bytes.
+func (r MatrixReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// advantageFrac converts an attacker's weight into the standard
+// advantage measure used by every baseline's AttackAdvantage: the
+// attacker's consensus-weight fraction over its fair capacity fraction.
+func advantageFrac(attackerWeight, honestWeight, attackerCap, honestCap float64) float64 {
+	wFrac := attackerWeight / (honestWeight + attackerWeight)
+	fair := attackerCap / (honestCap + attackerCap)
+	if fair <= 0 {
+		return 0
+	}
+	return wFrac / fair
+}
+
+// matrixPopulation is the shared honest relay population: a deterministic
+// mix of capacities from 10 to 200 Mbit/s.
+func matrixPopulationCaps(quick bool) []float64 {
+	n := 300
+	if quick {
+		n = 120
+	}
+	caps := make([]float64, n)
+	for i := range caps {
+		caps[i] = 10e6 * float64(1+i%20)
+	}
+	return caps
+}
+
+// AdversaryMatrix runs the full attack × estimator matrix.
+func AdversaryMatrix(opts MatrixOptions) (MatrixReport, error) {
+	rep := MatrixReport{
+		Seed:           opts.Seed,
+		Quick:          opts.Quick,
+		InflationBound: core.DefaultParams().MaxInflation(),
+	}
+	caps := matrixPopulationCaps(opts.Quick)
+
+	type estimatorFn func(attack string) (MatrixCell, error)
+	estimators := map[string]estimatorFn{
+		"flashflow":  func(a string) (MatrixCell, error) { return flashflowCell(a, caps, opts) },
+		"torflow":    func(a string) (MatrixCell, error) { return torflowCell(a, caps, opts) },
+		"peerflow":   func(a string) (MatrixCell, error) { return peerflowCell(a, caps, opts) },
+		"eigenspeed": func(a string) (MatrixCell, error) { return eigenspeedCell(a, caps, opts) },
+	}
+
+	rep.FlashFlowMaxAdvantage = 0
+	for _, attack := range MatrixAttacks {
+		for _, est := range MatrixEstimators {
+			cell, err := estimators[est](attack)
+			if err != nil {
+				return MatrixReport{}, fmt.Errorf("adversary-matrix %s/%s: %w", attack, est, err)
+			}
+			cell.Attack, cell.Estimator = attack, est
+			rep.Cells = append(rep.Cells, cell)
+			if est == "flashflow" && cell.Advantage > rep.FlashFlowMaxAdvantage {
+				rep.FlashFlowMaxAdvantage = cell.Advantage
+			}
+		}
+	}
+	return rep, nil
+}
+
+// ---- FlashFlow: live attacks through the measurement pipeline ----
+
+const (
+	matrixAttackerCap = 200e6
+	matrixNumAuths    = 3
+)
+
+func matrixPaths() []core.PathModel {
+	return []core.PathModel{
+		{RTT: 40 * time.Millisecond, LinkBps: 1e9},
+		{RTT: 90 * time.Millisecond, LinkBps: 1e9},
+		{RTT: 140 * time.Millisecond, LinkBps: 1e9},
+	}
+}
+
+func matrixTeam() []*core.Measurer {
+	return []*core.Measurer{
+		{Name: "m1", CapacityBps: 1.5e9, Cores: 4},
+		{Name: "m2", CapacityBps: 1.5e9, Cores: 4},
+		{Name: "m3", CapacityBps: 1.5e9, Cores: 4},
+	}
+}
+
+// measureAttacked measures one attacked relay once per BWAuth and returns
+// the per-auth estimates (0 where the measurement failed — an ejected
+// relay publishes nothing) plus the total slots consumed. Each BWAuth
+// gets its own seeded sim backend wrapped by the adversary, exactly the
+// deployment trust model: independent teams, one shared lying relay.
+func measureAttacked(name string, capBps, priorBps float64, attack adversary.Attack, seed int64) (ests []float64, slots int, err error) {
+	p := core.DefaultParams()
+	ests = make([]float64, matrixNumAuths)
+	for a := 0; a < matrixNumAuths; a++ {
+		inner := core.NewSimBackend(matrixPaths(), seed+int64(a)*101)
+		inner.AddTarget(name, &core.SimTarget{
+			Relay:    relay.New(relay.Config{Name: name, TorCapBps: capBps}),
+			LinkBps:  1e9,
+			Behavior: core.BehaviorHonest,
+		})
+		b := adversary.New(inner, fmt.Sprintf("bw%d", a), seed+int64(a)*977)
+		if attack != nil {
+			b.SetAttack(name, attack)
+		}
+		out, merr := core.MeasureRelay(context.Background(), b, matrixTeam(), name, priorBps, p)
+		slots += out.SlotsUsed()
+		if merr != nil {
+			// Only an echo-verification catch means "the defense ejected
+			// the relay" (estimate 0). Any other failure is a broken
+			// harness, and swallowing it would make the 1.4x gate pass
+			// vacuously with nothing measured.
+			if errors.Is(merr, core.ErrMeasurementFailed) {
+				ests[a] = 0
+				continue
+			}
+			return nil, 0, merr
+		}
+		ests[a] = out.EstimateBps
+	}
+	return ests, slots, nil
+}
+
+func medianWeight(ests []float64) float64 {
+	return stats.Median(append([]float64(nil), ests...))
+}
+
+func flashflowCell(attack string, honestCaps []float64, opts MatrixOptions) (MatrixCell, error) {
+	p := core.DefaultParams()
+	honestCap := stats.Sum(honestCaps)
+	// Honest relays' published weights are their capacities: FlashFlow
+	// measures honest relays within ε (fig6), so the interesting part of
+	// the fraction is the attacker's weight.
+	honestWeight := honestCap
+
+	cell := MatrixCell{Details: map[string]float64{}}
+	switch attack {
+	case "inflate":
+		ests, _, err := measureAttacked("evil", matrixAttackerCap, matrixAttackerCap,
+			adversary.Inflate{Factor: 10}, opts.Seed)
+		if err != nil {
+			return cell, err
+		}
+		w := medianWeight(ests)
+		cell.Advantage = advantageFrac(w, honestWeight, matrixAttackerCap, honestCap)
+		cell.Details["estimate_bps"] = w
+		cell.Details["inflation_vs_truth"] = w / matrixAttackerCap
+		cell.Note = "normal-traffic report fabricated 10x; the r-ratio clamp caps the credit at 1/(1-r)"
+
+	case "selective":
+		ests, _, err := measureAttacked("evil", matrixAttackerCap, matrixAttackerCap,
+			adversary.SelectiveLie{LieTo: map[string]bool{"bw0": true}, Sub: adversary.Inflate{Factor: 10}},
+			opts.Seed+1)
+		if err != nil {
+			return cell, err
+		}
+		w := medianWeight(ests)
+		cell.Advantage = advantageFrac(w, honestWeight, matrixAttackerCap, honestCap)
+		cell.Details["lied_to_auths"] = 1
+		cell.Details["estimate_bps"] = w
+		for i, e := range ests {
+			cell.Details[fmt.Sprintf("auth%d_bps", i)] = e
+		}
+		cell.Note = "lies to 1 of 3 BWAuths; the cross-BWAuth median discards the lied-to view and the split-view anomaly flags it"
+
+	case "echo-cheat":
+		ests, _, err := measureAttacked("evil", matrixAttackerCap, matrixAttackerCap,
+			adversary.EchoCheat{Boost: 2, CheckProb: p.CheckProb}, opts.Seed+2)
+		if err != nil {
+			return cell, err
+		}
+		w := medianWeight(ests)
+		cell.Advantage = advantageFrac(w, honestWeight, matrixAttackerCap, honestCap)
+		caught := 0.0
+		for _, e := range ests {
+			if e == 0 {
+				caught++
+			}
+		}
+		cell.Details["auths_catching"] = caught
+		cell.Details["estimate_bps"] = w
+		cell.Note = "acks cells without decrypting for 2x apparent capacity; probability-p content checks eject it"
+
+	case "collude":
+		pool := adversary.NewPool()
+		pool.AddMember("evil0", matrixAttackerCap)
+		pool.AddMember("evil1", matrixAttackerCap)
+		famCap := pool.TotalBps()
+
+		famWeight := func(seedOff int64) (float64, error) {
+			var total float64
+			for i, member := range []string{"evil0", "evil1"} {
+				ests, _, err := measureAttacked(member, matrixAttackerCap, matrixAttackerCap,
+					adversary.Collude{Pool: pool, Member: member}, opts.Seed+3+seedOff+int64(i)*13)
+				if err != nil {
+					return 0, err
+				}
+				total += medianWeight(ests)
+			}
+			return total, nil
+		}
+
+		// Attack: members measured in separate slots each demonstrate the
+		// whole pool.
+		preW, err := famWeight(0)
+		if err != nil {
+			return cell, err
+		}
+		preAdv := advantageFrac(preW, honestWeight, famCap, honestCap)
+
+		// §5 defense: suspected families are measured simultaneously
+		// (core.TestFamilyPair / co-slotted scheduling) — the pool splits
+		// and the double-counting vanishes.
+		pool.SetSimultaneous([]string{"evil0", "evil1"})
+		postW, err := famWeight(100)
+		if err != nil {
+			return cell, err
+		}
+		cell.Advantage = advantageFrac(postW, honestWeight, famCap, honestCap)
+		cell.Details["pre_defense_advantage"] = preAdv
+		cell.Details["family_weight_bps"] = postW
+		cell.Note = "2-relay family pools capacity across slots (pre-defense ~2x); simultaneous measurement splits the pool"
+
+	case "stall":
+		prior := matrixAttackerCap / 8 // fresh-relay prior far below capacity
+		stallCap := matrixAttackerCap
+		honestEsts, honestSlots, err := measureAttacked("evil", stallCap, prior, nil, opts.Seed+4)
+		if err != nil {
+			return cell, err
+		}
+		ests, slots, err := measureAttacked("evil", stallCap, prior,
+			adversary.Stall{Eps1: p.Eps1, Multiplier: p.Multiplier, CapacityBps: stallCap}, opts.Seed+4)
+		if err != nil {
+			return cell, err
+		}
+		w := medianWeight(ests)
+		cell.Advantage = advantageFrac(w, honestWeight, stallCap, honestCap)
+		cell.Details["slots_burned"] = float64(slots)
+		cell.Details["honest_slots"] = float64(honestSlots)
+		cell.Details["honest_estimate_bps"] = medianWeight(honestEsts)
+		cell.Note = "echoes just above the rejection bound to burn scheduler slots; no weight gain, and the stall anomaly counter flags the pattern"
+
+	default:
+		return cell, fmt.Errorf("unknown attack %q", attack)
+	}
+	return cell, nil
+}
+
+// ---- TorFlow ----
+
+func torflowHonest(caps []float64) []torflow.RelayState {
+	honest := make([]torflow.RelayState, len(caps))
+	for i, c := range caps {
+		honest[i] = torflow.RelayState{
+			Name:            fmt.Sprintf("r%03d", i),
+			CapacityBps:     c,
+			AdvertisedBps:   c * 0.6,
+			UtilizationFrac: 0.5,
+		}
+	}
+	return honest
+}
+
+// torflowAdvantage scans honest+attackers and returns the attackers'
+// collective advantage.
+func torflowAdvantage(honest []torflow.RelayState, attackers []torflow.RelayState, seed int64) (float64, error) {
+	scanner := torflow.NewScanner(torflow.DefaultScannerConfig(seed))
+	all := append(append([]torflow.RelayState(nil), honest...), attackers...)
+	res, err := scanner.Scan(all)
+	if err != nil {
+		return 0, err
+	}
+	totalW := stats.Sum(res.WeightBps)
+	var evilW, evilCap, totalCap float64
+	for i, r := range all {
+		totalCap += r.CapacityBps
+		if i >= len(honest) {
+			evilW += res.WeightBps[i]
+			evilCap += r.CapacityBps
+		}
+	}
+	if totalW <= 0 || evilCap <= 0 {
+		return 0, fmt.Errorf("torflow: degenerate scan")
+	}
+	return (evilW / totalW) / (evilCap / totalCap), nil
+}
+
+// torflowLieFactor is the self-report lie used for the matrix's
+// inflation column: ×350 lands near the literature's demonstrated 177×
+// (tab2 uses the same value).
+const torflowLieFactor = 350
+
+// normalizeCell converts a raw fair-share advantage into the matrix's
+// gain measure. Every baseline's weight model maps capacity to weight
+// nonlinearly (TorFlow honest weights grow ~quadratically with capacity,
+// EigenSpeed overweights small relays), so a relay's raw fair-share
+// number is skewed before it attacks at all. Dividing by the honest
+// counterfactual — the identical relay in the identical population,
+// behaving honestly — isolates what the attack itself gained, which is
+// the quantity comparable across estimators (FlashFlow's honest baseline
+// is 1 by construction). Both raw numbers stay in Details for comparison
+// against the packages' analytical AttackAdvantage outputs.
+func normalizeCell(cell *MatrixCell, raw, honestBase float64) {
+	cell.Details["fair_share_advantage"] = raw
+	cell.Details["honest_fair_share"] = honestBase
+	if honestBase > 0 {
+		cell.Advantage = raw / honestBase
+	} else {
+		cell.Advantage = raw
+	}
+}
+
+func torflowCell(attack string, caps []float64, opts MatrixOptions) (MatrixCell, error) {
+	honest := torflowHonest(caps)
+	attacker := torflow.RelayState{Name: "evil", CapacityBps: 10e6, UtilizationFrac: 0.5}
+	plain := attacker
+	plain.AdvertisedBps = attacker.CapacityBps * 0.6 // honest advertisement, like its peers
+	cell := MatrixCell{Details: map[string]float64{}}
+
+	seed := opts.Seed + 10
+	honestBase, err := torflowAdvantage(honest, []torflow.RelayState{plain}, seed)
+	if err != nil {
+		return cell, err
+	}
+	var raw float64
+	switch attack {
+	case "inflate":
+		scanner := torflow.NewScanner(torflow.DefaultScannerConfig(seed))
+		raw, err = scanner.AttackAdvantage(honest, attacker, torflowLieFactor)
+		cell.Details["lie_factor"] = torflowLieFactor
+		cell.Note = "self-reported advertised bandwidth is trusted; inflation is unbounded in the lie"
+	case "selective":
+		mal := attacker
+		mal.Malicious = true // detects measurement circuits, reserves capacity for them
+		mal.AdvertisedBps = attacker.CapacityBps
+		raw, err = torflowAdvantage(honest, []torflow.RelayState{mal}, seed)
+		cell.Note = "relay prioritizes (detectable) scanner circuits while throttling clients — rewarded, not punished"
+	case "echo-cheat":
+		scanner := torflow.NewScanner(torflow.DefaultScannerConfig(seed))
+		raw, err = scanner.AttackAdvantage(honest, attacker, 2)
+		cell.Details["junk_boost"] = 2
+		cell.Note = "TorFlow never verifies downloaded content; serving junk at 2x line rate doubles the claim"
+	case "collude":
+		mals := make([]torflow.RelayState, 2)
+		for i := range mals {
+			mals[i] = torflow.RelayState{
+				Name:            fmt.Sprintf("evil%d", i),
+				CapacityBps:     10e6,
+				UtilizationFrac: 0.5,
+				Malicious:       true,
+				AdvertisedBps:   10e6 * torflowLieFactor,
+			}
+		}
+		raw, err = torflowAdvantage(honest, mals, seed)
+		// The family baseline is two honest copies of the attacker.
+		honestBase, err = torflowTwoHonestBase(honest, plain, seed, err)
+		cell.Details["family_size"] = 2
+		cell.Note = "a lying family multiplies the single-relay inflation; no cross-checks exist"
+	case "stall":
+		raw, err = honestBase, nil
+		cell.Note = "slow-walking probes wastes scanner circuits (2-day scans get slower) but moves no weight"
+	default:
+		return cell, fmt.Errorf("unknown attack %q", attack)
+	}
+	if err != nil {
+		return cell, err
+	}
+	normalizeCell(&cell, raw, honestBase)
+	return cell, nil
+}
+
+func torflowTwoHonestBase(honest []torflow.RelayState, plain torflow.RelayState, seed int64, prevErr error) (float64, error) {
+	if prevErr != nil {
+		return 0, prevErr
+	}
+	a, b := plain, plain
+	a.Name, b.Name = "evil0", "evil1"
+	return torflowAdvantage(honest, []torflow.RelayState{a, b}, seed)
+}
+
+// ---- PeerFlow ----
+
+func peerflowHonest(caps []float64) []peerflow.Relay {
+	honest := make([]peerflow.Relay, len(caps))
+	for i, c := range caps {
+		honest[i] = peerflow.Relay{
+			Name:        fmt.Sprintf("r%03d", i),
+			CapacityBps: c,
+			WeightBps:   c * 0.8,
+			Trusted:     i%5 == 0,
+		}
+	}
+	return honest
+}
+
+// peerflowAdvantage mirrors peerflow.AttackAdvantage with the coalition's
+// malice switchable, so the matrix can compute the honest counterfactual
+// of the identical population. With malicious=true it consumes the model
+// identically to the package function and produces the same number.
+func peerflowAdvantage(honest []peerflow.Relay, n int, capBps float64, malicious bool, cfg peerflow.Config) (float64, error) {
+	all := append([]peerflow.Relay(nil), honest...)
+	for i := 0; i < n; i++ {
+		all = append(all, peerflow.Relay{
+			Name:        fmt.Sprintf("evil%02d", i),
+			CapacityBps: capBps,
+			WeightBps:   capBps,
+			Malicious:   malicious,
+		})
+	}
+	reports := peerflow.TrafficReports(all, 24*3600, cfg)
+	weights, err := peerflow.ComputeWeights(all, reports, cfg)
+	if err != nil {
+		return 0, err
+	}
+	norm := stats.Normalize(weights)
+	var evilFrac, evilCap, totalCap float64
+	for i, r := range all {
+		totalCap += r.CapacityBps
+		if i >= len(honest) {
+			evilFrac += norm[i]
+			evilCap += r.CapacityBps
+		}
+	}
+	if evilCap == 0 {
+		return 0, fmt.Errorf("peerflow: attacker with zero capacity")
+	}
+	return evilFrac / (evilCap / totalCap), nil
+}
+
+func peerflowCell(attack string, caps []float64, opts MatrixOptions) (MatrixCell, error) {
+	honest := peerflowHonest(caps)
+	cfg := peerflow.DefaultConfig(opts.Seed + 20)
+	cell := MatrixCell{Details: map[string]float64{}}
+
+	run := func(coalition int, note string) (MatrixCell, error) {
+		raw, err := peerflowAdvantage(honest, coalition, 10e6, true, cfg)
+		if err != nil {
+			return cell, err
+		}
+		base, err := peerflowAdvantage(honest, coalition, 10e6, false, cfg)
+		if err != nil {
+			return cell, err
+		}
+		cell.Details["coalition"] = float64(coalition)
+		cell.Note = note
+		normalizeCell(&cell, raw, base)
+		return cell, nil
+	}
+
+	switch attack {
+	case "inflate":
+		return run(2, "a fabricated traffic total needs a corroborating peer; the trusted-weight median and growth cap bound the gain")
+	case "selective":
+		return run(1, "a lone relay's claims about itself are outvoted by the trusted-weight median")
+	case "echo-cheat":
+		return run(1, "no active measurement exists to cheat; reduces to a lone fabricated report")
+	case "collude":
+		return run(5, "a 5-relay coalition corroborates its own totals, bounded by the growth cap per period")
+	case "stall":
+		cell.Advantage = 1
+		cell.Note = "passive observation; withholding traffic only lowers the relay's own weight"
+		return cell, nil
+	default:
+		return cell, fmt.Errorf("unknown attack %q", attack)
+	}
+}
+
+// ---- EigenSpeed ----
+
+func eigenspeedHonest(caps []float64) []eigenspeed.Relay {
+	honest := make([]eigenspeed.Relay, len(caps))
+	for i, c := range caps {
+		honest[i] = eigenspeed.Relay{
+			Name:        fmt.Sprintf("r%03d", i),
+			CapacityBps: c,
+			Trusted:     i%5 == 0,
+		}
+	}
+	return honest
+}
+
+// eigenspeedAdvantage mirrors eigenspeed.AttackAdvantage with the
+// clique's malice switchable for the honest counterfactual.
+func eigenspeedAdvantage(honest []eigenspeed.Relay, n int, capBps float64, malicious bool, cfg eigenspeed.Config) (float64, error) {
+	all := append([]eigenspeed.Relay(nil), honest...)
+	for i := 0; i < n; i++ {
+		all = append(all, eigenspeed.Relay{
+			Name:        fmt.Sprintf("evil%02d", i),
+			CapacityBps: capBps,
+			Malicious:   malicious,
+		})
+	}
+	obs := eigenspeed.ObservationMatrix(all, cfg)
+	res, err := eigenspeed.ComputeWeights(all, obs, cfg)
+	if err != nil {
+		return 0, err
+	}
+	var evilWeight, totalCap, evilCap float64
+	for i, r := range all {
+		totalCap += r.CapacityBps
+		if i >= len(honest) {
+			evilWeight += res.WeightFrac[i]
+			evilCap += r.CapacityBps
+		}
+	}
+	if evilCap == 0 {
+		return 0, fmt.Errorf("eigenspeed: attacker with zero capacity")
+	}
+	return evilWeight / (evilCap / totalCap), nil
+}
+
+func eigenspeedCell(attack string, caps []float64, opts MatrixOptions) (MatrixCell, error) {
+	honest := eigenspeedHonest(caps)
+	cfg := eigenspeed.DefaultConfig(opts.Seed + 30)
+	cell := MatrixCell{Details: map[string]float64{}}
+
+	run := func(clique int, note string) (MatrixCell, error) {
+		raw, err := eigenspeedAdvantage(honest, clique, 10e6, true, cfg)
+		if err != nil {
+			return cell, err
+		}
+		base, err := eigenspeedAdvantage(honest, clique, 10e6, false, cfg)
+		if err != nil {
+			return cell, err
+		}
+		cell.Details["clique"] = float64(clique)
+		cell.Note = note
+		normalizeCell(&cell, raw, base)
+		return cell, nil
+	}
+
+	switch attack {
+	case "inflate":
+		return run(2, "self-inflation needs a corroborating clique partner in the observation matrix")
+	case "selective":
+		return run(1, "a lone liar starving its peers is damped by the trusted-set initialization")
+	case "echo-cheat":
+		return run(1, "no active probes to forge; reduces to a lone fabricated observation row")
+	case "collude":
+		return run(5, "the liar clique mutually reports high observations (literature: up to 21.5x)")
+	case "stall":
+		cell.Advantage = 1
+		cell.Note = "passive observation; throttling peers only shrinks the relay's own column"
+		return cell, nil
+	default:
+		return cell, fmt.Errorf("unknown attack %q", attack)
+	}
+}
+
+// adversaryMatrix is the registry experiment: the matrix rendered as a
+// table with the gate metrics.
+func adversaryMatrix(quick bool) (Report, error) {
+	m, err := AdversaryMatrix(MatrixOptions{Seed: 1, Quick: quick})
+	if err != nil {
+		return Report{}, err
+	}
+	var rep Report
+	rep.addf("%-11s %12s %12s %12s %12s", "attack", "flashflow", "torflow", "peerflow", "eigenspeed")
+	for _, attack := range MatrixAttacks {
+		row := fmt.Sprintf("%-11s", attack)
+		for _, est := range MatrixEstimators {
+			c, _ := m.Cell(attack, est)
+			row += fmt.Sprintf(" %11.2fx", c.Advantage)
+		}
+		rep.Lines = append(rep.Lines, row)
+	}
+	rep.addf("FlashFlow worst case %.2fx (gate %.2fx; analytical bound 1/(1-r) = %.2fx)",
+		m.FlashFlowMaxAdvantage, MaxFlashFlowAdvantage, m.InflationBound)
+	rep.metric("flashflow_max_advantage", m.FlashFlowMaxAdvantage)
+	if c, ok := m.Cell("inflate", "torflow"); ok {
+		rep.metric("torflow_inflate_advantage", c.Advantage)
+	}
+	if c, ok := m.Cell("collude", "peerflow"); ok {
+		rep.metric("peerflow_collude_advantage", c.Advantage)
+	}
+	if c, ok := m.Cell("collude", "eigenspeed"); ok {
+		rep.metric("eigenspeed_collude_advantage", c.Advantage)
+	}
+	if math.IsNaN(m.FlashFlowMaxAdvantage) {
+		return rep, fmt.Errorf("adversary-matrix: NaN advantage")
+	}
+	return rep, nil
+}

@@ -1,0 +1,204 @@
+package experiments
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"flashflow/internal/core"
+	"flashflow/internal/eigenspeed"
+	"flashflow/internal/peerflow"
+	"flashflow/internal/torflow"
+)
+
+func quickMatrix(t *testing.T, seed int64) MatrixReport {
+	t.Helper()
+	rep, err := AdversaryMatrix(MatrixOptions{Seed: seed, Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+func cellOf(t *testing.T, rep MatrixReport, attack, estimator string) MatrixCell {
+	t.Helper()
+	c, ok := rep.Cell(attack, estimator)
+	if !ok {
+		t.Fatalf("missing cell %s/%s", attack, estimator)
+	}
+	return c
+}
+
+// TestMatrixAcceptance pins the headline robustness claims: FlashFlow
+// stays under the 1.4× gate on every attack while TorFlow's inflation
+// attack exceeds 2×.
+func TestMatrixAcceptance(t *testing.T) {
+	rep := quickMatrix(t, 1)
+	if len(rep.Cells) != len(MatrixAttacks)*len(MatrixEstimators) {
+		t.Fatalf("matrix has %d cells, want %d", len(rep.Cells), len(MatrixAttacks)*len(MatrixEstimators))
+	}
+	for _, attack := range MatrixAttacks {
+		c := cellOf(t, rep, attack, "flashflow")
+		if c.Advantage > MaxFlashFlowAdvantage {
+			t.Errorf("flashflow/%s advantage %.3fx exceeds the %.2fx gate", attack, c.Advantage, MaxFlashFlowAdvantage)
+		}
+	}
+	if rep.FlashFlowMaxAdvantage > MaxFlashFlowAdvantage {
+		t.Errorf("FlashFlowMaxAdvantage %.3f exceeds gate", rep.FlashFlowMaxAdvantage)
+	}
+	tf := cellOf(t, rep, "inflate", "torflow")
+	if tf.Advantage <= 2 {
+		t.Errorf("torflow inflation advantage %.2fx, want > 2x", tf.Advantage)
+	}
+	if raw := tf.Details["fair_share_advantage"]; raw <= 2 {
+		t.Errorf("torflow raw fair-share inflation %.2fx, want > 2x", raw)
+	}
+}
+
+// TestMatrixDeterministic: equal seeds produce byte-identical JSON.
+func TestMatrixDeterministic(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := quickMatrix(t, 7).WriteJSON(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := quickMatrix(t, 7).WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("matrix report not deterministic for equal seeds")
+	}
+}
+
+// TestMatrixFlashFlowInflateMatchesAnalyticalBound: the live inflation
+// attack's measured estimate must agree with the §5 analytical clamp
+// 1/(1−r) within tolerance — the simulated pipeline and the formula
+// describe the same defense.
+func TestMatrixFlashFlowInflateMatchesAnalyticalBound(t *testing.T) {
+	rep := quickMatrix(t, 1)
+	c := cellOf(t, rep, "inflate", "flashflow")
+	bound := core.DefaultParams().MaxInflation()
+	got := c.Details["inflation_vs_truth"]
+	if math.Abs(got-bound)/bound > 0.05 {
+		t.Fatalf("live inflation %.4fx vs analytical bound %.4fx (>5%% apart)", got, bound)
+	}
+}
+
+// TestMatrixTorFlowMatchesAnalytical: the matrix's raw fair-share cell
+// must equal torflow.AttackAdvantage with the same seed and population —
+// the simulated matrix and the package's analytical attack formula are
+// the same computation.
+func TestMatrixTorFlowMatchesAnalytical(t *testing.T) {
+	const seed = int64(1)
+	rep := quickMatrix(t, seed)
+	caps := matrixPopulationCaps(true)
+	scanner := torflow.NewScanner(torflow.DefaultScannerConfig(seed + 10))
+	want, err := scanner.AttackAdvantage(torflowHonest(caps),
+		torflow.RelayState{Name: "evil", CapacityBps: 10e6, UtilizationFrac: 0.5}, torflowLieFactor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := cellOf(t, rep, "inflate", "torflow").Details["fair_share_advantage"]
+	if math.Abs(got-want)/want > 1e-9 {
+		t.Fatalf("matrix torflow inflate %.6f vs analytical %.6f", got, want)
+	}
+	// And the analytical formula's defining property: the advantage is
+	// unbounded in the lie — it scales roughly linearly with lieFactor.
+	scanner2 := torflow.NewScanner(torflow.DefaultScannerConfig(seed + 10))
+	small, err := scanner2.AttackAdvantage(torflowHonest(caps),
+		torflow.RelayState{Name: "evil", CapacityBps: 10e6, UtilizationFrac: 0.5}, torflowLieFactor/10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ratio := want / small; ratio < 5 || ratio > 20 {
+		t.Fatalf("10x bigger lie scaled the advantage %.1fx, want ~10x (unbounded-in-lie)", ratio)
+	}
+}
+
+// TestMatrixPeerFlowMatchesAnalytical: the matrix's raw coalition cell
+// equals peerflow.AttackAdvantage with the same inputs, and both respect
+// the model's analytical ceiling — the growth cap bounds any one-period
+// gain.
+func TestMatrixPeerFlowMatchesAnalytical(t *testing.T) {
+	const seed = int64(1)
+	rep := quickMatrix(t, seed)
+	caps := matrixPopulationCaps(true)
+	cfg := peerflow.DefaultConfig(seed + 20)
+	want, err := peerflow.AttackAdvantage(peerflowHonest(caps), 5, 10e6, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := cellOf(t, rep, "collude", "peerflow").Details["fair_share_advantage"]
+	if math.Abs(got-want)/want > 1e-9 {
+		t.Fatalf("matrix peerflow collude %.6f vs analytical %.6f", got, want)
+	}
+	c := cellOf(t, rep, "collude", "peerflow")
+	if c.Advantage > cfg.GrowthCap*1.01 {
+		t.Fatalf("peerflow coalition gain %.2fx exceeds the analytical growth cap %.2fx", c.Advantage, cfg.GrowthCap)
+	}
+}
+
+// TestMatrixEigenSpeedMatchesAnalytical: the matrix's raw clique cell
+// equals eigenspeed.AttackAdvantage with the same inputs, and the
+// normalized gain lands in the literature's 7.4–28.1× band's order of
+// magnitude (multiples, not ~1 and not hundreds).
+func TestMatrixEigenSpeedMatchesAnalytical(t *testing.T) {
+	const seed = int64(1)
+	rep := quickMatrix(t, seed)
+	caps := matrixPopulationCaps(true)
+	cfg := eigenspeed.DefaultConfig(seed + 30)
+	want, err := eigenspeed.AttackAdvantage(eigenspeedHonest(caps), 5, 10e6, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := cellOf(t, rep, "collude", "eigenspeed").Details["fair_share_advantage"]
+	if math.Abs(got-want)/want > 1e-9 {
+		t.Fatalf("matrix eigenspeed collude %.6f vs analytical %.6f", got, want)
+	}
+	c := cellOf(t, rep, "collude", "eigenspeed")
+	if c.Advantage < 2 || c.Advantage > 40 {
+		t.Fatalf("eigenspeed clique gain %.2fx outside the literature's band (multiples)", c.Advantage)
+	}
+}
+
+// TestMatrixEchoCheatEjectsAttacker: FlashFlow's echo verification must
+// eject the forging relay (weight 0), while TorFlow — which never
+// verifies content — rewards the same behavior.
+func TestMatrixEchoCheatEjectsAttacker(t *testing.T) {
+	rep := quickMatrix(t, 1)
+	ff := cellOf(t, rep, "echo-cheat", "flashflow")
+	if ff.Advantage != 0 {
+		t.Fatalf("flashflow echo-cheat advantage %.2fx, want 0 (ejected)", ff.Advantage)
+	}
+	tf := cellOf(t, rep, "echo-cheat", "torflow")
+	if tf.Advantage <= 1 {
+		t.Fatalf("torflow echo-cheat advantage %.2fx, want > 1 (unverified content)", tf.Advantage)
+	}
+}
+
+// TestMatrixCollusionDefense: the pre-defense family advantage must show
+// the attack working (~2x for a 2-relay family) and the simultaneous-
+// measurement defense must collapse it.
+func TestMatrixCollusionDefense(t *testing.T) {
+	rep := quickMatrix(t, 1)
+	c := cellOf(t, rep, "collude", "flashflow")
+	pre := c.Details["pre_defense_advantage"]
+	if pre < 1.6 {
+		t.Fatalf("pre-defense family advantage %.2fx, want ~2x (the pool double-counted)", pre)
+	}
+	if c.Advantage > 1.2 {
+		t.Fatalf("post-defense family advantage %.2fx, want ~1x", c.Advantage)
+	}
+}
+
+// TestMatrixStallBurnsSlots: the stall column's FlashFlow details must
+// show slots burned beyond the honest baseline with no weight gain.
+func TestMatrixStallBurnsSlots(t *testing.T) {
+	rep := quickMatrix(t, 1)
+	c := cellOf(t, rep, "stall", "flashflow")
+	if c.Details["slots_burned"] <= c.Details["honest_slots"] {
+		t.Fatalf("stall burned %v slots vs honest %v, want more", c.Details["slots_burned"], c.Details["honest_slots"])
+	}
+	if c.Advantage > 1.1 {
+		t.Fatalf("stall advantage %.2fx, want ~1x", c.Advantage)
+	}
+}

@@ -63,6 +63,10 @@ var registry = map[string]runner{
 	"tab4":     {"Concurrent measurement accuracy", tab4},
 	"sched":    {"Network measurement efficiency (whole network, new relays)", sched},
 	"security": {"Security analysis numbers (§5)", security},
+	// The adversarial robustness matrix: live §5 attacks against
+	// FlashFlow vs their analogs on the baselines (run
+	// `cmd/experiments adversary-matrix` for the JSON report CI gates on).
+	"adversary-matrix": {"Adversarial robustness matrix: attacks × estimators", adversaryMatrix},
 	// Ablations of the design choices (not paper artifacts; DESIGN.md §6).
 	"ablation-ratio":    {"Ablation: normal-traffic ratio r vs inflation and client impact", ablationRatio},
 	"ablation-check":    {"Ablation: echo-check probability p vs detection", ablationCheck},

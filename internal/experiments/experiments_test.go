@@ -31,6 +31,7 @@ func TestIDsCoverEveryPaperArtifact(t *testing.T) {
 		"fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
 		"fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15",
 		"fig16", "tab1", "tab2", "tab3", "tab4", "sched", "security",
+		"adversary-matrix",
 		"ablation-ratio", "ablation-check", "ablation-schedule",
 		"ablation-duration", "ablation-dynamic", "ablation-family",
 	}

@@ -113,6 +113,7 @@ func Scenarios() []Scenario {
 		{Name: "schedule-build-100k", Desc: "indexed §4.3 schedule construction, 100k relays × 3 BWAuths, vs seed reference", Run: runScheduleBuild100k},
 		{Name: "schedule-build-1m", Desc: "indexed §4.3 schedule construction, 1M relays × 3 BWAuths; fails under 10x the seed reference", Run: runScheduleBuild1M},
 		{Name: "v3bw-roundtrip-1m", Desc: "streaming v3bw write + line-at-a-time parse of a 1M-entry bandwidth file", Run: runV3BWRoundtrip},
+		{Name: "adversary-matrix", Desc: "§5 attack × estimator robustness matrix; fails if FlashFlow advantage exceeds 1.4x", Run: runAdversaryMatrix},
 	}
 }
 

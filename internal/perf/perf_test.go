@@ -27,9 +27,10 @@ func TestRunAllScenariosQuick(t *testing.T) {
 		if r.CellsPerSec <= 0 || r.Cells <= 0 {
 			t.Fatalf("%s: nonpositive throughput: %+v", r.Scenario, r)
 		}
-		// Schedule-construction scenarios move placements, not bytes;
-		// they are the only ones allowed to report zero MB/s.
-		if r.MBPerSec <= 0 && !strings.HasPrefix(r.Scenario, "schedule-build") {
+		// Schedule-construction and the adversary matrix move
+		// placements/matrix cells, not bytes; they are the only ones
+		// allowed to report zero MB/s.
+		if r.MBPerSec <= 0 && !strings.HasPrefix(r.Scenario, "schedule-build") && r.Scenario != "adversary-matrix" {
 			t.Fatalf("%s: nonpositive MB/s", r.Scenario)
 		}
 	}

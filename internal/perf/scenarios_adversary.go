@@ -1,0 +1,66 @@
+package perf
+
+import (
+	"fmt"
+	"time"
+
+	"flashflow/internal/experiments"
+)
+
+// The adversary-matrix scenario wires the §5 robustness numbers into the
+// perf report: each iteration runs the full attack × estimator matrix
+// (live attacks through the measurement pipeline against FlashFlow, the
+// baselines' analogs alongside), so BENCH_wire.json and the committed
+// BENCH_history.jsonl carry the security posture next to the throughput
+// numbers. The scenario's unit is one evaluated matrix cell; like every
+// scenario it is gated for throughput regressions, and it additionally
+// FAILS outright if FlashFlow's measured attack advantage exceeds the
+// 1.4× bound (1/(1−r) = 1.33 plus noise margin) — a data-plane speedup
+// that broke a §5 defense must not pass the bench gate.
+
+func runAdversaryMatrix(opts Options) (Result, error) {
+	window := opts.window()
+	before := readMem()
+	start := time.Now()
+	var (
+		cells      int64
+		iterations int64
+		last       experiments.MatrixReport
+	)
+	for {
+		iterations++
+		rep, err := experiments.AdversaryMatrix(experiments.MatrixOptions{Seed: iterations, Quick: opts.Quick})
+		if err != nil {
+			return Result{}, err
+		}
+		if rep.FlashFlowMaxAdvantage > experiments.MaxFlashFlowAdvantage {
+			return Result{}, fmt.Errorf("perf: FlashFlow attack advantage %.3fx exceeds the %.2fx bound (seed %d)",
+				rep.FlashFlowMaxAdvantage, experiments.MaxFlashFlowAdvantage, iterations)
+		}
+		cells += int64(len(rep.Cells))
+		last = rep
+		if time.Since(start) >= window {
+			break
+		}
+	}
+	elapsed := time.Since(start)
+	after := readMem()
+
+	res := controlResult(cells, elapsed, before, after)
+	res.Extra = map[string]float64{
+		"iterations":              float64(iterations),
+		"flashflow_max_advantage": last.FlashFlowMaxAdvantage,
+		"inflation_bound":         last.InflationBound,
+	}
+	for _, pick := range []struct{ attack, estimator, key string }{
+		{"inflate", "flashflow", "flashflow_inflate_advantage"},
+		{"inflate", "torflow", "torflow_inflate_advantage"},
+		{"collude", "peerflow", "peerflow_collude_advantage"},
+		{"collude", "eigenspeed", "eigenspeed_collude_advantage"},
+	} {
+		if c, ok := last.Cell(pick.attack, pick.estimator); ok {
+			res.Extra[pick.key] = c.Advantage
+		}
+	}
+	return res, nil
+}

@@ -1,48 +1,103 @@
 // Command coordd runs FlashFlow as a long-lived continuous-measurement
 // service (internal/coord): it spins up an in-process population of target
-// relays speaking the real wire protocol over localhost TCP, then drives
-// scheduler rounds over the whole population until interrupted — measuring
-// every relay each round with a bounded worker pool, reusing pooled
-// connections across rounds, retrying failed slots with backoff, feeding
-// each round's medians into the next round's priors, and periodically
-// writing v3bw-style bandwidth-file snapshots.
+// relays — speaking the real wire protocol over localhost TCP by default,
+// or simulated instantly with -sim — then drives scheduler rounds over the
+// whole population until interrupted: measuring every relay each round
+// with a bounded worker pool, reusing pooled connections across rounds,
+// retrying failed slots with backoff, feeding each round's medians into
+// the next round's priors, and publishing v3bw-style bandwidth-file
+// snapshots to disk and to the HTTP observability plane.
+//
+// With -http-addr set, the internal/obs server exposes GET /metrics
+// (Prometheus text format), /status and /status/anomalies (JSON), and
+// /v3bw (the latest snapshot behind an atomically swapped pre-rendered
+// body with ETag revalidation). -debug-addr serves net/http/pprof on a
+// separate listener. Threshold crossings in the §5 anomaly table emit
+// alerts to the log and, with -alert-webhook, to a webhook with
+// retry/backoff.
 //
 // SIGINT or SIGTERM triggers a graceful shutdown: in-flight measurement
 // slots are cancelled mid-slot (the streaming backends tear them down
 // within about one second of data, salvaging the completed seconds as
-// partial estimates), the final (partial) round is reported, and the
-// process exits cleanly — no waiting out full slots.
+// partial estimates), the HTTP server drains, pending alerts flush, the
+// final (partial) round is reported, and the process exits cleanly.
 //
 // Usage:
 //
 //	go run ./cmd/coordd [-relays 4] [-measurers 2] [-workers 4] \
 //	    [-rounds 0] [-interval 2s] [-slot 1] [-slot-timeout 0] [-pool 4] \
-//	    [-pool-ttl 90s] [-snapshot-dir DIR] [-attempts 3] [-relay-rate 0]
+//	    [-pool-ttl 90s] [-snapshot-dir DIR] [-attempts 3] [-relay-rate 0] \
+//	    [-sim] [-http-addr 127.0.0.1:8570] [-debug-addr 127.0.0.1:8571] \
+//	    [-log-format text|json] [-alert-webhook URL]
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"sort"
 	"strings"
+	"sync"
 	"syscall"
 	"time"
 
 	"flashflow/internal/coord"
 	"flashflow/internal/core"
+	"flashflow/internal/dirauth"
 	"flashflow/internal/metrics"
+	"flashflow/internal/obs"
+	"flashflow/internal/relay"
 	"flashflow/internal/wire"
 )
+
+// drainBudget bounds how long shutdown waits on each draining subsystem
+// (the HTTP server, the alert queue) — matched to the coordinator's own
+// ~1 s in-flight-slot drain so a stuck scraper or webhook cannot hold the
+// process past the window operators already expect.
+const drainBudget = time.Second
 
 func main() {
 	if err := run(); err != nil && err != context.Canceled {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+}
+
+// logger emits coordd's operational records in one of two formats: the
+// human-readable lines the command has always printed (default), or one
+// JSON object per line (-log-format=json) so round summaries, anomaly
+// reports, and alerts are machine-ingestable by a log pipeline.
+type logger struct {
+	mu   sync.Mutex
+	json bool
+}
+
+// event emits one record: kind and fields drive the JSON encoding, human
+// is the text-mode line. fields must alternate key, value.
+func (l *logger) event(kind, human string, fields ...any) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if !l.json {
+		fmt.Println(human)
+		return
+	}
+	doc := make(map[string]any, len(fields)/2+2)
+	doc["event"] = kind
+	doc["time"] = time.Now().UTC().Format(time.RFC3339Nano)
+	for i := 0; i+1 < len(fields); i += 2 {
+		doc[fields[i].(string)] = fields[i+1]
+	}
+	b, err := json.Marshal(doc)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "coordd: log marshal: %v\n", err)
+		return
+	}
+	os.Stdout.Write(append(b, '\n'))
 }
 
 func run() error {
@@ -61,6 +116,14 @@ func run() error {
 		attempts    = flag.Int("attempts", 3, "max measurement attempts per slot")
 		slotTimeout = flag.Duration("slot-timeout", 0, "wall-clock bound per slot assignment; its context is cancelled on expiry (0 = off)")
 		relayRate   = flag.Float64("relay-rate", 0, "per-relay attempt rate limit per second (0 = off)")
+		sim         = flag.Bool("sim", false, "simulated measurement backend: deterministic, no sockets, rounds complete instantly")
+		httpAddr    = flag.String("http-addr", "", "observability HTTP listen address (/metrics, /status, /v3bw); empty = off")
+		debugAddr   = flag.String("debug-addr", "", "pprof listen address (net/http/pprof); empty = off")
+		logFormat   = flag.String("log-format", "text", "log output format: text (human) or json (one object per line)")
+		webhook     = flag.String("alert-webhook", "", "POST threshold alerts as JSON to this URL (retried with backoff)")
+		alertClamp  = flag.Int64("alert-clamp-seconds", 30, "alert when a relay accumulates this many clamped seconds (0 = off)")
+		alertEcho   = flag.Int64("alert-echo-failures", 1, "alert when a relay accumulates this many echo-verification failures (0 = off)")
+		alertSplit  = flag.Int64("alert-split-view", 1, "alert when a relay accumulates this many split-view rounds (0 = off)")
 	)
 	flag.Parse()
 	if *slotSecs <= 0 {
@@ -71,56 +134,282 @@ func run() error {
 	if *relays <= 0 {
 		return fmt.Errorf("coordd: -relays must be positive, got %d", *relays)
 	}
+	if *logFormat != "text" && *logFormat != "json" {
+		return fmt.Errorf("coordd: -log-format must be text or json, got %q", *logFormat)
+	}
+	log := &logger{json: *logFormat == "json"}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-
-	// Measurement team identities.
-	ids := make([]wire.Identity, *measurers)
-	for i := range ids {
-		var err error
-		ids[i], err = wire.NewIdentity()
-		if err != nil {
-			return err
-		}
-	}
-
-	// In-process relay population: real wire targets on localhost, with
-	// capacities stepping up from the base rate.
-	addrs := make(map[string]string, *relays)
-	source := make(coord.StaticRelays, 0, *relays)
-	var listeners []net.Listener
-	defer func() {
-		for _, l := range listeners {
-			l.Close()
-		}
-	}()
-	for i := 0; i < *relays; i++ {
-		name := fmt.Sprintf("relay%02d", i)
-		rate := *baseMbit * 1e6 * (1 + 0.5*float64(i))
-		tgt := wire.NewTarget(wire.TargetConfig{RateBps: rate})
-		for _, id := range ids {
-			tgt.Authorize(id.Pub)
-		}
-		l, err := net.Listen("tcp", "127.0.0.1:0")
-		if err != nil {
-			return err
-		}
-		listeners = append(listeners, l)
-		go tgt.Serve(l)
-		addrs[name] = l.Addr().String()
-		source = append(source, core.RelayEstimate{Name: name, EstimateBps: rate})
-		fmt.Printf("%s: %s, capacity %.1f Mbit/s\n", name, l.Addr(), rate/1e6)
-	}
 
 	p := core.DefaultParams()
 	p.SlotSeconds = *slotSecs
 	p.Sockets = *sockets
 	p.CheckProb = 0.01
 
-	pool := coord.NewPool(*poolSize, *poolTTL)
-	defer pool.Close()
+	counters := metrics.NewCounters()
 
+	// Relay population + measurement backend: real wire targets over
+	// localhost TCP, or the deterministic simulation (-sim) whose slots
+	// consume no wall clock — the mode CI's endpoint smoke test runs.
+	var (
+		auths   []*core.BWAuth
+		source  coord.StaticRelays
+		pool    *coord.Pool
+		cleanup func()
+	)
+	if *sim {
+		backend := core.NewSimBackend(simPaths(*measurers), 1)
+		team := make([]*core.Measurer, *measurers)
+		for i := range team {
+			team[i] = &core.Measurer{Name: fmt.Sprintf("m%d", i), CapacityBps: 500e6, Cores: 2}
+		}
+		for i := 0; i < *relays; i++ {
+			name := fmt.Sprintf("relay%02d", i)
+			rate := *baseMbit * 1e6 * (1 + 0.5*float64(i))
+			backend.AddTarget(name, &core.SimTarget{
+				Relay:    relay.New(relay.Config{Name: name, TorCapBps: rate}),
+				LinkBps:  2e9,
+				Behavior: core.BehaviorHonest,
+			})
+			source = append(source, core.RelayEstimate{Name: name, EstimateBps: rate})
+			log.event("relay", fmt.Sprintf("%s: simulated, capacity %.1f Mbit/s", name, rate/1e6),
+				"name", name, "backend", "sim", "capacity_mbit", rate/1e6)
+		}
+		auths = []*core.BWAuth{core.NewBWAuth("bw0", team, backend, p)}
+		cleanup = func() {}
+	} else {
+		var err error
+		auths, source, pool, cleanup, err = wireSetup(log, *relays, *measurers, *baseMbit, *poolSize, *poolTTL, p)
+		if err != nil {
+			return err
+		}
+	}
+	defer cleanup()
+
+	// Observability plane: snapshot holder fed by the coordinator's
+	// OnSnapshot hook, alert manager fed by the per-round anomaly table,
+	// HTTP server exposing both plus /metrics and /status.
+	snapshot := &obs.SnapshotHolder{}
+	thresholds := obs.DefaultThresholds()
+	thresholds.ClampedSeconds = *alertClamp
+	thresholds.EchoFailures = *alertEcho
+	thresholds.SplitViewRounds = *alertSplit
+	sinks := []obs.Sink{&obs.LogSink{W: os.Stdout, JSON: log.json}}
+	if *webhook != "" {
+		sinks = append(sinks, &obs.WebhookSink{URL: *webhook})
+	}
+	alerts := obs.NewAlertManager(obs.AlertConfig{
+		Thresholds: thresholds,
+		Sinks:      sinks,
+		Counters:   counters,
+	})
+
+	var c *coord.Coordinator
+	cfg := coord.Config{
+		Params:              p,
+		Workers:             *workers,
+		MaxAttempts:         *attempts,
+		SlotTimeout:         *slotTimeout,
+		RelayAttemptsPerSec: *relayRate,
+		RelayBurst:          2,
+		RoundInterval:       *interval,
+		MaxRounds:           *rounds,
+		SnapshotDir:         *snapshotDir,
+		Pool:                pool,
+		Counters:            counters,
+		OnSnapshot: func(round int, f *dirauth.BandwidthFile) {
+			if err := snapshot.Publish(round, f, time.Now()); err != nil {
+				log.event("snapshot_error", "  snapshot render: "+err.Error(),
+					"round", round, "error", err.Error())
+			}
+		},
+		OnRound: func(r coord.RoundReport) {
+			logRound(log, r)
+			st := c.Status()
+			alerts.Evaluate(r.Round, st.Anomalies, time.Now())
+			alerts.Retain(st.Anomalies)
+		},
+	}
+	c, err := coord.New(cfg, auths, source)
+	if err != nil {
+		return err
+	}
+
+	srv := obs.NewServer(obs.Config{Coordinator: c, Counters: counters, Snapshot: snapshot})
+	if *httpAddr != "" {
+		addr, err := srv.Start(*httpAddr)
+		if err != nil {
+			return fmt.Errorf("coordd: observability server: %w", err)
+		}
+		log.event("http", fmt.Sprintf("observability: http://%s (/metrics /status /status/anomalies /v3bw)", addr),
+			"addr", addr.String())
+	}
+	if *debugAddr != "" {
+		dl, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			return fmt.Errorf("coordd: debug server: %w", err)
+		}
+		defer dl.Close()
+		debugSrv := &http.Server{Handler: obs.DebugHandler(), ReadHeaderTimeout: 5 * time.Second}
+		go func() { _ = debugSrv.Serve(dl) }()
+		log.event("pprof", fmt.Sprintf("pprof: http://%s/debug/pprof/", dl.Addr()),
+			"addr", dl.Addr().String())
+	}
+
+	log.event("start",
+		fmt.Sprintf("coordd: %d relays, %d measurers, %d workers; ctrl-C for graceful shutdown",
+			*relays, *measurers, *workers),
+		"relays", *relays, "measurers", *measurers, "workers", *workers, "sim", *sim)
+	runErr := c.Run(ctx)
+	if runErr == context.Canceled {
+		log.event("shutdown", "coordd: interrupted — in-flight slots cancelled and drained")
+	}
+
+	// Drain the observability plane inside the same ~1 s budget as the
+	// measurement pipeline: the HTTP server finishes in-flight responses,
+	// then pending alerts get the remainder before delivery is cancelled.
+	drainCtx, cancel := context.WithTimeout(context.Background(), drainBudget)
+	if err := srv.Shutdown(drainCtx); err != nil {
+		log.event("shutdown_error", "coordd: http drain: "+err.Error(), "error", err.Error())
+	}
+	if err := alerts.Flush(drainCtx); err != nil {
+		log.event("shutdown_error", "coordd: alert flush: "+err.Error(), "error", err.Error())
+	}
+	cancel()
+	alerts.Close()
+
+	// §5 anomaly evidence accumulated over the run: relays whose
+	// measurements tripped the clamp, echo verification, or the
+	// stall/skew/split-view cross-checks (see DESIGN.md).
+	if anomalies := c.Status().Anomalies; len(anomalies) > 0 {
+		names := make([]string, 0, len(anomalies))
+		for name := range anomalies {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		if !log.json {
+			fmt.Println("anomaly suspects:")
+		}
+		for _, name := range names {
+			a := anomalies[name]
+			log.event("anomaly",
+				fmt.Sprintf("  %s: clamped-seconds=%d ratio-clamped=%d echo-failures=%d stall=%d skew=%d split-view=%d",
+					name, a.ClampedSeconds, a.RatioClampedSlots, a.EchoFailures,
+					a.StallSuspectSlots, a.SkewSuspectSlots, a.SplitViewRounds),
+				"relay", name,
+				"clamped_seconds", a.ClampedSeconds,
+				"ratio_clamped_slots", a.RatioClampedSlots,
+				"echo_failures", a.EchoFailures,
+				"stall_suspect_slots", a.StallSuspectSlots,
+				"skew_suspect_slots", a.SkewSuspectSlots,
+				"split_view_rounds", a.SplitViewRounds)
+		}
+	}
+	if log.json {
+		counterDoc := make(map[string]int64)
+		for _, kv := range counters.SortedSnapshot() {
+			counterDoc[kv.Name] = kv.Value
+		}
+		log.event("counters", "", "counters", counterDoc)
+	} else {
+		fmt.Print(counters.String())
+	}
+	return runErr
+}
+
+// logRound emits one round summary.
+func logRound(log *logger, r coord.RoundReport) {
+	human := r.String()
+	if r.SnapshotPath != "" {
+		human += "\n  snapshot: " + r.SnapshotPath
+	}
+	if len(r.Unscheduled) > 0 {
+		names := r.Unscheduled
+		if len(names) > 5 {
+			names = names[:5]
+		}
+		human += fmt.Sprintf("\n  unscheduled: %d relay(s) did not fit the schedule (team capacity too small): %s",
+			len(r.Unscheduled), strings.Join(names, ", "))
+	}
+	for _, um := range r.Unmeasured {
+		human += fmt.Sprintf("\n  unmeasured: %s@%s after %d attempts: %s", um.Relay, um.BWAuth, um.Attempts, um.Reason)
+	}
+	log.event("round", human,
+		"round", r.Round,
+		"relays", r.Relays,
+		"scheduled", r.Scheduled,
+		"conclusive", r.Conclusive,
+		"inconclusive", r.Inconclusive,
+		"unmeasured", len(r.Unmeasured),
+		"unscheduled", len(r.Unscheduled),
+		"retries", r.Retries,
+		"rate_limited", r.RateLimited,
+		"estimates", len(r.Estimates),
+		"pool_hits", r.Pool.Hits,
+		"pool_misses", r.Pool.Misses,
+		"duration_ms", float64(r.Duration)/float64(time.Millisecond),
+		"partial", r.Partial,
+		"snapshot", r.SnapshotPath)
+}
+
+// simPaths models one low-noise measurement path per team member for the
+// -sim backend.
+func simPaths(measurers int) []core.PathModel {
+	paths := make([]core.PathModel, measurers)
+	for i := range paths {
+		paths[i] = core.PathModel{
+			RTT:         40 * time.Millisecond,
+			LinkBps:     1e9,
+			BiasSigma:   0.03,
+			JitterSigma: 0.02,
+		}
+	}
+	return paths
+}
+
+// wireSetup builds the default real-socket population: wire targets on
+// localhost listeners, a measurement team with pooled authenticated
+// connections, and one BWAuth over the wire backend.
+func wireSetup(log *logger, relays, measurers int, baseMbit float64, poolSize int, poolTTL time.Duration, p core.Params) ([]*core.BWAuth, coord.StaticRelays, *coord.Pool, func(), error) {
+	ids := make([]wire.Identity, measurers)
+	for i := range ids {
+		var err error
+		ids[i], err = wire.NewIdentity()
+		if err != nil {
+			return nil, nil, nil, nil, err
+		}
+	}
+
+	addrs := make(map[string]string, relays)
+	source := make(coord.StaticRelays, 0, relays)
+	var listeners []net.Listener
+	cleanupListeners := func() {
+		for _, l := range listeners {
+			l.Close()
+		}
+	}
+	for i := 0; i < relays; i++ {
+		name := fmt.Sprintf("relay%02d", i)
+		rate := baseMbit * 1e6 * (1 + 0.5*float64(i))
+		tgt := wire.NewTarget(wire.TargetConfig{RateBps: rate})
+		for _, id := range ids {
+			tgt.Authorize(id.Pub)
+		}
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			cleanupListeners()
+			return nil, nil, nil, nil, err
+		}
+		listeners = append(listeners, l)
+		go tgt.Serve(l)
+		addrs[name] = l.Addr().String()
+		source = append(source, core.RelayEstimate{Name: name, EstimateBps: rate})
+		log.event("relay", fmt.Sprintf("%s: %s, capacity %.1f Mbit/s", name, l.Addr(), rate/1e6),
+			"name", name, "addr", l.Addr().String(), "capacity_mbit", rate/1e6)
+	}
+
+	pool := coord.NewPool(poolSize, poolTTL)
 	members := make([]wire.Member, len(ids))
 	for i := range ids {
 		member := i
@@ -143,65 +432,16 @@ func run() error {
 	}
 	backend := &wire.Backend{Members: members, CheckProb: p.CheckProb, Seed: time.Now().UnixNano()}
 	auths := []*core.BWAuth{core.NewBWAuth("bw0", team, backend, p)}
+	cleanup := func() {
+		cleanupListeners()
+		pool.Close()
+	}
+	return auths, source, pool, cleanup, nil
+}
 
-	counters := metrics.NewCounters()
-	c, err := coord.New(coord.Config{
-		Params:              p,
-		Workers:             *workers,
-		MaxAttempts:         *attempts,
-		SlotTimeout:         *slotTimeout,
-		RelayAttemptsPerSec: *relayRate,
-		RelayBurst:          2,
-		RoundInterval:       *interval,
-		MaxRounds:           *rounds,
-		SnapshotDir:         *snapshotDir,
-		Pool:                pool,
-		Counters:            counters,
-		OnRound: func(r coord.RoundReport) {
-			fmt.Println(r)
-			if r.SnapshotPath != "" {
-				fmt.Printf("  snapshot: %s\n", r.SnapshotPath)
-			}
-			if len(r.Unscheduled) > 0 {
-				names := r.Unscheduled
-				if len(names) > 5 {
-					names = names[:5]
-				}
-				fmt.Printf("  unscheduled: %d relay(s) did not fit the schedule (team capacity too small): %s\n",
-					len(r.Unscheduled), strings.Join(names, ", "))
-			}
-			for _, um := range r.Unmeasured {
-				fmt.Printf("  unmeasured: %s@%s after %d attempts: %s\n", um.Relay, um.BWAuth, um.Attempts, um.Reason)
-			}
-		},
-	}, auths, source)
-	if err != nil {
-		return err
-	}
-
-	fmt.Printf("coordd: %d relays, %d measurers, %d workers; ctrl-C for graceful shutdown\n",
-		*relays, *measurers, *workers)
-	err = c.Run(ctx)
-	if err == context.Canceled {
-		fmt.Println("coordd: interrupted — in-flight slots cancelled and drained")
-	}
-	// §5 anomaly evidence accumulated over the run: relays whose
-	// measurements tripped the clamp, echo verification, or the
-	// stall/skew/split-view cross-checks (see DESIGN.md).
-	if anomalies := c.Status().Anomalies; len(anomalies) > 0 {
-		names := make([]string, 0, len(anomalies))
-		for name := range anomalies {
-			names = append(names, name)
-		}
-		sort.Strings(names)
-		fmt.Println("anomaly suspects:")
-		for _, name := range names {
-			a := anomalies[name]
-			fmt.Printf("  %s: clamped-seconds=%d ratio-clamped=%d echo-failures=%d stall=%d skew=%d split-view=%d\n",
-				name, a.ClampedSeconds, a.RatioClampedSlots, a.EchoFailures,
-				a.StallSuspectSlots, a.SkewSuspectSlots, a.SplitViewRounds)
-		}
-	}
-	fmt.Print(counters.String())
-	return err
+// httpServer is a minimal serve wrapper for the debug listener (the obs
+// Server owns graceful drain for the public listener; pprof is loopback
+// tooling and is torn down by closing its listener).
+type httpServer struct {
+	handler interface{ ServeHTTP(w, r any) }
 }

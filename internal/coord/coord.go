@@ -96,6 +96,16 @@ type Config struct {
 	// snapshot every SnapshotEvery rounds (default every round).
 	SnapshotDir   string
 	SnapshotEvery int
+	// OnSnapshot, when set, receives each published round's merged
+	// bandwidth file at the SnapshotEvery cadence — the publication hook
+	// the HTTP observability plane uses to swap in a freshly rendered
+	// /v3bw body without the coordinator touching disk. It runs on the
+	// round goroutine (after the round's estimates are folded in) and
+	// must not retain the file past the call unless it owns the copy;
+	// the merged file is freshly built each publication, so retaining it
+	// is safe today, but renderers should copy-or-render promptly to
+	// keep the round loop unblocked.
+	OnSnapshot func(round int, f *dirauth.BandwidthFile)
 	// Pool, when set, is pruned between rounds and surfaced in Status
 	// and round reports. The caller wires it into the wire backend's
 	// dialers with Pool.Dialer.
@@ -160,40 +170,42 @@ func (cfg Config) withDefaults() Config {
 // Unmeasured records a slot whose relay produced no estimate this round:
 // every attempt failed, or the shutdown drained it before it ran.
 type Unmeasured struct {
-	Relay    string
-	BWAuth   string
-	Attempts int
-	Reason   string
+	Relay    string `json:"relay"`
+	BWAuth   string `json:"bwauth"`
+	Attempts int    `json:"attempts"`
+	Reason   string `json:"reason"`
 }
 
 // RoundReport summarizes one completed (or interrupted) round.
+// The JSON tags are API surface: the observability plane serves reports
+// inside GET /status, so names are stable snake_case.
 type RoundReport struct {
-	Round    int
-	Duration time.Duration
+	Round    int           `json:"round"`
+	Duration time.Duration `json:"duration_ns"`
 	// Relays is the population size; Scheduled counts slot assignments
 	// (relays × BWAuths that placed them).
-	Relays    int
-	Scheduled int
+	Relays    int `json:"relays"`
+	Scheduled int `json:"scheduled"`
 	// Estimates holds the per-relay median estimate across BWAuths from
 	// this round's measurements — the priors for the next round.
-	Estimates map[string]float64
+	Estimates map[string]float64 `json:"estimates,omitempty"`
 	// Conclusive and Inconclusive count finished slot assignments by
 	// outcome quality; Retries counts re-queued attempts.
-	Conclusive   int
-	Inconclusive int
-	Retries      int
-	RateLimited  int
+	Conclusive   int `json:"conclusive"`
+	Inconclusive int `json:"inconclusive"`
+	Retries      int `json:"retries"`
+	RateLimited  int `json:"rate_limited"`
 	// Unmeasured lists slots with no estimate after every attempt.
-	Unmeasured []Unmeasured
+	Unmeasured []Unmeasured `json:"unmeasured,omitempty"`
 	// Unscheduled lists relays the §4.3 scheduler could not place.
-	Unscheduled []string
+	Unscheduled []string `json:"unscheduled,omitempty"`
 	// Partial marks a round interrupted by shutdown: in-flight slots were
 	// drained, queued ones were not started.
-	Partial bool
+	Partial bool `json:"partial"`
 	// SnapshotPath is the v3bw file written for this round, if any.
-	SnapshotPath string
+	SnapshotPath string `json:"snapshot_path,omitempty"`
 	// Pool is the pool counter snapshot at round end (zero without a pool).
-	Pool PoolStats
+	Pool PoolStats `json:"pool"`
 }
 
 // String renders a one-line round summary.
@@ -207,44 +219,46 @@ func (r RoundReport) String() string {
 // Status can report how far each relay's current slot has advanced while
 // it is still running.
 type SlotProgress struct {
-	Relay  string
-	BWAuth string
+	Relay  string `json:"relay"`
+	BWAuth string `json:"bwauth"`
 	// AllocatedBps is the current attempt's total allocation.
-	AllocatedBps float64
+	AllocatedBps float64 `json:"allocated_bps"`
 	// SlotSeconds is the attempt's scheduled length; Second counts the
 	// seconds streamed so far (0 before the first sample).
-	SlotSeconds int
-	Second      int
+	SlotSeconds int `json:"slot_seconds"`
+	Second      int `json:"second"`
 	// Bytes is the total measurement bytes observed so far this attempt.
-	Bytes float64
+	Bytes float64 `json:"bytes"`
 	// Started is when the current attempt's slot began.
-	Started time.Time
+	Started time.Time `json:"started"`
 }
 
-// Status is a point-in-time view of the coordinator.
+// Status is a point-in-time view of the coordinator. The JSON tags are
+// API surface (the observability plane's GET /status); names are stable
+// snake_case regardless of internal refactors.
 type Status struct {
 	// Round is the round currently executing (or last finished).
-	Round int
+	Round int `json:"round"`
 	// InFlight counts measurements executing right now.
-	InFlight int
+	InFlight int `json:"in_flight"`
 	// Measuring lists the in-flight slots with their live per-second
 	// progress, sorted by relay then BWAuth.
-	Measuring []SlotProgress
+	Measuring []SlotProgress `json:"measuring,omitempty"`
 	// Counters is a snapshot of the operational counters.
-	Counters map[string]int64
+	Counters map[string]int64 `json:"counters"`
 	// Unscheduled counts relays the most recent round's §4.3 scheduler
 	// could not place on at least one BWAuth — capacity pressure the
 	// operator should see without digging through round reports.
-	Unscheduled int
+	Unscheduled int `json:"unscheduled"`
 	// Anomalies holds every tracked relay's accumulated §5 defense
 	// counters (clamped seconds, echo failures, stall/skew/split-view
 	// suspicion). Entries persist across population churn for the
 	// configured retention window, so a flapping relay's record is
 	// visible here even while it is out of the consensus.
-	Anomalies map[string]core.AnomalyCounts
+	Anomalies map[string]core.AnomalyCounts `json:"anomalies,omitempty"`
 	// LastRound is the most recent round report, nil before the first
 	// round completes.
-	LastRound *RoundReport
+	LastRound *RoundReport `json:"last_round,omitempty"`
 }
 
 // Coordinator drives continuous measurement rounds. Create with New, run
@@ -340,7 +354,48 @@ func New(cfg Config, auths []*core.BWAuth, source RelaySource) (*Coordinator, er
 		}
 		a.Backend = &progressTee{inner: inner, c: c, auth: a.Name}
 	}
+	c.registerCounters()
 	return c, nil
+}
+
+// registerCounters pre-creates every counter and gauge the coordinator
+// ever touches, at zero. A Prometheus scrape of a freshly started
+// coordinator then exposes the full stable metric set — including the §5
+// anomaly counters, which would otherwise only appear after the first
+// defense fires — so dashboards and alert rules never reference a series
+// that does not exist yet.
+func (c *Coordinator) registerCounters() {
+	for _, name := range []string{
+		"coord_rounds_completed",
+		"coord_round",
+		"coord_in_flight",
+		"coord_relays_population",
+		"coord_relays_measured",
+		"coord_relays_unscheduled",
+		"coord_slots_scheduled",
+		"coord_slots_attempted",
+		"coord_slots_conclusive",
+		"coord_slots_inconclusive",
+		"coord_slots_unmeasured",
+		"coord_slots_rate_limited",
+		"coord_slot_errors",
+		"coord_slot_retries",
+		"coord_slot_timeouts",
+		"coord_slot_seconds_used",
+		"coord_slot_seconds_saved",
+		"coord_anomaly_clamped_seconds",
+		"coord_anomaly_ratio_clamped_slots",
+		"coord_anomaly_echo_failures",
+		"coord_anomaly_stall_slots",
+		"coord_anomaly_skew_slots",
+		"coord_anomaly_split_view_rounds",
+		"coord_anomaly_relays",
+		"coord_snapshots_written",
+		"coord_snapshot_errors",
+		"coord_snapshots_published",
+	} {
+		c.cfg.Counters.Add(name, 0)
+	}
 }
 
 // progressTee wraps a core.Backend so every slot's stream of per-second
@@ -447,6 +502,7 @@ func (c *Coordinator) Run(ctx context.Context) error {
 		c.mu.Lock()
 		c.round = round
 		c.mu.Unlock()
+		c.cfg.Counters.Set("coord_round", int64(round))
 
 		rep := c.runRound(ctx, round)
 		c.finishRound(&rep)
@@ -474,13 +530,15 @@ func (c *Coordinator) Run(ctx context.Context) error {
 	}
 }
 
-// finishRound publishes the report: counters, snapshot file, last-round
-// state.
+// finishRound publishes the report: counters, gauge export, the snapshot
+// file and/or the OnSnapshot publication hook, last-round state.
 func (c *Coordinator) finishRound(rep *RoundReport) {
 	ctr := c.cfg.Counters
 	ctr.Inc("coord_rounds_completed")
 	ctr.Add("coord_slots_unmeasured", int64(len(rep.Unmeasured)))
 	ctr.Add("coord_relays_unscheduled", int64(len(rep.Unscheduled)))
+	ctr.Set("coord_relays_population", int64(rep.Relays))
+	ctr.Set("coord_relays_measured", int64(len(rep.Estimates)))
 	if c.cfg.Pool != nil {
 		rep.Pool = c.cfg.Pool.Stats()
 		ctr.Set("coord_pool_hits", rep.Pool.Hits)
@@ -488,13 +546,27 @@ func (c *Coordinator) finishRound(rep *RoundReport) {
 		ctr.Set("coord_pool_evictions", rep.Pool.Evictions)
 		ctr.Set("coord_pool_idle", int64(rep.Pool.Idle))
 	}
-	if c.cfg.SnapshotDir != "" && rep.Round%c.cfg.SnapshotEvery == 0 {
-		path, err := c.writeSnapshot(rep.Round)
-		if err == nil {
-			rep.SnapshotPath = path
-			ctr.Inc("coord_snapshots_written")
-		} else {
-			ctr.Inc("coord_snapshot_errors")
+	wantDisk := c.cfg.SnapshotDir != ""
+	wantHook := c.cfg.OnSnapshot != nil
+	if (wantDisk || wantHook) && rep.Round%c.cfg.SnapshotEvery == 0 {
+		// Merge every BWAuth's bandwidth file exactly once per publication
+		// and fan the result out to both consumers: the hook gets the
+		// in-memory file (the observability plane renders and atomically
+		// swaps its cached /v3bw body from it), the snapshot directory
+		// gets the streamed on-disk copy.
+		merged := c.buildSnapshot(rep.Round)
+		if wantHook {
+			c.cfg.OnSnapshot(rep.Round, merged)
+			ctr.Inc("coord_snapshots_published")
+		}
+		if wantDisk {
+			path, err := c.writeSnapshot(rep.Round, merged)
+			if err == nil {
+				rep.SnapshotPath = path
+				ctr.Inc("coord_snapshots_written")
+			} else {
+				ctr.Inc("coord_snapshot_errors")
+			}
 		}
 	}
 	c.mu.Lock()
@@ -860,6 +932,7 @@ func (c *Coordinator) runJob(ctx context.Context, j *slotJob, queue chan<- *slot
 	ctr.Inc("coord_slots_attempted")
 	c.mu.Lock()
 	c.inFlight++
+	ctr.Set("coord_in_flight", int64(c.inFlight))
 	c.mu.Unlock()
 	// Per-slot context: shutdown cancels the in-flight measurement (the
 	// backend tears the slot down within about a second of data instead of
@@ -874,8 +947,21 @@ func (c *Coordinator) runJob(ctx context.Context, j *slotJob, queue chan<- *slot
 	cancelSlot()
 	c.mu.Lock()
 	c.inFlight--
+	ctr.Set("coord_in_flight", int64(c.inFlight))
 	c.mu.Unlock()
 	j.attempt++
+
+	// Slot-second accounting for the §4.2 early abort: used is what the
+	// streaming pipeline consumed, saved is what fixed-length slots would
+	// have consumed on top of it (the abort refactor's dividend, exported
+	// as a counter so /metrics shows it accumulating live).
+	if used := out.SlotSecondsUsed(); used > 0 || len(out.Attempts) > 0 {
+		scheduled := len(out.Attempts) * c.auths[j.auth].Params.SlotSeconds
+		ctr.Add("coord_slot_seconds_used", int64(used))
+		if saved := scheduled - used; saved > 0 {
+			ctr.Add("coord_slot_seconds_saved", int64(saved))
+		}
+	}
 
 	// Fold the slot's §5 defense evidence into the windowed per-relay
 	// record — including failed slots: an echo-verification catch is the
@@ -997,16 +1083,20 @@ func (c *Coordinator) finalize(j *slotJob, col *roundCollector, pending *sync.Wa
 	pending.Done()
 }
 
-// writeSnapshot merges every BWAuth's current bandwidth file and streams
-// a v3bw-style snapshot for the round straight to disk: a million-line
-// bandwidth file is never materialized in memory.
-func (c *Coordinator) writeSnapshot(round int) (string, error) {
+// buildSnapshot merges every BWAuth's current bandwidth file into the
+// round's publishable snapshot.
+func (c *Coordinator) buildSnapshot(round int) *dirauth.BandwidthFile {
 	at := time.Duration(round) * c.cfg.Params.Period
 	files := make([]*dirauth.BandwidthFile, len(c.auths))
 	for i, a := range c.auths {
 		files[i] = a.BandwidthFile(at)
 	}
-	merged := dirauth.MergeMedianFile("coord", at, files)
+	return dirauth.MergeMedianFile("coord", at, files)
+}
+
+// writeSnapshot streams a round's merged v3bw-style snapshot straight to
+// disk: a million-line bandwidth file is never materialized in memory.
+func (c *Coordinator) writeSnapshot(round int, merged *dirauth.BandwidthFile) (string, error) {
 	if err := os.MkdirAll(c.cfg.SnapshotDir, 0o755); err != nil {
 		return "", err
 	}

@@ -42,13 +42,15 @@ type idleEntry struct {
 // PoolStats is a snapshot of the pool's counters.
 type PoolStats struct {
 	// Hits counts dials served from the pool; Misses counts real dials.
-	Hits, Misses int64
+	Hits   int64 `json:"hits"`
+	Misses int64 `json:"misses"`
 	// Evictions counts idle connections dropped as stale or unhealthy;
 	// Overflow counts healthy returns closed because the target's idle
 	// list was full.
-	Evictions, Overflow int64
+	Evictions int64 `json:"evictions"`
+	Overflow  int64 `json:"overflow"`
 	// Idle is the current number of parked connections across targets.
-	Idle int
+	Idle int `json:"idle"`
 }
 
 // NewPool creates a pool. Nonpositive arguments select the defaults of 4

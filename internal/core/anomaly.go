@@ -17,28 +17,28 @@ type AnomalyCounts struct {
 	// ClampedSeconds counts slot seconds whose normal-traffic report
 	// exceeded the r-ratio limit and was clamped (§4.1) — the inflation
 	// attack's signature.
-	ClampedSeconds int64
+	ClampedSeconds int64 `json:"clamped_seconds"`
 	// RatioClampedSlots counts slots whose final estimate hit the
 	// estimate-level 1/(1−r) invariant clamp (RatioClampBound). This
 	// cannot fire on per-second-clamped data, so it flags inconsistent
 	// accounting.
-	RatioClampedSlots int64
+	RatioClampedSlots int64 `json:"ratio_clamped_slots"`
 	// EchoFailures counts measurements discarded because probabilistic
 	// echo verification caught forged cells (§4.1, §5).
-	EchoFailures int64
+	EchoFailures int64 `json:"echo_failures"`
 	// StallSuspectSlots counts rejected attempts whose estimate tracked
 	// the acceptance bound across doubling steps — the slot-stalling
 	// pattern, where a relay deliberately echoes just enough to stay
 	// inconclusive and burn scheduler slots.
-	StallSuspectSlots int64
+	StallSuspectSlots int64 `json:"stall_suspect_slots"`
 	// SkewSuspectSlots counts slots where one measurer's received share
 	// diverged sharply from its allocation share (CrossCheck) — the
 	// signature of a relay answering team members selectively.
-	SkewSuspectSlots int64
+	SkewSuspectSlots int64 `json:"skew_suspect_slots"`
 	// SplitViewRounds counts rounds in which the relay showed different
 	// BWAuths significantly different capacities (selective lying across
 	// teams); recorded by internal/coord from cross-BWAuth medians.
-	SplitViewRounds int64
+	SplitViewRounds int64 `json:"split_view_rounds"`
 }
 
 // Add accumulates another record into a.

@@ -3,6 +3,8 @@ package dirauth
 import (
 	"bufio"
 	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
 	"io"
 	"sort"
@@ -86,6 +88,24 @@ func (c *countingWriter) Write(p []byte) (int, error) {
 	n, err := c.w.Write(p)
 	c.n += int64(n)
 	return n, err
+}
+
+// Render materializes the bandwidth file once into an owned byte slice
+// and derives a strong ETag — the quoted hex SHA-256 of the body. The
+// HTTP observability plane renders each round's snapshot exactly once
+// through this and then serves the cached bytes to every directory fetch;
+// because WriteTo's output is deterministic (sorted relay names), two
+// renders of equal state produce byte-identical bodies and therefore
+// equal ETags, so client revalidation survives a coordinator restart.
+func (f *BandwidthFile) Render() (body []byte, etag string, err error) {
+	var buf bytes.Buffer
+	buf.Grow(64 + 48*len(f.Entries))
+	if _, err := f.WriteTo(&buf); err != nil {
+		return nil, "", err
+	}
+	body = buf.Bytes()
+	sum := sha256.Sum256(body)
+	return body, `"` + hex.EncodeToString(sum[:]) + `"`, nil
 }
 
 // FormatV3BW renders a bandwidth file in the v3bw-style text format as

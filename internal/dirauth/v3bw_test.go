@@ -157,3 +157,50 @@ func TestMergeMedianFile(t *testing.T) {
 		t.Fatalf("metadata: %q %v", merged.Producer, merged.At)
 	}
 }
+
+// TestRenderETag pins the /v3bw serving contract: Render produces the
+// same bytes as WriteTo, a strong quoted ETag that is stable for equal
+// file state (even across separately built files, so restarts keep
+// client caches valid), and a different ETag once the state changes.
+func TestRenderETag(t *testing.T) {
+	build := func() *BandwidthFile {
+		f := NewBandwidthFile("bw0", 90*time.Second)
+		f.Set("relayB", 20e6, 21e6)
+		f.Set("relayA", 5e6, 5.5e6)
+		return f
+	}
+
+	f := build()
+	body, etag, err := f.Render()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var direct bytes.Buffer
+	if _, err := f.WriteTo(&direct); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(body, direct.Bytes()) {
+		t.Fatalf("Render body differs from WriteTo:\n%q\nvs\n%q", body, direct.Bytes())
+	}
+	if len(etag) < 4 || etag[0] != '"' || etag[len(etag)-1] != '"' {
+		t.Fatalf("ETag not a quoted strong tag: %q", etag)
+	}
+
+	_, etag2, err := build().Render()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if etag2 != etag {
+		t.Fatalf("equal state produced different ETags: %q vs %q", etag, etag2)
+	}
+
+	changed := build()
+	changed.Set("relayC", 1e6, 1e6)
+	_, etag3, err := changed.Render()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if etag3 == etag {
+		t.Fatalf("changed state kept ETag %q", etag)
+	}
+}

@@ -57,18 +57,42 @@ func (c *Counters) Snapshot() map[string]int64 {
 	return out
 }
 
+// KV is one named counter value in a deterministic snapshot.
+type KV struct {
+	Name  string
+	Value int64
+}
+
+// AppendSorted appends every counter to buf in ascending name order and
+// returns the extended slice. Passing a reused buffer (buf[:0]) makes a
+// steady-state snapshot allocation-free; the Prometheus encoder and the
+// v3bw observability plane render from this ordering so their output is
+// byte-deterministic for a fixed counter state — map iteration order
+// never leaks into exposition output.
+func (c *Counters) AppendSorted(buf []KV) []KV {
+	start := len(buf)
+	c.mu.RLock()
+	for k, v := range c.vals {
+		buf = append(buf, KV{Name: k, Value: v})
+	}
+	c.mu.RUnlock()
+	tail := buf[start:]
+	sort.Slice(tail, func(i, j int) bool { return tail[i].Name < tail[j].Name })
+	return buf
+}
+
+// SortedSnapshot returns every counter in ascending name order — the
+// deterministic counterpart of Snapshot for output paths that diff runs.
+func (c *Counters) SortedSnapshot() []KV {
+	return c.AppendSorted(nil)
+}
+
 // String renders the counters sorted by name, one "name=value" per line —
 // the format coordd prints on shutdown.
 func (c *Counters) String() string {
-	snap := c.Snapshot()
-	names := make([]string, 0, len(snap))
-	for n := range snap {
-		names = append(names, n)
-	}
-	sort.Strings(names)
 	var b strings.Builder
-	for _, n := range names {
-		fmt.Fprintf(&b, "%s=%d\n", n, snap[n])
+	for _, kv := range c.SortedSnapshot() {
+		fmt.Fprintf(&b, "%s=%d\n", kv.Name, kv.Value)
 	}
 	return b.String()
 }

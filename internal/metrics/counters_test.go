@@ -55,3 +55,38 @@ func TestCountersStringSorted(t *testing.T) {
 		t.Fatalf("not sorted: %q", s)
 	}
 }
+
+// TestSortedSnapshotOrder is the regression test for deterministic
+// ordering: every call must return names in ascending order, and
+// AppendSorted must leave a caller's existing prefix untouched.
+func TestSortedSnapshotOrder(t *testing.T) {
+	c := NewCounters()
+	names := []string{"m", "zz", "a", "coord_round", "b2", "b10", "B"}
+	for i, n := range names {
+		c.Set(n, int64(i))
+	}
+	for trial := 0; trial < 10; trial++ {
+		kvs := c.SortedSnapshot()
+		if len(kvs) != len(names) {
+			t.Fatalf("snapshot has %d entries, want %d", len(kvs), len(names))
+		}
+		for i := 1; i < len(kvs); i++ {
+			if kvs[i-1].Name >= kvs[i].Name {
+				t.Fatalf("trial %d: %q not before %q", trial, kvs[i-1].Name, kvs[i].Name)
+			}
+		}
+	}
+
+	// Appending after a pre-existing prefix sorts only the tail.
+	prefix := []KV{{Name: "zzz_first", Value: -1}}
+	out := c.AppendSorted(prefix)
+	if out[0].Name != "zzz_first" || out[0].Value != -1 {
+		t.Fatalf("prefix disturbed: %+v", out[0])
+	}
+	tail := out[1:]
+	for i := 1; i < len(tail); i++ {
+		if tail[i-1].Name >= tail[i].Name {
+			t.Fatalf("tail not sorted: %q before %q", tail[i-1].Name, tail[i].Name)
+		}
+	}
+}

@@ -1,0 +1,105 @@
+package metrics
+
+import (
+	"io"
+	"strconv"
+	"sync"
+)
+
+// This file renders a Counters registry in the Prometheus text exposition
+// format (version 0.0.4) for the HTTP observability plane's GET /metrics.
+// The encoder is deliberately hand-rolled rather than pulling in the
+// Prometheus client library: the registry is flat name→int64, so the
+// whole exposition is sorted names, sanitized to the metric-name charset,
+// prefixed, and rendered with strconv into one reused buffer. Output is
+// byte-deterministic for a fixed counter state (AppendSorted ordering),
+// which lets CI diff two scrapes and lets the serve path skip rendering
+// when nothing changed.
+
+// MetricPrefix is prepended to every registry counter name in the
+// exposition so flashflow metrics namespace cleanly in a shared scrape.
+const MetricPrefix = "flashflow_"
+
+// Gauge is one externally supplied instantaneous value merged into the
+// exposition alongside the registry counters (e.g. the observability
+// server's snapshot age, which is not a monotone counter and is owned by
+// another subsystem).
+type Gauge struct {
+	Name  string
+	Help  string
+	Value float64
+}
+
+// PrometheusEncoder renders Counters registries into the text exposition
+// format. The zero value is ready to use; an encoder reuses its scratch
+// buffers across calls, so a long-lived server allocates only while the
+// registry is still growing new names. Encode is safe for concurrent use.
+type PrometheusEncoder struct {
+	mu  sync.Mutex
+	kvs []KV
+	buf []byte
+}
+
+// Encode writes the registry counters (sorted, sanitized, prefixed with
+// MetricPrefix) followed by the supplied gauges (sorted order is the
+// caller's: they are written as given, after the counters) and returns
+// the number of bytes written. Counters are exposed as untyped samples —
+// the registry mixes monotone counters with Set gauges and the exposition
+// format has no way to tell them apart without a schema.
+func (e *PrometheusEncoder) Encode(w io.Writer, c *Counters, gauges []Gauge) (int, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.kvs = e.kvs[:0]
+	if c != nil {
+		e.kvs = c.AppendSorted(e.kvs)
+	}
+	b := e.buf[:0]
+	for _, kv := range e.kvs {
+		b = appendMetricName(b, MetricPrefix, kv.Name)
+		b = append(b, ' ')
+		b = strconv.AppendInt(b, kv.Value, 10)
+		b = append(b, '\n')
+	}
+	for _, g := range gauges {
+		if g.Help != "" {
+			b = append(b, "# HELP "...)
+			b = appendMetricName(b, "", g.Name)
+			b = append(b, ' ')
+			b = append(b, g.Help...)
+			b = append(b, '\n')
+		}
+		b = append(b, "# TYPE "...)
+		b = appendMetricName(b, "", g.Name)
+		b = append(b, " gauge\n"...)
+		b = appendMetricName(b, "", g.Name)
+		b = append(b, ' ')
+		b = strconv.AppendFloat(b, g.Value, 'g', -1, 64)
+		b = append(b, '\n')
+	}
+	e.buf = b
+	return w.Write(b)
+}
+
+// appendMetricName appends prefix+name with every byte outside the
+// Prometheus metric-name charset [a-zA-Z0-9_:] replaced by '_'. A name
+// starting with a digit gets a leading '_' (names must not start with a
+// digit). The registry's own names are already well-formed; this guards
+// caller-supplied names (relay nicknames folded into gauge names, say)
+// from producing an unparseable exposition.
+func appendMetricName(b []byte, prefix, name string) []byte {
+	b = append(b, prefix...)
+	if len(name) > 0 && name[0] >= '0' && name[0] <= '9' && prefix == "" {
+		b = append(b, '_')
+	}
+	for i := 0; i < len(name); i++ {
+		ch := name[i]
+		switch {
+		case ch >= 'a' && ch <= 'z', ch >= 'A' && ch <= 'Z',
+			ch >= '0' && ch <= '9', ch == '_', ch == ':':
+			b = append(b, ch)
+		default:
+			b = append(b, '_')
+		}
+	}
+	return b
+}

@@ -1,0 +1,119 @@
+package metrics
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// validMetricLine checks one exposition sample line: name in the
+// Prometheus charset, single space, parseable value.
+func validMetricLine(t *testing.T, line string) {
+	t.Helper()
+	name, value, ok := strings.Cut(line, " ")
+	if !ok {
+		t.Fatalf("no space in sample line %q", line)
+	}
+	if name == "" || value == "" {
+		t.Fatalf("empty name or value in %q", line)
+	}
+	if name[0] >= '0' && name[0] <= '9' {
+		t.Fatalf("metric name starts with digit: %q", line)
+	}
+	for i := 0; i < len(name); i++ {
+		ch := name[i]
+		ok := ch >= 'a' && ch <= 'z' || ch >= 'A' && ch <= 'Z' ||
+			ch >= '0' && ch <= '9' || ch == '_' || ch == ':'
+		if !ok {
+			t.Fatalf("metric name byte %q outside charset in %q", ch, line)
+		}
+	}
+}
+
+func TestPrometheusEncodeFormat(t *testing.T) {
+	c := NewCounters()
+	c.Set("coord_rounds_completed", 3)
+	c.Set("coord_slot_errors", 0)
+	c.Add("coord_slots_conclusive", 12)
+
+	var enc PrometheusEncoder
+	var buf bytes.Buffer
+	n, err := enc.Encode(&buf, c, []Gauge{
+		{Name: "flashflow_v3bw_snapshot_age_seconds", Help: "age of snapshot", Value: 1.5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != buf.Len() {
+		t.Fatalf("Encode reported %d bytes, wrote %d", n, buf.Len())
+	}
+	out := buf.String()
+	if !strings.HasSuffix(out, "\n") {
+		t.Fatalf("exposition must end in newline: %q", out)
+	}
+	for _, line := range strings.Split(strings.TrimSuffix(out, "\n"), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		validMetricLine(t, line)
+	}
+	for _, want := range []string{
+		"flashflow_coord_rounds_completed 3\n",
+		"flashflow_coord_slot_errors 0\n",
+		"flashflow_coord_slots_conclusive 12\n",
+		"# TYPE flashflow_v3bw_snapshot_age_seconds gauge\n",
+		"# HELP flashflow_v3bw_snapshot_age_seconds age of snapshot\n",
+		"flashflow_v3bw_snapshot_age_seconds 1.5\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestPrometheusEncodeDeterministic pins the contract the CI smoke test
+// and the /metrics consumers rely on: a fixed registry state renders to
+// identical bytes on every call, regardless of map iteration order.
+func TestPrometheusEncodeDeterministic(t *testing.T) {
+	c := NewCounters()
+	for _, name := range []string{"zeta", "alpha", "mid", "coord_round", "a_b_c"} {
+		c.Set(name, int64(len(name)))
+	}
+	var enc PrometheusEncoder
+	var first bytes.Buffer
+	if _, err := enc.Encode(&first, c, nil); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		var again bytes.Buffer
+		if _, err := enc.Encode(&again, c, nil); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(first.Bytes(), again.Bytes()) {
+			t.Fatalf("encode %d differs:\n%s\nvs\n%s", i, first.String(), again.String())
+		}
+	}
+	// Sorted order: alpha before mid before zeta.
+	out := first.String()
+	if !(strings.Index(out, "alpha") < strings.Index(out, "mid") &&
+		strings.Index(out, "mid") < strings.Index(out, "zeta")) {
+		t.Fatalf("not in sorted name order:\n%s", out)
+	}
+}
+
+func TestAppendMetricNameSanitizes(t *testing.T) {
+	cases := []struct{ prefix, name, want string }{
+		{"flashflow_", "coord_round", "flashflow_coord_round"},
+		{"", "relay.nick-name", "relay_nick_name"},
+		{"", "9lives", "_9lives"},
+		{"flashflow_", "9lives", "flashflow_9lives"},
+		// 'и' is two UTF-8 bytes; each is replaced independently.
+		{"", "ok:colon_и", "ok:colon___"},
+	}
+	for _, tc := range cases {
+		got := string(appendMetricName(nil, tc.prefix, tc.name))
+		if got != tc.want {
+			t.Errorf("appendMetricName(%q, %q) = %q, want %q", tc.prefix, tc.name, got, tc.want)
+		}
+	}
+}

@@ -1,0 +1,429 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"flashflow/internal/coord"
+	"flashflow/internal/core"
+	"flashflow/internal/metrics"
+)
+
+// The alerting pipeline turns the coordinator's windowed §5 anomaly
+// counters into operator-visible alert records: a threshold evaluator
+// runs once per round over the per-relay table, and crossings are
+// delivered asynchronously to pluggable sinks (a log sink and a webhook
+// sink ship in-tree). Delivery retries with the same exponential-backoff-
+// plus-jitter machinery the coordinator's slot retry pipeline uses, so a
+// briefly unreachable webhook receiver does not lose the alert and a hard-
+// down one does not wedge the round loop — evaluation only ever enqueues.
+
+// Alert is one structured alert record.
+type Alert struct {
+	Time time.Time `json:"time"`
+	// Rule names the threshold that fired (e.g. "clamped_seconds").
+	Rule string `json:"rule"`
+	// Relay is the relay the evidence accumulated against ("" for
+	// aggregate rules).
+	Relay string `json:"relay,omitempty"`
+	// Round is the coordinator round the evaluation ran after.
+	Round int `json:"round"`
+	// Value is the relay's accumulated count; Threshold is the configured
+	// bound it crossed.
+	Value     int64  `json:"value"`
+	Threshold int64  `json:"threshold"`
+	Message   string `json:"message"`
+}
+
+// Sink delivers alert records somewhere an operator looks. Deliver is
+// called from the alert manager's delivery goroutine; returning an error
+// triggers the manager's retry schedule.
+type Sink interface {
+	Deliver(ctx context.Context, a Alert) error
+	// Name labels the sink in delivery-failure log lines and counters.
+	Name() string
+}
+
+// LogSink writes one rendered alert per line. It never fails (short
+// writes excepted), so it is the always-works baseline sink.
+type LogSink struct {
+	mu sync.Mutex
+	W  io.Writer
+	// JSON selects one-JSON-object-per-line rendering; false renders a
+	// human-readable line.
+	JSON bool
+}
+
+// Name implements Sink.
+func (s *LogSink) Name() string { return "log" }
+
+// Deliver implements Sink.
+func (s *LogSink) Deliver(_ context.Context, a Alert) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.JSON {
+		b, err := json.Marshal(struct {
+			Event string `json:"event"`
+			Alert
+		}{Event: "alert", Alert: a})
+		if err != nil {
+			return err
+		}
+		b = append(b, '\n')
+		_, err = s.W.Write(b)
+		return err
+	}
+	_, err := fmt.Fprintf(s.W, "ALERT %s rule=%s relay=%s round=%d value=%d threshold=%d: %s\n",
+		a.Time.UTC().Format(time.RFC3339), a.Rule, a.Relay, a.Round, a.Value, a.Threshold, a.Message)
+	return err
+}
+
+// WebhookSink POSTs each alert as a JSON document to a fixed URL. Any
+// response outside 2xx is a delivery failure (and the manager retries).
+type WebhookSink struct {
+	URL string
+	// Client defaults to a dedicated client with a 5 s request timeout —
+	// not http.DefaultClient, whose zero timeout would let one black-holed
+	// receiver pin the delivery goroutine indefinitely.
+	Client *http.Client
+}
+
+// Name implements Sink.
+func (s *WebhookSink) Name() string { return "webhook" }
+
+// Deliver implements Sink.
+func (s *WebhookSink) Deliver(ctx context.Context, a Alert) error {
+	body, err := json.Marshal(a)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, s.URL, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	client := s.Client
+	if client == nil {
+		client = webhookClient
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return err
+	}
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 4<<10))
+	resp.Body.Close()
+	if resp.StatusCode < 200 || resp.StatusCode >= 300 {
+		return fmt.Errorf("obs: webhook %s: status %s", s.URL, resp.Status)
+	}
+	return nil
+}
+
+var webhookClient = &http.Client{Timeout: 5 * time.Second}
+
+// AlertThresholds bounds each §5 anomaly counter per relay; a relay whose
+// accumulated count reaches a bound fires that rule's alert. Zero
+// disables a rule.
+type AlertThresholds struct {
+	ClampedSeconds    int64
+	RatioClampedSlots int64
+	EchoFailures      int64
+	StallSuspectSlots int64
+	SkewSuspectSlots  int64
+	SplitViewRounds   int64
+}
+
+// DefaultThresholds returns the stock rule set: a single echo-verification
+// catch or split-view round is already strong evidence and alerts
+// immediately; clamp evidence accumulates with honest saturation too, so
+// its bound is higher.
+func DefaultThresholds() AlertThresholds {
+	return AlertThresholds{
+		ClampedSeconds:    30,
+		RatioClampedSlots: 2,
+		EchoFailures:      1,
+		StallSuspectSlots: 4,
+		SkewSuspectSlots:  4,
+		SplitViewRounds:   1,
+	}
+}
+
+// AlertConfig tunes an AlertManager.
+type AlertConfig struct {
+	Thresholds AlertThresholds
+	Sinks      []Sink
+	// RetryBase/RetryMax/MaxAttempts shape per-sink delivery retries
+	// (defaults 200 ms, 5 s, 5 attempts).
+	RetryBase, RetryMax time.Duration
+	MaxAttempts         int
+	// QueueSize bounds undelivered alerts (default 256); beyond it new
+	// alerts are counted as dropped rather than blocking the round loop.
+	QueueSize int
+	// Counters receives the obs_alert_* operational counters (optional).
+	Counters *metrics.Counters
+	// Seed drives the retry jitter stream (default 1).
+	Seed int64
+}
+
+func (cfg AlertConfig) withDefaults() AlertConfig {
+	if cfg.RetryBase <= 0 {
+		cfg.RetryBase = 200 * time.Millisecond
+	}
+	if cfg.RetryMax <= 0 {
+		cfg.RetryMax = 5 * time.Second
+	}
+	if cfg.MaxAttempts <= 0 {
+		cfg.MaxAttempts = 5
+	}
+	if cfg.QueueSize <= 0 {
+		cfg.QueueSize = 256
+	}
+	if cfg.Counters == nil {
+		cfg.Counters = metrics.NewCounters()
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	return cfg
+}
+
+// AlertManager evaluates thresholds and owns asynchronous delivery.
+// Evaluate and Fire never block on sinks; Flush drains pending deliveries
+// within a caller-supplied budget (coordd gives it the ~1 s drain window
+// at shutdown); Close cancels whatever delivery work remains.
+type AlertManager struct {
+	cfg     AlertConfig
+	backoff *coord.Backoff
+	queue   chan Alert
+	pending sync.WaitGroup
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	done   chan struct{}
+
+	mu        sync.Mutex
+	lastFired map[string]int64
+}
+
+// NewAlertManager creates the manager and starts its delivery goroutine.
+func NewAlertManager(cfg AlertConfig) *AlertManager {
+	cfg = cfg.withDefaults()
+	ctx, cancel := context.WithCancel(context.Background())
+	m := &AlertManager{
+		cfg:       cfg,
+		backoff:   coord.NewBackoff(cfg.RetryBase, cfg.RetryMax, cfg.Seed),
+		queue:     make(chan Alert, cfg.QueueSize),
+		ctx:       ctx,
+		cancel:    cancel,
+		done:      make(chan struct{}),
+		lastFired: make(map[string]int64),
+	}
+	for _, name := range []string{
+		"obs_alerts_fired", "obs_alerts_delivered", "obs_alert_retries",
+		"obs_alert_failures", "obs_alerts_dropped",
+	} {
+		cfg.Counters.Add(name, 0)
+	}
+	go m.deliverLoop()
+	return m
+}
+
+// rule pairs a threshold with the anomaly field it bounds.
+type rule struct {
+	name      string
+	threshold func(AlertThresholds) int64
+	value     func(core.AnomalyCounts) int64
+	message   string
+}
+
+var alertRules = []rule{
+	{"clamped_seconds", func(t AlertThresholds) int64 { return t.ClampedSeconds },
+		func(a core.AnomalyCounts) int64 { return a.ClampedSeconds },
+		"per-second r-ratio clamp fired repeatedly (inflation-attack signature, §4.1)"},
+	{"ratio_clamped_slots", func(t AlertThresholds) int64 { return t.RatioClampedSlots },
+		func(a core.AnomalyCounts) int64 { return a.RatioClampedSlots },
+		"estimate-level 1/(1-r) invariant clamp fired (inconsistent accounting, §5)"},
+	{"echo_failures", func(t AlertThresholds) int64 { return t.EchoFailures },
+		func(a core.AnomalyCounts) int64 { return a.EchoFailures },
+		"probabilistic echo verification caught forged cells (§4.1)"},
+	{"stall_slots", func(t AlertThresholds) int64 { return t.StallSuspectSlots },
+		func(a core.AnomalyCounts) int64 { return a.StallSuspectSlots },
+		"rejected attempts tracked the acceptance bound (slot-stalling pattern, §5)"},
+	{"skew_slots", func(t AlertThresholds) int64 { return t.SkewSuspectSlots },
+		func(a core.AnomalyCounts) int64 { return a.SkewSuspectSlots },
+		"a measurer's received share diverged from its allocation share (selective echo, §5)"},
+	{"split_view_rounds", func(t AlertThresholds) int64 { return t.SplitViewRounds },
+		func(a core.AnomalyCounts) int64 { return a.SplitViewRounds },
+		"relay showed different BWAuths different capacities (selective lying, §5)"},
+}
+
+// Evaluate runs every rule over the windowed per-relay anomaly table and
+// fires alerts for new crossings. A rule re-fires for a relay only when
+// the relay's count has grown past its value at the previous alert, so a
+// steady table does not re-alert every round, while fresh evidence does.
+// Relays are visited in sorted order so the emitted alert sequence is
+// deterministic for a fixed table.
+func (m *AlertManager) Evaluate(round int, anomalies map[string]core.AnomalyCounts, now time.Time) {
+	if len(anomalies) == 0 {
+		return
+	}
+	relays := make([]string, 0, len(anomalies))
+	for name := range anomalies {
+		relays = append(relays, name)
+	}
+	sort.Strings(relays)
+	for _, relay := range relays {
+		counts := anomalies[relay]
+		for _, r := range alertRules {
+			threshold := r.threshold(m.cfg.Thresholds)
+			if threshold <= 0 {
+				continue
+			}
+			value := r.value(counts)
+			if value < threshold {
+				continue
+			}
+			key := relay + "\x00" + r.name
+			m.mu.Lock()
+			last, seen := m.lastFired[key]
+			if seen && value <= last {
+				m.mu.Unlock()
+				continue
+			}
+			m.lastFired[key] = value
+			m.mu.Unlock()
+			m.Fire(Alert{
+				Time:      now,
+				Rule:      r.name,
+				Relay:     relay,
+				Round:     round,
+				Value:     value,
+				Threshold: threshold,
+				Message:   r.message,
+			})
+		}
+	}
+}
+
+// Retain drops per-relay refire state for relays outside keep, mirroring
+// the coordinator's anomaly-window retention so the map cannot grow for
+// the life of the service.
+func (m *AlertManager) Retain(keep map[string]core.AnomalyCounts) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for key := range m.lastFired {
+		relay := key
+		if i := indexByte(key, '\x00'); i >= 0 {
+			relay = key[:i]
+		}
+		if _, ok := keep[relay]; !ok {
+			delete(m.lastFired, key)
+		}
+	}
+}
+
+func indexByte(s string, b byte) int {
+	for i := 0; i < len(s); i++ {
+		if s[i] == b {
+			return i
+		}
+	}
+	return -1
+}
+
+// Fire enqueues one alert for asynchronous delivery. When the queue is
+// full the alert is dropped (and counted) instead of blocking the caller:
+// the round loop must never wait on a slow webhook.
+func (m *AlertManager) Fire(a Alert) {
+	m.cfg.Counters.Inc("obs_alerts_fired")
+	m.pending.Add(1)
+	select {
+	case m.queue <- a:
+	default:
+		m.pending.Done()
+		m.cfg.Counters.Inc("obs_alerts_dropped")
+	}
+}
+
+// deliverLoop drains the queue, delivering each alert to every sink with
+// per-sink retries.
+func (m *AlertManager) deliverLoop() {
+	defer close(m.done)
+	for {
+		select {
+		case <-m.ctx.Done():
+			// Drain what remains so pending never leaks; deliveries get
+			// one cancellation-aware attempt each (sinks that ignore ctx,
+			// like LogSink, still flush).
+			for {
+				select {
+				case a := <-m.queue:
+					m.deliver(a)
+					m.pending.Done()
+				default:
+					return
+				}
+			}
+		case a := <-m.queue:
+			m.deliver(a)
+			m.pending.Done()
+		}
+	}
+}
+
+// deliver pushes one alert to every sink, retrying each failed sink on
+// the backoff schedule until it succeeds, attempts run out, or the
+// manager is closed.
+func (m *AlertManager) deliver(a Alert) {
+	for _, sink := range m.cfg.Sinks {
+		var err error
+		for attempt := 1; attempt <= m.cfg.MaxAttempts; attempt++ {
+			if err = sink.Deliver(m.ctx, a); err == nil {
+				m.cfg.Counters.Inc("obs_alerts_delivered")
+				break
+			}
+			if m.ctx.Err() != nil || attempt == m.cfg.MaxAttempts {
+				break
+			}
+			m.cfg.Counters.Inc("obs_alert_retries")
+			t := time.NewTimer(m.backoff.Next(attempt))
+			select {
+			case <-m.ctx.Done():
+				t.Stop()
+			case <-t.C:
+			}
+		}
+		if err != nil {
+			m.cfg.Counters.Inc("obs_alert_failures")
+		}
+	}
+}
+
+// Flush blocks until every fired alert has finished delivery (delivered,
+// exhausted its retries, or been dropped) or the context expires.
+func (m *AlertManager) Flush(ctx context.Context) error {
+	settled := make(chan struct{})
+	go func() {
+		m.pending.Wait()
+		close(settled)
+	}()
+	select {
+	case <-settled:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("obs: alert flush: %w", ctx.Err())
+	}
+}
+
+// Close cancels in-flight delivery work and stops the delivery goroutine.
+// Call Flush first to give pending deliveries their budget.
+func (m *AlertManager) Close() {
+	m.cancel()
+	<-m.done
+}

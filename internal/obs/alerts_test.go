@@ -1,0 +1,280 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"flashflow/internal/core"
+	"flashflow/internal/metrics"
+)
+
+// captureSink records every delivered alert.
+type captureSink struct {
+	mu     sync.Mutex
+	alerts []Alert
+}
+
+func (s *captureSink) Name() string { return "capture" }
+
+func (s *captureSink) Deliver(_ context.Context, a Alert) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.alerts = append(s.alerts, a)
+	return nil
+}
+
+func (s *captureSink) rules() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, len(s.alerts))
+	for i, a := range s.alerts {
+		out[i] = a.Relay + "/" + a.Rule
+	}
+	return out
+}
+
+func flush(t *testing.T, m *AlertManager) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := m.Flush(ctx); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestEvaluateThresholdsAndDedupe pins the evaluator contract: a crossing
+// fires once, a steady table does not re-alert, and fresh growth past the
+// previous alert does.
+func TestEvaluateThresholdsAndDedupe(t *testing.T) {
+	sink := &captureSink{}
+	m := NewAlertManager(AlertConfig{
+		Thresholds: DefaultThresholds(),
+		Sinks:      []Sink{sink},
+	})
+	defer m.Close()
+
+	table := map[string]core.AnomalyCounts{
+		"liar":   {EchoFailures: 1, ClampedSeconds: 45},
+		"honest": {},
+		"mild":   {ClampedSeconds: 29}, // below the 30-second bound
+	}
+	now := time.Unix(1700000000, 0)
+	m.Evaluate(1, table, now)
+	flush(t, m)
+	if got := sink.rules(); len(got) != 2 ||
+		got[0] != "liar/clamped_seconds" || got[1] != "liar/echo_failures" {
+		t.Fatalf("round 1 alerts: %v", got)
+	}
+
+	// Same table again: nothing new fires.
+	m.Evaluate(2, table, now)
+	flush(t, m)
+	if got := sink.rules(); len(got) != 2 {
+		t.Fatalf("steady table re-alerted: %v", got)
+	}
+
+	// Evidence grows: the grown rule re-fires, the steady one stays quiet.
+	table["liar"] = core.AnomalyCounts{EchoFailures: 1, ClampedSeconds: 90}
+	m.Evaluate(3, table, now)
+	flush(t, m)
+	got := sink.rules()
+	if len(got) != 3 || got[2] != "liar/clamped_seconds" {
+		t.Fatalf("grown evidence alerts: %v", got)
+	}
+	last := sink.alerts[2]
+	if last.Value != 90 || last.Threshold != 30 || last.Round != 3 {
+		t.Fatalf("alert fields: %+v", last)
+	}
+
+	// A disabled rule (threshold 0) never fires.
+	off := DefaultThresholds()
+	off.EchoFailures = 0
+	m2 := NewAlertManager(AlertConfig{Thresholds: off, Sinks: []Sink{sink}})
+	defer m2.Close()
+	m2.Evaluate(1, map[string]core.AnomalyCounts{"x": {EchoFailures: 99}}, now)
+	flush(t, m2)
+	if got := sink.rules(); len(got) != 3 {
+		t.Fatalf("disabled rule fired: %v", got)
+	}
+}
+
+// TestRetainPrunesRefireState mirrors the coordinator's anomaly-window
+// retention: a relay dropped from the table can alert again when it
+// returns, and the state map does not grow unboundedly.
+func TestRetainPrunesRefireState(t *testing.T) {
+	sink := &captureSink{}
+	m := NewAlertManager(AlertConfig{Thresholds: DefaultThresholds(), Sinks: []Sink{sink}})
+	defer m.Close()
+	now := time.Unix(1700000000, 0)
+
+	table := map[string]core.AnomalyCounts{"liar": {EchoFailures: 2}}
+	m.Evaluate(1, table, now)
+	// The window forgets the relay, then it reappears with the same count:
+	// that is fresh evidence post-expiry and must alert again.
+	m.Retain(map[string]core.AnomalyCounts{})
+	m.Evaluate(5, table, now)
+	flush(t, m)
+	if got := sink.rules(); len(got) != 2 {
+		t.Fatalf("post-retention alerts: %v", got)
+	}
+}
+
+// TestWebhookSinkRetries points the manager at a webhook that fails twice
+// before accepting: the alert must arrive exactly once downstream, with
+// the retry counters recording the journey.
+func TestWebhookSinkRetries(t *testing.T) {
+	var mu sync.Mutex
+	var requests int
+	var delivered []Alert
+	ws := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		defer mu.Unlock()
+		requests++
+		if requests <= 2 {
+			http.Error(w, "flaky", http.StatusBadGateway)
+			return
+		}
+		var a Alert
+		if err := json.NewDecoder(r.Body).Decode(&a); err != nil {
+			t.Errorf("webhook body: %v", err)
+		}
+		delivered = append(delivered, a)
+	}))
+	defer ws.Close()
+
+	counters := metrics.NewCounters()
+	m := NewAlertManager(AlertConfig{
+		Thresholds: DefaultThresholds(),
+		Sinks:      []Sink{&WebhookSink{URL: ws.URL, Client: ws.Client()}},
+		RetryBase:  time.Millisecond,
+		RetryMax:   4 * time.Millisecond,
+		Counters:   counters,
+	})
+	defer m.Close()
+
+	m.Evaluate(1, map[string]core.AnomalyCounts{"liar": {SplitViewRounds: 1}}, time.Now())
+	flush(t, m)
+
+	mu.Lock()
+	defer mu.Unlock()
+	if requests != 3 || len(delivered) != 1 {
+		t.Fatalf("webhook saw %d requests, %d deliveries", requests, len(delivered))
+	}
+	if delivered[0].Rule != "split_view_rounds" || delivered[0].Relay != "liar" {
+		t.Fatalf("delivered alert: %+v", delivered[0])
+	}
+	if counters.Get("obs_alert_retries") != 2 || counters.Get("obs_alerts_delivered") != 1 {
+		t.Fatalf("counters: %s", counters.String())
+	}
+}
+
+// TestQueueFullDropsNotBlocks: with delivery wedged, firing past the
+// queue bound must return immediately and count drops — the round loop
+// never waits on a sink.
+func TestQueueFullDropsNotBlocks(t *testing.T) {
+	release := make(chan struct{})
+	counters := metrics.NewCounters()
+	m := NewAlertManager(AlertConfig{
+		Thresholds: DefaultThresholds(),
+		Sinks: []Sink{sinkFunc(func(ctx context.Context, _ Alert) error {
+			select {
+			case <-release:
+			case <-ctx.Done():
+			}
+			return nil
+		})},
+		QueueSize: 2,
+		Counters:  counters,
+	})
+
+	done := make(chan struct{})
+	go func() {
+		for i := 0; i < 10; i++ {
+			m.Fire(Alert{Rule: "echo_failures", Relay: "r", Value: int64(i)})
+		}
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Fire blocked on a wedged sink")
+	}
+	close(release)
+	flush(t, m)
+	m.Close()
+
+	fired := counters.Get("obs_alerts_fired")
+	dropped := counters.Get("obs_alerts_dropped")
+	delivered := counters.Get("obs_alerts_delivered")
+	if fired != 10 || dropped == 0 || delivered+dropped != fired {
+		t.Fatalf("fired=%d delivered=%d dropped=%d", fired, delivered, dropped)
+	}
+}
+
+// TestFlushHonorsBudget: a sink that outlives the drain budget makes
+// Flush return the deadline error instead of hanging shutdown; Close then
+// cancels the in-flight delivery.
+func TestFlushHonorsBudget(t *testing.T) {
+	m := NewAlertManager(AlertConfig{
+		Thresholds: DefaultThresholds(),
+		Sinks: []Sink{sinkFunc(func(ctx context.Context, _ Alert) error {
+			<-ctx.Done()
+			return ctx.Err()
+		})},
+	})
+	m.Fire(Alert{Rule: "echo_failures", Relay: "r"})
+
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if err := m.Flush(ctx); err == nil {
+		t.Fatal("Flush returned nil despite a wedged sink")
+	}
+	start := time.Now()
+	m.Close()
+	if waited := time.Since(start); waited > 2*time.Second {
+		t.Fatalf("Close took %v", waited)
+	}
+}
+
+// sinkFunc adapts a function to the Sink interface.
+type sinkFunc func(context.Context, Alert) error
+
+func (f sinkFunc) Deliver(ctx context.Context, a Alert) error { return f(ctx, a) }
+
+func (f sinkFunc) Name() string { return "func" }
+
+// TestLogSinkFormats checks both renderings: the JSON line a log pipeline
+// ingests and the human line.
+func TestLogSinkFormats(t *testing.T) {
+	a := Alert{
+		Time: time.Unix(1700000000, 0).UTC(), Rule: "echo_failures",
+		Relay: "liar", Round: 3, Value: 2, Threshold: 1, Message: "caught",
+	}
+	var buf bytes.Buffer
+	if err := (&LogSink{W: &buf, JSON: true}).Deliver(context.Background(), a); err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("JSON line: %v (%q)", err, buf.String())
+	}
+	if doc["event"] != "alert" || doc["rule"] != "echo_failures" || doc["relay"] != "liar" {
+		t.Fatalf("JSON doc: %v", doc)
+	}
+
+	buf.Reset()
+	if err := (&LogSink{W: &buf}).Deliver(context.Background(), a); err != nil {
+		t.Fatal(err)
+	}
+	line := buf.String()
+	if !strings.HasPrefix(line, "ALERT ") || !strings.Contains(line, "relay=liar") {
+		t.Fatalf("human line: %q", line)
+	}
+}

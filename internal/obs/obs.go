@@ -1,0 +1,212 @@
+// Package obs is the HTTP observability plane for the long-lived
+// FlashFlow service (§4.3, §7 deployment model): an embeddable server
+// exposing the coordinator's operational state to scrapers, operators,
+// and a Tor-scale directory-fetch population.
+//
+// Endpoints:
+//
+//	GET /metrics          Prometheus text exposition of the metrics.Counters
+//	                      registry (byte-deterministic for a fixed state)
+//	                      plus v3bw snapshot gauges
+//	GET /status           JSON snapshot of coord.Status(): round, in-flight
+//	                      slots, live per-slot progress, counters, last round
+//	GET /status/anomalies JSON view of the windowed per-relay §5 anomaly table
+//	GET /v3bw             the latest bandwidth-file snapshot, served from an
+//	                      atomically swapped pre-rendered body with a strong
+//	                      ETag and Last-Modified; If-None-Match revalidation
+//	                      answers 304 without touching the render path
+//	GET /healthz          liveness probe
+//
+// The serving rule that makes /v3bw scale: each round's snapshot is
+// rendered exactly once (SnapshotHolder.Publish, fed by the coordinator's
+// OnSnapshot hook) and every request — a million directory fetches per
+// round, in the paper's deployment model — hits the cached body via one
+// atomic pointer load, zero per-request allocations, zero locks. The
+// debug profiling surface (net/http/pprof) is a separate handler so it
+// can live on a loopback-only listener while the public endpoints face
+// the network.
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+
+	"flashflow/internal/coord"
+	"flashflow/internal/metrics"
+)
+
+// Coordinator is the slice of *coord.Coordinator the server reads. Status
+// must be safe to call concurrently with running rounds (coord's is).
+type Coordinator interface {
+	Status() coord.Status
+}
+
+// Config wires a Server to its data sources. Every field is optional:
+// endpoints whose source is missing answer 404 (status) or 503 (v3bw),
+// so a partial deployment — metrics only, say — still serves.
+type Config struct {
+	// Coordinator backs /status and /status/anomalies.
+	Coordinator Coordinator
+	// Counters backs /metrics.
+	Counters *metrics.Counters
+	// Snapshot backs /v3bw.
+	Snapshot *SnapshotHolder
+}
+
+// Server is the embeddable observability HTTP server.
+type Server struct {
+	cfg Config
+	enc metrics.PrometheusEncoder
+	mux *http.ServeMux
+	srv *http.Server
+}
+
+// NewServer builds the server and its routes.
+func NewServer(cfg Config) *Server {
+	s := &Server{cfg: cfg, mux: http.NewServeMux()}
+	s.mux.HandleFunc("GET /metrics", s.serveMetrics)
+	s.mux.HandleFunc("GET /status", s.serveStatus)
+	s.mux.HandleFunc("GET /status/anomalies", s.serveAnomalies)
+	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Write([]byte("ok\n"))
+	})
+	if cfg.Snapshot != nil {
+		s.mux.Handle("GET /v3bw", cfg.Snapshot)
+		s.mux.Handle("HEAD /v3bw", cfg.Snapshot)
+	} else {
+		s.mux.HandleFunc("GET /v3bw", func(w http.ResponseWriter, _ *http.Request) {
+			http.Error(w, "v3bw serving not configured", http.StatusServiceUnavailable)
+		})
+	}
+	return s
+}
+
+// Handler returns the route tree, for embedding in an existing server or
+// an httptest harness.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Start listens on addr and serves in a background goroutine until
+// Shutdown. It returns the bound address (useful with ":0" ports).
+func (s *Server) Start(addr string) (net.Addr, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s.srv = &http.Server{
+		Handler: s.mux,
+		// An observability scrape or directory fetch is small; generous
+		// but bounded timeouts keep a stuck client from pinning a
+		// connection through shutdown's drain budget.
+		ReadHeaderTimeout: 5 * time.Second,
+		IdleTimeout:       60 * time.Second,
+	}
+	go s.srv.Serve(l)
+	return l.Addr(), nil
+}
+
+// Shutdown gracefully drains the server within the context's budget:
+// in-flight responses finish, idle connections close, and new connects
+// are refused. Safe to call when Start was never called.
+func (s *Server) Shutdown(ctx context.Context) error {
+	if s.srv == nil {
+		return nil
+	}
+	return s.srv.Shutdown(ctx)
+}
+
+// serveMetrics renders the Prometheus exposition: the counter registry
+// plus the v3bw snapshot gauges (which live in the holder, not the
+// registry, because snapshot age is an instantaneous derived value).
+func (s *Server) serveMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	var gauges []metrics.Gauge
+	if s.cfg.Snapshot != nil {
+		if round, size, _, modTime, ok := s.cfg.Snapshot.Info(); ok {
+			gauges = []metrics.Gauge{
+				{Name: "flashflow_v3bw_snapshot_round", Help: "round of the served /v3bw snapshot", Value: float64(round)},
+				{Name: "flashflow_v3bw_snapshot_bytes", Help: "size of the served /v3bw body", Value: float64(size)},
+				{Name: "flashflow_v3bw_snapshot_age_seconds", Help: "seconds since the served /v3bw snapshot was published", Value: time.Since(modTime).Seconds()},
+				{Name: "flashflow_v3bw_renders_total", Help: "bandwidth-file renders since start (one per published round)", Value: float64(s.cfg.Snapshot.Renders())},
+			}
+		}
+	}
+	s.enc.Encode(w, s.cfg.Counters, gauges)
+}
+
+// StatusDoc is the /status response shape: coord.Status plus a wall-clock
+// stamp (coord.Status itself is time-free so it stays cheap to snapshot).
+type StatusDoc struct {
+	Time time.Time `json:"time"`
+	coord.Status
+}
+
+func (s *Server) serveStatus(w http.ResponseWriter, _ *http.Request) {
+	if s.cfg.Coordinator == nil {
+		http.Error(w, "no coordinator attached", http.StatusNotFound)
+		return
+	}
+	writeJSON(w, StatusDoc{Time: time.Now(), Status: s.cfg.Coordinator.Status()})
+}
+
+func (s *Server) serveAnomalies(w http.ResponseWriter, _ *http.Request) {
+	if s.cfg.Coordinator == nil {
+		http.Error(w, "no coordinator attached", http.StatusNotFound)
+		return
+	}
+	st := s.cfg.Coordinator.Status()
+	doc := struct {
+		Time  time.Time `json:"time"`
+		Round int       `json:"round"`
+		// Relays maps relay name to its windowed §5 anomaly counters;
+		// encoding/json writes map keys sorted, so the document is
+		// deterministic for a fixed table.
+		Relays map[string]coreAnomaly `json:"relays"`
+	}{Time: time.Now(), Round: st.Round, Relays: make(map[string]coreAnomaly, len(st.Anomalies))}
+	for name, a := range st.Anomalies {
+		doc.Relays[name] = coreAnomaly{
+			ClampedSeconds:    a.ClampedSeconds,
+			RatioClampedSlots: a.RatioClampedSlots,
+			EchoFailures:      a.EchoFailures,
+			StallSuspectSlots: a.StallSuspectSlots,
+			SkewSuspectSlots:  a.SkewSuspectSlots,
+			SplitViewRounds:   a.SplitViewRounds,
+		}
+	}
+	writeJSON(w, doc)
+}
+
+// coreAnomaly mirrors core.AnomalyCounts with explicit snake_case JSON
+// names: the HTTP document shape is API surface and must not drift if
+// the internal struct is refactored.
+type coreAnomaly struct {
+	ClampedSeconds    int64 `json:"clamped_seconds"`
+	RatioClampedSlots int64 `json:"ratio_clamped_slots"`
+	EchoFailures      int64 `json:"echo_failures"`
+	StallSuspectSlots int64 `json:"stall_suspect_slots"`
+	SkewSuspectSlots  int64 `json:"skew_suspect_slots"`
+	SplitViewRounds   int64 `json:"split_view_rounds"`
+}
+
+func writeJSON(w http.ResponseWriter, doc any) {
+	w.Header()["Content-Type"] = jsonContentType
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(doc)
+}
+
+// DebugHandler returns the pprof profiling mux (net/http/pprof routes
+// under /debug/pprof/). coordd serves it on its own -debug-addr listener
+// so profiling stays off the public observability port.
+func DebugHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

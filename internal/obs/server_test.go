@@ -1,0 +1,310 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"flashflow/internal/coord"
+	"flashflow/internal/core"
+	"flashflow/internal/dirauth"
+	"flashflow/internal/metrics"
+	"flashflow/internal/relay"
+)
+
+// testHarness is a coordinator over a deterministic simulated backend
+// wired to the full observability plane, the way cmd/coordd assembles it.
+type testHarness struct {
+	coord    *coord.Coordinator
+	counters *metrics.Counters
+	holder   *SnapshotHolder
+}
+
+func newHarness(t *testing.T, rounds int) *testHarness {
+	t.Helper()
+	p := core.DefaultParams()
+	p.SlotSeconds = 2
+
+	backend := core.NewSimBackend([]core.PathModel{
+		{RTT: 40 * time.Millisecond, LinkBps: 1e9},
+		{RTT: 60 * time.Millisecond, LinkBps: 1e9},
+	}, 1)
+	var source coord.StaticRelays
+	for i, capBps := range []float64{20e6, 35e6, 50e6} {
+		name := fmt.Sprintf("relay%d", i)
+		backend.AddTarget(name, &core.SimTarget{
+			Relay:    relay.New(relay.Config{Name: name, TorCapBps: capBps}),
+			LinkBps:  1e9,
+			Behavior: core.BehaviorHonest,
+		})
+		source = append(source, core.RelayEstimate{Name: name, EstimateBps: capBps})
+	}
+	team := []*core.Measurer{
+		{Name: "m1", CapacityBps: 1e9, Cores: 4},
+		{Name: "m2", CapacityBps: 1e9, Cores: 4},
+	}
+	auths := []*core.BWAuth{core.NewBWAuth("bw0", team, backend, p)}
+
+	h := &testHarness{counters: metrics.NewCounters(), holder: &SnapshotHolder{}}
+	c, err := coord.New(coord.Config{
+		Params:      p,
+		Workers:     2,
+		MaxAttempts: 2,
+		RetryBase:   time.Millisecond,
+		RetryMax:    2 * time.Millisecond,
+		MaxRounds:   rounds,
+		Counters:    h.counters,
+		OnSnapshot: func(round int, f *dirauth.BandwidthFile) {
+			if err := h.holder.Publish(round, f, time.Now()); err != nil {
+				t.Errorf("publish round %d: %v", round, err)
+			}
+		},
+	}, auths, source)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.coord = c
+	return h
+}
+
+func (h *testHarness) server() *Server {
+	return NewServer(Config{Coordinator: h.coord, Counters: h.counters, Snapshot: h.holder})
+}
+
+func get(t *testing.T, ts *httptest.Server, path string, header http.Header) (*http.Response, string) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodGet, ts.URL+path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, vs := range header {
+		req.Header[k] = vs
+	}
+	resp, err := ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, string(body)
+}
+
+// TestServerEndToEnd drives two coordinator rounds on the simulated
+// backend, then exercises every endpoint the way a scraper and a
+// directory-fetch client would — including the 200 → 304 ETag
+// revalidation flow that lets a million fetchers skip the body.
+func TestServerEndToEnd(t *testing.T) {
+	h := newHarness(t, 2)
+	if err := h.coord.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(h.server().Handler())
+	defer ts.Close()
+
+	// /metrics: Prometheus text format, counter registry with the §5
+	// anomaly counters present (at zero — the population is honest), plus
+	// the snapshot gauges.
+	resp, body := get(t, ts, "/metrics", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics: %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Fatalf("/metrics content type %q", ct)
+	}
+	for _, want := range []string{
+		"flashflow_coord_rounds_completed 2\n",
+		"flashflow_coord_round 2\n",
+		"flashflow_coord_relays_measured 3\n",
+		"flashflow_coord_anomaly_echo_failures 0\n",
+		"flashflow_coord_anomaly_split_view_rounds 0\n",
+		"flashflow_coord_slot_seconds_saved ",
+		"flashflow_v3bw_snapshot_round 2\n",
+		"flashflow_v3bw_renders_total 2\n",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q\n%s", want, body)
+		}
+	}
+	for _, line := range strings.Split(strings.TrimSuffix(body, "\n"), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		if parts := strings.Split(line, " "); len(parts) != 2 {
+			t.Errorf("malformed exposition line %q", line)
+		}
+	}
+
+	// /status: JSON with the final round and counter map.
+	resp, body = get(t, ts, "/status", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/status: %d", resp.StatusCode)
+	}
+	var status struct {
+		Time     time.Time        `json:"time"`
+		Round    int              `json:"round"`
+		Counters map[string]int64 `json:"counters"`
+	}
+	if err := json.Unmarshal([]byte(body), &status); err != nil {
+		t.Fatalf("/status parse: %v\n%s", err, body)
+	}
+	if status.Round != 2 || status.Time.IsZero() {
+		t.Fatalf("/status round=%d time=%v", status.Round, status.Time)
+	}
+	if status.Counters["coord_rounds_completed"] != 2 {
+		t.Fatalf("/status counters: %v", status.Counters)
+	}
+
+	// /status/anomalies: well-formed JSON table (empty — honest relays).
+	resp, body = get(t, ts, "/status/anomalies", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/status/anomalies: %d", resp.StatusCode)
+	}
+	var anomalies struct {
+		Round  int                        `json:"round"`
+		Relays map[string]json.RawMessage `json:"relays"`
+	}
+	if err := json.Unmarshal([]byte(body), &anomalies); err != nil {
+		t.Fatalf("/status/anomalies parse: %v\n%s", err, body)
+	}
+	if anomalies.Round != 2 {
+		t.Fatalf("/status/anomalies round %d", anomalies.Round)
+	}
+
+	// /v3bw: parseable bandwidth file with every relay, then conditional
+	// revalidation. A fresh GET must not re-render.
+	rendersBefore := h.holder.Renders()
+	resp, body = get(t, ts, "/v3bw", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/v3bw: %d", resp.StatusCode)
+	}
+	etag := resp.Header.Get("Etag")
+	if etag == "" || resp.Header.Get("Last-Modified") == "" {
+		t.Fatalf("/v3bw missing validators: %+v", resp.Header)
+	}
+	parsed, err := dirauth.ParseV3BW(strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("/v3bw body does not parse: %v\n%s", err, body)
+	}
+	if len(parsed.Entries) != 3 {
+		t.Fatalf("/v3bw entries: %d", len(parsed.Entries))
+	}
+
+	resp, body = get(t, ts, "/v3bw", http.Header{"If-None-Match": {etag}})
+	if resp.StatusCode != http.StatusNotModified {
+		t.Fatalf("revalidation: got %d, want 304", resp.StatusCode)
+	}
+	if body != "" {
+		t.Fatalf("304 carried %d body bytes", len(body))
+	}
+	resp, _ = get(t, ts, "/v3bw", http.Header{"If-None-Match": {`"stale"`}})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stale validator: got %d, want 200", resp.StatusCode)
+	}
+	if got := h.holder.Renders(); got != rendersBefore {
+		t.Fatalf("serving re-rendered: %d -> %d", rendersBefore, got)
+	}
+
+	// /healthz.
+	if resp, _ = get(t, ts, "/healthz", nil); resp.StatusCode != http.StatusOK {
+		t.Fatalf("/healthz: %d", resp.StatusCode)
+	}
+}
+
+// TestServerConcurrentWithRounds hammers every endpoint while the
+// coordinator is actively running rounds — the race detector checks that
+// Status(), the anomaly table, the counter registry, and the snapshot
+// swap are all safe against live measurement traffic.
+func TestServerConcurrentWithRounds(t *testing.T) {
+	h := newHarness(t, 6)
+	ts := httptest.NewServer(h.server().Handler())
+	defer ts.Close()
+
+	done := make(chan error, 1)
+	go func() { done <- h.coord.Run(context.Background()) }()
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	paths := []string{"/metrics", "/status", "/status/anomalies", "/v3bw", "/healthz"}
+	for _, path := range paths {
+		wg.Add(1)
+		go func(path string) {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				resp, err := ts.Client().Get(ts.URL + path)
+				if err != nil {
+					t.Errorf("%s: %v", path, err)
+					return
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				// 503 is legal for /v3bw before the first publication;
+				// nothing else may fail.
+				if resp.StatusCode != http.StatusOK &&
+					!(path == "/v3bw" && resp.StatusCode == http.StatusServiceUnavailable) {
+					t.Errorf("%s: status %d", path, resp.StatusCode)
+					return
+				}
+			}
+		}(path)
+	}
+	if err := <-done; err != nil {
+		t.Error(err)
+	}
+	close(stop)
+	wg.Wait()
+
+	if got := h.coord.Status().Round; got != 6 {
+		t.Fatalf("rounds completed: %d", got)
+	}
+}
+
+// TestServerStartShutdown exercises the real listener path coordd uses:
+// bind :0, serve one scrape, then drain within a budget.
+func TestServerStartShutdown(t *testing.T) {
+	h := newHarness(t, 1)
+	if err := h.coord.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	srv := h.server()
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get("http://" + addr.String() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics over real listener: %d", resp.StatusCode)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	if _, err := http.Get("http://" + addr.String() + "/metrics"); err == nil {
+		t.Fatal("listener still accepting after Shutdown")
+	}
+
+	// Shutdown on a server that never started is a no-op.
+	if err := NewServer(Config{}).Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -114,6 +114,7 @@ func Scenarios() []Scenario {
 		{Name: "schedule-build-1m", Desc: "indexed §4.3 schedule construction, 1M relays × 3 BWAuths; fails under 10x the seed reference", Run: runScheduleBuild1M},
 		{Name: "v3bw-roundtrip-1m", Desc: "streaming v3bw write + line-at-a-time parse of a 1M-entry bandwidth file", Run: runV3BWRoundtrip},
 		{Name: "adversary-matrix", Desc: "§5 attack × estimator robustness matrix; fails if FlashFlow advantage exceeds 1.4x", Run: runAdversaryMatrix},
+		{Name: "serve-v3bw", Desc: "cached /v3bw GETs from the atomically swapped snapshot; fails if the handler allocates or re-renders", Run: runServeV3BW},
 	}
 }
 

@@ -16,17 +16,29 @@
 // alerts to the log and, with -alert-webhook, to a webhook with
 // retry/backoff.
 //
+// With -state-dir set, the coordinator's cross-round state (per-relay
+// priors, §5 anomaly windows, round counter, last published v3bw
+// snapshot) is durable (internal/store): every mutation is logged to a
+// CRC-framed write-ahead log and a full snapshot is checkpointed every
+// -checkpoint-every rounds, so a restart with the same -state-dir resumes
+// warm — same priors, same anomaly windows, next round number — instead
+// of re-converging from consensus estimates. See OPERATIONS.md for the
+// state-dir layout and recovery semantics.
+//
 // SIGINT or SIGTERM triggers a graceful shutdown: in-flight measurement
 // slots are cancelled mid-slot (the streaming backends tear them down
 // within about one second of data, salvaging the completed seconds as
 // partial estimates), the HTTP server drains, pending alerts flush, the
-// final (partial) round is reported, and the process exits cleanly.
+// final (partial) round is reported, a final checkpoint is flushed so
+// even an interrupt loses at most the in-flight round, and the process
+// exits cleanly.
 //
 // Usage:
 //
 //	go run ./cmd/coordd [-relays 4] [-measurers 2] [-workers 4] \
 //	    [-rounds 0] [-interval 2s] [-slot 1] [-slot-timeout 0] [-pool 4] \
 //	    [-pool-ttl 90s] [-snapshot-dir DIR] [-attempts 3] [-relay-rate 0] \
+//	    [-state-dir DIR] [-checkpoint-every 1] [-no-persist] \
 //	    [-sim] [-http-addr 127.0.0.1:8570] [-debug-addr 127.0.0.1:8571] \
 //	    [-log-format text|json] [-alert-webhook URL]
 package main
@@ -52,6 +64,7 @@ import (
 	"flashflow/internal/metrics"
 	"flashflow/internal/obs"
 	"flashflow/internal/relay"
+	"flashflow/internal/store"
 	"flashflow/internal/wire"
 )
 
@@ -116,6 +129,9 @@ func run() error {
 		attempts    = flag.Int("attempts", 3, "max measurement attempts per slot")
 		slotTimeout = flag.Duration("slot-timeout", 0, "wall-clock bound per slot assignment; its context is cancelled on expiry (0 = off)")
 		relayRate   = flag.Float64("relay-rate", 0, "per-relay attempt rate limit per second (0 = off)")
+		stateDir    = flag.String("state-dir", "", "directory for durable coordinator state (priors, anomaly windows, round counter, last v3bw); empty = in-memory only")
+		ckptEvery   = flag.Int("checkpoint-every", 1, "rounds between full state checkpoints (the WAL covers the gap)")
+		noPersist   = flag.Bool("no-persist", false, "ignore -state-dir and run without durable state")
 		sim         = flag.Bool("sim", false, "simulated measurement backend: deterministic, no sockets, rounds complete instantly")
 		httpAddr    = flag.String("http-addr", "", "observability HTTP listen address (/metrics, /status, /v3bw); empty = off")
 		debugAddr   = flag.String("debug-addr", "", "pprof listen address (net/http/pprof); empty = off")
@@ -205,6 +221,19 @@ func run() error {
 		Counters:   counters,
 	})
 
+	// Durable state: opened before the coordinator so New can replay the
+	// WAL onto the latest snapshot and resume warm. Closed after Run's
+	// final checkpoint has flushed.
+	var durable store.Store
+	if *stateDir != "" && !*noPersist {
+		fs, err := store.Open(*stateDir, store.Options{})
+		if err != nil {
+			return fmt.Errorf("coordd: open state dir: %w", err)
+		}
+		defer fs.Close()
+		durable = fs
+	}
+
 	var c *coord.Coordinator
 	cfg := coord.Config{
 		Params:              p,
@@ -217,6 +246,8 @@ func run() error {
 		MaxRounds:           *rounds,
 		SnapshotDir:         *snapshotDir,
 		Pool:                pool,
+		Store:               durable,
+		CheckpointEvery:     *ckptEvery,
 		Counters:            counters,
 		OnSnapshot: func(round int, f *dirauth.BandwidthFile) {
 			if err := snapshot.Publish(round, f, time.Now()); err != nil {
@@ -234,6 +265,16 @@ func run() error {
 	c, err := coord.New(cfg, auths, source)
 	if err != nil {
 		return err
+	}
+	if durable != nil {
+		s := c.Status()
+		log.event("recover",
+			fmt.Sprintf("coordd: durable state from %s: resuming after round %d (%d priors, %d anomaly records)",
+				*stateDir, s.Round, s.Counters["coord_store_recovered_priors"], s.Counters["coord_store_recovered_anomalies"]),
+			"state_dir", *stateDir,
+			"round", s.Round,
+			"priors", s.Counters["coord_store_recovered_priors"],
+			"anomalies", s.Counters["coord_store_recovered_anomalies"])
 	}
 
 	srv := obs.NewServer(obs.Config{Coordinator: c, Counters: counters, Snapshot: snapshot})
@@ -437,11 +478,4 @@ func wireSetup(log *logger, relays, measurers int, baseMbit float64, poolSize in
 		pool.Close()
 	}
 	return auths, source, pool, cleanup, nil
-}
-
-// httpServer is a minimal serve wrapper for the debug listener (the obs
-// Server owns graceful drain for the public listener; pprof is loopback
-// tooling and is torn down by closing its listener).
-type httpServer struct {
-	handler interface{ ServeHTTP(w, r any) }
 }

@@ -1,0 +1,131 @@
+// Command docscheck is the repository's documentation gate, run by the
+// CI docs job. It enforces two invariants that otherwise rot silently:
+//
+//   - every Go package under internal/ has a package comment (the
+//     doc-comment attached to its package clause, conventionally in
+//     doc.go), so `go doc` on any package explains what it is and which
+//     paper section it implements;
+//
+//   - every relative link in the root-level markdown files (README.md,
+//     OPERATIONS.md, PAPER.md, ...) resolves to a file that exists, so
+//     renamed or deleted docs break the build instead of the reader.
+//
+// Usage: docscheck [-root dir]. Exits non-zero listing every violation.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+func main() {
+	root := flag.String("root", ".", "repository root to check")
+	flag.Parse()
+
+	var problems []string
+	pkgProblems, err := checkPackageDocs(filepath.Join(*root, "internal"))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "docscheck: %v\n", err)
+		os.Exit(2)
+	}
+	problems = append(problems, pkgProblems...)
+
+	linkProblems, err := checkMarkdownLinks(*root)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "docscheck: %v\n", err)
+		os.Exit(2)
+	}
+	problems = append(problems, linkProblems...)
+
+	for _, p := range problems {
+		fmt.Println(p)
+	}
+	if len(problems) > 0 {
+		fmt.Printf("docscheck: %d problem(s)\n", len(problems))
+		os.Exit(1)
+	}
+	fmt.Println("docscheck: ok")
+}
+
+// checkPackageDocs walks every directory under root that contains Go
+// files and reports packages whose package clause carries no doc
+// comment in any non-test file.
+func checkPackageDocs(root string) ([]string, error) {
+	var problems []string
+	err := filepath.WalkDir(root, func(dir string, d fs.DirEntry, err error) error {
+		if err != nil || !d.IsDir() {
+			return err
+		}
+		fset := token.NewFileSet()
+		pkgs, err := parser.ParseDir(fset, dir, func(fi fs.FileInfo) bool {
+			return !strings.HasSuffix(fi.Name(), "_test.go")
+		}, parser.ParseComments|parser.PackageClauseOnly)
+		if err != nil {
+			return fmt.Errorf("parse %s: %w", dir, err)
+		}
+		for name, pkg := range pkgs {
+			documented := false
+			for _, f := range pkg.Files {
+				if f.Doc != nil && strings.TrimSpace(f.Doc.Text()) != "" {
+					documented = true
+					break
+				}
+			}
+			if !documented {
+				problems = append(problems, fmt.Sprintf("%s: package %s has no package comment", dir, name))
+			}
+		}
+		return nil
+	})
+	sort.Strings(problems)
+	return problems, err
+}
+
+// mdLink matches inline markdown links and images. Reference-style
+// links are rare in this repo and not checked.
+var mdLink = regexp.MustCompile(`!?\[[^\]]*\]\(([^)\s]+)[^)]*\)`)
+
+// checkMarkdownLinks validates relative link targets in root-level
+// *.md files. External schemes and pure in-page anchors are skipped;
+// a relative target's anchor fragment is stripped before the existence
+// check.
+func checkMarkdownLinks(root string) ([]string, error) {
+	files, err := filepath.Glob(filepath.Join(root, "*.md"))
+	if err != nil {
+		return nil, err
+	}
+	var problems []string
+	for _, md := range files {
+		data, err := os.ReadFile(md)
+		if err != nil {
+			return nil, err
+		}
+		for _, line := range strings.Split(string(data), "\n") {
+			for _, m := range mdLink.FindAllStringSubmatch(line, -1) {
+				target := m[1]
+				if strings.Contains(target, "://") || strings.HasPrefix(target, "mailto:") || strings.HasPrefix(target, "#") {
+					continue
+				}
+				if i := strings.IndexByte(target, '#'); i >= 0 {
+					target = target[:i]
+				}
+				if target == "" {
+					continue
+				}
+				if _, err := os.Stat(filepath.Join(filepath.Dir(md), target)); err != nil {
+					problems = append(problems, fmt.Sprintf("%s: broken relative link %q", md, m[1]))
+				}
+			}
+		}
+	}
+	sort.Strings(problems)
+	return problems, nil
+}

@@ -1,0 +1,102 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func write(t *testing.T, path, content string) {
+	t.Helper()
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckPackageDocs(t *testing.T) {
+	root := t.TempDir()
+	write(t, filepath.Join(root, "internal/good/doc.go"),
+		"// Package good is documented.\npackage good\n")
+	write(t, filepath.Join(root, "internal/good/extra.go"),
+		"package good\n")
+	write(t, filepath.Join(root, "internal/bad/bad.go"),
+		"package bad\n")
+	// A test-only doc comment must not count.
+	write(t, filepath.Join(root, "internal/testdoc/code.go"),
+		"package testdoc\n")
+	write(t, filepath.Join(root, "internal/testdoc/code_test.go"),
+		"// Package testdoc would be documented only in tests.\npackage testdoc\n")
+
+	problems, err := checkPackageDocs(filepath.Join(root, "internal"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(problems) != 2 {
+		t.Fatalf("got %d problems, want 2: %v", len(problems), problems)
+	}
+	for _, pkg := range []string{"bad", "testdoc"} {
+		found := false
+		for _, p := range problems {
+			if strings.Contains(p, "package "+pkg+" has no package comment") {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("missing problem for package %s in %v", pkg, problems)
+		}
+	}
+}
+
+func TestCheckMarkdownLinks(t *testing.T) {
+	root := t.TempDir()
+	write(t, filepath.Join(root, "EXISTS.md"), "target\n")
+	write(t, filepath.Join(root, "README.md"), strings.Join([]string{
+		"[ok](EXISTS.md) and [anchored](EXISTS.md#section)",
+		"[external](https://example.com/x.md) [anchor](#local)",
+		"[broken](MISSING.md)",
+		"![img](missing.png)",
+	}, "\n"))
+
+	problems, err := checkMarkdownLinks(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(problems) != 2 {
+		t.Fatalf("got %d problems, want 2: %v", len(problems), problems)
+	}
+	for _, want := range []string{`"MISSING.md"`, `"missing.png"`} {
+		found := false
+		for _, p := range problems {
+			if strings.Contains(p, want) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("missing problem for %s in %v", want, problems)
+		}
+	}
+}
+
+// TestRepoIsClean runs both checks against the real repository so the
+// unit tests and the CI gate cannot drift apart.
+func TestRepoIsClean(t *testing.T) {
+	root := "../.."
+	if _, err := os.Stat(filepath.Join(root, "go.mod")); err != nil {
+		t.Skip("repo root not found")
+	}
+	pkgProblems, err := checkPackageDocs(filepath.Join(root, "internal"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	linkProblems, err := checkMarkdownLinks(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range append(pkgProblems, linkProblems...) {
+		t.Error(p)
+	}
+}

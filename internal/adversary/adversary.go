@@ -1,22 +1,3 @@
-// Package adversary implements the §5 malicious-relay behaviors as live
-// attacks on the measurement pipeline. Where core.SimBackend's
-// TargetBehavior bakes a couple of adversarial modes into the simulation
-// itself, this package attacks at the sample-stream boundary instead: an
-// adversary.Backend wraps any core.Backend — the simulation backend, the
-// wire backend over real sockets, or a benchmark's instant backend — and
-// rewrites the per-second measurement data a compromised relay would
-// rewrite, without the inner backend's cooperation.
-//
-// That boundary is exactly the trust boundary the paper analyzes: a
-// malicious relay controls what it echoes and what it reports, but not
-// what the measurers verifiably received or the BWAuth-side aggregation.
-// Every attack here therefore transforms (per-measurer echoed bytes,
-// relay-reported normal bytes) per second, and the §5 defenses in
-// internal/core — the r-ratio clamp, the 1/(1−r) estimate invariant,
-// echo verification, per-team cross-checks, cross-BWAuth medians — are
-// what bound the damage. The adversary-matrix experiment
-// (internal/experiments) runs every attack against FlashFlow and the
-// TorFlow/PeerFlow/EigenSpeed baselines and checks the bounds hold.
 package adversary
 
 import (

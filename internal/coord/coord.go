@@ -1,21 +1,7 @@
-// Package coord runs FlashFlow as a long-lived service: a Coordinator
-// owns a set of bandwidth authorities and repeatedly executes the §4.3
-// measurement schedule over the full relay population — one round per
-// measurement period — feeding each round's estimates back into the next
-// round's scheduling priors and publishing v3bw-style bandwidth-file
-// snapshots for directory-authority aggregation (§4.2–§5).
-//
-// The seed system only supported one-shot runs; this package adds the
-// operational machinery a continuous deployment needs: a bounded worker
-// pool executing a round's slot assignments concurrently against
-// concurrency-safe BWAuths, retry with exponential backoff and jitter for
-// failed or inconclusive slots, a per-relay rate limiter so a flapping
-// relay cannot monopolize team capacity, a per-target connection pool
-// (Pool) reusing authenticated wire connections across rounds, and a
-// Status/counters surface wired into internal/metrics.
 package coord
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"fmt"
@@ -29,6 +15,7 @@ import (
 	"flashflow/internal/dirauth"
 	"flashflow/internal/metrics"
 	"flashflow/internal/stats"
+	"flashflow/internal/store"
 )
 
 // RelaySource yields the relay population at the start of each round: the
@@ -89,8 +76,11 @@ type Config struct {
 	// RoundInterval is the pause between the end of one round and the
 	// start of the next; zero runs rounds back to back.
 	RoundInterval time.Duration
-	// MaxRounds stops Run after that many rounds; zero runs until the
-	// context is cancelled.
+	// MaxRounds stops Run after this process has executed that many
+	// rounds; zero runs until the context is cancelled. With a Store, the
+	// count is rounds run by this process, not the recovered absolute
+	// round number: a coordinator resuming at round 12 with MaxRounds=2
+	// runs rounds 13 and 14.
 	MaxRounds int
 	// SnapshotDir, when set, receives a v3bw-style bandwidth-file
 	// snapshot every SnapshotEvery rounds (default every round).
@@ -121,6 +111,20 @@ type Config struct {
 	// different teams different capacities (default 1.5; §5 selective
 	// lying). Zero selects the default; negative disables the check.
 	SplitViewFactor float64
+	// Store, when set, makes the coordinator's cross-round state durable:
+	// New recovers the store's state before the first round (priors,
+	// anomaly windows, round counter, the last published v3bw snapshot —
+	// which is republished through OnSnapshot during New so /v3bw serves
+	// immediately), every prior/anomaly mutation is WAL-appended as it
+	// happens, and a full checkpoint is written every CheckpointEvery
+	// rounds and again when Run returns, so even SIGINT loses at most
+	// the in-flight round. Store errors after recovery never fail a
+	// round; they are counted in coord_store_errors.
+	Store store.Store
+	// CheckpointEvery is the checkpoint cadence in rounds (default 1).
+	// Large populations can raise it to amortize snapshot writes; the
+	// WAL covers the rounds in between.
+	CheckpointEvery int
 	// Counters receives the coordinator's operational counters; a fresh
 	// registry is created when nil.
 	Counters *metrics.Counters
@@ -157,6 +161,9 @@ func (cfg Config) withDefaults() Config {
 	}
 	if cfg.SplitViewFactor == 0 {
 		cfg.SplitViewFactor = 1.5
+	}
+	if cfg.CheckpointEvery <= 0 {
+		cfg.CheckpointEvery = 1
 	}
 	if cfg.Counters == nil {
 		cfg.Counters = metrics.NewCounters()
@@ -284,6 +291,16 @@ type Coordinator struct {
 	keepBuf  map[string]bool
 	col      roundCollector
 
+	// Durable-state bookkeeping, touched only by New and Run's
+	// goroutine: the last published merged v3bw file (retained so
+	// checkpoints can persist it), its round, the round of the most
+	// recent checkpoint (so Run's final flush skips a round that
+	// finishRound already checkpointed), and a reused WAL record batch.
+	lastV3BW      *dirauth.BandwidthFile
+	lastV3BWRound int
+	ckptRound     int
+	recBuf        []store.Record
+
 	mu       sync.Mutex
 	round    int
 	inFlight int
@@ -355,7 +372,64 @@ func New(cfg Config, auths []*core.BWAuth, source RelaySource) (*Coordinator, er
 		a.Backend = &progressTee{inner: inner, c: c, auth: a.Name}
 	}
 	c.registerCounters()
+	if cfg.Store != nil {
+		if err := c.recover(); err != nil {
+			return nil, err
+		}
+	}
 	return c, nil
+}
+
+// recover loads the durable store's state into a freshly built
+// coordinator: priors and §5 anomaly windows resume exactly where the
+// previous process left them, the round counter continues (Run starts at
+// the recovered round + 1), every BWAuth's measurement priors are
+// re-seeded so the first round's doubling loops start from the earned
+// estimates instead of the new-relay percentile, and the last published
+// v3bw snapshot — if one was checkpointed — is pushed through OnSnapshot
+// so the observability plane serves it before the first new round
+// completes.
+func (c *Coordinator) recover() error {
+	st, err := c.cfg.Store.Load()
+	if err != nil {
+		return fmt.Errorf("coord: recover durable state: %w", err)
+	}
+	c.mu.Lock()
+	c.round = st.Round
+	c.ckptRound = st.Round
+	for name, bps := range st.Priors {
+		c.priors[name] = bps
+	}
+	for name, rec := range st.Anomalies {
+		c.anomalies[name] = &relayAnomaly{counts: rec.Counts, lastSeen: rec.LastSeen}
+	}
+	c.mu.Unlock()
+	for _, a := range c.auths {
+		for name, bps := range st.Priors {
+			if bps > 0 {
+				a.SetPrior(name, bps)
+			}
+		}
+	}
+	ctr := c.cfg.Counters
+	ctr.Set("coord_round", int64(st.Round))
+	ctr.Set("coord_anomaly_relays", int64(len(st.Anomalies)))
+	ctr.Set("coord_store_recovered_priors", int64(len(st.Priors)))
+	ctr.Set("coord_store_recovered_anomalies", int64(len(st.Anomalies)))
+	if len(st.V3BW.Body) > 0 {
+		f, err := dirauth.ParseV3BW(bytes.NewReader(st.V3BW.Body))
+		if err != nil {
+			// The snapshot body was CRC-checked on the way in, so this is
+			// a logic-level surprise; surface it instead of serving junk.
+			return fmt.Errorf("coord: recovered v3bw snapshot: %w", err)
+		}
+		c.lastV3BW, c.lastV3BWRound = f, st.V3BW.Round
+		if c.cfg.OnSnapshot != nil {
+			c.cfg.OnSnapshot(st.V3BW.Round, f)
+			ctr.Inc("coord_snapshots_published")
+		}
+	}
+	return nil
 }
 
 // registerCounters pre-creates every counter and gauge the coordinator
@@ -393,6 +467,11 @@ func (c *Coordinator) registerCounters() {
 		"coord_snapshots_written",
 		"coord_snapshot_errors",
 		"coord_snapshots_published",
+		"coord_store_appended_records",
+		"coord_store_checkpoints",
+		"coord_store_errors",
+		"coord_store_recovered_priors",
+		"coord_store_recovered_anomalies",
 	} {
 		c.cfg.Counters.Add(name, 0)
 	}
@@ -495,7 +574,36 @@ func (c *Coordinator) Priors() map[string]float64 {
 // partial estimates where possible, and slots that had not started are
 // reported as unmeasured in the final (partial) round report.
 func (c *Coordinator) Run(ctx context.Context) error {
-	for round := 1; ; round++ {
+	err := c.run(ctx)
+	// Final checkpoint on the way out — the SIGINT guarantee: whatever
+	// ends the run (cancellation mid-round, MaxRounds, a partial round),
+	// the store's snapshot catches up to the last round whose results
+	// were folded in, so a restart loses at most the round that was in
+	// flight. Skipped when finishRound's cadence checkpoint already
+	// covered this round.
+	if c.cfg.Store != nil {
+		c.mu.Lock()
+		round := c.round
+		c.mu.Unlock()
+		if round != c.ckptRound {
+			c.checkpoint()
+		}
+	}
+	return err
+}
+
+func (c *Coordinator) run(ctx context.Context) error {
+	// Resume after the recovered round: a store that says "round 12 is
+	// durable" means the next work is round 13. Without a store c.round
+	// is zero and this is the classic start at 1.
+	c.mu.Lock()
+	start := c.round + 1
+	c.mu.Unlock()
+	stop := 0
+	if c.cfg.MaxRounds > 0 {
+		stop = start - 1 + c.cfg.MaxRounds
+	}
+	for round := start; ; round++ {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
@@ -503,6 +611,11 @@ func (c *Coordinator) Run(ctx context.Context) error {
 		c.round = round
 		c.mu.Unlock()
 		c.cfg.Counters.Set("coord_round", int64(round))
+		// Logged before the round executes: a crash mid-round recovers
+		// the in-flight round's number, so the restart resumes after it
+		// instead of re-running (and double-counting anomalies for) a
+		// round that partially happened.
+		c.appendStore(store.Record{Kind: store.KindRound, Round: round})
 
 		rep := c.runRound(ctx, round)
 		c.finishRound(&rep)
@@ -512,7 +625,7 @@ func (c *Coordinator) Run(ctx context.Context) error {
 		if rep.Partial {
 			return ctx.Err()
 		}
-		if c.cfg.MaxRounds > 0 && round >= c.cfg.MaxRounds {
+		if stop > 0 && round >= stop {
 			return nil
 		}
 		if c.cfg.Pool != nil {
@@ -555,6 +668,10 @@ func (c *Coordinator) finishRound(rep *RoundReport) {
 		// swaps its cached /v3bw body from it), the snapshot directory
 		// gets the streamed on-disk copy.
 		merged := c.buildSnapshot(rep.Round)
+		// Retain the published file so checkpoints persist it: after a
+		// restart the observability plane serves the last published body
+		// before the first new round completes.
+		c.lastV3BW, c.lastV3BWRound = merged, rep.Round
 		if wantHook {
 			c.cfg.OnSnapshot(rep.Round, merged)
 			ctr.Inc("coord_snapshots_published")
@@ -573,6 +690,55 @@ func (c *Coordinator) finishRound(rep *RoundReport) {
 	repCopy := *rep
 	c.last = &repCopy
 	c.mu.Unlock()
+	if c.cfg.Store != nil && rep.Round%c.cfg.CheckpointEvery == 0 {
+		c.checkpoint()
+	}
+}
+
+// appendStore logs records to the durable store, if one is configured.
+// Store failures after recovery never fail a round: the measurement plane
+// keeps running on its in-memory state and the failure is visible as
+// coord_store_errors. Safe for concurrent use — the store serializes
+// appends internally.
+func (c *Coordinator) appendStore(recs ...store.Record) {
+	if c.cfg.Store == nil || len(recs) == 0 {
+		return
+	}
+	if err := c.cfg.Store.Append(recs...); err != nil {
+		c.cfg.Counters.Inc("coord_store_errors")
+		return
+	}
+	c.cfg.Counters.Add("coord_store_appended_records", int64(len(recs)))
+}
+
+// checkpoint writes the coordinator's full cross-round state (round
+// counter, priors, anomaly windows, last published v3bw body) as a new
+// snapshot generation and resets the WAL. Runs on the round goroutine.
+func (c *Coordinator) checkpoint() {
+	st := store.NewState()
+	c.mu.Lock()
+	st.Round = c.round
+	for name, bps := range c.priors {
+		st.Priors[name] = bps
+	}
+	for name, a := range c.anomalies {
+		st.Anomalies[name] = store.AnomalyRecord{Counts: a.counts, LastSeen: a.lastSeen}
+	}
+	c.mu.Unlock()
+	if c.lastV3BW != nil {
+		body, _, err := c.lastV3BW.Render()
+		if err == nil {
+			st.V3BW = store.V3BW{Round: c.lastV3BWRound, Body: body}
+		} else {
+			c.cfg.Counters.Inc("coord_store_errors")
+		}
+	}
+	if err := c.cfg.Store.Checkpoint(st); err != nil {
+		c.cfg.Counters.Inc("coord_store_errors")
+		return
+	}
+	c.ckptRound = st.Round
+	c.cfg.Counters.Inc("coord_store_checkpoints")
 }
 
 // population builds this round's scheduler input: the source's relay list
@@ -650,8 +816,13 @@ func (c *Coordinator) recordAnomalies(relay string, counts core.AnomalyCounts) {
 	}
 	a.counts.Add(counts)
 	a.lastSeen = c.round
+	rnd := c.round
 	c.mu.Unlock()
 	ctr.Set("coord_anomaly_relays", int64(c.anomalyCount()))
+	// WAL the delta (not the accumulated total): replay re-accumulates,
+	// so evidence logged before a crash survives into the restart's
+	// windows exactly once.
+	c.appendStore(store.Record{Kind: store.KindAnomaly, Relay: relay, Round: rnd, Counts: counts})
 }
 
 func (c *Coordinator) anomalyCount() int {
@@ -830,9 +1001,11 @@ func (c *Coordinator) runRound(ctx context.Context, round int) RoundReport {
 	}
 
 	rep.Estimates = medians
+	recs := c.recBuf[:0]
 	c.mu.Lock()
 	for relay, m := range medians {
 		c.priors[relay] = m
+		recs = append(recs, store.Record{Kind: store.KindPrior, Relay: relay, Bps: m})
 	}
 	c.mu.Unlock()
 
@@ -856,6 +1029,7 @@ func (c *Coordinator) runRound(ctx context.Context, round int) RoundReport {
 	for name := range c.priors {
 		if !keep[name] {
 			delete(c.priors, name)
+			recs = append(recs, store.Record{Kind: store.KindPriorDelete, Relay: name})
 		}
 	}
 	// Anomaly records are retained across churn for the configured
@@ -866,13 +1040,26 @@ func (c *Coordinator) runRound(ctx context.Context, round int) RoundReport {
 	// is forgotten.
 	for name, a := range c.anomalies {
 		if keep[name] {
-			a.lastSeen = round
+			if a.lastSeen != round {
+				// The refresh must reach the WAL too (a zero-count
+				// anomaly record only stamps LastSeen on replay), or a
+				// recovered coordinator would age this relay's window
+				// out earlier than the live one.
+				a.lastSeen = round
+				recs = append(recs, store.Record{Kind: store.KindAnomaly, Relay: name, Round: round})
+			}
 		} else if round-a.lastSeen > c.cfg.AnomalyRetainRounds {
 			delete(c.anomalies, name)
+			recs = append(recs, store.Record{Kind: store.KindAnomalyDelete, Relay: name})
 		}
 	}
 	c.cfg.Counters.Set("coord_anomaly_relays", int64(len(c.anomalies)))
 	c.mu.Unlock()
+	// One batched WAL append per round for the whole feedback-loop
+	// mutation set: medians folded in plus the retention sweep. A single
+	// Append is a single fsync regardless of population size.
+	c.appendStore(recs...)
+	c.recBuf = recs[:0]
 
 	rep.Partial = ctx.Err() != nil
 	rep.Duration = time.Since(start)

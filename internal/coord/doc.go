@@ -1,0 +1,35 @@
+// Package coord runs FlashFlow as a long-lived service: a Coordinator
+// owns a set of bandwidth authorities and repeatedly executes the §4.3
+// measurement schedule over the full relay population — one round per
+// measurement period — feeding each round's estimates back into the next
+// round's scheduling priors and publishing v3bw-style bandwidth-file
+// snapshots for directory-authority aggregation (§4.2–§5).
+//
+// The seed system only supported one-shot runs; this package adds the
+// operational machinery a continuous deployment needs: a bounded worker
+// pool executing a round's slot assignments concurrently against
+// concurrency-safe BWAuths, retry with exponential backoff and jitter for
+// failed or inconclusive slots, a per-relay rate limiter so a flapping
+// relay cannot monopolize team capacity, a per-target connection pool
+// (Pool) reusing authenticated wire connections across rounds, and a
+// Status/counters surface wired into internal/metrics.
+//
+// # Durable state
+//
+// A Coordinator configured with a store.Store survives restarts. The
+// paper's deployment model (§4.3) measures the whole network over a
+// multi-day period; losing the scheduling priors on a crash would force
+// the next process to re-run the slow convergence from default
+// capacities, and losing the §5 anomaly windows would reset the evidence
+// an operator needs to act on a misbehaving relay. The coordinator
+// therefore WAL-appends every prior update and anomaly observation as it
+// happens, checkpoints a full snapshot every Config.CheckpointEvery
+// rounds plus once on shutdown, and on construction replays
+// snapshot+WAL so the process resumes exactly where its predecessor
+// stopped: same round counter, same priors, same anomaly retention
+// clocks, and the last published v3bw snapshot re-announced to
+// OnSnapshot so the serving plane is warm before the first new round.
+// Store errors after recovery never fail a round — they increment
+// coord_store_errors and the coordinator keeps measuring, degraded to
+// the durability of its last good write.
+package coord

@@ -1,6 +1,10 @@
 package core
 
-import "math"
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
 
 // This file implements the §5 defense bookkeeping: per-team cross-checks
 // of member-reported vs target-reported bytes, and per-relay anomaly
@@ -55,6 +59,57 @@ func (a *AnomalyCounts) Add(b AnomalyCounts) {
 func (a AnomalyCounts) Total() int64 {
 	return a.ClampedSeconds + a.RatioClampedSlots + a.EchoFailures +
 		a.StallSuspectSlots + a.SkewSuspectSlots + a.SplitViewRounds
+}
+
+// anomalyFields is the number of counter fields the binary encoding
+// carries, in declaration order. The encoding is append-only: a future
+// field is appended here and to the two functions below, never inserted,
+// so old readers skip fields they don't know and old files decode with
+// the missing fields zero.
+const anomalyFields = 6
+
+// AppendBinary appends the counters' durable encoding to buf and returns
+// the extended buffer: a field count followed by that many varints. The
+// field-count prefix is what makes the format extensible — internal/store
+// persists these inside WAL records and snapshots, and files written by a
+// newer flashflow with extra counters still decode here.
+func (a AnomalyCounts) AppendBinary(buf []byte) []byte {
+	buf = binary.AppendUvarint(buf, anomalyFields)
+	for _, v := range [anomalyFields]int64{
+		a.ClampedSeconds, a.RatioClampedSlots, a.EchoFailures,
+		a.StallSuspectSlots, a.SkewSuspectSlots, a.SplitViewRounds,
+	} {
+		buf = binary.AppendVarint(buf, v)
+	}
+	return buf
+}
+
+// DecodeAnomalyCounts decodes an AppendBinary encoding from the front of
+// p, returning the counts and the remaining bytes. Fields beyond the six
+// this version knows are skipped (a newer writer appended counters);
+// fields the encoding lacks stay zero (an older writer knew fewer).
+func DecodeAnomalyCounts(p []byte) (AnomalyCounts, []byte, error) {
+	var a AnomalyCounts
+	fields, n := binary.Uvarint(p)
+	if n <= 0 {
+		return a, p, fmt.Errorf("core: anomaly counts: truncated field count")
+	}
+	p = p[n:]
+	dst := [anomalyFields]*int64{
+		&a.ClampedSeconds, &a.RatioClampedSlots, &a.EchoFailures,
+		&a.StallSuspectSlots, &a.SkewSuspectSlots, &a.SplitViewRounds,
+	}
+	for i := uint64(0); i < fields; i++ {
+		v, n := binary.Varint(p)
+		if n <= 0 {
+			return a, p, fmt.Errorf("core: anomaly counts: truncated field %d of %d", i, fields)
+		}
+		p = p[n:]
+		if i < anomalyFields {
+			*dst[i] = v
+		}
+	}
+	return a, p, nil
 }
 
 // Stall-suspicion window: a rejected attempt whose estimate landed within

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"encoding/binary"
 	"math"
 	"math/rand"
 	"testing"
@@ -142,5 +143,60 @@ func TestAnomalyCountsAddTotal(t *testing.T) {
 	a.Add(AnomalyCounts{StallSuspectSlots: 3, SplitViewRounds: 1, SkewSuspectSlots: 1, RatioClampedSlots: 1})
 	if a.Total() != 9 {
 		t.Fatalf("Total = %d, want 9", a.Total())
+	}
+}
+
+func TestAnomalyCountsBinaryRoundTrip(t *testing.T) {
+	a := AnomalyCounts{
+		ClampedSeconds: 77, RatioClampedSlots: 3, EchoFailures: 2,
+		StallSuspectSlots: 5, SkewSuspectSlots: 1, SplitViewRounds: 9,
+	}
+	buf := a.AppendBinary(nil)
+	trailer := []byte{0xaa, 0xbb}
+	got, rest, err := DecodeAnomalyCounts(append(buf, trailer...))
+	if err != nil {
+		t.Fatalf("DecodeAnomalyCounts: %v", err)
+	}
+	if got != a {
+		t.Fatalf("round trip: got %+v, want %+v", got, a)
+	}
+	if len(rest) != len(trailer) || rest[0] != 0xaa {
+		t.Fatalf("rest = %v, want the 2-byte trailer", rest)
+	}
+}
+
+func TestAnomalyCountsBinaryVersionSkew(t *testing.T) {
+	// A future writer appends extra counter fields: this reader must
+	// decode the six it knows and skip the rest cleanly.
+	a := AnomalyCounts{ClampedSeconds: 4, SplitViewRounds: 2}
+	future := binary.AppendUvarint(nil, 8) // claims 8 fields
+	for _, v := range []int64{a.ClampedSeconds, a.RatioClampedSlots, a.EchoFailures,
+		a.StallSuspectSlots, a.SkewSuspectSlots, a.SplitViewRounds, 42, -7} {
+		future = binary.AppendVarint(future, v)
+	}
+	got, rest, err := DecodeAnomalyCounts(future)
+	if err != nil {
+		t.Fatalf("decode future encoding: %v", err)
+	}
+	if got != a || len(rest) != 0 {
+		t.Fatalf("got %+v (rest %d bytes), want %+v", got, len(rest), a)
+	}
+
+	// An older writer knew fewer fields: the missing ones stay zero.
+	past := binary.AppendUvarint(nil, 2)
+	past = binary.AppendVarint(past, 11)
+	past = binary.AppendVarint(past, 1)
+	got, _, err = DecodeAnomalyCounts(past)
+	if err != nil {
+		t.Fatalf("decode past encoding: %v", err)
+	}
+	want := AnomalyCounts{ClampedSeconds: 11, RatioClampedSlots: 1}
+	if got != want {
+		t.Fatalf("got %+v, want %+v", got, want)
+	}
+
+	// Truncation mid-fields is an error, not zeros.
+	if _, _, err := DecodeAnomalyCounts(binary.AppendUvarint(nil, 3)); err == nil {
+		t.Fatal("truncated encoding accepted")
 	}
 }

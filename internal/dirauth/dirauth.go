@@ -1,7 +1,3 @@
-// Package dirauth implements the directory substrate FlashFlow plugs into:
-// server descriptors, hourly network consensuses, bandwidth files, and the
-// median-of-BWAuths vote aggregation that turns per-team measurements into
-// consensus weights (§2, §4).
 package dirauth
 
 import (

@@ -1,0 +1,17 @@
+// Package dirauth implements the directory substrate FlashFlow plugs
+// into: server descriptors, hourly network consensuses, bandwidth files,
+// and the median-of-BWAuths vote aggregation that turns per-team
+// measurements into consensus weights (§2, §4).
+//
+// The bandwidth-file side (v3bw.go) is the interchange format between
+// the measurement plane and Tor's directory authorities: BandwidthFile
+// renders the v3bw text format deterministically (sorted keys, stable
+// header order) so identical state produces byte-identical bodies — the
+// property the obs package's ETag revalidation and the store package's
+// recovered-snapshot round-trip both rely on — and ParseV3BW reads the
+// same format back, which is how a coordinator recovering from durable
+// state rehydrates its last published snapshot. MergeMedianFile performs
+// the §4.2 per-relay median across independently measuring BWAuth teams,
+// the step that keeps any single compromised team from controlling a
+// relay's consensus weight.
+package dirauth

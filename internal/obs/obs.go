@@ -1,30 +1,3 @@
-// Package obs is the HTTP observability plane for the long-lived
-// FlashFlow service (§4.3, §7 deployment model): an embeddable server
-// exposing the coordinator's operational state to scrapers, operators,
-// and a Tor-scale directory-fetch population.
-//
-// Endpoints:
-//
-//	GET /metrics          Prometheus text exposition of the metrics.Counters
-//	                      registry (byte-deterministic for a fixed state)
-//	                      plus v3bw snapshot gauges
-//	GET /status           JSON snapshot of coord.Status(): round, in-flight
-//	                      slots, live per-slot progress, counters, last round
-//	GET /status/anomalies JSON view of the windowed per-relay §5 anomaly table
-//	GET /v3bw             the latest bandwidth-file snapshot, served from an
-//	                      atomically swapped pre-rendered body with a strong
-//	                      ETag and Last-Modified; If-None-Match revalidation
-//	                      answers 304 without touching the render path
-//	GET /healthz          liveness probe
-//
-// The serving rule that makes /v3bw scale: each round's snapshot is
-// rendered exactly once (SnapshotHolder.Publish, fed by the coordinator's
-// OnSnapshot hook) and every request — a million directory fetches per
-// round, in the paper's deployment model — hits the cached body via one
-// atomic pointer load, zero per-request allocations, zero locks. The
-// debug profiling surface (net/http/pprof) is a separate handler so it
-// can live on a loopback-only listener while the public endpoints face
-// the network.
 package obs
 
 import (

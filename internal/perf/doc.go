@@ -1,0 +1,27 @@
+// Package perf is the reproducible performance harness for the FlashFlow
+// measurement data plane. It runs named throughput scenarios — raw
+// circuit crypto, sender-side batch encoding, single- and
+// multi-connection wire echo measurements over real sockets, a
+// coordinator round over a simulated relay population, million-relay
+// control-plane paths (schedule construction, v3bw round-trip, durable
+// warm recovery), adversary-matrix overhead, and v3bw serving — and
+// emits a machine-readable report (BENCH_wire.json) with cells/sec,
+// MB/s, and allocations per cell.
+//
+// The scenarios exist because the paper's deployment model (§4.3, §7)
+// asks a single coordinator to drive measurements of the entire Tor
+// network: the data-plane scenarios check the per-connection cell path
+// sustains relay-scale rates, and the control-plane scenarios check the
+// per-round bookkeeping stays sub-second at a million relays — a
+// population an order of magnitude beyond today's Tor, so headroom is
+// part of the claim.
+//
+// The report format is stable so CI can diff runs: Compare checks a
+// current report against a checked-in baseline and flags scenarios whose
+// throughput regressed beyond a threshold. Because absolute cells/sec
+// varies across machines, Compare normalizes every scenario's ratio by
+// the median ratio across scenarios — a uniformly slower CI runner moves
+// all ratios together and cancels out, while a genuine regression in one
+// scenario stands out against the median of the rest. An allocations-per-
+// cell check catches hot-path heap allocations machine-independently.
+package perf

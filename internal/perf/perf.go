@@ -1,18 +1,3 @@
-// Package perf is the reproducible performance harness for the FlashFlow
-// measurement data plane. It runs named throughput scenarios — raw circuit
-// crypto, sender-side batch encoding, single- and multi-connection wire
-// echo measurements over real sockets, and a coordinator round over a
-// simulated relay population — and emits a machine-readable report
-// (BENCH_wire.json) with cells/sec, MB/s, and allocations per cell.
-//
-// The report format is stable so CI can diff runs: Compare checks a
-// current report against a checked-in baseline and flags scenarios whose
-// throughput regressed beyond a threshold. Because absolute cells/sec
-// varies across machines, Compare normalizes every scenario's ratio by
-// the median ratio across scenarios — a uniformly slower CI runner moves
-// all ratios together and cancels out, while a genuine regression in one
-// scenario stands out against the median of the rest. An allocations-per-
-// cell check catches hot-path heap allocations machine-independently.
 package perf
 
 import (
@@ -113,6 +98,7 @@ func Scenarios() []Scenario {
 		{Name: "schedule-build-100k", Desc: "indexed §4.3 schedule construction, 100k relays × 3 BWAuths, vs seed reference", Run: runScheduleBuild100k},
 		{Name: "schedule-build-1m", Desc: "indexed §4.3 schedule construction, 1M relays × 3 BWAuths; fails under 10x the seed reference", Run: runScheduleBuild1M},
 		{Name: "v3bw-roundtrip-1m", Desc: "streaming v3bw write + line-at-a-time parse of a 1M-entry bandwidth file", Run: runV3BWRoundtrip},
+		{Name: "recover-warm-1m", Desc: "durable-state warm recovery (snapshot + WAL replay) of a 1M-relay coordinator; fails unless warm beats a cold v3bw re-parse", Run: runRecoverWarm},
 		{Name: "adversary-matrix", Desc: "§5 attack × estimator robustness matrix; fails if FlashFlow advantage exceeds 1.4x", Run: runAdversaryMatrix},
 		{Name: "serve-v3bw", Desc: "cached /v3bw GETs from the atomically swapped snapshot; fails if the handler allocates or re-renders", Run: runServeV3BW},
 	}

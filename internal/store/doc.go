@@ -1,0 +1,36 @@
+// Package store makes the coordinator's cross-round state durable so a
+// restarted coordd resumes warm instead of forgetting everything the §5
+// defenses depend on: a flapping liar's accumulated anomaly window, the
+// priors honest relays earned over previous rounds, the round counter,
+// and the last published v3bw snapshot. The paper's deployment model
+// (§4.3, §7) is a long-lived measurement service operated by real
+// directory authorities; durable state is what turns a process restart
+// from a measurement-quality reset into a non-event, and it is the
+// prerequisite for rolling upgrades and a future multi-node BWAuth
+// split.
+//
+// The design is a classic snapshot + append-only WAL pair behind a small
+// Store interface:
+//
+//   - Append logs individual mutations (prior updates, anomaly evidence,
+//     round advancement) as CRC-framed records, fsynced per call.
+//   - Checkpoint writes the complete State as an atomically renamed
+//     snapshot and rotates the WAL, bounding replay work.
+//   - Load recovers by reading the latest snapshot and replaying the WAL
+//     records appended after it.
+//
+// Epoch consistency comes from generation pairing: each snapshot/WAL
+// pair shares a generation number, checkpoints bump it, and Load refuses
+// to replay a WAL from a different generation than the snapshot — a
+// crash between the snapshot rename and the WAL rotation leaves a stale
+// WAL whose records are already folded into the snapshot, and it is
+// discarded rather than double-applied.
+//
+// Corruption handling follows standard WAL practice: every record and
+// the snapshot body are CRC32C-framed, a torn or corrupt WAL tail (the
+// normal result of crashing mid-append) is truncated at the last valid
+// record, and both file formats carry a version so future fields extend
+// rather than break old files. FileStore is the production
+// implementation; MemStore implements the same replay semantics in
+// memory for tests.
+package store

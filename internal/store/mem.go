@@ -1,0 +1,106 @@
+package store
+
+import (
+	"fmt"
+	"sync"
+)
+
+// MemStore implements Store in memory with the same replay semantics as
+// FileStore: Load returns the last checkpoint with the appended records
+// applied on top via the shared State.Apply. Tests use it to exercise
+// coordinator persistence without a filesystem, and its bookkeeping
+// (append/checkpoint counts, injectable append failure) drives the
+// error-tolerance tests.
+type MemStore struct {
+	mu sync.Mutex
+	// AppendErr, when set, is returned by every Append — the coordinator
+	// must degrade to counting store errors, not fail rounds.
+	AppendErr error
+
+	snapshot    *State
+	wal         []Record
+	loaded      bool
+	appends     int
+	checkpoints int
+}
+
+// NewMem returns an empty in-memory store.
+func NewMem() *MemStore { return &MemStore{} }
+
+// Seed replaces the store's checkpoint state wholesale (test setup for
+// "recover from a previous life" scenarios). Call before Load.
+func (m *MemStore) Seed(st *State) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.snapshot = st.Clone()
+	m.wal = nil
+}
+
+// Load implements Store.
+func (m *MemStore) Load() (*State, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.loaded = true
+	st := NewState()
+	if m.snapshot != nil {
+		st = m.snapshot.Clone()
+	}
+	for _, rec := range m.wal {
+		st.Apply(rec)
+	}
+	return st, nil
+}
+
+// Append implements Store.
+func (m *MemStore) Append(recs ...Record) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if !m.loaded {
+		return fmt.Errorf("store: append before Load")
+	}
+	if m.AppendErr != nil {
+		return m.AppendErr
+	}
+	m.wal = append(m.wal, recs...)
+	m.appends++
+	return nil
+}
+
+// Checkpoint implements Store.
+func (m *MemStore) Checkpoint(st *State) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if !m.loaded {
+		return fmt.Errorf("store: checkpoint before Load")
+	}
+	m.snapshot = st.Clone()
+	m.wal = nil
+	m.checkpoints++
+	return nil
+}
+
+// Close implements Store; the state stays loadable by a fresh MemStore
+// only if the caller kept a reference — memory stores do not survive the
+// process, which is the point.
+func (m *MemStore) Close() error { return nil }
+
+// Appends reports how many Append batches succeeded.
+func (m *MemStore) Appends() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.appends
+}
+
+// Checkpoints reports how many checkpoints were taken.
+func (m *MemStore) Checkpoints() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.checkpoints
+}
+
+// WALLen reports how many records are logged since the last checkpoint.
+func (m *MemStore) WALLen() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.wal)
+}

@@ -1,0 +1,141 @@
+package store
+
+import "flashflow/internal/core"
+
+// State is the complete durable coordinator state: everything a
+// restarted coordinator needs to resume measurement rounds warm. It is
+// the unit Checkpoint persists and Load recovers.
+type State struct {
+	// Round is the last round whose results are folded into this state;
+	// a recovered coordinator resumes at Round+1.
+	Round int
+	// Priors holds the per-relay median estimates from previous rounds —
+	// the §4.2 doubling-loop starting points and the schedule's capacity
+	// reservations.
+	Priors map[string]float64
+	// Anomalies holds each tracked relay's accumulated §5 defense
+	// counters together with the last round the relay was seen, so the
+	// coordinator's churn-retention window survives a restart and a
+	// flapping liar cannot launder its record by crashing the service.
+	Anomalies map[string]AnomalyRecord
+	// V3BW is the last published bandwidth-file snapshot, kept so the
+	// observability plane's /v3bw endpoint serves immediately after a
+	// restart instead of answering 503 until the first round completes.
+	V3BW V3BW
+}
+
+// AnomalyRecord pairs a relay's accumulated §5 counters with the last
+// round it appeared in the population (the retention-window clock).
+type AnomalyRecord struct {
+	Counts   core.AnomalyCounts
+	LastSeen int
+}
+
+// V3BW is a serialized bandwidth-file snapshot: the v3bw text body
+// published for Round, empty if nothing has been published yet.
+type V3BW struct {
+	Round int
+	Body  []byte
+}
+
+// NewState returns an empty state with allocated maps.
+func NewState() *State {
+	return &State{
+		Priors:    make(map[string]float64),
+		Anomalies: make(map[string]AnomalyRecord),
+	}
+}
+
+// Clone deep-copies the state; the copy shares nothing with st.
+func (st *State) Clone() *State {
+	out := &State{
+		Round:     st.Round,
+		Priors:    make(map[string]float64, len(st.Priors)),
+		Anomalies: make(map[string]AnomalyRecord, len(st.Anomalies)),
+		V3BW:      V3BW{Round: st.V3BW.Round},
+	}
+	for k, v := range st.Priors {
+		out.Priors[k] = v
+	}
+	for k, v := range st.Anomalies {
+		out.Anomalies[k] = v
+	}
+	if len(st.V3BW.Body) > 0 {
+		out.V3BW.Body = append([]byte(nil), st.V3BW.Body...)
+	}
+	return out
+}
+
+// Kind identifies a WAL record's mutation type. Values are part of the
+// on-disk format: never renumber, only append.
+type Kind uint8
+
+const (
+	// KindRound advances the round counter to Record.Round. Appended at
+	// the start of each round, so a crash mid-round recovers with the
+	// in-flight round's number and the restart resumes after it.
+	KindRound Kind = 1
+	// KindPrior sets Priors[Relay] = Bps.
+	KindPrior Kind = 2
+	// KindPriorDelete forgets a departed relay's prior.
+	KindPriorDelete Kind = 3
+	// KindAnomaly folds Counts into Anomalies[Relay] and stamps its
+	// LastSeen with Round. Counts are deltas, not totals: replay
+	// accumulates them exactly like the live coordinator did.
+	KindAnomaly Kind = 4
+	// KindAnomalyDelete forgets a relay whose anomaly record aged out of
+	// the retention window.
+	KindAnomalyDelete Kind = 5
+)
+
+// Record is one WAL mutation. Which fields are meaningful depends on
+// Kind; unused fields are zero and cost one varint each on disk.
+type Record struct {
+	Kind   Kind
+	Round  int
+	Relay  string
+	Bps    float64
+	Counts core.AnomalyCounts
+}
+
+// Apply folds one record into the state. FileStore replay and MemStore
+// share this, so both implementations recover byte-identical state from
+// the same record sequence.
+func (st *State) Apply(rec Record) {
+	switch rec.Kind {
+	case KindRound:
+		st.Round = rec.Round
+	case KindPrior:
+		st.Priors[rec.Relay] = rec.Bps
+	case KindPriorDelete:
+		delete(st.Priors, rec.Relay)
+	case KindAnomaly:
+		a := st.Anomalies[rec.Relay]
+		a.Counts.Add(rec.Counts)
+		a.LastSeen = rec.Round
+		st.Anomalies[rec.Relay] = a
+	case KindAnomalyDelete:
+		delete(st.Anomalies, rec.Relay)
+	}
+}
+
+// Store persists coordinator state as a snapshot plus an append-only log
+// of mutations since it. Implementations must be safe for concurrent
+// Append calls (the coordinator's worker pool logs anomaly evidence from
+// many goroutines); Load/Checkpoint/Close are called from the round
+// goroutine only.
+type Store interface {
+	// Load recovers the persisted state: the latest snapshot with the
+	// WAL replayed on top. A store with nothing persisted returns an
+	// empty state, not an error. Load must be called once, before the
+	// first Append or Checkpoint.
+	Load() (*State, error)
+	// Append durably logs mutations, in order. One call is one batch:
+	// implementations may amortize their sync cost across the batch.
+	Append(recs ...Record) error
+	// Checkpoint atomically persists the complete state and resets the
+	// log; a subsequent Load replays nothing older than st.
+	Checkpoint(st *State) error
+	// Close releases resources. It does not checkpoint.
+	Close() error
+}

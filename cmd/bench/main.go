@@ -24,6 +24,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -84,6 +85,13 @@ func main() {
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "bench:", err)
+		var unknown *perf.UnknownScenarioError
+		if errors.As(err, &unknown) {
+			fmt.Fprintln(os.Stderr, "bench: available scenarios:")
+			for _, n := range unknown.Available {
+				fmt.Fprintln(os.Stderr, "  "+n)
+			}
+		}
 		os.Exit(1)
 	}
 

@@ -1,0 +1,102 @@
+package cell
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/subtle"
+	"fmt"
+)
+
+// Keystream is a random-access view of an AES-128-CTR keystream: it
+// produces the same byte sequence a CryptoState with the same key and IV
+// applies sequentially, but at arbitrary byte offsets and without carrying
+// stream position between calls.
+//
+// The measurement data plane uses it for echo verification: measurement
+// cells travel with all-zero payloads, so the payload an honest target
+// echoes for cell k is exactly the forward keystream segment at offset
+// k·PayloadSize. A measurer that spot-checks cell k (probability p, §4.1)
+// recomputes just that segment instead of running the full forward cipher
+// over every cell it sends — the per-cell sender crypto drops out of the
+// hot path while the target's per-cell work (the thing being measured)
+// stays untouched.
+// A Keystream's methods share per-instance scratch space and must not be
+// called concurrently; give each goroutine (the echo reader owns one per
+// circuit) its own instance. The scratch lives in the struct because
+// stack-local buffers passed through the cipher.Block interface escape to
+// the heap, which would cost two allocations per verified cell.
+type Keystream struct {
+	block   cipher.Block
+	iv      [16]byte
+	ctr, ks [16]byte
+}
+
+// NewKeystream creates a random-access keystream with the given key and
+// IV, matching NewCryptoState(key, iv)'s sequential output.
+func NewKeystream(key, iv [16]byte) (*Keystream, error) {
+	block, err := aes.NewCipher(key[:])
+	if err != nil {
+		return nil, fmt.Errorf("new cipher: %w", err)
+	}
+	ks := &Keystream{block: block, iv: iv}
+	return ks, nil
+}
+
+// counterAt writes the CTR counter block for the given block index into
+// ctr: the IV plus blockIdx, big-endian over the full 16 bytes (the same
+// increment rule crypto/cipher's CTR mode uses).
+func (k *Keystream) counterAt(ctr *[16]byte, blockIdx uint64) {
+	*ctr = k.iv
+	// Add blockIdx into the low 8 bytes, propagating the carry into the
+	// high 8 bytes byte by byte.
+	carry := blockIdx
+	for i := 15; i >= 0 && carry > 0; i-- {
+		sum := uint64(ctr[i]) + (carry & 0xff)
+		ctr[i] = byte(sum)
+		carry = carry>>8 + sum>>8
+	}
+}
+
+// XORAt XORs the keystream bytes [off, off+len(p)) into p in place.
+// Applying it to an all-zero buffer materializes the raw keystream.
+func (k *Keystream) XORAt(p []byte, off uint64) {
+	blockIdx := off / aes.BlockSize
+	skip := int(off % aes.BlockSize)
+	for len(p) > 0 {
+		k.counterAt(&k.ctr, blockIdx)
+		k.block.Encrypt(k.ks[:], k.ctr[:])
+		n := copyXOR(p, k.ks[skip:])
+		p = p[n:]
+		skip = 0
+		blockIdx++
+	}
+}
+
+// copyXOR XORs src into dst up to the shorter length and returns it.
+func copyXOR(dst, src []byte) int {
+	n := min(len(dst), len(src))
+	for i := 0; i < n; i++ {
+		dst[i] ^= src[i]
+	}
+	return n
+}
+
+// VerifyAt reports whether p equals the keystream bytes starting at byte
+// offset off. This is the measurer's echo spot-check: allocation-free, one
+// AES block operation per 16 payload bytes, constant-time comparison per
+// block so a mismatch is detected without leaking its position.
+func (k *Keystream) VerifyAt(p []byte, off uint64) bool {
+	blockIdx := off / aes.BlockSize
+	skip := int(off % aes.BlockSize)
+	ok := 1
+	for len(p) > 0 {
+		k.counterAt(&k.ctr, blockIdx)
+		k.block.Encrypt(k.ks[:], k.ctr[:])
+		n := min(len(p), aes.BlockSize-skip)
+		ok &= subtle.ConstantTimeCompare(p[:n], k.ks[skip:skip+n])
+		p = p[n:]
+		skip = 0
+		blockIdx++
+	}
+	return ok == 1
+}

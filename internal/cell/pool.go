@@ -42,3 +42,40 @@ func PutBatch(b *[]byte) {
 	*b = (*b)[:BatchBytes]
 	batchPool.Put(b)
 }
+
+// SuperBatches is the number of 32-cell batches carried by one pooled
+// super arena. A super arena is the unit of the multiplexed data plane's
+// vectored I/O: senders gather up to SuperBatches batch buffers into one
+// writev, and readers refill from one SuperBytes-long buffer, so a single
+// syscall moves up to SuperBatches×BatchCells cells.
+const SuperBatches = 8
+
+// SuperCells is the number of cells carried by one super arena.
+const SuperCells = SuperBatches * BatchCells
+
+// SuperBytes is the byte length of one pooled super arena.
+const SuperBytes = SuperBatches * BatchBytes
+
+// superPool recycles super arenas across measurement connections.
+var superPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, SuperBytes)
+		return &b
+	},
+}
+
+// GetSuper returns a SuperBytes-long arena from the pool, under the same
+// ownership rules as GetBatch (contents unspecified; return with PutSuper;
+// no aliasing slice may outlive the return).
+func GetSuper() *[]byte {
+	return superPool.Get().(*[]byte)
+}
+
+// PutSuper returns an arena obtained from GetSuper to the pool.
+func PutSuper(b *[]byte) {
+	if b == nil || cap(*b) < SuperBytes {
+		return
+	}
+	*b = (*b)[:SuperBytes]
+	superPool.Put(b)
+}

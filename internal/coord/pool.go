@@ -13,8 +13,11 @@ import (
 // measures every relay every round; the pool keeps each round's
 // authenticated connections alive so the next round's slots skip the TCP
 // dial and identity handshake (the target keeps a connection's
-// authentication for its lifetime, and internal/wire starts a fresh
-// measurement circuit per slot on a reused connection).
+// authentication for its lifetime, and internal/wire builds a fresh set
+// of multiplexed measurement circuits per slot on a reused connection —
+// one warm connection per target per measurer carries the whole slot, so
+// the pool's steady-state size is the team size times the population, not
+// times the socket count).
 //
 // Idle connections are evicted when they outlive IdleTTL or fail the
 // health probe, and at most MaxIdlePerTarget are retained per key; the
@@ -230,10 +233,18 @@ type pooledConn struct {
 }
 
 var _ wire.Session = (*pooledConn)(nil)
+var _ wire.NetConner = (*pooledConn)(nil)
 
 func (c *pooledConn) Authenticated() bool { return c.authed }
 func (c *pooledConn) MarkAuthenticated()  { c.authed = true }
 func (c *pooledConn) MarkReusable()       { c.reusable = true }
+
+// NetConn exposes the underlying connection so the wire layer's vectored
+// batch writes reach the real *net.TCPConn (net.Buffers only does a true
+// writev on an unwrapped TCP connection). Reads and single writes stay on
+// the wrapper; only Close carries pool semantics, and the wire layer
+// never closes through the transport.
+func (c *pooledConn) NetConn() net.Conn { return c.Conn }
 
 // Close parks the connection if the measurement marked it reusable,
 // otherwise really closes it (mid-protocol aborts must never be reused).

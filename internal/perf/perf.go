@@ -90,9 +90,10 @@ type Scenario struct {
 func Scenarios() []Scenario {
 	return []Scenario{
 		{Name: "cell-crypto", Desc: "raw cell.Circuit AES-CTR throughput, single stream", Run: runCellCrypto},
-		{Name: "cell-encode", Desc: "sender-side batch encode: header + payload fill + encrypt", Run: runCellEncode},
+		{Name: "cell-verify", Desc: "random-access keystream verification of echoed cells (measurer check path)", Run: runCellVerify},
 		{Name: "wire-echo-single", Desc: "one measurement circuit over loopback TCP, unlimited rate", Run: runWireEchoSingle},
-		{Name: "wire-echo-team", Desc: "two-measurer team, multiple connections, one target", Run: runWireEchoTeam},
+		{Name: "wire-echo-team", Desc: "two-measurer team, one multiplexed connection each, one target", Run: runWireEchoTeam},
+		{Name: "wire-echo-mux", Desc: "eight circuits multiplexed on a single connection, unlimited rate", Run: runWireEchoMux},
 		{Name: "coord-round", Desc: "coordinator scheduling round over a simulated relay population", Run: runCoordRound},
 		{Name: "coord-round-abort", Desc: "slot-seconds saved by §4.2 early abort vs fixed-length slots, undersized priors", Run: runCoordRoundAbort},
 		{Name: "schedule-build-100k", Desc: "indexed §4.3 schedule construction, 100k relays × 3 BWAuths, vs seed reference", Run: runScheduleBuild100k},
@@ -104,6 +105,18 @@ func Scenarios() []Scenario {
 	}
 }
 
+// UnknownScenarioError reports a requested scenario name that is not
+// registered; Available lists the valid names so callers (cmd/bench) can
+// print them instead of leaving the operator to guess.
+type UnknownScenarioError struct {
+	Name      string
+	Available []string
+}
+
+func (e *UnknownScenarioError) Error() string {
+	return fmt.Sprintf("perf: unknown scenario %q", e.Name)
+}
+
 // Run executes the named scenarios (all when names is empty) and
 // assembles a Report.
 func Run(names []string, opts Options) (Report, error) {
@@ -111,14 +124,16 @@ func Run(names []string, opts Options) (Report, error) {
 	selected := all
 	if len(names) > 0 {
 		byName := make(map[string]Scenario, len(all))
-		for _, s := range all {
+		avail := make([]string, len(all))
+		for i, s := range all {
 			byName[s.Name] = s
+			avail[i] = s.Name
 		}
 		selected = selected[:0]
 		for _, n := range names {
 			s, ok := byName[n]
 			if !ok {
-				return Report{}, fmt.Errorf("perf: unknown scenario %q", n)
+				return Report{}, &UnknownScenarioError{Name: n, Available: avail}
 			}
 			selected = append(selected, s)
 		}

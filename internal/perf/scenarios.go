@@ -5,7 +5,6 @@ import (
 	"errors"
 	"fmt"
 	"math"
-	mrand "math/rand"
 	"net"
 	"runtime"
 	"sync"
@@ -77,18 +76,33 @@ func runCellCrypto(opts Options) (Result, error) {
 	return finish(cells, time.Since(start), before, readMem()), nil
 }
 
-// runCellEncode measures the full sender-side per-cell cost: header write,
-// deterministic payload fill, and in-place forward encryption of a pooled
-// batch — everything measureSocket does per cell except the socket write.
-func runCellEncode(opts Options) (Result, error) {
-	circ, err := cell.NewCircuit(1, []byte("perf-cell-encode"))
+// runCellVerify measures the measurer's echo-check cost: random-access
+// keystream verification of echoed payloads (Keystream.VerifyAt). Cells
+// travel with zero payloads, so the sender's per-cell work is a header
+// write; what the measurer pays per *checked* cell is this verification,
+// and at check probability p it scales the reader's budget by p × this
+// scenario's per-cell cost.
+func runCellVerify(opts Options) (Result, error) {
+	km := cell.DeriveKeys([]byte("perf-cell-verify"))
+	ks, err := cell.NewKeystream(km.ForwardKey, km.ForwardIV)
 	if err != nil {
 		return Result{}, err
 	}
-	rng := mrand.New(mrand.NewSource(1))
+	// Build one batch of genuine echoes: zero payloads run through the
+	// forward cipher, exactly what an honest target returns.
+	circ, err := cell.NewCryptoState(km.ForwardKey, km.ForwardIV)
+	if err != nil {
+		return Result{}, err
+	}
 	buf := cell.GetBatch()
 	defer cell.PutBatch(buf)
 	out := *buf
+	for i := 0; i < cell.BatchCells; i++ {
+		cb := out[i*cell.Size : (i+1)*cell.Size]
+		cell.PutHeader(cb, 1, cell.MsmtData)
+		clear(cell.PayloadOf(cb))
+		circ.ApplyBytes(cell.PayloadOf(cb))
+	}
 
 	window := opts.window()
 	before := readMem()
@@ -97,9 +111,9 @@ func runCellEncode(opts Options) (Result, error) {
 	for time.Since(start) < window {
 		for i := 0; i < cell.BatchCells; i++ {
 			cb := out[i*cell.Size : (i+1)*cell.Size]
-			cell.PutHeader(cb, 1, cell.MsmtData)
-			wire.FillPayload(rng, cell.PayloadOf(cb))
-			circ.Forward.ApplyBytes(cell.PayloadOf(cb))
+			if !ks.VerifyAt(cell.PayloadOf(cb), uint64(i)*cell.PayloadSize) {
+				return Result{}, errors.New("perf: keystream verification failed on honest echo")
+			}
 		}
 		cells += cell.BatchCells
 	}
@@ -188,6 +202,15 @@ func runWireEchoSingle(opts Options) (Result, error) {
 
 func runWireEchoTeam(opts Options) (Result, error) {
 	return echoScenario(opts, 2, 4, 0.01)
+}
+
+// runWireEchoMux stresses the multiplexed data plane: one measurer, one
+// connection, eight concurrent circuits demuxed by CircID, with echo
+// checks sampling at 1%. Compared to wire-echo-single it isolates the
+// cost of circuit demux, sharded sending, and interleaved reassembly on
+// a single socket.
+func runWireEchoMux(opts Options) (Result, error) {
+	return echoScenario(opts, 1, 8, 0.01)
 }
 
 // instantBackend is a deterministic core.Backend whose measurements

@@ -1,71 +1,143 @@
 package wire
 
 import (
-	mrand "math/rand"
+	"io"
+	"net"
 	"testing"
 
 	"flashflow/internal/cell"
 )
 
-// Zero-allocation guards for the measurement data plane (ISSUE 2
-// acceptance: 0 allocs/cell in steady state). Each test exercises the
-// exact per-cell operations its wire path performs, minus the socket:
-// the socket I/O itself (conn.Read/Write on pooled buffers) does not
-// allocate, so these guards pin the full per-cell cost.
+// Zero-allocation guards for the multiplexed measurement data plane
+// (ISSUE 8 acceptance: 0 allocs/cell on the encode, echo, and decode hot
+// paths). Each test exercises the exact per-cell operations its wire path
+// performs, minus the socket: the socket I/O itself (reads, writes, and
+// vectored batch writes on pooled buffers) does not allocate, so these
+// guards pin the full per-cell cost.
 
-// TestSenderEncodePathZeroAllocs covers measureSocket's batch assembly:
-// header write, payload fill, in-place forward encryption.
-func TestSenderEncodePathZeroAllocs(t *testing.T) {
-	circ, err := cell.NewCircuit(1, []byte("alloc"))
-	if err != nil {
-		t.Fatal(err)
-	}
-	rng := mrand.New(mrand.NewSource(1))
+// TestSenderAssemblyZeroAllocs covers a sender shard's batch assembly:
+// the round-robin header rewrite over a zero-payload batch plus the
+// window accounting. Payloads are zeroed once per buffer adoption, not
+// per send, so the steady-state encode cost is the header alone.
+func TestSenderAssemblyZeroAllocs(t *testing.T) {
 	buf := cell.GetBatch()
 	defer cell.PutBatch(buf)
 	out := *buf
+	clearPayloads(out)
+	window := newFlowWindow(4 * cell.BatchCells)
+	const nCirc = 8
+	var base int64
 	if n := testing.AllocsPerRun(100, func() {
-		for i := 0; i < cell.BatchCells; i++ {
-			cb := out[i*cell.Size : (i+1)*cell.Size]
-			cell.PutHeader(cb, 1, cell.MsmtData)
-			FillPayload(rng, cell.PayloadOf(cb))
-			circ.Forward.ApplyBytes(cell.PayloadOf(cb))
+		got := window.tryAcquire(cell.BatchCells)
+		for i := int64(0); i < got; i++ {
+			id := uint32((base+i)%nCirc) + 1
+			cell.PutHeader(out[i*cell.Size:], id, cell.MsmtData)
 		}
+		base += got
+		window.release(got)
 	}); n != 0 {
-		t.Fatalf("sender encode path: %v allocs per %d-cell batch, want 0", n, cell.BatchCells)
+		t.Fatalf("sender assembly path: %v allocs per %d-cell batch, want 0", n, cell.BatchCells)
 	}
 }
 
-// TestTargetEchoPathZeroAllocs covers serveCircuit's per-batch work:
-// command dispatch and in-place decryption of every cell in a batch.
+// discardTransport consumes vectored writes the way a real connection
+// does — through the *net.Buffers pointer — without the socket.
+type discardTransport struct{}
+
+func (discardTransport) Read(p []byte) (int, error)  { return 0, io.EOF }
+func (discardTransport) Write(p []byte) (int, error) { return len(p), nil }
+func (discardTransport) WriteBatches(bufs *net.Buffers) error {
+	_, err := bufs.WriteTo(io.Discard)
+	return err
+}
+
+// TestWriterGatherZeroAllocs covers the paced writer's gather loop: the
+// vector is rebuilt over a long-lived backing array and handed to
+// WriteBatches by pointer. The vector variable must live outside the loop
+// — a per-iteration declaration escapes through the pointer and costs one
+// heap allocation per vectored write (the last steady-state allocation the
+// send path had).
+func TestWriterGatherZeroAllocs(t *testing.T) {
+	var tr Transport = discardTransport{}
+	batches := make([]*[]byte, cell.SuperBatches)
+	for i := range batches {
+		b := cell.GetBatch()
+		defer cell.PutBatch(b)
+		batches[i] = b
+	}
+	backing := make(net.Buffers, cell.SuperBatches)
+	var bufs net.Buffers
+	if n := testing.AllocsPerRun(100, func() {
+		bufs = backing[:0]
+		for _, b := range batches {
+			bufs = append(bufs, (*b)[:cell.BatchBytes])
+		}
+		if err := tr.WriteBatches(&bufs); err != nil {
+			t.Fatal(err)
+		}
+	}); n != 0 {
+		t.Fatalf("writer gather path: %v allocs per %d-batch vectored write, want 0", n, cell.SuperBatches)
+	}
+}
+
+// TestTargetEchoPathZeroAllocs covers serveMux's per-batch work: demux by
+// circuit ID through the circuit table (with the last-circuit cache
+// deliberately defeated by rotating IDs) and in-place decryption of every
+// cell in a batch.
 func TestTargetEchoPathZeroAllocs(t *testing.T) {
-	circ, err := cell.NewCircuit(1, []byte("alloc"))
-	if err != nil {
-		t.Fatal(err)
+	const nCirc = 8
+	var circuits circTable
+	for id := uint32(1); id <= nCirc; id++ {
+		circ, err := cell.NewCircuit(id, []byte("alloc"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		circuits.set(id, circ.Forward)
 	}
 	buf := cell.GetBatch()
 	defer cell.PutBatch(buf)
 	batch := *buf
 	for i := 0; i < cell.BatchCells; i++ {
-		cell.PutHeader(batch[i*cell.Size:], 1, cell.MsmtData)
+		cell.PutHeader(batch[i*cell.Size:], uint32(i%nCirc)+1, cell.MsmtData)
 	}
+	var lastID uint32
+	var lastSt *cell.CryptoState
 	if n := testing.AllocsPerRun(100, func() {
 		for i := 0; i < cell.BatchCells; i++ {
 			cb := batch[i*cell.Size : (i+1)*cell.Size]
-			if cell.CommandOf(cb) == cell.MsmtData {
-				circ.Forward.ApplyBytes(cell.PayloadOf(cb))
+			id := cell.CircIDOf(cb)
+			if cell.CommandOf(cb) != cell.MsmtData {
+				t.Fatal("unexpected command")
 			}
+			st := lastSt
+			if id != lastID || st == nil {
+				st = circuits.get(id)
+				if st == nil {
+					t.Fatal("unknown circuit")
+				}
+				lastID, lastSt = id, st
+			}
+			st.ApplyBytes(cell.PayloadOf(cb))
 		}
 	}); n != 0 {
 		t.Fatalf("target echo path: %v allocs per %d-cell batch, want 0", n, cell.BatchCells)
 	}
 }
 
-// TestReaderDecodePathZeroAllocs covers the measurer reader: batched
-// refill through cellReader plus per-cell header parse and digest check.
+// TestReaderDecodePathZeroAllocs covers the measurer's echo reader:
+// batched refill through cellReader, per-cell header demux, deterministic
+// check sampling, and keystream verification of the sampled cells.
 func TestReaderDecodePathZeroAllocs(t *testing.T) {
-	cr := newCellReader(newCellStream(), make([]byte, cell.BatchBytes))
-	want := cell.Digest(make([]byte, cell.PayloadSize))
+	km := cell.DeriveKeys([]byte("alloc"))
+	ks, err := cell.NewKeystream(km.ForwardKey, km.ForwardIV)
+	if err != nil {
+		t.Fatal(err)
+	}
+	circs := []*cell.Keystream{ks}
+	cr := newCellReader(newCellStream(), make([]byte, cell.SuperBytes))
+	threshold := checkThreshold(0.05)
+	var recvSeq uint64
+	var checked int
 	if n := testing.AllocsPerRun(100, func() {
 		for i := 0; i < cell.BatchCells; i++ {
 			cb, err := cr.next()
@@ -75,11 +147,21 @@ func TestReaderDecodePathZeroAllocs(t *testing.T) {
 			if cell.CommandOf(cb) != cell.MsmtData {
 				t.Fatal("unexpected command")
 			}
-			if cell.Digest(cell.PayloadOf(cb)) != want {
-				t.Fatal("digest mismatch")
+			idx := int(cell.CircIDOf(cb)) - 1
+			seq := recvSeq
+			recvSeq++
+			if checkSampled(7, uint32(idx)+1, seq, threshold) {
+				checked++
+				// The synthetic stream is not a real echo, so the verify
+				// outcome is irrelevant — only its allocation behavior is
+				// under test.
+				_ = circs[idx].VerifyAt(cell.PayloadOf(cb), seq*cell.PayloadSize)
 			}
 		}
 	}); n != 0 {
 		t.Fatalf("reader decode path: %v allocs per %d-cell batch, want 0", n, cell.BatchCells)
+	}
+	if checked == 0 {
+		t.Fatal("check sampling never fired; the guard did not cover the verify path")
 	}
 }

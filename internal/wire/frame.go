@@ -1,8 +1,11 @@
 // Package wire implements the FlashFlow measurement protocol over real
-// network connections: authenticated connections between a BWAuth's
-// measurers and a target relay (§4.1), measurement-circuit setup with an
-// X25519 key exchange, cell streaming with relay-side decryption and echo,
-// probabilistic echo-content verification, and per-second byte accounting.
+// network connections: one authenticated connection between each of a
+// BWAuth's measurers and a target relay (§4.1) multiplexing that
+// measurer's concurrent measurement circuits, in-band circuit setup with
+// an X25519 key exchange (MsmtCreate/MsmtCreated cells), cell streaming
+// with relay-side decryption and echo, probabilistic echo-content
+// verification against the circuit keystream, and per-second byte
+// accounting.
 //
 // This package is the reproduction's substitute for the paper's 1,200-line
 // patch to Tor v0.3.5.7: instead of patching Tor, the target side is a
@@ -23,18 +26,18 @@ import (
 // FrameType identifies a control frame.
 type FrameType uint8
 
-// Control frame types exchanged before and during the cell stream.
+// Control frame types exchanged during the authentication handshake.
+// Circuit setup is not framed: it rides the cell stream itself as
+// MsmtCreate/MsmtCreated cells (the paper's new circuit-creation cell,
+// §4.1), so a multiplexed connection never interleaves frame bytes with
+// cell bytes after authentication. Values 3 and 4 belonged to the retired
+// FrameCreate/FrameCreated and are not reused.
 const (
 	// FrameAuth carries the connecting measurer's public key and its
 	// signature over the server's nonce.
 	FrameAuth FrameType = 1
 	// FrameAuthOK acknowledges successful authentication.
 	FrameAuthOK FrameType = 2
-	// FrameCreate carries the measurer's X25519 public key to establish
-	// the measurement circuit (the paper's new circuit-creation cell).
-	FrameCreate FrameType = 3
-	// FrameCreated carries the target's X25519 public key.
-	FrameCreated FrameType = 4
 	// FrameReject indicates authentication or admission failure.
 	FrameReject FrameType = 5
 )

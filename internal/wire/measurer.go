@@ -7,10 +7,9 @@ import (
 	"crypto/sha256"
 	"errors"
 	"fmt"
-	"io"
 	"math"
-	mrand "math/rand"
 	"net"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -26,8 +25,9 @@ type Dialer func() (net.Conn, error)
 // skips the identity handshake on a connection whose session is already
 // authenticated (the target keeps the authentication for the life of the
 // connection), and marks the session reusable only when the slot ends with
-// the protocol in a clean state — the MsmtEnd echo fully drained — so a
-// torn-down or desynchronized connection is never returned to a pool.
+// the protocol in a clean state — every circuit's MsmtEnd echo fully
+// drained — so a torn-down or desynchronized connection is never returned
+// to a pool.
 type Session interface {
 	// Authenticated reports whether a previous measurement on this
 	// connection already completed the identity handshake.
@@ -35,7 +35,7 @@ type Session interface {
 	// MarkAuthenticated records a completed identity handshake.
 	MarkAuthenticated()
 	// MarkReusable records that the measurement ended cleanly and the
-	// connection can carry another measurement circuit.
+	// connection can carry another measurement's circuits.
 	MarkReusable()
 }
 
@@ -44,17 +44,22 @@ type Session interface {
 type MeasureOptions struct {
 	// Identity authenticates the measurer to the target.
 	Identity Identity
-	// Sockets is this measurer's socket share s/(m) (§4.1).
+	// Sockets is this measurer's socket share s/m (§4.1). The multiplexed
+	// data plane realizes the share as that many concurrent measurement
+	// circuits on a single authenticated connection, so the paper's
+	// parallelism parameter is preserved while the kernel handles one
+	// socket per measurer↔target pair.
 	Sockets int
-	// RateBps is the measurer's allocation a_i; each socket paces itself
-	// to an even share.
+	// RateBps is the measurer's allocation a_i; the connection's single
+	// paced writer holds the aggregate to it.
 	RateBps float64
 	// Duration is the measurement slot length t.
 	Duration time.Duration
-	// CheckProb is the probability p of recording a sent cell's payload
-	// and verifying the echoed contents (§4.1).
+	// CheckProb is the probability p of verifying an echoed cell's
+	// contents (§4.1). Sampling is deterministic in (Seed, circuit, cell
+	// sequence), so no sender-side record of checked cells is needed.
 	CheckProb float64
-	// Seed makes the cell payload stream and check sampling reproducible.
+	// Seed makes the check sampling reproducible.
 	Seed int64
 	// OnSecond, when set, is called once per completed wall-clock second
 	// of the slot, in order, with this measurer's echoed bytes during that
@@ -78,16 +83,37 @@ type MeasureResult struct {
 	Failed bool
 }
 
-// Measure runs one measurer's side of a measurement slot: it opens
-// opts.Sockets connections, authenticates, builds a measurement circuit on
-// each, then streams MsmtData cells full of random bytes as fast as the
-// per-socket rate allows, verifying echoed contents with probability p.
+// maxCircuits caps the concurrent circuits one measurement multiplexes on
+// a connection. Past a couple hundred, more circuits add per-circuit state
+// without adding pipeline depth; a socket share larger than the cap is
+// clamped rather than rejected.
+const maxCircuits = cell.SuperCells
+
+// inflightWindow is the per-circuit contribution to the connection's
+// in-flight cell window, as the paper's clients take "care not to overflow
+// circuit queue length limits" (§3.4). Without a window, a fast sender
+// buries a slower target in kernel buffers and the slot cannot drain
+// cleanly. A small multiple of the batch size keeps batching from starving
+// the pipeline.
+const inflightWindow = 8 * cell.BatchCells
+
+// maxWindowCells caps the aggregate window across all circuits (~1 MiB in
+// flight): beyond that, deeper pipelining only adds drain time.
+const maxWindowCells = 2048
+
+// Measure runs one measurer's side of a measurement slot: it opens one
+// connection, authenticates, multiplexes opts.Sockets measurement circuits
+// onto it, then streams MsmtData cells as fast as the rate allows —
+// sharded fillers assembling batches behind a single paced writer that
+// ships several batches per vectored write — while one reader demultiplexes
+// the echo stream by circuit ID and spot-verifies contents with
+// probability p.
 //
-// Cancelling ctx tears the slot down promptly: every connection is closed
-// (and, when ctx carries a deadline, the connections also wear that
-// deadline), the send/recv loops exit, and Measure returns the per-second
-// bytes of the seconds completed before cancellation together with
-// ctx.Err().
+// Cancelling ctx tears the slot down promptly: the connection is closed
+// (and, when ctx carries a deadline, the connection also wears that
+// deadline), the send/recv goroutines exit, and Measure returns the
+// per-second bytes of the seconds completed before cancellation together
+// with ctx.Err().
 func Measure(ctx context.Context, dial Dialer, opts MeasureOptions) (MeasureResult, error) {
 	if opts.Sockets <= 0 {
 		return MeasureResult{}, errors.New("wire: need at least one socket")
@@ -96,20 +122,16 @@ func Measure(ctx context.Context, dial Dialer, opts MeasureOptions) (MeasureResu
 		return MeasureResult{}, errors.New("wire: nonpositive duration")
 	}
 	seconds := int(math.Ceil(opts.Duration.Seconds()))
-	perSocketRate := opts.RateBps / float64(opts.Sockets)
+	nCirc := opts.Sockets
+	if nCirc > maxCircuits {
+		nCirc = maxCircuits
+	}
 
-	// All sockets of this measurer accumulate into one shared set of
-	// per-second buckets, updated with atomic adds so the hot echo loop
-	// stays lock- and allocation-free while the streamer goroutine below
-	// can observe completed seconds concurrently.
+	// Every circuit accumulates into one shared set of per-second buckets,
+	// updated with atomic adds so the echo loop stays lock- and
+	// allocation-free while the streamer goroutine below can observe
+	// completed seconds concurrently.
 	buckets := make([]atomic.Uint64, seconds)
-
-	var (
-		mu       sync.Mutex
-		checked  int
-		failed   bool
-		firstErr error
-	)
 	start := time.Now()
 
 	done := make(chan struct{})
@@ -122,53 +144,33 @@ func Measure(ctx context.Context, dial Dialer, opts MeasureOptions) (MeasureResu
 		}()
 	}
 
-	var wg sync.WaitGroup
-	for s := 0; s < opts.Sockets; s++ {
-		wg.Add(1)
-		go func(sockIdx int) {
-			defer wg.Done()
-			res, err := measureSocket(ctx, dial, opts, perSocketRate, start, buckets, seconds, opts.Seed+int64(sockIdx))
-			mu.Lock()
-			defer mu.Unlock()
-			if err != nil && firstErr == nil {
-				firstErr = err
-			}
-			checked += res.CellsChecked
-			if res.Failed {
-				failed = true
-			}
-		}(s)
-	}
-	wg.Wait()
+	res, err := measureConn(ctx, dial, opts, nCirc, start, buckets, seconds)
 	close(done)
 	streamWG.Wait()
 
 	completed := seconds
 	if ctxErr := ctx.Err(); ctxErr != nil {
-		// Normalize the per-socket teardown errors (closed connections,
-		// expired deadlines) to the context's own error, and report only
-		// the fully elapsed seconds.
-		firstErr = ctxErr
+		// Normalize the teardown errors (closed connections, expired
+		// deadlines) to the context's own error, and report only the fully
+		// elapsed seconds.
+		err = ctxErr
 		completed = int(time.Since(start) / time.Second)
 		if completed > seconds {
 			completed = seconds
 		}
 	}
-	res := MeasureResult{PerSecondBytes: make([]float64, completed), CellsChecked: checked, Failed: failed}
+	res.PerSecondBytes = make([]float64, completed)
 	for j := 0; j < completed; j++ {
 		res.PerSecondBytes[j] = float64(buckets[j].Load())
 	}
-	if firstErr != nil {
-		return res, firstErr
-	}
-	return res, nil
+	return res, err
 }
 
 // streamSeconds delivers each completed second's byte count to onSecond.
 // It waits slightly past every second boundary so late atomic adds from
-// the reader goroutines are included, and stops as soon as the slot's
-// sockets are done or the context is cancelled — an interrupted slot never
-// streams a second it did not complete.
+// the reader goroutine are included, and stops as soon as the slot is done
+// or the context is cancelled — an interrupted slot never streams a second
+// it did not complete.
 const streamFlushSlack = 20 * time.Millisecond
 
 func streamSeconds(ctx context.Context, done <-chan struct{}, start time.Time, buckets []atomic.Uint64, onSecond func(int, float64)) {
@@ -191,22 +193,97 @@ func streamSeconds(ctx context.Context, done <-chan struct{}, start time.Time, b
 	}
 }
 
-// inflightWindow bounds the number of un-echoed cells in flight per
-// socket, as the paper's clients take "care not to overflow circuit queue
-// length limits" (§3.4). Without it, a fast sender buries a slower target
-// in kernel buffers and the slot cannot drain cleanly. The window is a
-// small multiple of the batch size so batching never starves the pipeline.
-const inflightWindow = 8 * cell.BatchCells
+// flowWindow bounds the un-echoed cells in flight on a connection with a
+// single atomic counter shared by every sender shard, replacing the old
+// per-cell token-channel operations. release wakes at most one blocked
+// shard; further releases arrive batch-by-batch from the reader, so a
+// briefly missed wakeup self-heals.
+type flowWindow struct {
+	capacity int64
+	inflight atomic.Int64
+	wake     chan struct{}
+}
 
-// measureSocket drives a single measurement connection, adding every
-// echoed cell's bytes into the shared per-second buckets.
-func measureSocket(ctx context.Context, dial Dialer, opts MeasureOptions, rateBps float64, start time.Time, buckets []atomic.Uint64, seconds int, seed int64) (MeasureResult, error) {
+func newFlowWindow(capacity int64) *flowWindow {
+	return &flowWindow{capacity: capacity, wake: make(chan struct{}, 1)}
+}
+
+// tryAcquire takes up to n in-flight slots without blocking and returns
+// how many it took (possibly zero).
+func (w *flowWindow) tryAcquire(n int64) int64 {
+	for {
+		cur := w.inflight.Load()
+		free := w.capacity - cur
+		if free <= 0 {
+			return 0
+		}
+		take := min(free, n)
+		if w.inflight.CompareAndSwap(cur, cur+take) {
+			return take
+		}
+	}
+}
+
+// release returns n slots and signals one waiter.
+func (w *flowWindow) release(n int64) {
+	w.inflight.Add(-n)
+	select {
+	case w.wake <- struct{}{}:
+	default:
+	}
+}
+
+// checkSampled reports whether the cell (circID, seq) is spot-checked: a
+// stateless uniform hash of the measurement seed and the cell's identity
+// against a threshold derived from CheckProb. Deterministic sampling keeps
+// the check decision out of the send path entirely — the old shared
+// digest queue cost a mutex and an append per checked cell, which was the
+// per-cell heap traffic the team benchmark showed.
+func checkSampled(seed uint64, circID uint32, seq, threshold uint64) bool {
+	x := seed ^ uint64(circID)*0x9E3779B97F4A7C15 ^ seq*0xBF58476D1CE4E5B9
+	x ^= x >> 33
+	x *= 0xFF51AFD7ED558CCD
+	x ^= x >> 33
+	x *= 0xC4CEB9FE1A85EC53
+	x ^= x >> 33
+	return x < threshold
+}
+
+// checkThreshold converts a check probability to the hash threshold used
+// by checkSampled.
+func checkThreshold(p float64) uint64 {
+	if p <= 0 {
+		return 0
+	}
+	if p >= 1 {
+		return math.MaxUint64
+	}
+	return uint64(p * float64(math.MaxUint64))
+}
+
+// sendReq is one filled batch handed from a sender shard to the paced
+// writer. free is the shard's buffer-recycling channel: the writer pushes
+// the buffer back after the vectored write so the shard can refill it.
+type sendReq struct {
+	buf  *[]byte
+	n    int
+	free chan *[]byte
+}
+
+// shardBufs is how many batch buffers each sender shard cycles through
+// the writer; enough that a shard keeps filling while its previous batches
+// sit in a gathered writev.
+const shardBufs = 4
+
+// measureConn drives one multiplexed measurement connection.
+func measureConn(ctx context.Context, dial Dialer, opts MeasureOptions, nCirc int, start time.Time, buckets []atomic.Uint64, seconds int) (MeasureResult, error) {
+	var res MeasureResult
 	if err := ctx.Err(); err != nil {
-		return MeasureResult{}, err
+		return res, err
 	}
 	conn, err := dial()
 	if err != nil {
-		return MeasureResult{}, fmt.Errorf("dial: %w", err)
+		return res, fmt.Errorf("dial: %w", err)
 	}
 	// Every teardown path — normal return, abort, and the cancellation
 	// watcher below — funnels through one sync.Once: a pooled connection's
@@ -231,173 +308,236 @@ func measureSocket(ctx context.Context, dial Dialer, opts MeasureOptions, rateBp
 	sess, _ := conn.(Session)
 	if sess == nil || !sess.Authenticated() {
 		if err := clientAuthenticate(conn, opts.Identity); err != nil {
-			return MeasureResult{}, err
+			return res, err
 		}
 		if sess != nil {
 			sess.MarkAuthenticated()
 		}
 	}
-	circ, err := clientKeyExchange(conn)
+
+	tr := NewConnTransport(conn)
+	readBuf := cell.GetSuper()
+	defer cell.PutSuper(readBuf)
+	cr := newCellReader(tr, *readBuf)
+
+	circs, err := createCircuits(tr, cr, nCirc)
 	if err != nil {
-		return MeasureResult{}, err
-	}
-
-	var res MeasureResult
-	rng := mrand.New(mrand.NewSource(seed))
-
-	// Digest queue of checked cells: the TCP stream preserves order, so
-	// the reader compares by sequence number.
-	type check struct {
-		seq    uint64
-		digest [8]byte
-	}
-	var (
-		checksMu sync.Mutex
-		checks   []check
-	)
-
-	tokens := make(chan struct{}, inflightWindow)
-
-	// Reader: consume the echo stream batch-refilled from a pooled buffer,
-	// with per-cell accounting done in place — no per-cell allocation, no
-	// per-cell copy.
-	readBuf := cell.GetBatch()
-	defer cell.PutBatch(readBuf)
-	readerDone := make(chan error, 1)
-	go func() {
-		cr := newCellReader(conn, *readBuf)
-		var recvSeq uint64
-		for {
-			cb, err := cr.next()
-			if err != nil {
-				readerDone <- fmt.Errorf("read echo: %w", err)
-				return
-			}
-			if cell.CommandOf(cb) == cell.MsmtEnd {
-				readerDone <- nil
-				return
-			}
-			select {
-			case <-tokens:
-			default:
-			}
-			idx := int(time.Since(start) / time.Second)
-			if idx >= 0 && idx < seconds {
-				buckets[idx].Add(cell.Size)
-			}
-			if opts.CheckProb > 0 {
-				checksMu.Lock()
-				if len(checks) > 0 && checks[0].seq == recvSeq {
-					res.CellsChecked++
-					if cell.Digest(cell.PayloadOf(cb)) != checks[0].digest {
-						res.Failed = true
-					}
-					checks = checks[1:]
-				}
-				checksMu.Unlock()
-			}
-			recvSeq++
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			return res, ctxErr
 		}
+		return res, err
+	}
+
+	deadline := start.Add(opts.Duration)
+	windowCap := int64(inflightWindow) * int64(nCirc)
+	if windowCap > maxWindowCells {
+		windowCap = maxWindowCells
+	}
+	window := newFlowWindow(windowCap)
+	threshold := checkThreshold(opts.CheckProb)
+
+	// Reader: demultiplex the echo stream by circuit ID, verifying sampled
+	// cells against each circuit's forward keystream. It owns
+	// res.CellsChecked/Failed until readerExit closes.
+	readerExit := make(chan struct{})
+	var readerErr error
+	go func() {
+		defer close(readerExit)
+		readerErr = runEchoReader(cr, circs, &res, buckets, seconds, start, window, uint64(opts.Seed), threshold)
 	}()
 
 	// abort tears the connection down and waits for the reader so that no
 	// goroutine still writes to res when we return it.
 	abort := func(e error) (MeasureResult, error) {
 		closeConn()
-		<-readerDone
+		<-readerExit
 		if ctxErr := ctx.Err(); ctxErr != nil {
 			e = ctxErr
 		}
 		return res, e
 	}
 
-	// Sender: paced batches of random-content cells. Each iteration
-	// assembles up to cell.BatchCells cells in a pooled contiguous buffer
-	// — header, payload fill, probabilistic check recording, in-place
-	// forward encryption — then credits the pacer once for the whole
-	// batch and ships it with a single Write.
-	sendBuf := cell.GetBatch()
-	defer cell.PutBatch(sendBuf)
-	out := *sendBuf
-
+	// Writer: the single paced exit point for measurement cells. It drains
+	// the shard queue greedily, credits the pacer once per gathered
+	// super-batch, and ships the whole gather with one vectored write.
 	var pace pacer
-	pace.rateBps = rateBps
-	var sendSeq uint64
-	deadline := start.Add(opts.Duration)
-	waitTimer := time.NewTimer(time.Hour)
-	if !waitTimer.Stop() {
-		<-waitTimer.C
-	}
-	defer waitTimer.Stop()
-	for {
-		if ctx.Err() != nil {
-			return abort(ctx.Err())
-		}
-		now := time.Now()
-		if !now.Before(deadline) {
-			break
-		}
-		// Take as many free in-flight slots as the batch can hold;
-		// block for the first one only, and never past the deadline.
-		n := 0
-	greedy:
-		for n < cell.BatchCells {
-			select {
-			case tokens <- struct{}{}:
-				n++
-			default:
-				break greedy
-			}
-		}
-		if n == 0 {
-			waitTimer.Reset(deadline.Sub(now))
-			select {
-			case tokens <- struct{}{}:
-				if !waitTimer.Stop() {
-					<-waitTimer.C
+	pace.rateBps = opts.RateBps
+	sendQ := make(chan sendReq, 2*cell.SuperBatches)
+	writerExit := make(chan struct{})
+	var writerErr error
+	go func() {
+		defer close(writerExit)
+		backing := make(net.Buffers, cell.SuperBatches)
+		reqs := make([]sendReq, 0, cell.SuperBatches)
+		// bufs lives outside the loop: WriteBatches takes its address, so a
+		// per-iteration declaration would heap-allocate the slice header on
+		// every vectored write (it was the last steady-state allocation on
+		// the send path).
+		var bufs net.Buffers
+		// Gather no more bits per vectored write than one pacing quantum:
+		// syscall batching pays off when the rate is high enough that many
+		// batches fit in a quantum, while at low rates a full super-gather
+		// would pace for hundreds of milliseconds per write and turn the
+		// send stream into coarse bursts.
+		quantum := pace.quantumBits()
+		for req := range sendQ {
+			reqs = append(reqs[:0], req)
+			bits := req.n * cell.Size * 8
+		gather:
+			for len(reqs) < cell.SuperBatches && float64(bits) < quantum {
+				select {
+				case r, ok := <-sendQ:
+					if !ok {
+						break gather
+					}
+					reqs = append(reqs, r)
+					bits += r.n * cell.Size * 8
+				default:
+					break gather
 				}
-				n = 1
-			case <-ctx.Done():
-				return abort(ctx.Err())
-			case <-waitTimer.C:
-				continue // deadline reached while window was full
+			}
+			if writerErr == nil {
+				pace.wait(float64(bits))
+				bufs = backing[:0]
+				for _, r := range reqs {
+					bufs = append(bufs, (*r.buf)[:r.n*cell.Size])
+				}
+				if err := tr.WriteBatches(&bufs); err != nil {
+					writerErr = fmt.Errorf("send cells: %w", err)
+					// Unblock the reader (and through readerExit, the
+					// shards); keep draining sendQ so no shard wedges on a
+					// full queue.
+					closeConn()
+				}
+			}
+			for _, r := range reqs {
+				r.free <- r.buf
 			}
 		}
-		for i := 0; i < n; i++ {
-			cb := out[i*cell.Size : (i+1)*cell.Size]
-			cell.PutHeader(cb, 1, cell.MsmtData)
-			FillPayload(rng, cell.PayloadOf(cb))
-			if opts.CheckProb > 0 && rng.Float64() < opts.CheckProb {
-				checksMu.Lock()
-				checks = append(checks, check{seq: sendSeq + uint64(i), digest: cell.Digest(cell.PayloadOf(cb))})
-				checksMu.Unlock()
-			}
-			// Encrypt forward; the honest target decrypts back to the
-			// random plaintext we recorded.
-			circ.Forward.ApplyBytes(cell.PayloadOf(cb))
-		}
-		pace.wait(float64(n * cell.Size * 8))
-		if _, err := conn.Write(out[:n*cell.Size]); err != nil {
-			return abort(fmt.Errorf("send cells: %w", err))
-		}
-		sendSeq += uint64(n)
+	}()
+
+	// Sender shards: independent goroutines assembling batches for the
+	// writer. Payloads are zeroed once per buffer — measurement cells
+	// travel with all-zero payloads, so per-cell work is just the 5-byte
+	// header naming the next circuit in round-robin order. The proof of
+	// work stays with the target: decrypting a zero payload materializes
+	// its forward keystream, which is exactly what the reader verifies.
+	nShards := runtime.GOMAXPROCS(0)
+	if nShards > nCirc {
+		nShards = nCirc
 	}
-	// Signal the end of the slot and wait for the echo stream to drain.
-	end := out[:cell.Size]
-	cell.PutHeader(end, 1, cell.MsmtEnd)
-	clear(cell.PayloadOf(end))
-	if _, err := conn.Write(end); err != nil {
-		return abort(fmt.Errorf("send end: %w", err))
+	var cellCtr atomic.Int64
+	var shardWG sync.WaitGroup
+	frees := make([]chan *[]byte, nShards)
+	for s := 0; s < nShards; s++ {
+		free := make(chan *[]byte, shardBufs)
+		for i := 0; i < shardBufs; i++ {
+			b := cell.GetBatch()
+			clearPayloads(*b)
+			free <- b
+		}
+		frees[s] = free
+		shardWG.Add(1)
+		go func(free chan *[]byte) {
+			defer shardWG.Done()
+			timer := time.NewTimer(time.Hour)
+			if !timer.Stop() {
+				<-timer.C
+			}
+			defer timer.Stop()
+			for {
+				now := time.Now()
+				if !now.Before(deadline) || ctx.Err() != nil {
+					return
+				}
+				n := window.tryAcquire(cell.BatchCells)
+				if n == 0 {
+					timer.Reset(deadline.Sub(now))
+					select {
+					case <-window.wake:
+						if !timer.Stop() {
+							<-timer.C
+						}
+					case <-timer.C:
+					case <-ctx.Done():
+						timer.Stop()
+						return
+					case <-readerExit:
+						timer.Stop()
+						return
+					}
+					continue
+				}
+				var buf *[]byte
+				select {
+				case buf = <-free:
+				case <-ctx.Done():
+					window.release(n)
+					return
+				case <-readerExit:
+					window.release(n)
+					return
+				}
+				out := *buf
+				base := cellCtr.Add(n) - n
+				for i := int64(0); i < n; i++ {
+					id := uint32((base+i)%int64(nCirc)) + 1
+					cell.PutHeader(out[i*cell.Size:], id, cell.MsmtData)
+				}
+				select {
+				case sendQ <- sendReq{buf: buf, n: int(n), free: free}:
+				case <-ctx.Done():
+					free <- buf
+					window.release(n)
+					return
+				case <-readerExit:
+					free <- buf
+					window.release(n)
+					return
+				}
+			}
+		}(free)
+	}
+
+	shardWG.Wait()
+	close(sendQ)
+	<-writerExit
+	// All batch buffers are back in the shard free lists now: shards exit
+	// holding nothing and the writer returns every queued buffer.
+	for _, free := range frees {
+		for i := 0; i < shardBufs; i++ {
+			cell.PutBatch(<-free)
+		}
+	}
+	if writerErr != nil {
+		return abort(writerErr)
+	}
+	if err := ctx.Err(); err != nil {
+		return abort(err)
+	}
+
+	// End every circuit and wait for the echo stream to drain.
+	endBuf := cell.GetSuper()
+	out := *endBuf
+	for i := 0; i < nCirc; i++ {
+		cb := out[i*cell.Size:]
+		cell.PutHeader(cb, uint32(i)+1, cell.MsmtEnd)
+		clear(cell.PayloadOf(cb))
+	}
+	_, werr := tr.Write(out[:nCirc*cell.Size])
+	cell.PutSuper(endBuf)
+	if werr != nil {
+		return abort(fmt.Errorf("send end: %w", werr))
 	}
 	drainTimer := time.NewTimer(5 * time.Second)
 	defer drainTimer.Stop()
 	select {
-	case err := <-readerDone:
-		if err != nil {
+	case <-readerExit:
+		if readerErr != nil {
 			if ctxErr := ctx.Err(); ctxErr != nil {
-				err = ctxErr
+				return res, ctxErr
 			}
-			return res, err
+			return res, readerErr
 		}
 	case <-ctx.Done():
 		return abort(ctx.Err())
@@ -410,53 +550,134 @@ func measureSocket(ctx context.Context, dial Dialer, opts MeasureOptions, rateBp
 	return res, nil
 }
 
-// clientKeyExchange initiates the X25519 exchange and derives circuit keys.
-func clientKeyExchange(rw io.ReadWriter) (*cell.Circuit, error) {
-	curve := ecdh.X25519()
-	priv, err := curve.GenerateKey(rand.Reader)
-	if err != nil {
-		return nil, fmt.Errorf("keygen: %w", err)
+// clearPayloads zeroes the payload bytes of every cell slot in a pooled
+// batch buffer. Done once when a shard adopts the buffer: headers are
+// rewritten per send, payloads stay zero for the buffer's whole life.
+func clearPayloads(buf []byte) {
+	for off := 0; off+cell.Size <= len(buf); off += cell.Size {
+		clear(buf[off+5 : off+cell.Size])
 	}
-	if err := WriteFrame(rw, FrameCreate, priv.PublicKey().Bytes()); err != nil {
-		return nil, err
-	}
-	var scratch [64]byte
-	ft, payload, err := ReadFrameInto(rw, scratch[:])
-	if err != nil {
-		return nil, err
-	}
-	if ft != FrameCreated || len(payload) != 32 {
-		return nil, ErrBadFrame
-	}
-	peer, err := curve.NewPublicKey(payload)
-	if err != nil {
-		return nil, fmt.Errorf("peer key: %w", err)
-	}
-	shared, err := priv.ECDH(peer)
-	if err != nil {
-		return nil, fmt.Errorf("ecdh: %w", err)
-	}
-	secret := sha256.Sum256(shared)
-	return cell.NewCircuit(1, secret[:])
 }
 
-// FillPayload fills buf from a fast deterministic stream (crypto-strength
-// randomness is unnecessary for payload content; unpredictability to the
-// *target* comes from the forward encryption layer). Exported so the perf
-// harness measures the exact fill the sender performs.
-func FillPayload(rng *mrand.Rand, buf []byte) {
-	for i := 0; i+8 <= len(buf); i += 8 {
-		v := rng.Uint64()
-		buf[i] = byte(v)
-		buf[i+1] = byte(v >> 8)
-		buf[i+2] = byte(v >> 16)
-		buf[i+3] = byte(v >> 24)
-		buf[i+4] = byte(v >> 32)
-		buf[i+5] = byte(v >> 40)
-		buf[i+6] = byte(v >> 48)
-		buf[i+7] = byte(v >> 56)
+// createCircuits establishes nCirc measurement circuits in-band: one
+// MsmtCreate cell per circuit carrying a fresh X25519 public key, shipped
+// in batched writes and answered by the target's MsmtCreated rewrites. It
+// returns each circuit's forward keystream — the random-access view the
+// reader verifies sampled echoes against.
+func createCircuits(tr Transport, cr *cellReader, nCirc int) ([]*cell.Keystream, error) {
+	curve := ecdh.X25519()
+	privs := make([]*ecdh.PrivateKey, nCirc)
+	buf := cell.GetSuper()
+	defer cell.PutSuper(buf)
+	out := *buf
+	for sent := 0; sent < nCirc; {
+		n := min(cell.SuperCells, nCirc-sent)
+		for i := 0; i < n; i++ {
+			priv, err := curve.GenerateKey(rand.Reader)
+			if err != nil {
+				return nil, fmt.Errorf("circuit keygen: %w", err)
+			}
+			privs[sent+i] = priv
+			cb := out[i*cell.Size:]
+			cell.PutHeader(cb, uint32(sent+i)+1, cell.MsmtCreate)
+			p := cell.PayloadOf(cb)
+			copy(p[:32], priv.PublicKey().Bytes())
+			clear(p[32:])
+		}
+		if _, err := tr.Write(out[:n*cell.Size]); err != nil {
+			return nil, fmt.Errorf("send create: %w", err)
+		}
+		sent += n
 	}
-	for i := len(buf) - len(buf)%8; i < len(buf); i++ {
-		buf[i] = byte(rng.Uint32())
+	ks := make([]*cell.Keystream, nCirc)
+	for got := 0; got < nCirc; got++ {
+		cb, err := cr.next()
+		if err != nil {
+			return nil, fmt.Errorf("read created: %w", err)
+		}
+		if cmd := cell.CommandOf(cb); cmd != cell.MsmtCreated {
+			return nil, fmt.Errorf("wire: expected MSMT_CREATED, got %v", cmd)
+		}
+		idx := int(cell.CircIDOf(cb)) - 1
+		if idx < 0 || idx >= nCirc || ks[idx] != nil {
+			return nil, errors.New("wire: bad circuit id in MSMT_CREATED")
+		}
+		peer, err := curve.NewPublicKey(append(make([]byte, 0, 32), cell.PayloadOf(cb)[:32]...))
+		if err != nil {
+			return nil, fmt.Errorf("peer circuit key: %w", err)
+		}
+		shared, err := privs[idx].ECDH(peer)
+		if err != nil {
+			return nil, fmt.Errorf("circuit ecdh: %w", err)
+		}
+		secret := sha256.Sum256(shared)
+		km := cell.DeriveKeys(secret[:])
+		k, err := cell.NewKeystream(km.ForwardKey, km.ForwardIV)
+		if err != nil {
+			return nil, err
+		}
+		ks[idx] = k
+	}
+	return ks, nil
+}
+
+// runEchoReader consumes the echo stream: large vectored refills through
+// the cellReader, per-cell demux by circuit ID, per-batch byte accounting
+// and window release, and deterministic spot checks verified against each
+// circuit's forward keystream. Cells travel with zero payloads, so an
+// honest target's echo of circuit cell k is exactly the forward keystream
+// at offset k·PayloadSize — anything else (a target skipping its decrypt
+// work, §5) fails verification. It returns nil once every circuit's
+// MsmtEnd echo arrived.
+func runEchoReader(cr *cellReader, circs []*cell.Keystream, res *MeasureResult, buckets []atomic.Uint64, seconds int, start time.Time, window *flowWindow, seed, threshold uint64) error {
+	nCirc := len(circs)
+	recvSeq := make([]uint64, nCirc)
+	remaining := nCirc
+	account := func(data int) {
+		idx := int(time.Since(start) / time.Second)
+		if idx >= 0 && idx < seconds {
+			buckets[idx].Add(uint64(data) * cell.Size)
+		}
+		window.release(int64(data))
+	}
+	for {
+		batch, err := cr.nextBatch()
+		if err != nil {
+			return fmt.Errorf("read echo: %w", err)
+		}
+		k := len(batch) / cell.Size
+		data := 0
+		for i := 0; i < k; i++ {
+			cb := batch[i*cell.Size : (i+1)*cell.Size]
+			idx := int(cell.CircIDOf(cb)) - 1
+			switch cmd := cell.CommandOf(cb); cmd {
+			case cell.MsmtData:
+				if idx < 0 || idx >= nCirc {
+					return fmt.Errorf("wire: echo for unknown circuit %d", idx+1)
+				}
+				seq := recvSeq[idx]
+				recvSeq[idx]++
+				data++
+				if threshold > 0 && checkSampled(seed, uint32(idx)+1, seq, threshold) {
+					res.CellsChecked++
+					if !circs[idx].VerifyAt(cell.PayloadOf(cb), seq*cell.PayloadSize) {
+						res.Failed = true
+					}
+				}
+			case cell.MsmtEnd:
+				remaining--
+				if remaining == 0 {
+					if data > 0 {
+						account(data)
+					}
+					return nil
+				}
+			default:
+				return fmt.Errorf("wire: unexpected echo cell %v", cmd)
+			}
+		}
+		if data > 0 {
+			account(data)
+		}
 	}
 }

@@ -89,8 +89,8 @@ func TestTargetHandlesAbruptDisconnect(t *testing.T) {
 	addr, tgt, cleanup := startTarget(t, TargetConfig{RateBps: 8 * mbit}, id)
 	defer cleanup()
 
-	// Authenticate, set up a circuit, send a couple of cells, then slam
-	// the connection shut mid-stream. The target must survive and keep
+	// Authenticate, set up a circuit, send part of a data cell, then slam
+	// the connection shut mid-cell. The target must survive and keep
 	// serving new measurements.
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
@@ -99,18 +99,13 @@ func TestTargetHandlesAbruptDisconnect(t *testing.T) {
 	if err := clientAuthenticate(conn, id); err != nil {
 		t.Fatal(err)
 	}
-	circ, err := clientKeyExchange(conn)
-	if err != nil {
+	tr := NewConnTransport(conn)
+	cr := newCellReader(tr, make([]byte, cell.BatchBytes))
+	if _, err := createCircuits(tr, cr, 1); err != nil {
 		t.Fatal(err)
 	}
-	var c cell.Cell
-	c.CircID = 1
-	c.Cmd = cell.MsmtData
-	circ.Forward.Apply(&c)
 	out := make([]byte, cell.Size)
-	if _, err := c.Marshal(out); err != nil {
-		t.Fatal(err)
-	}
+	cell.PutHeader(out, 1, cell.MsmtData)
 	if _, err := conn.Write(out[:cell.Size/2]); err != nil { // half a cell
 		t.Fatal(err)
 	}

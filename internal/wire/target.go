@@ -23,14 +23,15 @@ type TargetConfig struct {
 	// unlimited.
 	RateBps float64
 	// Corrupt, if set, makes the target skip decryption and echo the
-	// still-encrypted cell — the forging misbehaviour that echo checks
-	// must catch (§5).
+	// cell payload untouched — the forging misbehaviour that echo checks
+	// must catch (§5): the echoed bytes are not the forward keystream a
+	// real decrypt would have produced.
 	Corrupt bool
 }
 
 // Target is the relay-side endpoint: it accepts authenticated measurement
-// connections, performs the circuit key exchange, and decrypt-echoes
-// measurement cells subject to its rate limit.
+// connections, each multiplexing many measurement circuits, and
+// decrypt-echoes measurement cells subject to its rate limit.
 type Target struct {
 	cfg TargetConfig
 
@@ -110,11 +111,11 @@ func (t *Target) Close() {
 }
 
 // HandleConn runs the full target-side protocol on one connection:
-// challenge-authenticate, then serve measurement circuits — key-exchange
-// followed by decrypt-and-echo until MsmtEnd — in a loop, so a connection
-// held open by a measurement coordinator (internal/coord) carries one
-// circuit per slot without re-dialing or re-authenticating. The connection
-// ends when the measurer closes it.
+// challenge-authenticate once, then serve the multiplexed cell stream —
+// circuit creation, decrypt-and-echo, circuit teardown — until the
+// measurer closes the connection. A connection held open by a measurement
+// coordinator (internal/coord) carries every slot's circuits without
+// re-dialing or re-authenticating.
 func (t *Target) HandleConn(conn net.Conn) error {
 	defer conn.Close()
 	t.mu.Lock()
@@ -134,21 +135,18 @@ func (t *Target) HandleConn(conn net.Conn) error {
 		t.mu.Unlock()
 	}()
 
-	// One control-frame scratch buffer serves every handshake on this
-	// connection; frame payloads are copied out when retained.
 	var frameScratch [frameScratchLen]byte
 	pub, err := serverChallenge(conn, allowed, frameScratch[:])
 	if err != nil {
 		return fmt.Errorf("target auth: %w", err)
 	}
-	for {
-		if err := t.serveCircuit(conn, pub, frameScratch[:]); err != nil {
-			if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
-				return nil
-			}
-			return err
+	if err := t.serveMux(conn, pub); err != nil {
+		if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+			return nil
 		}
+		return err
 	}
+	return nil
 }
 
 // authorized reports whether the key is in the current allowed set.
@@ -162,33 +160,110 @@ func (t *Target) authorized(pub ed25519.PublicKey) bool {
 // authorization was withdrawn after the connection authenticated.
 var errRevoked = errors.New("wire: measurer authorization revoked")
 
-// serveCircuit serves one measurement circuit: key exchange, then batched
-// decrypt-and-echo until the measurer sends MsmtEnd. A nil return means
-// the circuit completed cleanly and the connection may carry another.
-// The measurer's authorization is re-checked when the circuit request
-// arrives: Revoke must cut off a measurer even on a connection it already
-// holds open (the pooled-connection case).
-//
-// The echo loop is the relay's hot path and runs allocation-free in steady
-// state: a pooled batch buffer is refilled with one Read for many cells,
-// each cell is decrypted in place (§4.1 — the relay does its real crypto
-// work), the pacer is credited once per batch, and the whole batch is
-// echoed with one Write.
-func (t *Target) serveCircuit(conn net.Conn, pub ed25519.PublicKey, frameScratch []byte) error {
-	circ, err := serverKeyExchange(conn, frameScratch)
-	if err != nil {
-		if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
-			return err
-		}
-		return fmt.Errorf("target kex: %w", err)
-	}
-	if !t.authorized(pub) {
-		return errRevoked
-	}
+// maxConnCircuits bounds the live circuits one connection may hold, so an
+// authorized-but-misbehaving measurer cannot grow the per-connection
+// circuit table without limit.
+const maxConnCircuits = 1024
 
-	batchBuf := cell.GetBatch()
-	defer cell.PutBatch(batchBuf)
-	cr := newCellReader(conn, *batchBuf)
+// errTooManyCircuits reports a connection exceeding maxConnCircuits.
+var errTooManyCircuits = errors.New("wire: too many circuits on one connection")
+
+// circTable maps live circuit IDs to their forward crypto states. The
+// measurer allocates IDs densely from 1, so the fast path is an array
+// index; sparse IDs fall back to a map. Lookup cost matters: the demux
+// loop consults it once per cell that misses the last-circuit cache.
+type circTable struct {
+	dense  []*cell.CryptoState
+	sparse map[uint32]*cell.CryptoState
+	n      int
+}
+
+// denseCircuits is the ID range served by the array fast path.
+const denseCircuits = 512
+
+func (ct *circTable) get(id uint32) *cell.CryptoState {
+	if id < denseCircuits {
+		if int(id) < len(ct.dense) {
+			return ct.dense[id]
+		}
+		return nil
+	}
+	return ct.sparse[id]
+}
+
+func (ct *circTable) set(id uint32, st *cell.CryptoState) {
+	if id < denseCircuits {
+		for int(id) >= len(ct.dense) {
+			ct.dense = append(ct.dense, nil)
+		}
+		if ct.dense[id] == nil {
+			ct.n++
+		}
+		ct.dense[id] = st
+		return
+	}
+	if ct.sparse == nil {
+		ct.sparse = make(map[uint32]*cell.CryptoState)
+	}
+	if ct.sparse[id] == nil {
+		ct.n++
+	}
+	ct.sparse[id] = st
+}
+
+func (ct *circTable) del(id uint32) {
+	if id < denseCircuits {
+		if int(id) < len(ct.dense) && ct.dense[id] != nil {
+			ct.dense[id] = nil
+			ct.n--
+		}
+		return
+	}
+	if _, ok := ct.sparse[id]; ok {
+		delete(ct.sparse, id)
+		ct.n--
+	}
+}
+
+func (ct *circTable) len() int { return ct.n }
+
+// serveMux is the relay's hot path: it serves every circuit of one
+// connection from a single demultiplexing loop, allocation-free in steady
+// state. A pooled super arena is refilled with one large Read for up to
+// SuperCells cells; each data cell is routed by circuit ID (a one-entry
+// cache shortcuts runs of same-circuit cells) and decrypted in place —
+// §4.1's requirement that the relay do its real per-cell crypto work —
+// and the whole batch is echoed with one Write, with the pacer credited
+// once for the batch's data cells.
+//
+// Control cells ride the same stream: MsmtCreate is answered by rewriting
+// the cell in place into MsmtCreated (the X25519 answer key replaces the
+// measurer's), so the echo write returns it with no separate send path,
+// and MsmtEnd drops the circuit and is echoed back as the drain marker.
+// The measurer's authorization is re-checked on every MsmtCreate: Revoke
+// must cut off a measurer even on a connection it already holds open (the
+// pooled-connection case).
+func (t *Target) serveMux(conn net.Conn, pub ed25519.PublicKey) error {
+	tr := NewConnTransport(conn)
+	buf := cell.GetSuper()
+	defer cell.PutSuper(buf)
+	cr := newCellReader(tr, *buf)
+
+	var circuits circTable
+	var lastID uint32
+	var lastSt *cell.CryptoState
+	// Paced echoes go out in chunks of at most one pacing quantum, so a
+	// slow target never sleeps hundreds of milliseconds on one super-batch
+	// and then bursts it: coarse echo bursts straddle the measurer's
+	// per-second accounting boundaries and distort the estimate. Unpaced
+	// targets echo each batch with a single write.
+	chunkBytes := len(*buf)
+	if q := t.pace.quantumBits(); q/8 < float64(chunkBytes) {
+		chunkBytes = int(q/8) / cell.Size * cell.Size
+		if chunkBytes < cell.BatchBytes {
+			chunkBytes = cell.BatchBytes
+		}
+	}
 	for {
 		batch, err := cr.nextBatch()
 		if err != nil {
@@ -198,104 +273,98 @@ func (t *Target) serveCircuit(conn net.Conn, pub ed25519.PublicKey, frameScratch
 			return fmt.Errorf("target read: %w", err)
 		}
 		k := len(batch) / cell.Size
+		dataCells := 0
 		for i := 0; i < k; i++ {
 			cb := batch[i*cell.Size : (i+1)*cell.Size]
+			id := cell.CircIDOf(cb)
 			switch cmd := cell.CommandOf(cb); cmd {
 			case cell.MsmtData:
+				st := lastSt
+				if id != lastID || st == nil {
+					st = circuits.get(id)
+					if st == nil {
+						return fmt.Errorf("target: data for unknown circuit %d", id)
+					}
+					lastID, lastSt = id, st
+				}
 				if !t.cfg.Corrupt {
 					// The relay's real work: decrypt the cell payload.
-					circ.Forward.ApplyBytes(cell.PayloadOf(cb))
+					st.ApplyBytes(cell.PayloadOf(cb))
 				}
+				dataCells++
+			case cell.MsmtCreate:
+				if !t.authorized(pub) {
+					return errRevoked
+				}
+				if circuits.len() >= maxConnCircuits {
+					return errTooManyCircuits
+				}
+				if circuits.get(id) != nil {
+					return fmt.Errorf("target: duplicate circuit %d", id)
+				}
+				st, err := createCircuitCell(cb)
+				if err != nil {
+					return err
+				}
+				circuits.set(id, st)
 			case cell.MsmtEnd:
-				// Echo the decrypted data prefix plus the End marker in
-				// one write so the measurer's reader can finish cleanly;
-				// only the data cells are paced and counted.
-				if i > 0 {
-					t.pace.wait(float64(i * cell.Size * 8))
+				circuits.del(id)
+				if id == lastID {
+					lastSt = nil
 				}
-				if _, err := conn.Write(batch[:(i+1)*cell.Size]); err != nil {
-					return fmt.Errorf("target echo: %w", err)
-				}
-				if i > 0 {
-					t.counts.add(float64(i * cell.Size))
-				}
-				return nil
 			default:
 				return fmt.Errorf("target: unexpected cell %v", cmd)
 			}
 		}
-		t.pace.wait(float64(k * cell.Size * 8))
-		if _, err := conn.Write(batch); err != nil {
-			return fmt.Errorf("target echo: %w", err)
+		if dataCells == 0 || t.pace.rateBps <= 0 {
+			// Control-only batches (circuit setup, teardown) are never
+			// paced: creation must answer promptly even on a slow target.
+			if _, err := tr.Write(batch); err != nil {
+				return fmt.Errorf("target echo: %w", err)
+			}
+		} else {
+			for off := 0; off < len(batch); off += chunkBytes {
+				end := min(off+chunkBytes, len(batch))
+				t.pace.wait(float64((end - off) * 8))
+				if _, err := tr.Write(batch[off:end]); err != nil {
+					return fmt.Errorf("target echo: %w", err)
+				}
+			}
 		}
-		t.counts.add(float64(k * cell.Size))
+		if dataCells > 0 {
+			t.counts.add(float64(dataCells * cell.Size))
+		}
 	}
 }
 
-// serverKeyExchange answers a FrameCreate with FrameCreated and derives
-// the measurement circuit keys. scratch, when non-nil, receives the frame
-// payload (nothing from it is retained past the return).
-func serverKeyExchange(rw io.ReadWriter, scratch []byte) (*cell.Circuit, error) {
-	ft, payload, err := ReadFrameInto(rw, scratch)
-	if err != nil {
-		return nil, err
-	}
-	if ft != FrameCreate || len(payload) != 32 {
-		return nil, ErrBadFrame
-	}
+// createCircuitCell answers an MSMT_CREATE cell: it runs the X25519
+// exchange against the public key in the cell payload and rewrites the
+// cell in place into the MSMT_CREATED answer (command byte and key), so
+// the ordinary echo write delivers it. It returns the circuit's forward
+// crypto state — the only direction the echo path uses.
+func createCircuitCell(cb []byte) (*cell.CryptoState, error) {
 	curve := ecdh.X25519()
-	peerPub, err := curve.NewPublicKey(payload)
+	p := cell.PayloadOf(cb)
+	peer, err := curve.NewPublicKey(append(make([]byte, 0, 32), p[:32]...))
 	if err != nil {
-		return nil, fmt.Errorf("peer key: %w", err)
+		return nil, fmt.Errorf("target: peer circuit key: %w", err)
 	}
 	priv, err := curve.GenerateKey(rand.Reader)
 	if err != nil {
-		return nil, fmt.Errorf("keygen: %w", err)
+		return nil, fmt.Errorf("target: circuit keygen: %w", err)
 	}
-	if err := WriteFrame(rw, FrameCreated, priv.PublicKey().Bytes()); err != nil {
-		return nil, err
-	}
-	shared, err := priv.ECDH(peerPub)
+	shared, err := priv.ECDH(peer)
 	if err != nil {
-		return nil, fmt.Errorf("ecdh: %w", err)
+		return nil, fmt.Errorf("target: circuit ecdh: %w", err)
 	}
 	secret := sha256.Sum256(shared)
-	return cell.NewCircuit(1, secret[:])
-}
-
-// pacer throttles aggregate throughput to rateBps using wall-clock time.
-type pacer struct {
-	mu       sync.Mutex
-	rateBps  float64
-	start    time.Time
-	last     time.Time
-	sentBits float64
-}
-
-// pacerIdleReset bounds how much unused pacing credit an idle gap may
-// accumulate: after this much quiet the pacing window restarts. Without
-// it, a target parked between measurement rounds (pooled connections,
-// internal/coord) banks the whole gap as credit and echoes the next
-// slot's opening cells unpaced, inflating that slot's estimate.
-const pacerIdleReset = 500 * time.Millisecond
-
-func (p *pacer) wait(bits float64) {
-	if p.rateBps <= 0 {
-		return
+	circ, err := cell.NewCircuit(cell.CircIDOf(cb), secret[:])
+	if err != nil {
+		return nil, err
 	}
-	p.mu.Lock()
-	now := time.Now()
-	if p.start.IsZero() || now.Sub(p.last) > pacerIdleReset {
-		p.start = now
-		p.sentBits = 0
-	}
-	p.last = now
-	p.sentBits += bits
-	due := p.start.Add(time.Duration(p.sentBits / p.rateBps * float64(time.Second)))
-	p.mu.Unlock()
-	if d := time.Until(due); d > 0 {
-		time.Sleep(d)
-	}
+	cb[4] = byte(cell.MsmtCreated)
+	copy(p[:32], priv.PublicKey().Bytes())
+	return circ.Forward, nil
 }
 
 // secondCounter accumulates bytes into wall-clock second buckets.

@@ -1,0 +1,65 @@
+package wire
+
+import (
+	"io"
+	"net"
+)
+
+// Transport is the seam between cell framing and the byte transport
+// carrying it. The measurement data plane speaks only this interface:
+// single reads/writes for handshakes and echoes, and WriteBatches for the
+// sender's scatter-gather path. Today the one implementation wraps a TCP
+// connection; a QUIC or UDP transport (§7 extensions) slots in here
+// without touching the cell layer or the measurement loops.
+//
+// Buffer ownership across the seam follows the rules in DESIGN.md: the
+// caller owns every buffer it passes in, the transport must not retain a
+// reference past the call, and WriteBatches may consume (re-slice) the
+// net.Buffers value it is handed — callers rebuild it per call.
+type Transport interface {
+	io.ReadWriter
+	// WriteBatches writes every buffer in *bufs, in order, using as few
+	// syscalls as the transport allows — one writev on a TCP connection.
+	// The slice is consumed: its elements and length are unspecified after
+	// the call returns.
+	WriteBatches(bufs *net.Buffers) error
+}
+
+// NetConner is implemented by connection wrappers (the pooled connections
+// of internal/coord) that can expose the underlying net.Conn. net.Buffers
+// only performs a real vectored write when handed an actual *net.TCPConn —
+// a wrapper type hides the writev fast path — so NewConnTransport unwraps
+// through this interface for the batch-write direction. Reads and single
+// writes stay on the wrapper, whose semantics (pool bookkeeping, Session
+// state) only matter on those paths.
+type NetConner interface {
+	NetConn() net.Conn
+}
+
+// connTransport adapts a net.Conn (possibly wrapped) to Transport.
+type connTransport struct {
+	conn net.Conn  // as handed in: reads and single writes
+	batw io.Writer // unwrapped for WriteBatches, so writev engages
+}
+
+// NewConnTransport wraps conn. If conn is a wrapper chain implementing
+// NetConner, the batch-write path unwraps to the innermost connection.
+func NewConnTransport(conn net.Conn) Transport {
+	var batw io.Writer = conn
+	for {
+		nc, ok := batw.(NetConner)
+		if !ok {
+			break
+		}
+		batw = nc.NetConn()
+	}
+	return &connTransport{conn: conn, batw: batw}
+}
+
+func (t *connTransport) Read(p []byte) (int, error)  { return t.conn.Read(p) }
+func (t *connTransport) Write(p []byte) (int, error) { return t.conn.Write(p) }
+
+func (t *connTransport) WriteBatches(bufs *net.Buffers) error {
+	_, err := bufs.WriteTo(t.batw)
+	return err
+}

@@ -38,14 +38,14 @@ func tcpDialer(addr string) Dialer {
 
 func TestFrameRoundTrip(t *testing.T) {
 	var buf bytes.Buffer
-	if err := WriteFrame(&buf, FrameCreate, []byte("payload")); err != nil {
+	if err := WriteFrame(&buf, FrameAuth, []byte("payload")); err != nil {
 		t.Fatal(err)
 	}
 	ft, payload, err := ReadFrame(&buf)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if ft != FrameCreate || string(payload) != "payload" {
+	if ft != FrameAuth || string(payload) != "payload" {
 		t.Fatalf("round trip: %v %q", ft, payload)
 	}
 }

@@ -14,6 +14,9 @@
 //	                                           # append a one-line run summary (perf trajectory)
 //	go run ./cmd/bench -scenarios schedule-build-1m -cpuprofile cpu.out -memprofile mem.out
 //	                                           # profile one scenario with go tool pprof
+//	go run ./cmd/bench -transport udp -scenarios wire-echo-mux
+//	                                           # run the echo scenarios over the UDP data plane
+//	                                           # (exploratory: baselines are recorded with tcp)
 //
 // The regression check compares cells/sec per scenario against the
 // baseline report, normalizing each scenario's ratio by the median ratio
@@ -47,14 +50,19 @@ func main() {
 		history    = flag.String("history", "", "append a one-line JSON summary of this run to the given JSONL file")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the scenario run to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile taken after the scenario run to this file")
+		transport  = flag.String("transport", "tcp", "data plane for the wire-echo scenarios: tcp or udp (baselines are recorded with tcp)")
 	)
 	flag.Parse()
 
 	if *list {
 		for _, s := range perf.Scenarios() {
-			fmt.Printf("%-18s %s\n", s.Name, s.Desc)
+			fmt.Printf("%-20s %s\n", s.Name, s.Desc)
 		}
 		return
+	}
+	if *transport != "tcp" && *transport != "udp" {
+		fmt.Fprintf(os.Stderr, "bench: unknown -transport %q (want tcp or udp)\n", *transport)
+		os.Exit(1)
 	}
 
 	var names []string
@@ -79,7 +87,7 @@ func main() {
 		defer f.Close()
 	}
 
-	rep, err := perf.Run(names, perf.Options{Quick: *quick, Repeat: *repeat})
+	rep, err := perf.Run(names, perf.Options{Quick: *quick, Repeat: *repeat, Transport: *transport})
 	if *cpuprofile != "" {
 		pprof.StopCPUProfile()
 	}
@@ -111,7 +119,7 @@ func main() {
 	}
 
 	for _, r := range rep.Results {
-		fmt.Printf("%-18s %12.0f cells/s %9.1f MB/s %8.2f allocs/cell (%d cells in %.2fs)\n",
+		fmt.Printf("%-20s %12.0f cells/s %9.1f MB/s %8.2f allocs/cell (%d cells in %.2fs)\n",
 			r.Scenario, r.CellsPerSec, r.MBPerSec, r.AllocsPerOp, r.Cells, r.Seconds)
 	}
 

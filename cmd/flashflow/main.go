@@ -10,7 +10,11 @@
 //
 // Usage:
 //
-//	go run ./cmd/flashflow [-rate 20] [-seconds 5] [-measurers 2] [-sockets 16]
+//	go run ./cmd/flashflow [-rate 20] [-seconds 5] [-measurers 2] [-sockets 16] [-transport tcp|udp]
+//
+// With -transport udp the measurement cells ride loopback datagrams
+// (TCP keeps the control plane) and the summary reports the datagram
+// plane's loss accounting.
 package main
 
 import (
@@ -46,8 +50,12 @@ func run() error {
 		sockets   = flag.Int("sockets", 16, "total measurement sockets s")
 		ratio     = flag.Float64("ratio", 0.25, "normal-traffic ratio r")
 		corrupt   = flag.Bool("corrupt", false, "make the target forge echoes (detection demo)")
+		transport = flag.String("transport", "tcp", "data plane for measurement cells: tcp or udp")
 	)
 	flag.Parse()
+	if *transport != "tcp" && *transport != "udp" {
+		return fmt.Errorf("unknown -transport %q (want tcp or udp)", *transport)
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -62,6 +70,20 @@ func run() error {
 	go target.Serve(listener)
 	addr := listener.Addr().String()
 
+	var dialData func(string) wire.Dialer
+	if *transport == "udp" {
+		uc, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+		if err != nil {
+			return err
+		}
+		defer uc.Close()
+		go target.ServeUDP(wire.NewUDPDatagramConn(uc))
+		udpAddr := uc.LocalAddr().String()
+		dialData = func(string) wire.Dialer {
+			return func() (net.Conn, error) { return net.Dial("udp", udpAddr) }
+		}
+	}
+
 	members := make([]wire.Member, *measurers)
 	team := make([]*core.Measurer, *measurers)
 	for i := range members {
@@ -75,6 +97,7 @@ func run() error {
 			Dial: func(string) wire.Dialer {
 				return func() (net.Conn, error) { return net.Dial("tcp", addr) }
 			},
+			DialData: dialData,
 		}
 		team[i] = &core.Measurer{Name: fmt.Sprintf("m%d", i), CapacityBps: rate * 4, Cores: 2}
 	}
@@ -94,8 +117,8 @@ func run() error {
 	}
 	backend := &wire.Backend{Members: members, CheckProb: checkProb, Seed: time.Now().UnixNano()}
 
-	fmt.Printf("target %s at %.0f Mbit/s; team of %d, s=%d, t=%ds, f=%.2f (ctrl-C cancels cleanly)\n",
-		addr, rate/1e6, *measurers, p.Sockets, p.SlotSeconds, p.ExcessFactor())
+	fmt.Printf("target %s at %.0f Mbit/s over %s; team of %d, s=%d, t=%ds, f=%.2f (ctrl-C cancels cleanly)\n",
+		addr, rate/1e6, *transport, *measurers, p.Sockets, p.SlotSeconds, p.ExcessFactor())
 	out, err := core.MeasureRelay(ctx, backend, team, "target", rate, p)
 	printAttempts(out)
 	if errors.Is(err, context.Canceled) {
@@ -126,6 +149,9 @@ func printAttempts(out core.MeasureOutcome) {
 			note = fmt.Sprintf(" [aborted after %ds]", a.Seconds)
 		} else if a.Seconds > 0 && !a.Accepted && !a.Aborted {
 			note = fmt.Sprintf(" [%ds]", a.Seconds)
+		}
+		if a.SentCells > 0 {
+			note += fmt.Sprintf(" [udp: %d/%d cells lost]", a.LostCells, a.SentCells)
 		}
 		fmt.Printf("attempt %d: alloc %.1f Mbit/s → %.2f Mbit/s (accepted=%v)%s\n",
 			i+1, a.AllocatedBps/1e6, a.EstimateBps/1e6, a.Accepted, note)

@@ -32,7 +32,11 @@ type Command uint8
 // Cell commands. MsmtCreate/MsmtCreated establish a measurement circuit
 // (a new type of circuit-creation cell per §4.1); MsmtData carries
 // measurement payload; MsmtBG carries the relay's per-second background
-// (normal traffic) byte report; MsmtEnd terminates a measurement.
+// (normal traffic) byte report; MsmtEnd terminates a measurement; MsmtUdp
+// binds a datagram data plane to the connection (§7 transport extension):
+// the payload carries an opaque token the measurer repeats in its UDP
+// hello so the target can associate the datagram source address with this
+// connection's circuits.
 const (
 	Padding     Command = 0
 	Create      Command = 1
@@ -44,6 +48,7 @@ const (
 	MsmtData    Command = 12
 	MsmtBG      Command = 13
 	MsmtEnd     Command = 14
+	MsmtUdp     Command = 15
 )
 
 // String implements fmt.Stringer for diagnostics.
@@ -69,6 +74,8 @@ func (c Command) String() string {
 		return "MSMT_BG"
 	case MsmtEnd:
 		return "MSMT_END"
+	case MsmtUdp:
+		return "MSMT_UDP"
 	default:
 		return fmt.Sprintf("UNKNOWN(%d)", uint8(c))
 	}

@@ -1,6 +1,9 @@
 package cell
 
-import "sync"
+import (
+	"sync"
+	"sync/atomic"
+)
 
 // BatchCells is the number of cells carried by one pooled batch buffer.
 // The measurement data plane encodes/decodes up to BatchCells cells into
@@ -28,6 +31,7 @@ var batchPool = sync.Pool{
 // buffer until they pass it to PutBatch and must not retain any slice
 // aliasing it afterwards. See DESIGN.md "Buffer ownership" for the rules.
 func GetBatch() *[]byte {
+	batchGets.Add(1)
 	return batchPool.Get().(*[]byte)
 }
 
@@ -40,6 +44,7 @@ func PutBatch(b *[]byte) {
 		return
 	}
 	*b = (*b)[:BatchBytes]
+	batchPuts.Add(1)
 	batchPool.Put(b)
 }
 
@@ -68,6 +73,7 @@ var superPool = sync.Pool{
 // ownership rules as GetBatch (contents unspecified; return with PutSuper;
 // no aliasing slice may outlive the return).
 func GetSuper() *[]byte {
+	superGets.Add(1)
 	return superPool.Get().(*[]byte)
 }
 
@@ -77,5 +83,40 @@ func PutSuper(b *[]byte) {
 		return
 	}
 	*b = (*b)[:SuperBytes]
+	superPuts.Add(1)
 	superPool.Put(b)
+}
+
+// Pool accounting: cumulative Get/Put counts per pool. An atomic counter
+// costs ~1ns next to a sync.Pool round-trip and buys a leak oracle — any
+// code path that takes a pooled buffer and errors out without returning it
+// shows up as a Get/Put delta. Counters only ever grow; callers diff
+// snapshots around the region under test.
+
+var batchGets, batchPuts, superGets, superPuts atomic.Uint64
+
+// PoolStats is a snapshot of the cumulative pool traffic.
+type PoolStats struct {
+	BatchGets, BatchPuts uint64
+	SuperGets, SuperPuts uint64
+}
+
+// ReadPoolStats returns the cumulative Get/Put counts for the batch and
+// super pools. Leak tests snapshot before and after driving a code path
+// (with every goroutine joined) and assert the Get and Put deltas match.
+func ReadPoolStats() PoolStats {
+	return PoolStats{
+		BatchGets: batchGets.Load(),
+		BatchPuts: batchPuts.Load(),
+		SuperGets: superGets.Load(),
+		SuperPuts: superPuts.Load(),
+	}
+}
+
+// Outstanding returns buffers taken but not yet returned, per pool, for
+// the traffic between two snapshots (s - earlier).
+func (s PoolStats) Outstanding(earlier PoolStats) (batch, super int64) {
+	batch = int64(s.BatchGets-earlier.BatchGets) - int64(s.BatchPuts-earlier.BatchPuts)
+	super = int64(s.SuperGets-earlier.SuperGets) - int64(s.SuperPuts-earlier.SuperPuts)
+	return batch, super
 }

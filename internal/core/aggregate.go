@@ -26,6 +26,13 @@ type MeasurementData struct {
 	// — usable to drive the §4.2 doubling loop, never to conclude a
 	// measurement.
 	Incomplete bool
+	// SentCells and LostCells carry the datagram data plane's loss
+	// accounting, summed across the team (zero on the stream plane, where
+	// nothing can be silently lost). Lost cells already fail to count
+	// toward MeasBytes; these totals exist so operators can tell a slow
+	// relay from a lossy path.
+	SentCells int64
+	LostCells int64
 }
 
 // Truncate trims every per-second series to the first n seconds — the

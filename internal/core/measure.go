@@ -73,6 +73,10 @@ type MeasureAttempt struct {
 	// MeasurerSkew is the CrossCheck per-measurer share deviation for
 	// this attempt's slot — evidence of selective echoing within a team.
 	MeasurerSkew float64
+	// SentCells and LostCells are the slot's datagram-plane loss totals
+	// (zero on the stream plane); see MeasurementData.
+	SentCells int64
+	LostCells int64
 }
 
 // SlotsUsed returns how many measurement slots the outcome consumed.
@@ -214,6 +218,8 @@ func MeasureRelayGuarded(ctx context.Context, backend Backend, team []*Measurer,
 					ClampedSeconds: agg.ClampedSeconds,
 					RatioClamped:   agg.RatioClamped,
 					MeasurerSkew:   CrossCheck(data, alloc, p.Ratio).MeasurerSkew,
+					SentCells:      data.SentCells,
+					LostCells:      data.LostCells,
 				})
 				out.EstimateBps = zBps
 			}
@@ -273,6 +279,8 @@ func MeasureRelayGuarded(ctx context.Context, backend Backend, team []*Measurer,
 			ClampedSeconds: agg.ClampedSeconds,
 			RatioClamped:   agg.RatioClamped,
 			MeasurerSkew:   CrossCheck(data, alloc, p.Ratio).MeasurerSkew,
+			SentCells:      data.SentCells,
+			LostCells:      data.LostCells,
 		})
 		out.EstimateBps = zBps
 		if accepted {

@@ -17,6 +17,7 @@ type HistoryEntry struct {
 	GOOS          string             `json:"goos"`
 	GOARCH        string             `json:"goarch"`
 	CPUs          int                `json:"cpus"`
+	Procs         int                `json:"procs,omitempty"`
 	Quick         bool               `json:"quick"`
 	CellsPerSec   map[string]float64 `json:"cells_per_sec"`
 	AllocsPerCell map[string]float64 `json:"allocs_per_cell"`
@@ -30,6 +31,7 @@ func HistoryEntryOf(rep Report) HistoryEntry {
 		GOOS:          rep.GOOS,
 		GOARCH:        rep.GOARCH,
 		CPUs:          rep.CPUs,
+		Procs:         rep.Procs,
 		Quick:         rep.Quick,
 		CellsPerSec:   make(map[string]float64, len(rep.Results)),
 		AllocsPerCell: make(map[string]float64, len(rep.Results)),

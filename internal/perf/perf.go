@@ -34,6 +34,7 @@ type Report struct {
 	GOOS      string   `json:"goos"`
 	GOARCH    string   `json:"goarch"`
 	CPUs      int      `json:"cpus"`
+	Procs     int      `json:"procs"`
 	Quick     bool     `json:"quick"`
 	UnixTime  int64    `json:"generated_unix"`
 	Results   []Result `json:"results"`
@@ -54,6 +55,11 @@ type Options struct {
 	// loopback noise, which matters when a CI gate compares short quick
 	// windows against a baseline.
 	Repeat int
+	// Transport selects the data plane for the wire-echo scenarios:
+	// "" or "tcp" (the default, what the committed baseline records) or
+	// "udp" to push measurement cells over loopback datagrams instead.
+	// wire-echo-udp always runs UDP regardless of this setting.
+	Transport string
 }
 
 func (o Options) window() time.Duration {
@@ -90,10 +96,13 @@ type Scenario struct {
 func Scenarios() []Scenario {
 	return []Scenario{
 		{Name: "cell-crypto", Desc: "raw cell.Circuit AES-CTR throughput, single stream", Run: runCellCrypto},
+		{Name: "cell-crypto-span", Desc: "span decrypt (one cipher call per 32-cell span) raced against sequential per-payload calls; fails unless spans win", Run: runCellCryptoSpan},
 		{Name: "cell-verify", Desc: "random-access keystream verification of echoed cells (measurer check path)", Run: runCellVerify},
 		{Name: "wire-echo-single", Desc: "one measurement circuit over loopback TCP, unlimited rate", Run: runWireEchoSingle},
 		{Name: "wire-echo-team", Desc: "two-measurer team, one multiplexed connection each, one target", Run: runWireEchoTeam},
 		{Name: "wire-echo-mux", Desc: "eight circuits multiplexed on a single connection, unlimited rate", Run: runWireEchoMux},
+		{Name: "wire-echo-mux-par", Desc: "wire-echo-mux through the target's parallel decrypt pipeline; on ≥4 procs fails unless ≥1.2x the inline target", Run: runWireEchoMuxPar},
+		{Name: "wire-echo-udp", Desc: "wire-echo-mux over the UDP data plane (TCP control, loopback datagrams) with loss accounting", Run: runWireEchoUDP},
 		{Name: "coord-round", Desc: "coordinator scheduling round over a simulated relay population", Run: runCoordRound},
 		{Name: "coord-round-abort", Desc: "slot-seconds saved by §4.2 early abort vs fixed-length slots, undersized priors", Run: runCoordRoundAbort},
 		{Name: "schedule-build-100k", Desc: "indexed §4.3 schedule construction, 100k relays × 3 BWAuths, vs seed reference", Run: runScheduleBuild100k},
@@ -144,6 +153,7 @@ func Run(names []string, opts Options) (Report, error) {
 		GOOS:      runtime.GOOS,
 		GOARCH:    runtime.GOARCH,
 		CPUs:      runtime.NumCPU(),
+		Procs:     runtime.GOMAXPROCS(0),
 		Quick:     opts.Quick,
 		UnixTime:  time.Now().Unix(),
 	}

@@ -120,10 +120,27 @@ func runCellVerify(opts Options) (Result, error) {
 	return finish(cells, time.Since(start), before, readMem()), nil
 }
 
+// echoConfig shapes one end-to-end echo scenario: how many measurers hit
+// the target, each with how many multiplexed circuits, the check sampling
+// rate, the target's configuration (decrypt workers, rate), and which data
+// plane carries the measurement cells.
+type echoConfig struct {
+	measurers  int
+	socketsPer int
+	checkProb  float64
+	target     wire.TargetConfig
+	udp        bool
+}
+
 // echoScenario runs real Measure slots against an unlimited-rate loopback
-// target and reports end-to-end echoed-cell throughput.
-func echoScenario(opts Options, measurers, socketsPer int, checkProb float64) (Result, error) {
-	ids := make([]wire.Identity, measurers)
+// target and reports end-to-end echoed-cell throughput. On the UDP plane
+// the Extra map carries the loss accounting (sent/lost cells) the stream
+// plane cannot have.
+func echoScenario(opts Options, cfg echoConfig) (Result, error) {
+	if opts.Transport == "udp" {
+		cfg.udp = true
+	}
+	ids := make([]wire.Identity, cfg.measurers)
 	for i := range ids {
 		id, err := wire.NewIdentity()
 		if err != nil {
@@ -131,7 +148,7 @@ func echoScenario(opts Options, measurers, socketsPer int, checkProb float64) (R
 		}
 		ids[i] = id
 	}
-	tgt := wire.NewTarget(wire.TargetConfig{}) // RateBps 0: unlimited
+	tgt := wire.NewTarget(cfg.target) // RateBps 0: unlimited
 	for _, id := range ids {
 		tgt.Authorize(id.Pub)
 	}
@@ -146,15 +163,27 @@ func echoScenario(opts Options, measurers, socketsPer int, checkProb float64) (R
 	}()
 	addr := l.Addr().String()
 	dial := func() (net.Conn, error) { return net.Dial("tcp", addr) }
+	var dialData wire.Dialer
+	if cfg.udp {
+		uc, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+		if err != nil {
+			return Result{}, err
+		}
+		go tgt.ServeUDP(wire.NewUDPDatagramConn(uc))
+		defer uc.Close()
+		udpAddr := uc.LocalAddr().String()
+		dialData = func() (net.Conn, error) { return net.Dial("udp", udpAddr) }
+	}
 
 	window := opts.window()
 	before := readMem()
 	start := time.Now()
 	var (
-		wg      sync.WaitGroup
-		mu      sync.Mutex
-		total   float64
-		firstEr error
+		wg         sync.WaitGroup
+		mu         sync.Mutex
+		total      float64
+		sent, lost int64
+		firstEr    error
 	)
 	for i := range ids {
 		wg.Add(1)
@@ -162,11 +191,12 @@ func echoScenario(opts Options, measurers, socketsPer int, checkProb float64) (R
 			defer wg.Done()
 			res, err := wire.Measure(context.Background(), dial, wire.MeasureOptions{
 				Identity:  ids[idx],
-				Sockets:   socketsPer,
+				Sockets:   cfg.socketsPer,
 				RateBps:   0, // unpaced: run as fast as the path allows
 				Duration:  window,
-				CheckProb: checkProb,
+				CheckProb: cfg.checkProb,
 				Seed:      int64(idx + 1),
+				DialData:  dialData,
 			})
 			mu.Lock()
 			defer mu.Unlock()
@@ -185,6 +215,8 @@ func echoScenario(opts Options, measurers, socketsPer int, checkProb float64) (R
 			for _, b := range res.PerSecondBytes {
 				total += b
 			}
+			sent += res.SentCells
+			lost += res.LostCells
 		}(i)
 	}
 	wg.Wait()
@@ -193,15 +225,32 @@ func echoScenario(opts Options, measurers, socketsPer int, checkProb float64) (R
 		return Result{}, firstEr
 	}
 	cells := int64(total / cell.Size)
-	return finish(cells, elapsed, before, readMem()), nil
+	r := finish(cells, elapsed, before, readMem())
+	if cfg.udp {
+		lossFrac := 0.0
+		if sent > 0 {
+			lossFrac = float64(lost) / float64(sent)
+		}
+		r.Extra = map[string]float64{
+			"sent_cells": float64(sent),
+			"lost_cells": float64(lost),
+			"loss_frac":  lossFrac,
+		}
+		// Some loopback loss under an unpaced firehose is physics; losing
+		// most of the traffic means the plane is broken, not lossy.
+		if lossFrac > 0.5 {
+			return Result{}, fmt.Errorf("perf: udp echo lost %.0f%% of %d cells", lossFrac*100, sent)
+		}
+	}
+	return r, nil
 }
 
 func runWireEchoSingle(opts Options) (Result, error) {
-	return echoScenario(opts, 1, 1, 0)
+	return echoScenario(opts, echoConfig{measurers: 1, socketsPer: 1})
 }
 
 func runWireEchoTeam(opts Options) (Result, error) {
-	return echoScenario(opts, 2, 4, 0.01)
+	return echoScenario(opts, echoConfig{measurers: 2, socketsPer: 4, checkProb: 0.01})
 }
 
 // runWireEchoMux stresses the multiplexed data plane: one measurer, one
@@ -210,7 +259,121 @@ func runWireEchoTeam(opts Options) (Result, error) {
 // cost of circuit demux, sharded sending, and interleaved reassembly on
 // a single socket.
 func runWireEchoMux(opts Options) (Result, error) {
-	return echoScenario(opts, 1, 8, 0.01)
+	return echoScenario(opts, echoConfig{measurers: 1, socketsPer: 8, checkProb: 0.01})
+}
+
+// runWireEchoMuxPar is wire-echo-mux through the target's parallel decrypt
+// pipeline, workers forced ≥2 so the reader/worker/writer machinery is
+// always exercised even on a single-core host. On a multi-core host
+// (GOMAXPROCS ≥ 4, e.g. the CI runners) it also runs the inline
+// single-worker target as an in-scenario reference and fails unless the
+// pipeline wins by ≥1.2× — the point of sharding the decrypt. On fewer
+// cores the ratio is reported but not gated: there is no parallel speedup
+// to be had from one core, only pipeline overhead, and the scenario's own
+// baseline entry tracks that cost instead.
+func runWireEchoMuxPar(opts Options) (Result, error) {
+	procs := runtime.GOMAXPROCS(0)
+	workers := procs
+	if workers < 2 {
+		workers = 2
+	}
+	if workers > 8 {
+		workers = 8
+	}
+	cfg := echoConfig{measurers: 1, socketsPer: 8, checkProb: 0.01,
+		target: wire.TargetConfig{DecryptWorkers: workers}}
+	res, err := echoScenario(opts, cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	if res.Extra == nil {
+		res.Extra = make(map[string]float64)
+	}
+	res.Extra["decrypt_workers"] = float64(workers)
+	res.Extra["gomaxprocs"] = float64(procs)
+	if procs >= 4 {
+		inlineCfg := cfg
+		inlineCfg.target.DecryptWorkers = 1
+		inline, err := echoScenario(opts, inlineCfg)
+		if err != nil {
+			return Result{}, err
+		}
+		ratio := 0.0
+		if inline.CellsPerSec > 0 {
+			ratio = res.CellsPerSec / inline.CellsPerSec
+		}
+		res.Extra["par_over_inline"] = ratio
+		if ratio < 1.2 {
+			return Result{}, fmt.Errorf("perf: parallel decrypt %.2fx inline on %d procs, want ≥1.2x", ratio, procs)
+		}
+	}
+	return res, nil
+}
+
+// runWireEchoUDP is wire-echo-mux over the datagram data plane: TCP
+// control, UDP data, loopback. The Extra map reports the loss accounting;
+// echoScenario fails the scenario outright if the plane loses most of its
+// cells or verification fails.
+func runWireEchoUDP(opts Options) (Result, error) {
+	return echoScenario(opts, echoConfig{measurers: 1, socketsPer: 8, checkProb: 0.01, udp: true})
+}
+
+// runCellCryptoSpan races the span decrypt (one XORKeyStream per 32-cell
+// span, scattered back per cell) against the sequential per-payload cipher
+// calls of cell-crypto, interleaved within the window so scheduler and
+// thermal drift hit both sides alike. The Result reports the span path;
+// span_ratio is (span cells/s) / (sequential cells/s), and the scenario
+// fails if the span path does not win — materializing keystream in
+// cipher-sized runs instead of 509-byte calls is the whole optimization.
+func runCellCryptoSpan(opts Options) (Result, error) {
+	km := cell.DeriveKeys([]byte("perf-cell-crypto-span"))
+	seqSt, err := cell.NewCryptoState(km.ForwardKey, km.ForwardIV)
+	if err != nil {
+		return Result{}, err
+	}
+	spanSt, err := cell.NewCryptoState(km.ForwardKey, km.ForwardIV)
+	if err != nil {
+		return Result{}, err
+	}
+	buf := cell.GetSuper()
+	defer cell.PutSuper(buf)
+	arena := (*buf)[:cell.SuperBytes]
+	payloads := make([][]byte, cell.SuperCells)
+	offs := make([]int32, cell.SuperCells)
+	for i := range offs {
+		offs[i] = int32(i * cell.Size)
+		payloads[i] = cell.PayloadOf(arena[i*cell.Size:])
+	}
+	scratch := cell.NewSpanScratch()
+
+	window := opts.window()
+	before := readMem()
+	start := time.Now()
+	var spanCells int64
+	var seqDur, spanDur time.Duration
+	for time.Since(start) < window {
+		t0 := time.Now()
+		for _, p := range payloads {
+			seqSt.ApplyBytes(p)
+		}
+		t1 := time.Now()
+		spanSt.ApplySpans(arena, offs, scratch)
+		t2 := time.Now()
+		seqDur += t1.Sub(t0)
+		spanDur += t2.Sub(t1)
+		spanCells += cell.SuperCells
+	}
+	after := readMem()
+	if spanDur <= 0 || seqDur <= 0 {
+		return Result{}, errors.New("perf: span scenario measured nothing")
+	}
+	res := finish(spanCells, spanDur, before, after)
+	ratio := seqDur.Seconds() / spanDur.Seconds() // equal cells per side
+	res.Extra = map[string]float64{"span_ratio": ratio}
+	if ratio <= 1.0 {
+		return Result{}, fmt.Errorf("perf: span decrypt %.3fx sequential, want >1x", ratio)
+	}
+	return res, nil
 }
 
 // instantBackend is a deterministic core.Backend whose measurements

@@ -80,47 +80,83 @@ func TestWriterGatherZeroAllocs(t *testing.T) {
 	}
 }
 
-// TestTargetEchoPathZeroAllocs covers serveMux's per-batch work: demux by
-// circuit ID through the circuit table (with the last-circuit cache
-// deliberately defeated by rotating IDs) and in-place decryption of every
-// cell in a batch.
-func TestTargetEchoPathZeroAllocs(t *testing.T) {
-	const nCirc = 8
-	var circuits circTable
-	for id := uint32(1); id <= nCirc; id++ {
+// allocTestMux builds a muxState with nCirc live circuits for hot-path
+// guards, bypassing the handshake.
+func allocTestMux(t *testing.T, nCirc int, nWorkers int32) *muxState {
+	t.Helper()
+	ms := &muxState{t: &Target{}, nWorkers: nWorkers}
+	for id := uint32(1); id <= uint32(nCirc); id++ {
 		circ, err := cell.NewCircuit(id, []byte("alloc"))
 		if err != nil {
 			t.Fatal(err)
 		}
-		circuits.set(id, circ.Forward)
+		ms.circuits.set(id, &circEntry{st: circ.Forward, worker: int32(id % uint32(nWorkers))})
 	}
+	return ms
+}
+
+// TestTargetEchoPathZeroAllocs covers serveMux's per-batch work in its
+// post-pipeline shape: demux into per-circuit spans (rotating IDs so the
+// span set is rebuilt from scratch every batch) followed by span-wise
+// decryption — the exact work the inline path does and the reader/worker
+// stages split between them.
+func TestTargetEchoPathZeroAllocs(t *testing.T) {
+	const nCirc = 8
+	ms := allocTestMux(t, nCirc, 4)
 	buf := cell.GetBatch()
 	defer cell.PutBatch(buf)
 	batch := *buf
 	for i := 0; i < cell.BatchCells; i++ {
 		cell.PutHeader(batch[i*cell.Size:], uint32(i%nCirc)+1, cell.MsmtData)
 	}
-	var lastID uint32
-	var lastSt *cell.CryptoState
+	var spans spanSet
+	scratch := cell.NewSpanScratch()
+	// Warm-up: the span set's backing storage grows once, then is reused.
+	if _, err := ms.demuxTCP(batch, &spans); err != nil {
+		t.Fatal(err)
+	}
 	if n := testing.AllocsPerRun(100, func() {
-		for i := 0; i < cell.BatchCells; i++ {
-			cb := batch[i*cell.Size : (i+1)*cell.Size]
-			id := cell.CircIDOf(cb)
-			if cell.CommandOf(cb) != cell.MsmtData {
-				t.Fatal("unexpected command")
-			}
-			st := lastSt
-			if id != lastID || st == nil {
-				st = circuits.get(id)
-				if st == nil {
-					t.Fatal("unknown circuit")
-				}
-				lastID, lastSt = id, st
-			}
-			st.ApplyBytes(cell.PayloadOf(cb))
+		dataCells, err := ms.demuxTCP(batch, &spans)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dataCells != cell.BatchCells {
+			t.Fatalf("demuxed %d data cells, want %d", dataCells, cell.BatchCells)
+		}
+		for i := 0; i < spans.n; i++ {
+			sp := &spans.spans[i]
+			sp.st.ApplySpans(batch, sp.offs, scratch)
 		}
 	}); n != 0 {
 		t.Fatalf("target echo path: %v allocs per %d-cell batch, want 0", n, cell.BatchCells)
+	}
+}
+
+// TestUDPDatagramPathZeroAllocs covers the target's per-datagram work on
+// the UDP plane: demux, span decrypt, and the sequence/index stamping —
+// everything serveUDPDatagram does between recvfrom and sendto.
+func TestUDPDatagramPathZeroAllocs(t *testing.T) {
+	const nCirc = 8
+	ms := allocTestMux(t, nCirc, 1)
+	tgt := ms.t
+	dg := make([]byte, udpDatagramBytes)
+	scratch := cell.NewSpanScratch()
+	var spans spanSet
+	var seqs [udpDatagramCells]uint64
+	stamp := func() {
+		for i := 0; i < udpDatagramCells; i++ {
+			cell.PutHeader(dg[i*cell.Size:], uint32(i%nCirc)+1, cell.MsmtData)
+		}
+	}
+	stamp()
+	tgt.serveUDPDatagram(ms, dg, &spans, scratch, &seqs) // warm span storage
+	if n := testing.AllocsPerRun(100, func() {
+		stamp()
+		if got := tgt.serveUDPDatagram(ms, dg, &spans, scratch, &seqs); got != udpDatagramCells {
+			t.Fatalf("served %d data cells, want %d", got, udpDatagramCells)
+		}
+	}); n != 0 {
+		t.Fatalf("udp datagram path: %v allocs per %d-cell datagram, want 0", n, udpDatagramCells)
 	}
 }
 

@@ -28,6 +28,10 @@ type Backend struct {
 type Member struct {
 	Identity Identity
 	Dial     func(target string) Dialer
+	// DialData, when non-nil, dials the target's datagram data plane for
+	// each target and switches this member's measurement cells to UDP
+	// (TCP keeps the control plane). Nil members measure over the stream.
+	DialData func(target string) Dialer
 }
 
 var _ core.Backend = (*Backend)(nil)
@@ -143,9 +147,14 @@ func (b *Backend) RunMeasurement(ctx context.Context, target string, alloc core.
 					sm.record(idx, second, bytes)
 				}
 			}
+			if dd := b.Members[idx].DialData; dd != nil {
+				opts.DialData = dd(target)
+			}
 			res, err := Measure(ctx, b.Members[idx].Dial(target), opts)
 			mu.Lock()
 			defer mu.Unlock()
+			data.SentCells += res.SentCells
+			data.LostCells += res.LostCells
 			// Salvage whatever the member echoed — even a failed member
 			// usually delivered complete seconds before dying.
 			for j := 0; j < seconds && j < len(res.PerSecondBytes); j++ {

@@ -5,6 +5,7 @@ import (
 	"crypto/ecdh"
 	"crypto/rand"
 	"crypto/sha256"
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"math"
@@ -61,6 +62,13 @@ type MeasureOptions struct {
 	CheckProb float64
 	// Seed makes the check sampling reproducible.
 	Seed int64
+	// DialData, when set, moves the measurement data plane to datagrams:
+	// it must open a connected packet socket (typically UDP) to the
+	// target's data listener. Control — authentication, circuit creation,
+	// teardown — stays on the dialed connection; only MsmtData cells and
+	// their echoes travel on the data socket. The result then also carries
+	// the loss accounting (SentCells/LostCells).
+	DialData Dialer
 	// OnSecond, when set, is called once per completed wall-clock second
 	// of the slot, in order, with this measurer's echoed bytes during that
 	// second. The callback runs on a dedicated goroutine; it must return
@@ -81,6 +89,13 @@ type MeasureResult struct {
 	// Failed is set when any checked echo had wrong contents; the BWAuth
 	// discards the measurement (§4.1).
 	Failed bool
+	// SentCells is the number of measurement cells put on the wire; only
+	// set on the datagram data plane (DialData), where cells can be lost.
+	SentCells int64
+	// LostCells is how many sent cells never echoed back — the datagram
+	// plane's loss signal. Always zero on TCP, where the transport
+	// retransmits instead.
+	LostCells int64
 }
 
 // maxCircuits caps the concurrent circuits one measurement multiplexes on
@@ -289,9 +304,26 @@ func measureConn(ctx context.Context, dial Dialer, opts MeasureOptions, nCirc in
 	// watcher below — funnels through one sync.Once: a pooled connection's
 	// Close parks it for reuse, and racing the context watcher against the
 	// deferred close could otherwise park the same connection twice and
-	// hand it to two concurrent measurements later.
+	// hand it to two concurrent measurements later. The UDP data socket,
+	// adopted after setup, rides the same teardown; the mutex closes the
+	// adopt-vs-cancel race so a socket dialed while the watcher fires is
+	// closed by whichever side runs second.
 	var closeOnce sync.Once
-	closeConn := func() { closeOnce.Do(func() { conn.Close() }) }
+	var closeMu sync.Mutex
+	var connClosed bool
+	var dataConn net.Conn
+	closeConn := func() {
+		closeOnce.Do(func() {
+			closeMu.Lock()
+			connClosed = true
+			dc := dataConn
+			closeMu.Unlock()
+			conn.Close()
+			if dc != nil {
+				dc.Close()
+			}
+		})
+	}
 	defer closeConn()
 
 	// Cancellation plumbing: closing the connection is what actually
@@ -328,6 +360,39 @@ func measureConn(ctx context.Context, dial Dialer, opts MeasureOptions, nCirc in
 		return res, err
 	}
 
+	// Datagram data plane: bind over the control connection, then swap the
+	// data path's transport and echo reader. Control traffic keeps using tr
+	// and cr throughout.
+	udp := opts.DialData != nil
+	dataTr := tr
+	var udpTr *udpTransport
+	if udp {
+		dc, err := setupUDP(tr, cr, opts.DialData)
+		if err != nil {
+			if ctxErr := ctx.Err(); ctxErr != nil {
+				return res, ctxErr
+			}
+			return res, err
+		}
+		closeMu.Lock()
+		if connClosed {
+			closeMu.Unlock()
+			dc.Close()
+			if ctxErr := ctx.Err(); ctxErr != nil {
+				return res, ctxErr
+			}
+			return res, net.ErrClosed
+		}
+		dataConn = dc
+		closeMu.Unlock()
+		if dl, ok := ctx.Deadline(); ok {
+			_ = dc.SetDeadline(dl)
+		}
+		udpTr = newUDPTransport(dc)
+		defer udpTr.release()
+		dataTr = udpTr
+	}
+
 	deadline := start.Add(opts.Duration)
 	windowCap := int64(inflightWindow) * int64(nCirc)
 	if windowCap > maxWindowCells {
@@ -339,11 +404,17 @@ func measureConn(ctx context.Context, dial Dialer, opts MeasureOptions, nCirc in
 	// Reader: demultiplex the echo stream by circuit ID, verifying sampled
 	// cells against each circuit's forward keystream. It owns
 	// res.CellsChecked/Failed until readerExit closes.
+	var stop atomic.Bool
+	var sentCells, received atomic.Int64
 	readerExit := make(chan struct{})
 	var readerErr error
 	go func() {
 		defer close(readerExit)
-		readerErr = runEchoReader(cr, circs, &res, buckets, seconds, start, window, uint64(opts.Seed), threshold)
+		if udp {
+			readerErr = runEchoReaderUDP(dataConn, circs, &res, buckets, seconds, start, window, uint64(opts.Seed), threshold, &stop, &sentCells, &received)
+		} else {
+			readerErr = runEchoReader(cr, circs, &res, buckets, seconds, start, window, uint64(opts.Seed), threshold)
+		}
 	}()
 
 	// abort tears the connection down and waits for the reader so that no
@@ -402,16 +473,28 @@ func measureConn(ctx context.Context, dial Dialer, opts MeasureOptions, nCirc in
 				for _, r := range reqs {
 					bufs = append(bufs, (*r.buf)[:r.n*cell.Size])
 				}
-				if err := tr.WriteBatches(&bufs); err != nil {
+				if err := dataTr.WriteBatches(&bufs); err != nil {
 					writerErr = fmt.Errorf("send cells: %w", err)
 					// Unblock the reader (and through readerExit, the
 					// shards); keep draining sendQ so no shard wedges on a
 					// full queue.
 					closeConn()
+				} else {
+					for _, r := range reqs {
+						sentCells.Add(int64(r.n))
+					}
 				}
 			}
 			for _, r := range reqs {
 				r.free <- r.buf
+			}
+		}
+		// The datagram transport stages cells until a full datagram; ship
+		// the slot's ragged tail before the End exchange counts on it.
+		if udpTr != nil && writerErr == nil {
+			if err := udpTr.Flush(); err != nil {
+				writerErr = err
+				closeConn()
 			}
 		}
 	}()
@@ -483,6 +566,13 @@ func measureConn(ctx context.Context, dial Dialer, opts MeasureOptions, nCirc in
 				for i := int64(0); i < n; i++ {
 					id := uint32((base+i)%int64(nCirc)) + 1
 					cell.PutHeader(out[i*cell.Size:], id, cell.MsmtData)
+					if udp {
+						// Strict round-robin makes the circuit's send
+						// sequence derivable from the global counter; the
+						// datagram plane carries it in the clear so the
+						// echo survives loss and reordering (see udp.go).
+						binary.BigEndian.PutUint64(out[i*cell.Size+5:], uint64((base+i)/int64(nCirc)))
+					}
 				}
 				select {
 				case sendQ <- sendReq{buf: buf, n: int(n), free: free}:
@@ -516,6 +606,16 @@ func measureConn(ctx context.Context, dial Dialer, opts MeasureOptions, nCirc in
 		return abort(err)
 	}
 
+	if udp {
+		// MsmtEnd travels on the control plane, which can outrun in-flight
+		// datagrams on the data socket and tear circuits down under their
+		// own tail; drain the echo stream before ending.
+		waitUDPDrain(ctx, sentCells.Load(), &received)
+		if err := ctx.Err(); err != nil {
+			return abort(err)
+		}
+	}
+
 	// End every circuit and wait for the echo stream to drain.
 	endBuf := cell.GetSuper()
 	out := *endBuf
@@ -528,6 +628,43 @@ func measureConn(ctx context.Context, dial Dialer, opts MeasureOptions, nCirc in
 	cell.PutSuper(endBuf)
 	if werr != nil {
 		return abort(fmt.Errorf("send end: %w", werr))
+	}
+	if udp {
+		// The End echoes come back on the control stream, which the UDP
+		// echo reader never touches; collect them here, then release the
+		// reader — immediately when every echo arrived, after a short
+		// linger for stragglers when some are missing.
+		for got := 0; got < nCirc; got++ {
+			cb, err := cr.next()
+			if err != nil {
+				return abort(fmt.Errorf("read end echo: %w", err))
+			}
+			if cmd := cell.CommandOf(cb); cmd != cell.MsmtEnd {
+				return abort(fmt.Errorf("wire: unexpected end echo %v", cmd))
+			}
+		}
+		sent := sentCells.Load()
+		stop.Store(true)
+		lingerUntil := time.Now()
+		if received.Load() < sent {
+			lingerUntil = lingerUntil.Add(udpLingerGrace)
+		}
+		_ = dataConn.SetReadDeadline(lingerUntil)
+		<-readerExit
+		res.SentCells = sent
+		if lost := sent - received.Load(); lost > 0 {
+			res.LostCells = lost
+		}
+		if readerErr != nil {
+			if ctxErr := ctx.Err(); ctxErr != nil {
+				return res, ctxErr
+			}
+			return res, readerErr
+		}
+		// The connection keeps its UDP binding for its whole life (the
+		// bind is once per connection), so it cannot host a second
+		// measurement: never mark it reusable.
+		return res, nil
 	}
 	drainTimer := time.NewTimer(5 * time.Second)
 	defer drainTimer.Stop()

@@ -1,0 +1,248 @@
+package wire
+
+import (
+	"net"
+	"net/netip"
+	"os"
+	"sync"
+	"testing"
+	"time"
+
+	"flashflow/internal/cell"
+)
+
+// In-memory transports for sockets-free data-plane tests: a net.Pipe
+// harness for the TCP-shaped stream plane, and dgramPipe — a
+// datagram-preserving link whose client end is a net.Conn and whose server
+// end is a DatagramConn — for the UDP plane. The datagram link is where
+// deterministic loss and reordering live: wrappers below drop or swap
+// whole datagrams by count, which no real socket pair will do on demand.
+
+// pipeDeadline implements mutable read deadlines for the pipe types, after
+// net.Pipe's internal design: a channel that closes when the deadline
+// passes, replaced whenever the deadline moves.
+type pipeDeadline struct {
+	mu     sync.Mutex
+	timer  *time.Timer
+	cancel chan struct{}
+}
+
+func makePipeDeadline() pipeDeadline { return pipeDeadline{cancel: make(chan struct{})} }
+
+func (d *pipeDeadline) set(t time.Time) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.timer != nil && !d.timer.Stop() {
+		<-d.cancel // the fired timer is closing cancel; wait it out
+	}
+	d.timer = nil
+	closed := isClosedChan(d.cancel)
+	if t.IsZero() {
+		if closed {
+			d.cancel = make(chan struct{})
+		}
+		return
+	}
+	if dur := time.Until(t); dur > 0 {
+		if closed {
+			d.cancel = make(chan struct{})
+		}
+		cancel := d.cancel
+		d.timer = time.AfterFunc(dur, func() { close(cancel) })
+		return
+	}
+	if !closed {
+		close(d.cancel)
+	}
+}
+
+func (d *pipeDeadline) wait() chan struct{} {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.cancel
+}
+
+func isClosedChan(c <-chan struct{}) bool {
+	select {
+	case <-c:
+		return true
+	default:
+		return false
+	}
+}
+
+// dgramPipeAddr is the synthetic source address the server end sees.
+var dgramPipeAddr = netip.MustParseAddrPort("127.0.0.1:40000")
+
+// dgramPipe is the shared state of one in-memory datagram link. Buffered
+// channels model socket buffers; each send copies, so datagram boundaries
+// and ownership match real sockets.
+type dgramPipe struct {
+	c2s  chan []byte
+	s2c  chan []byte
+	once sync.Once
+	done chan struct{}
+}
+
+func newDgramPipe() (*dgramPipeClient, *dgramPipeServer) {
+	p := &dgramPipe{
+		c2s:  make(chan []byte, 64),
+		s2c:  make(chan []byte, 64),
+		done: make(chan struct{}),
+	}
+	c := &dgramPipeClient{p: p, rd: makePipeDeadline()}
+	return c, &dgramPipeServer{p: p}
+}
+
+func (p *dgramPipe) close() { p.once.Do(func() { close(p.done) }) }
+
+// dgramPipeClient is the measurer end: a connected-datagram net.Conn.
+type dgramPipeClient struct {
+	p  *dgramPipe
+	rd pipeDeadline
+}
+
+func (c *dgramPipeClient) Read(p []byte) (int, error) {
+	select {
+	case b := <-c.p.s2c:
+		return copy(p, b), nil
+	case <-c.p.done:
+		return 0, net.ErrClosed
+	case <-c.rd.wait():
+		return 0, os.ErrDeadlineExceeded
+	}
+}
+
+func (c *dgramPipeClient) Write(p []byte) (int, error) {
+	b := append([]byte(nil), p...)
+	select {
+	case c.p.c2s <- b:
+		return len(p), nil
+	case <-c.p.done:
+		return 0, net.ErrClosed
+	}
+}
+
+func (c *dgramPipeClient) Close() error         { c.p.close(); return nil }
+func (c *dgramPipeClient) LocalAddr() net.Addr  { return dgramPipeNetAddr{} }
+func (c *dgramPipeClient) RemoteAddr() net.Addr { return dgramPipeNetAddr{} }
+func (c *dgramPipeClient) SetDeadline(t time.Time) error {
+	c.rd.set(t)
+	return nil
+}
+func (c *dgramPipeClient) SetReadDeadline(t time.Time) error {
+	c.rd.set(t)
+	return nil
+}
+func (c *dgramPipeClient) SetWriteDeadline(t time.Time) error { return nil }
+
+type dgramPipeNetAddr struct{}
+
+func (dgramPipeNetAddr) Network() string { return "dgrampipe" }
+func (dgramPipeNetAddr) String() string  { return "dgrampipe" }
+
+// dgramPipeServer is the target end, a DatagramConn for Target.ServeUDP.
+type dgramPipeServer struct{ p *dgramPipe }
+
+func (s *dgramPipeServer) ReadFrom(p []byte) (int, netip.AddrPort, error) {
+	select {
+	case b := <-s.p.c2s:
+		return copy(p, b), dgramPipeAddr, nil
+	case <-s.p.done:
+		return 0, netip.AddrPort{}, net.ErrClosed
+	}
+}
+
+func (s *dgramPipeServer) WriteTo(p []byte, addr netip.AddrPort) (int, error) {
+	b := append([]byte(nil), p...)
+	select {
+	case s.p.s2c <- b:
+		return len(p), nil
+	case <-s.p.done:
+		return 0, net.ErrClosed
+	}
+}
+
+func (s *dgramPipeServer) Close() error { s.p.close(); return nil }
+
+// lossyDgramConn deterministically drops forward data datagrams: drop is
+// called with each data datagram's 1-based count and returns whether to
+// eat it. Hellos always pass — loss in the bind exchange is retransmitted
+// anyway and would only slow the test down.
+type lossyDgramConn struct {
+	DatagramConn
+	drop func(n int) bool
+	cnt  int
+}
+
+func (l *lossyDgramConn) ReadFrom(p []byte) (int, netip.AddrPort, error) {
+	for {
+		n, src, err := l.DatagramConn.ReadFrom(p)
+		if err != nil || n%cell.Size != 0 {
+			return n, src, err
+		}
+		l.cnt++
+		if l.drop(l.cnt) {
+			continue
+		}
+		return n, src, err
+	}
+}
+
+// reorderDgramConn swaps consecutive forward data datagrams, up to a
+// budget of swaps. The budget keeps it from holding a stream's final
+// datagram hostage waiting for a successor that never comes.
+type reorderDgramConn struct {
+	DatagramConn
+	swaps   int
+	held    []byte
+	heldSrc netip.AddrPort
+}
+
+func (r *reorderDgramConn) ReadFrom(p []byte) (int, netip.AddrPort, error) {
+	if r.held != nil {
+		n := copy(p, r.held)
+		src := r.heldSrc
+		r.held = nil
+		return n, src, nil
+	}
+	n, src, err := r.DatagramConn.ReadFrom(p)
+	if err != nil || n%cell.Size != 0 || r.swaps == 0 {
+		return n, src, err
+	}
+	// Hold this data datagram and deliver whatever follows it first; the
+	// held one goes out on the next call.
+	r.swaps--
+	r.held = append([]byte(nil), p[:n]...)
+	r.heldSrc = src
+	return r.DatagramConn.ReadFrom(p)
+}
+
+// pipeDialer returns a Dialer handing out exactly one pre-built
+// connection.
+func pipeDialer(c net.Conn) Dialer {
+	return func() (net.Conn, error) { return c, nil }
+}
+
+// startPipeTargetUDP builds a target whose control plane is a net.Pipe and
+// whose data plane is an in-memory datagram link, optionally wrapped (loss,
+// reordering). Returns the dialers for MeasureOptions.
+func startPipeTargetUDP(t *testing.T, cfg TargetConfig, id Identity, wrap func(DatagramConn) DatagramConn) (Dialer, Dialer) {
+	t.Helper()
+	tgt := NewTarget(cfg)
+	tgt.Authorize(id.Pub)
+	ctrlClient, ctrlServer := net.Pipe()
+	go func() { _ = tgt.HandleConn(ctrlServer) }()
+	dataClient, dataServer := newDgramPipe()
+	var dc DatagramConn = dataServer
+	if wrap != nil {
+		dc = wrap(dataServer)
+	}
+	go tgt.ServeUDP(dc)
+	t.Cleanup(func() {
+		ctrlClient.Close()
+		dataClient.Close()
+		tgt.Close()
+	})
+	return pipeDialer(ctrlClient), pipeDialer(dataClient)
+}

@@ -9,6 +9,8 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"net/netip"
+	"runtime"
 	"sync"
 	"time"
 
@@ -27,6 +29,35 @@ type TargetConfig struct {
 	// must catch (§5): the echoed bytes are not the forward keystream a
 	// real decrypt would have produced.
 	Corrupt bool
+	// DecryptWorkers sets how many decrypt workers each connection shards
+	// its circuits across. 0 picks automatically (GOMAXPROCS, capped);
+	// 1 forces the single-threaded inline path. Circuits are pinned to
+	// workers by ID, so per-circuit keystream state stays single-owner and
+	// echo bytes stay in order per circuit regardless of the worker count.
+	DecryptWorkers int
+}
+
+// maxDecryptWorkers caps the automatic per-connection worker count: past
+// the crypto-to-I/O ratio's break-even, more workers only add dispatch
+// latency for the reader stage.
+const maxDecryptWorkers = 8
+
+// decryptWorkers resolves the configured worker count.
+func (t *Target) decryptWorkers() int {
+	n := t.cfg.DecryptWorkers
+	if n == 0 {
+		n = runtime.GOMAXPROCS(0)
+		if n > maxDecryptWorkers {
+			n = maxDecryptWorkers
+		}
+	}
+	if n < 1 {
+		n = 1
+	}
+	if n > 64 {
+		n = 64 // the pipeline dispatches with a 64-bit worker mask
+	}
+	return n
 }
 
 // Target is the relay-side endpoint: it accepts authenticated measurement
@@ -41,6 +72,14 @@ type Target struct {
 	closed  bool
 	pace    pacer
 	counts  secondCounter
+
+	// UDP data-plane registry (§7 transport): token → session, installed
+	// when a connection's MsmtUdp cell arrives, and datagram source
+	// address → session, installed when the measurer's hello datagram
+	// proves it owns the token. See udp.go.
+	udpMu     sync.Mutex
+	udpTokens map[udpToken]*udpSession
+	udpAddrs  map[netip.AddrPort]*udpSession
 
 	wg sync.WaitGroup
 }
@@ -168,20 +207,20 @@ const maxConnCircuits = 1024
 // errTooManyCircuits reports a connection exceeding maxConnCircuits.
 var errTooManyCircuits = errors.New("wire: too many circuits on one connection")
 
-// circTable maps live circuit IDs to their forward crypto states. The
-// measurer allocates IDs densely from 1, so the fast path is an array
-// index; sparse IDs fall back to a map. Lookup cost matters: the demux
-// loop consults it once per cell that misses the last-circuit cache.
+// circTable maps live circuit IDs to their demux entries (crypto state,
+// worker pinning, span marks). The measurer allocates IDs densely from 1,
+// so the fast path is an array index; sparse IDs fall back to a map.
+// Lookup cost matters: the demux loop consults it once per data cell.
 type circTable struct {
-	dense  []*cell.CryptoState
-	sparse map[uint32]*cell.CryptoState
+	dense  []*circEntry
+	sparse map[uint32]*circEntry
 	n      int
 }
 
 // denseCircuits is the ID range served by the array fast path.
 const denseCircuits = 512
 
-func (ct *circTable) get(id uint32) *cell.CryptoState {
+func (ct *circTable) get(id uint32) *circEntry {
 	if id < denseCircuits {
 		if int(id) < len(ct.dense) {
 			return ct.dense[id]
@@ -191,7 +230,7 @@ func (ct *circTable) get(id uint32) *cell.CryptoState {
 	return ct.sparse[id]
 }
 
-func (ct *circTable) set(id uint32, st *cell.CryptoState) {
+func (ct *circTable) set(id uint32, e *circEntry) {
 	if id < denseCircuits {
 		for int(id) >= len(ct.dense) {
 			ct.dense = append(ct.dense, nil)
@@ -199,16 +238,16 @@ func (ct *circTable) set(id uint32, st *cell.CryptoState) {
 		if ct.dense[id] == nil {
 			ct.n++
 		}
-		ct.dense[id] = st
+		ct.dense[id] = e
 		return
 	}
 	if ct.sparse == nil {
-		ct.sparse = make(map[uint32]*cell.CryptoState)
+		ct.sparse = make(map[uint32]*circEntry)
 	}
 	if ct.sparse[id] == nil {
 		ct.n++
 	}
-	ct.sparse[id] = st
+	ct.sparse[id] = e
 }
 
 func (ct *circTable) del(id uint32) {
@@ -227,43 +266,81 @@ func (ct *circTable) del(id uint32) {
 
 func (ct *circTable) len() int { return ct.n }
 
-// serveMux is the relay's hot path: it serves every circuit of one
-// connection from a single demultiplexing loop, allocation-free in steady
-// state. A pooled super arena is refilled with one large Read for up to
-// SuperCells cells; each data cell is routed by circuit ID (a one-entry
-// cache shortcuts runs of same-circuit cells) and decrypted in place —
-// §4.1's requirement that the relay do its real per-cell crypto work —
-// and the whole batch is echoed with one Write, with the pacer credited
-// once for the batch's data cells.
-//
-// Control cells ride the same stream: MsmtCreate is answered by rewriting
-// the cell in place into MsmtCreated (the X25519 answer key replaces the
-// measurer's), so the echo write returns it with no separate send path,
-// and MsmtEnd drops the circuit and is echoed back as the drain marker.
-// The measurer's authorization is re-checked on every MsmtCreate: Revoke
-// must cut off a measurer even on a connection it already holds open (the
-// pooled-connection case).
-func (t *Target) serveMux(conn net.Conn, pub ed25519.PublicKey) error {
-	tr := NewConnTransport(conn)
-	buf := cell.GetSuper()
-	defer cell.PutSuper(buf)
-	cr := newCellReader(tr, *buf)
-
-	var circuits circTable
-	var lastID uint32
-	var lastSt *cell.CryptoState
-	// Paced echoes go out in chunks of at most one pacing quantum, so a
-	// slow target never sleeps hundreds of milliseconds on one super-batch
-	// and then bursts it: coarse echo bursts straddle the measurer's
-	// per-second accounting boundaries and distort the estimate. Unpaced
-	// targets echo each batch with a single write.
-	chunkBytes := len(*buf)
+// echoChunkBytes sizes the paced echo writes: at most one pacing quantum
+// per write, so a slow target never sleeps hundreds of milliseconds on one
+// super-batch and then bursts it — coarse echo bursts straddle the
+// measurer's per-second accounting boundaries and distort the estimate.
+// Unpaced targets echo each batch with a single write.
+func (t *Target) echoChunkBytes(bufLen int) int {
+	chunkBytes := bufLen
 	if q := t.pace.quantumBits(); q/8 < float64(chunkBytes) {
 		chunkBytes = int(q/8) / cell.Size * cell.Size
 		if chunkBytes < cell.BatchBytes {
 			chunkBytes = cell.BatchBytes
 		}
 	}
+	return chunkBytes
+}
+
+// echoBatch writes one processed batch back to the measurer, paced in
+// chunks of at most one quantum, and credits the per-second forwarded-byte
+// counter. Control-only batches (circuit setup, teardown) are never paced:
+// creation must answer promptly even on a slow target.
+func (t *Target) echoBatch(tr Transport, batch []byte, dataCells, chunkBytes int) error {
+	if dataCells == 0 || t.pace.rateBps <= 0 {
+		if _, err := tr.Write(batch); err != nil {
+			return fmt.Errorf("target echo: %w", err)
+		}
+	} else {
+		for off := 0; off < len(batch); off += chunkBytes {
+			end := min(off+chunkBytes, len(batch))
+			t.pace.wait(float64((end - off) * 8))
+			if _, err := tr.Write(batch[off:end]); err != nil {
+				return fmt.Errorf("target echo: %w", err)
+			}
+		}
+	}
+	if dataCells > 0 {
+		t.counts.add(float64(dataCells * cell.Size))
+	}
+	return nil
+}
+
+// serveMux is the relay's hot path: it serves every circuit of one
+// connection, allocation-free in steady state. The stream is processed in
+// three stages — refill (one large Read for up to SuperCells cells into a
+// pooled super arena), demux (route each cell by circuit ID, grouping data
+// cells into per-circuit spans and handling control cells inline), and
+// decrypt (one fat ApplySpans cipher call per span — §4.1's requirement
+// that the relay do its real per-cell crypto work) — then the whole batch
+// is echoed with paced writes.
+//
+// With one decrypt worker all three stages run inline on this goroutine;
+// with more, serveMuxParallel runs refill+demux as a reader stage feeding
+// per-circuit-pinned decrypt workers and a single paced writer.
+//
+// Control cells ride the same stream: MsmtCreate is answered by rewriting
+// the cell in place into MsmtCreated (the X25519 answer key replaces the
+// measurer's), so the echo write returns it with no separate send path;
+// MsmtEnd drops the circuit and is echoed back as the drain marker; and
+// MsmtUdp binds a datagram data plane (§7) served by ServeUDP. The
+// measurer's authorization is re-checked on every MsmtCreate: Revoke must
+// cut off a measurer even on a connection it already holds open (the
+// pooled-connection case).
+func (t *Target) serveMux(conn net.Conn, pub ed25519.PublicKey) error {
+	tr := NewConnTransport(conn)
+	ms := &muxState{t: t, pub: pub, nWorkers: int32(t.decryptWorkers())}
+	defer t.unbindUDP(ms)
+	if ms.nWorkers > 1 {
+		return t.serveMuxParallel(conn, tr, ms)
+	}
+
+	buf := cell.GetSuper()
+	defer cell.PutSuper(buf)
+	cr := newCellReader(tr, *buf)
+	var spans spanSet
+	scratch := cell.NewSpanScratch()
+	chunkBytes := t.echoChunkBytes(len(*buf))
 	for {
 		batch, err := cr.nextBatch()
 		if err != nil {
@@ -272,67 +349,18 @@ func (t *Target) serveMux(conn net.Conn, pub ed25519.PublicKey) error {
 			}
 			return fmt.Errorf("target read: %w", err)
 		}
-		k := len(batch) / cell.Size
-		dataCells := 0
-		for i := 0; i < k; i++ {
-			cb := batch[i*cell.Size : (i+1)*cell.Size]
-			id := cell.CircIDOf(cb)
-			switch cmd := cell.CommandOf(cb); cmd {
-			case cell.MsmtData:
-				st := lastSt
-				if id != lastID || st == nil {
-					st = circuits.get(id)
-					if st == nil {
-						return fmt.Errorf("target: data for unknown circuit %d", id)
-					}
-					lastID, lastSt = id, st
-				}
-				if !t.cfg.Corrupt {
-					// The relay's real work: decrypt the cell payload.
-					st.ApplyBytes(cell.PayloadOf(cb))
-				}
-				dataCells++
-			case cell.MsmtCreate:
-				if !t.authorized(pub) {
-					return errRevoked
-				}
-				if circuits.len() >= maxConnCircuits {
-					return errTooManyCircuits
-				}
-				if circuits.get(id) != nil {
-					return fmt.Errorf("target: duplicate circuit %d", id)
-				}
-				st, err := createCircuitCell(cb)
-				if err != nil {
-					return err
-				}
-				circuits.set(id, st)
-			case cell.MsmtEnd:
-				circuits.del(id)
-				if id == lastID {
-					lastSt = nil
-				}
-			default:
-				return fmt.Errorf("target: unexpected cell %v", cmd)
+		dataCells, err := ms.demuxTCP(batch, &spans)
+		if err != nil {
+			return err
+		}
+		if !t.cfg.Corrupt {
+			for i := 0; i < spans.n; i++ {
+				sp := &spans.spans[i]
+				sp.st.ApplySpans(batch, sp.offs, scratch)
 			}
 		}
-		if dataCells == 0 || t.pace.rateBps <= 0 {
-			// Control-only batches (circuit setup, teardown) are never
-			// paced: creation must answer promptly even on a slow target.
-			if _, err := tr.Write(batch); err != nil {
-				return fmt.Errorf("target echo: %w", err)
-			}
-		} else {
-			for off := 0; off < len(batch); off += chunkBytes {
-				end := min(off+chunkBytes, len(batch))
-				t.pace.wait(float64((end - off) * 8))
-				if _, err := tr.Write(batch[off:end]); err != nil {
-					return fmt.Errorf("target echo: %w", err)
-				}
-			}
-		}
-		if dataCells > 0 {
-			t.counts.add(float64(dataCells * cell.Size))
+		if err := t.echoBatch(tr, batch, dataCells, chunkBytes); err != nil {
+			return err
 		}
 	}
 }

@@ -1,0 +1,185 @@
+package wire
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math/bits"
+	"net"
+	"sync"
+
+	"flashflow/internal/cell"
+)
+
+// The parallel decrypt pipeline shards a connection's per-cell crypto
+// across cores without giving up any demux invariant:
+//
+//	reader (refill + demux + dispatch) → N decrypt workers → paced writer
+//
+// A ring of pipelineDepth pooled super arenas circulates reader → workers
+// → writer → reader, so the reader refills batch k+2 while workers decrypt
+// batch k+1 and the writer echoes batch k. Ordering rests on two rules:
+//
+//   - Worker pinning: each circuit is pinned to one worker (by circuit
+//     ID), worker job queues are FIFO, and the reader dispatches batches
+//     in stream order — so a circuit's sequential CTR state has a single
+//     owner that sees its spans exactly in stream order.
+//   - Echo ordering: the writer consumes batches in stream order and
+//     waits for each batch's decrypts to finish (per-batch WaitGroup)
+//     before writing, so echoed bytes leave in exactly the order the
+//     measurer sent them — the whole-stream contract, strictly stronger
+//     than the per-circuit order the protocol needs.
+//
+// Every channel's capacity is pipelineDepth, so with only pipelineDepth
+// batches in existence no send can ever block: the reader is the sole
+// stage that waits (on freeQ or the socket), which makes teardown a
+// drain-and-close sequence with no lost arenas.
+const pipelineDepth = 3
+
+// muxParBatch is one super arena moving through the pipeline.
+type muxParBatch struct {
+	arena     *[]byte
+	cells     []byte // whole cells of this batch (prefix of *arena)
+	spans     spanSet
+	dataCells int
+	wg        sync.WaitGroup // decrypts outstanding; writer waits
+}
+
+// serveMuxParallel is serveMux's multi-core body. The calling goroutine
+// becomes the reader stage; workers and the writer are spawned here and
+// joined before returning, so HandleConn's lifecycle is unchanged.
+func (t *Target) serveMuxParallel(conn net.Conn, tr Transport, ms *muxState) error {
+	nw := int(ms.nWorkers)
+	freeQ := make(chan *muxParBatch, pipelineDepth)
+	writeQ := make(chan *muxParBatch, pipelineDepth)
+	jobs := make([]chan *muxParBatch, nw)
+	for i := range jobs {
+		jobs[i] = make(chan *muxParBatch, pipelineDepth)
+	}
+	for i := 0; i < pipelineDepth; i++ {
+		freeQ <- &muxParBatch{arena: cell.GetSuper()}
+	}
+
+	var workerWG sync.WaitGroup
+	for w := 0; w < nw; w++ {
+		workerWG.Add(1)
+		go func(w int32, jobsW <-chan *muxParBatch) {
+			defer workerWG.Done()
+			scratch := cell.NewSpanScratch()
+			for b := range jobsW {
+				for i := 0; i < b.spans.n; i++ {
+					sp := &b.spans.spans[i]
+					if sp.worker == w {
+						sp.st.ApplySpans(b.cells, sp.offs, scratch)
+					}
+				}
+				b.wg.Done()
+			}
+		}(int32(w), jobs[w])
+	}
+
+	// Writer: the single paced exit point, preserving stream order. On a
+	// write error it closes the connection (unblocking the reader's next
+	// Read) and keeps recycling batches without writing, so the pipeline
+	// always drains; conn.Close is idempotent and HandleConn closes it
+	// again on return.
+	var writerWG sync.WaitGroup
+	var writerErr error
+	chunkBytes := t.echoChunkBytes(cell.SuperBytes)
+	writerWG.Add(1)
+	go func() {
+		defer writerWG.Done()
+		for b := range writeQ {
+			b.wg.Wait()
+			if writerErr == nil {
+				if err := t.echoBatch(tr, b.cells, b.dataCells, chunkBytes); err != nil {
+					writerErr = err
+					conn.Close()
+				}
+			}
+			freeQ <- b
+		}
+	}()
+
+	// Reader: refill + demux + dispatch, in stream order. The partial-cell
+	// remainder of each refill is carried into the next batch's arena, the
+	// same sliding the cellReader does, but across arenas.
+	var carry [cell.Size]byte
+	carryLen := 0
+	var readErr error
+	for readErr == nil {
+		b := <-freeQ
+		arena := (*b.arena)[:cell.SuperBytes]
+		copy(arena, carry[:carryLen])
+		total := carryLen
+		for total < cell.Size {
+			n, err := tr.Read(arena[total:])
+			total += n
+			if total >= cell.Size {
+				break // the error, if any, resurfaces on the next Read
+			}
+			if err != nil {
+				if err == io.EOF && total > 0 {
+					err = io.ErrUnexpectedEOF
+				}
+				if !errors.Is(err, io.EOF) && !errors.Is(err, io.ErrUnexpectedEOF) {
+					err = fmt.Errorf("target read: %w", err)
+				}
+				readErr = err
+				break
+			}
+		}
+		if readErr != nil {
+			freeQ <- b
+			break
+		}
+		usable := total - total%cell.Size
+		carryLen = copy(carry[:], arena[usable:total])
+		b.cells = arena[:usable]
+		b.dataCells, readErr = ms.demuxTCP(b.cells, &b.spans)
+		if readErr != nil {
+			freeQ <- b
+			break
+		}
+		// Dispatch to exactly the workers owning spans in this batch. A
+		// corrupt target (§5 forging) skips decryption entirely: no
+		// dispatch, and the writer's Wait returns immediately.
+		if !t.cfg.Corrupt && b.spans.n > 0 {
+			var mask uint64
+			for i := 0; i < b.spans.n; i++ {
+				mask |= 1 << uint(b.spans.spans[i].worker)
+			}
+			b.wg.Add(bits.OnesCount64(mask))
+			for w := 0; w < nw; w++ {
+				if mask&(1<<uint(w)) != 0 {
+					jobs[w] <- b
+				}
+			}
+		}
+		writeQ <- b
+	}
+
+	// Teardown: reclaim every batch from the ring (in-flight ones come
+	// back through the writer's recycle), then release the stages. The
+	// writer never blocks — it only receives from writeQ and sends into
+	// freeQ's guaranteed capacity — so this drain cannot deadlock.
+	owned := make([]*muxParBatch, 0, pipelineDepth)
+	for len(owned) < pipelineDepth {
+		owned = append(owned, <-freeQ)
+	}
+	for _, j := range jobs {
+		close(j)
+	}
+	workerWG.Wait()
+	close(writeQ)
+	writerWG.Wait()
+	for _, b := range owned {
+		cell.PutSuper(b.arena)
+	}
+	if writerErr != nil {
+		// The write failure is the root cause; the reader's error is just
+		// the closed connection it provoked.
+		return writerErr
+	}
+	return readErr
+}

@@ -1,0 +1,392 @@
+// Command bwauthd runs one bandwidth authority of a distributed
+// FlashFlow deployment (paper §4.3): a single BWAuth's scheduler column
+// and measurement slots, driven round-by-round by the same coordinator
+// engine coordd uses, with each round's bandwidth-file view signed and
+// submitted to the directory-authority merge node (coordd -dirauth) over
+// the authenticated control-plane RPC (internal/rpc).
+//
+// Identity: the BWAuth's ed25519 keypair signs both the RPC transport
+// handshake and — under a separate domain prefix — the v3bw submissions
+// themselves, so the merge node verifies every view end-to-end. With
+// -auth-secret the key is derived deterministically from the secret and
+// -name (demo key management matching coordd -dirauth; see OPERATIONS.md
+// — not for production).
+//
+// The -sim backend here is configured noise-free: with zero path sigma
+// the simulation consumes no randomness, so a bwauthd run is
+// byte-deterministic for a fixed population regardless of worker
+// interleaving. CI's multi-process smoke test relies on this to assert
+// that two identical 3-BWAuth runs produce byte-identical merged /v3bw
+// documents.
+//
+// With -http-addr the observability plane serves this BWAuth's own
+// /metrics (including the coord_rpc_* submission-client counters),
+// /status, and /v3bw (its local, unmerged view). With -state-dir the
+// coordinator state is durable exactly as in coordd.
+//
+// Usage:
+//
+//	go run ./cmd/bwauthd -name bw0 -dirauth-addr 127.0.0.1:8580 \
+//	    -auth-secret demo [-sim] [-relays 4] [-rounds 0] [-interval 2s] \
+//	    [-http-addr 127.0.0.1:8572] [-state-dir DIR] [-log-format text|json]
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"os/signal"
+	"sync"
+	"syscall"
+	"time"
+
+	"flashflow/internal/coord"
+	"flashflow/internal/core"
+	"flashflow/internal/dirauth"
+	"flashflow/internal/metrics"
+	"flashflow/internal/obs"
+	"flashflow/internal/relay"
+	"flashflow/internal/rpc"
+	"flashflow/internal/store"
+	"flashflow/internal/wire"
+)
+
+func main() {
+	if err := run(); err != nil && err != context.Canceled {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+// logger mirrors coordd's two-format logger: human-readable lines or one
+// JSON object per line.
+type logger struct {
+	mu   sync.Mutex
+	json bool
+}
+
+func (l *logger) event(kind, human string, fields ...any) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if !l.json {
+		fmt.Println(human)
+		return
+	}
+	doc := make(map[string]any, len(fields)/2+2)
+	doc["event"] = kind
+	doc["time"] = time.Now().UTC().Format(time.RFC3339Nano)
+	for i := 0; i+1 < len(fields); i += 2 {
+		doc[fields[i].(string)] = fields[i+1]
+	}
+	b, err := json.Marshal(doc)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bwauthd: log marshal: %v\n", err)
+		return
+	}
+	os.Stdout.Write(append(b, '\n'))
+}
+
+func run() error {
+	var (
+		name        = flag.String("name", "bw0", "this BWAuth's registered name (submission identity)")
+		dirauthAddr = flag.String("dirauth-addr", "", "merge node RPC address (coordd -dirauth -rpc-addr); empty = standalone, no submissions")
+		authSecret  = flag.String("auth-secret", "", "shared secret for demo key derivation (must match the merge node's; see OPERATIONS.md)")
+		submitTO    = flag.Duration("submit-timeout", 10*time.Second, "per-submission RPC deadline")
+
+		relays    = flag.Int("relays", 4, "number of in-process target relays")
+		baseMbit  = flag.Float64("rate", 8, "slowest relay capacity in Mbit/s (others step up from it)")
+		measurers = flag.Int("measurers", 2, "measurement team size")
+		workers   = flag.Int("workers", 4, "concurrent slot executions")
+		rounds    = flag.Int("rounds", 0, "rounds to run (0 = until SIGINT)")
+		interval  = flag.Duration("interval", 2*time.Second, "pause between rounds")
+		slotSecs  = flag.Int("slot", 1, "measurement slot length t in seconds")
+		sockets   = flag.Int("sockets", 4, "total measurement sockets s")
+		attempts  = flag.Int("attempts", 3, "max measurement attempts per slot")
+
+		sim  = flag.Bool("sim", false, "simulated measurement backend: noise-free, deterministic, no sockets")
+		seed = flag.Int64("seed", 1, "simulation RNG seed (inert while the sim is noise-free)")
+
+		httpAddr  = flag.String("http-addr", "", "observability HTTP listen address; empty = off")
+		stateDir  = flag.String("state-dir", "", "directory for durable coordinator state; empty = in-memory only")
+		ckptEvery = flag.Int("checkpoint-every", 1, "rounds between full state checkpoints")
+		logFormat = flag.String("log-format", "text", "log output format: text or json")
+	)
+	flag.Parse()
+	if *slotSecs <= 0 {
+		return fmt.Errorf("bwauthd: -slot must be positive, got %d", *slotSecs)
+	}
+	if *relays <= 0 {
+		return fmt.Errorf("bwauthd: -relays must be positive, got %d", *relays)
+	}
+	if *logFormat != "text" && *logFormat != "json" {
+		return fmt.Errorf("bwauthd: -log-format must be text or json, got %q", *logFormat)
+	}
+	if *dirauthAddr != "" && *authSecret == "" {
+		return fmt.Errorf("bwauthd: -dirauth-addr needs -auth-secret to derive this BWAuth's identity")
+	}
+	log := &logger{json: *logFormat == "json"}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	p := core.DefaultParams()
+	p.SlotSeconds = *slotSecs
+	p.Sockets = *sockets
+	counters := metrics.NewCounters()
+
+	var (
+		auth    *core.BWAuth
+		source  coord.StaticRelays
+		pool    *coord.Pool
+		cleanup func()
+	)
+	if *sim {
+		// Noise-free paths: zero sigma consumes no RNG, so slot results —
+		// and therefore the round's v3bw view — are byte-deterministic no
+		// matter how the worker pool interleaves. Echo checks are off for
+		// the same reason (detection draws randomness).
+		p.CheckProb = 0
+		paths := make([]core.PathModel, *measurers)
+		for i := range paths {
+			paths[i] = core.PathModel{RTT: 40 * time.Millisecond, LinkBps: 1e9}
+		}
+		backend := core.NewSimBackend(paths, *seed)
+		team := make([]*core.Measurer, *measurers)
+		for i := range team {
+			team[i] = &core.Measurer{Name: fmt.Sprintf("m%d", i), CapacityBps: 500e6, Cores: 2}
+		}
+		for i := 0; i < *relays; i++ {
+			rname := fmt.Sprintf("relay%02d", i)
+			rate := *baseMbit * 1e6 * (1 + 0.5*float64(i))
+			backend.AddTarget(rname, &core.SimTarget{
+				Relay:    relay.New(relay.Config{Name: rname, TorCapBps: rate}),
+				LinkBps:  2e9,
+				Behavior: core.BehaviorHonest,
+			})
+			source = append(source, core.RelayEstimate{Name: rname, EstimateBps: rate})
+			log.event("relay", fmt.Sprintf("%s: simulated, capacity %.1f Mbit/s", rname, rate/1e6),
+				"name", rname, "backend", "sim", "capacity_mbit", rate/1e6)
+		}
+		auth = core.NewBWAuth(*name, team, backend, p)
+		cleanup = func() {}
+	} else {
+		var err error
+		auth, source, pool, cleanup, err = wireSetup(log, *name, *relays, *measurers, *baseMbit, p)
+		if err != nil {
+			return err
+		}
+	}
+	defer cleanup()
+
+	// Submission client: one cached authenticated connection to the merge
+	// node, redialed transparently if it restarts between rounds. Its
+	// coord_rpc_* counters land in the same registry /metrics serves.
+	var client *rpc.Client
+	var identity wire.Identity
+	if *dirauthAddr != "" {
+		identity = rpc.DeriveIdentity(*authSecret, *name)
+		var err error
+		client, err = rpc.NewClient(rpc.ClientConfig{
+			Dial: func(ctx context.Context) (io.ReadWriteCloser, error) {
+				var d net.Dialer
+				return d.DialContext(ctx, "tcp", *dirauthAddr)
+			},
+			Identity: identity,
+			Counters: counters,
+		})
+		if err != nil {
+			return err
+		}
+		defer client.Close()
+	}
+
+	var durable store.Store
+	if *stateDir != "" {
+		fs, err := store.Open(*stateDir, store.Options{})
+		if err != nil {
+			return fmt.Errorf("bwauthd: open state dir: %w", err)
+		}
+		defer fs.Close()
+		durable = fs
+	}
+
+	snapshot := &obs.SnapshotHolder{}
+	var c *coord.Coordinator
+	cfg := coord.Config{
+		Params:          p,
+		Workers:         *workers,
+		MaxAttempts:     *attempts,
+		RoundInterval:   *interval,
+		MaxRounds:       *rounds,
+		Pool:            pool,
+		Store:           durable,
+		CheckpointEvery: *ckptEvery,
+		Counters:        counters,
+		OnSnapshot: func(round int, f *dirauth.BandwidthFile) {
+			if err := snapshot.Publish(round, f, time.Now()); err != nil {
+				log.event("snapshot_error", "  snapshot render: "+err.Error(),
+					"round", round, "error", err.Error())
+			}
+			submit(ctx, log, client, identity, *name, round, f, *submitTO)
+		},
+		OnRound: func(r coord.RoundReport) {
+			log.event("round", r.String(),
+				"round", r.Round, "relays", r.Relays, "conclusive", r.Conclusive,
+				"inconclusive", r.Inconclusive, "estimates", len(r.Estimates),
+				"duration_ms", float64(r.Duration)/float64(time.Millisecond))
+		},
+	}
+	c, err := coord.New(cfg, []*core.BWAuth{auth}, source)
+	if err != nil {
+		return err
+	}
+
+	srv := obs.NewServer(obs.Config{Coordinator: c, Counters: counters, Snapshot: snapshot})
+	if *httpAddr != "" {
+		addr, err := srv.Start(*httpAddr)
+		if err != nil {
+			return fmt.Errorf("bwauthd: observability server: %w", err)
+		}
+		log.event("http", fmt.Sprintf("observability: http://%s (/metrics /status /v3bw)", addr),
+			"addr", addr.String())
+	}
+
+	log.event("start",
+		fmt.Sprintf("bwauthd %s: %d relays, %d measurers; submitting to %s",
+			*name, *relays, *measurers, orStandalone(*dirauthAddr)),
+		"name", *name, "relays", *relays, "measurers", *measurers,
+		"dirauth_addr", *dirauthAddr, "sim", *sim)
+	runErr := c.Run(ctx)
+	if runErr == context.Canceled {
+		log.event("shutdown", "bwauthd: interrupted — in-flight slots cancelled and drained")
+	}
+	drainCtx, cancel := context.WithTimeout(context.Background(), time.Second)
+	if err := srv.Shutdown(drainCtx); err != nil {
+		log.event("shutdown_error", "bwauthd: http drain: "+err.Error(), "error", err.Error())
+	}
+	cancel()
+	if !log.json {
+		fmt.Print(counters.String())
+	}
+	return runErr
+}
+
+func orStandalone(addr string) string {
+	if addr == "" {
+		return "nobody (standalone)"
+	}
+	return addr
+}
+
+// submit signs this round's view and delivers it to the merge node. A
+// *rpc.ServerError is a protocol-level rejection (stale after a restart
+// republish, version skew) — logged, connection kept; transport errors
+// already got the client's one redial retry, so what reaches here is a
+// down or unreachable merge node, and the round simply goes unsubmitted
+// (the next round retries with a fresh dial).
+func submit(ctx context.Context, log *logger, client *rpc.Client, id wire.Identity,
+	name string, round int, f *dirauth.BandwidthFile, timeout time.Duration) {
+	if client == nil {
+		return
+	}
+	body, _, err := f.Render()
+	if err != nil {
+		log.event("submit_error", "  submission render: "+err.Error(),
+			"round", round, "error", err.Error())
+		return
+	}
+	sub := &dirauth.Submission{
+		BWAuth:  name,
+		Round:   round,
+		Version: dirauth.SubmissionVersionMax,
+		Body:    body,
+	}
+	sub.Sign(id.Priv)
+	callCtx, cancel := context.WithTimeout(ctx, timeout)
+	defer cancel()
+	resp, err := client.Call(callCtx, rpc.MethodSubmitV3BW, sub.Encode())
+	var se *rpc.ServerError
+	switch {
+	case err == nil:
+		log.event("submit", fmt.Sprintf("  submitted round %d: %s", round, resp),
+			"round", round, "response", string(resp))
+	case errors.As(err, &se):
+		log.event("submit_rejected", fmt.Sprintf("  submission round %d rejected: %s", round, se.Msg),
+			"round", round, "reason", se.Msg)
+	default:
+		log.event("submit_error", fmt.Sprintf("  submission round %d failed: %v", round, err),
+			"round", round, "error", err.Error())
+	}
+}
+
+// wireSetup builds the real-socket population for one BWAuth: wire
+// targets on localhost listeners and a measurement team with
+// authenticated connections (the same shape coordd uses, for one column).
+func wireSetup(log *logger, authName string, relays, measurers int, baseMbit float64, p core.Params) (*core.BWAuth, coord.StaticRelays, *coord.Pool, func(), error) {
+	ids := make([]wire.Identity, measurers)
+	for i := range ids {
+		var err error
+		ids[i], err = wire.NewIdentity()
+		if err != nil {
+			return nil, nil, nil, nil, err
+		}
+	}
+	addrs := make(map[string]string, relays)
+	source := make(coord.StaticRelays, 0, relays)
+	var listeners []net.Listener
+	cleanupListeners := func() {
+		for _, l := range listeners {
+			l.Close()
+		}
+	}
+	for i := 0; i < relays; i++ {
+		rname := fmt.Sprintf("relay%02d", i)
+		rate := baseMbit * 1e6 * (1 + 0.5*float64(i))
+		tgt := wire.NewTarget(wire.TargetConfig{RateBps: rate})
+		for _, id := range ids {
+			tgt.Authorize(id.Pub)
+		}
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			cleanupListeners()
+			return nil, nil, nil, nil, err
+		}
+		listeners = append(listeners, l)
+		go tgt.Serve(l)
+		addrs[rname] = l.Addr().String()
+		source = append(source, core.RelayEstimate{Name: rname, EstimateBps: rate})
+		log.event("relay", fmt.Sprintf("%s: %s, capacity %.1f Mbit/s", rname, l.Addr(), rate/1e6),
+			"name", rname, "addr", l.Addr().String(), "capacity_mbit", rate/1e6)
+	}
+
+	pool := coord.NewPool(4, 90*time.Second)
+	members := make([]wire.Member, len(ids))
+	for i := range ids {
+		member := i
+		members[i] = wire.Member{
+			Identity: ids[i],
+			Dial: func(target string) wire.Dialer {
+				addr := addrs[target]
+				key := fmt.Sprintf("%s/m%d", target, member)
+				return pool.Dialer(key, func() (net.Conn, error) {
+					return net.Dial("tcp", addr)
+				})
+			},
+		}
+	}
+	team := make([]*core.Measurer, len(ids))
+	for i := range team {
+		team[i] = &core.Measurer{Name: fmt.Sprintf("m%d", i), CapacityBps: 500e6, Cores: 2}
+	}
+	backend := &wire.Backend{Members: members, CheckProb: p.CheckProb, Seed: time.Now().UnixNano()}
+	cleanup := func() {
+		cleanupListeners()
+		pool.Close()
+	}
+	return core.NewBWAuth(authName, team, backend, p), source, pool, cleanup, nil
+}

@@ -25,6 +25,16 @@
 // of re-converging from consensus estimates. See OPERATIONS.md for the
 // state-dir layout and recovery semantics.
 //
+// With -dirauth, coordd instead runs the directory-authority merge node
+// of the distributed control plane: it accepts signed v3bw submissions
+// from cmd/bwauthd processes over the authenticated RPC protocol
+// (internal/rpc), merges the fresh views median-of-views style
+// (internal/dirauth.MergeService), serves the merged file on /v3bw and
+// the per-BWAuth submission state on /dirauth, and persists accepted
+// submissions through -state-dir so a restart recovers its freshness
+// windows. See OPERATIONS.md "Multi-node deployment" for the full
+// runbook.
+//
 // SIGINT or SIGTERM triggers a graceful shutdown: in-flight measurement
 // slots are cancelled mid-slot (the streaming backends tear them down
 // within about one second of data, salvaging the completed seconds as
@@ -138,8 +148,18 @@ func run() error {
 		logFormat   = flag.String("log-format", "text", "log output format: text (human) or json (one object per line)")
 		webhook     = flag.String("alert-webhook", "", "POST threshold alerts as JSON to this URL (retried with backoff)")
 		alertClamp  = flag.Int64("alert-clamp-seconds", 30, "alert when a relay accumulates this many clamped seconds (0 = off)")
-		alertEcho   = flag.Int64("alert-echo-failures", 1, "alert when a relay accumulates this many echo-verification failures (0 = off)")
+		alertEcho   = flag.Int64("alert-echo-failures", 1, "alert when a relay accumulates this many echo-failures (0 = off)")
 		alertSplit  = flag.Int64("alert-split-view", 1, "alert when a relay accumulates this many split-view rounds (0 = off)")
+
+		// -dirauth mode: run the directory-authority merge node instead of
+		// measuring (see cmd/coordd/dirauth.go and OPERATIONS.md).
+		dirauthMode = flag.Bool("dirauth", false, "run as the dirauth merge node: accept signed v3bw submissions over RPC and serve the median-of-views merge")
+		rpcAddr     = flag.String("rpc-addr", "127.0.0.1:8580", "dirauth mode: RPC listen address for BWAuth submissions")
+		bwauthNames = flag.String("bwauths", "bw0,bw1,bw2", "dirauth mode: comma-separated registered BWAuth names")
+		authSecret  = flag.String("auth-secret", "", "dirauth mode: shared secret the demo key derivation uses (see OPERATIONS.md; not for production)")
+		freshFor    = flag.Duration("fresh-for", 15*time.Minute, "dirauth mode: per-BWAuth submission freshness window (0 = views never expire)")
+		minViews    = flag.Int("min-views", 1, "dirauth mode: minimum fresh views required to merge")
+		producer    = flag.String("producer", "dirauth", "dirauth mode: producer header of the merged bandwidth file")
 	)
 	flag.Parse()
 	if *slotSecs <= 0 {
@@ -157,6 +177,21 @@ func run() error {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	if *dirauthMode {
+		return runDirauth(ctx, log, dirauthOptions{
+			rpcAddr:    *rpcAddr,
+			bwauths:    *bwauthNames,
+			authSecret: *authSecret,
+			freshFor:   *freshFor,
+			minViews:   *minViews,
+			producer:   *producer,
+			httpAddr:   *httpAddr,
+			stateDir:   *stateDir,
+			noPersist:  *noPersist,
+			ckptEvery:  *ckptEvery,
+		})
+	}
 
 	p := core.DefaultParams()
 	p.SlotSeconds = *slotSecs

@@ -1,10 +1,12 @@
 // Command docscheck is the repository's documentation gate, run by the
 // CI docs job. It enforces two invariants that otherwise rot silently:
 //
-//   - every Go package under internal/ has a package comment (the
-//     doc-comment attached to its package clause, conventionally in
-//     doc.go), so `go doc` on any package explains what it is and which
-//     paper section it implements;
+//   - every Go package under internal/ and cmd/ has a package comment
+//     (the doc-comment attached to its package clause, conventionally in
+//     doc.go for libraries and atop main.go for commands), so `go doc`
+//     on any package explains what it is and which paper section it
+//     implements, and every binary documents its flags and role in a
+//     multi-node deployment;
 //
 //   - every relative link in the root-level markdown files (README.md,
 //     OPERATIONS.md, PAPER.md, ...) resolves to a file that exists, so
@@ -31,12 +33,14 @@ func main() {
 	flag.Parse()
 
 	var problems []string
-	pkgProblems, err := checkPackageDocs(filepath.Join(*root, "internal"))
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "docscheck: %v\n", err)
-		os.Exit(2)
+	for _, tree := range []string{"internal", "cmd"} {
+		pkgProblems, err := checkPackageDocs(filepath.Join(*root, tree))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "docscheck: %v\n", err)
+			os.Exit(2)
+		}
+		problems = append(problems, pkgProblems...)
 	}
-	problems = append(problems, pkgProblems...)
 
 	linkProblems, err := checkMarkdownLinks(*root)
 	if err != nil {

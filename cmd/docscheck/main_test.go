@@ -31,12 +31,23 @@ func TestCheckPackageDocs(t *testing.T) {
 	write(t, filepath.Join(root, "internal/testdoc/code_test.go"),
 		"// Package testdoc would be documented only in tests.\npackage testdoc\n")
 
-	problems, err := checkPackageDocs(filepath.Join(root, "internal"))
-	if err != nil {
-		t.Fatal(err)
+	// Command packages are held to the same standard: a main.go doc
+	// comment counts, a bare package clause does not.
+	write(t, filepath.Join(root, "cmd/gooddaemon/main.go"),
+		"// Command gooddaemon is documented.\npackage main\n")
+	write(t, filepath.Join(root, "cmd/baddaemon/main.go"),
+		"package main\n")
+
+	var problems []string
+	for _, tree := range []string{"internal", "cmd"} {
+		p, err := checkPackageDocs(filepath.Join(root, tree))
+		if err != nil {
+			t.Fatal(err)
+		}
+		problems = append(problems, p...)
 	}
-	if len(problems) != 2 {
-		t.Fatalf("got %d problems, want 2: %v", len(problems), problems)
+	if len(problems) != 3 {
+		t.Fatalf("got %d problems, want 3: %v", len(problems), problems)
 	}
 	for _, pkg := range []string{"bad", "testdoc"} {
 		found := false
@@ -48,6 +59,15 @@ func TestCheckPackageDocs(t *testing.T) {
 		if !found {
 			t.Errorf("missing problem for package %s in %v", pkg, problems)
 		}
+	}
+	found := false
+	for _, p := range problems {
+		if strings.Contains(p, "baddaemon") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("missing problem for cmd/baddaemon in %v", problems)
 	}
 }
 
@@ -88,9 +108,13 @@ func TestRepoIsClean(t *testing.T) {
 	if _, err := os.Stat(filepath.Join(root, "go.mod")); err != nil {
 		t.Skip("repo root not found")
 	}
-	pkgProblems, err := checkPackageDocs(filepath.Join(root, "internal"))
-	if err != nil {
-		t.Fatal(err)
+	var pkgProblems []string
+	for _, tree := range []string{"internal", "cmd"} {
+		p, err := checkPackageDocs(filepath.Join(root, tree))
+		if err != nil {
+			t.Fatal(err)
+		}
+		pkgProblems = append(pkgProblems, p...)
 	}
 	linkProblems, err := checkMarkdownLinks(root)
 	if err != nil {

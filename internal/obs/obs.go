@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"flashflow/internal/coord"
+	"flashflow/internal/dirauth"
 	"flashflow/internal/metrics"
 )
 
@@ -16,6 +17,13 @@ import (
 // must be safe to call concurrently with running rounds (coord's is).
 type Coordinator interface {
 	Status() coord.Status
+}
+
+// Merge is the slice of *dirauth.MergeService the server reads on a
+// dirauth merge node. Status must be safe to call concurrently with
+// submissions (the merge service's is).
+type Merge interface {
+	Status() dirauth.MergeStatus
 }
 
 // Config wires a Server to its data sources. Every field is optional:
@@ -28,6 +36,8 @@ type Config struct {
 	Counters *metrics.Counters
 	// Snapshot backs /v3bw.
 	Snapshot *SnapshotHolder
+	// Merge backs /dirauth on a merge node (coordd -dirauth).
+	Merge Merge
 }
 
 // Server is the embeddable observability HTTP server.
@@ -44,6 +54,7 @@ func NewServer(cfg Config) *Server {
 	s.mux.HandleFunc("GET /metrics", s.serveMetrics)
 	s.mux.HandleFunc("GET /status", s.serveStatus)
 	s.mux.HandleFunc("GET /status/anomalies", s.serveAnomalies)
+	s.mux.HandleFunc("GET /dirauth", s.serveDirauth)
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.Write([]byte("ok\n"))
 	})
@@ -123,6 +134,21 @@ func (s *Server) serveStatus(w http.ResponseWriter, _ *http.Request) {
 		return
 	}
 	writeJSON(w, StatusDoc{Time: time.Now(), Status: s.cfg.Coordinator.Status()})
+}
+
+// MergeStatusDoc is the /dirauth response shape: the merge service's
+// status plus a wall-clock stamp, mirroring /status.
+type MergeStatusDoc struct {
+	Time time.Time `json:"time"`
+	dirauth.MergeStatus
+}
+
+func (s *Server) serveDirauth(w http.ResponseWriter, _ *http.Request) {
+	if s.cfg.Merge == nil {
+		http.Error(w, "no merge service attached", http.StatusNotFound)
+		return
+	}
+	writeJSON(w, MergeStatusDoc{Time: time.Now(), MergeStatus: s.cfg.Merge.Status()})
 }
 
 func (s *Server) serveAnomalies(w http.ResponseWriter, _ *http.Request) {

@@ -50,13 +50,22 @@ func decodeUvarint(p []byte) (uint64, []byte, error) {
 }
 
 // appendRecord appends one WAL record's payload (the CRC frame is the
-// caller's job).
+// caller's job). Submission-only fields follow the common fields for
+// KindSubmission records; the original kinds are byte-for-byte the
+// format-version-1 layout.
 func appendRecord(buf []byte, rec Record) []byte {
 	buf = append(buf, byte(rec.Kind))
 	buf = binary.AppendUvarint(buf, uint64(rec.Round))
 	buf = appendString(buf, rec.Relay)
 	buf = appendFloat(buf, rec.Bps)
-	return rec.Counts.AppendBinary(buf)
+	buf = rec.Counts.AppendBinary(buf)
+	if rec.Kind == KindSubmission {
+		buf = binary.AppendUvarint(buf, uint64(rec.Version))
+		buf = binary.AppendUvarint(buf, uint64(rec.Unix))
+		buf = binary.AppendUvarint(buf, uint64(len(rec.Body)))
+		buf = append(buf, rec.Body...)
+	}
+	return buf
 }
 
 // decodeRecord parses one record payload. The payload must be exactly
@@ -69,7 +78,7 @@ func decodeRecord(p []byte) (Record, error) {
 		return rec, fmt.Errorf("store: empty record")
 	}
 	rec.Kind = Kind(p[0])
-	if rec.Kind < KindRound || rec.Kind > KindAnomalyDelete {
+	if rec.Kind < KindRound || rec.Kind > KindSubmission {
 		return rec, fmt.Errorf("store: unknown record kind %d", rec.Kind)
 	}
 	p = p[1:]
@@ -86,6 +95,25 @@ func decodeRecord(p []byte) (Record, error) {
 	}
 	if rec.Counts, p, err = core.DecodeAnomalyCounts(p); err != nil {
 		return rec, err
+	}
+	if rec.Kind == KindSubmission {
+		var v, unix, blen uint64
+		if v, p, err = decodeUvarint(p); err != nil {
+			return rec, err
+		}
+		rec.Version = uint16(v)
+		if unix, p, err = decodeUvarint(p); err != nil {
+			return rec, err
+		}
+		rec.Unix = int64(unix)
+		if blen, p, err = decodeUvarint(p); err != nil {
+			return rec, err
+		}
+		if uint64(len(p)) < blen {
+			return rec, fmt.Errorf("store: truncated submission body")
+		}
+		rec.Body = append([]byte(nil), p[:blen]...)
+		p = p[blen:]
 	}
 	if len(p) != 0 {
 		return rec, fmt.Errorf("store: %d trailing bytes after record", len(p))
@@ -124,7 +152,27 @@ func appendState(buf []byte, st *State) []byte {
 
 	buf = binary.AppendUvarint(buf, uint64(st.V3BW.Round))
 	buf = binary.AppendUvarint(buf, uint64(len(st.V3BW.Body)))
-	return append(buf, st.V3BW.Body...)
+	buf = append(buf, st.V3BW.Body...)
+
+	// Submissions section (format version 2). Version-1 snapshots simply
+	// end after the v3bw body; decodeState treats a missing section as an
+	// empty map.
+	names = names[:0]
+	for n := range st.Submissions {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	buf = binary.AppendUvarint(buf, uint64(len(names)))
+	for _, n := range names {
+		sub := st.Submissions[n]
+		buf = appendString(buf, n)
+		buf = binary.AppendUvarint(buf, uint64(sub.Round))
+		buf = binary.AppendUvarint(buf, uint64(sub.Version))
+		buf = binary.AppendUvarint(buf, uint64(sub.Unix))
+		buf = binary.AppendUvarint(buf, uint64(len(sub.Body)))
+		buf = append(buf, sub.Body...)
+	}
+	return buf
 }
 
 // sizeHint bounds a declared element count by the smallest encoding an
@@ -202,6 +250,44 @@ func decodeState(p []byte) (*State, error) {
 	}
 	if n > 0 {
 		st.V3BW.Body = append([]byte(nil), p[:n]...)
+	}
+	p = p[n:]
+
+	// Submissions section. Absent in format-version-1 snapshots, whose
+	// payload ends exactly at the v3bw body.
+	if len(p) == 0 {
+		return st, nil
+	}
+	if n, p, err = decodeUvarint(p); err != nil {
+		return nil, err
+	}
+	st.Submissions = make(map[string]SubmissionRecord, sizeHint(n, len(p)))
+	for i := uint64(0); i < n; i++ {
+		var name string
+		var round, version, unix, blen uint64
+		var sub SubmissionRecord
+		if name, p, err = decodeString(p); err != nil {
+			return nil, err
+		}
+		if round, p, err = decodeUvarint(p); err != nil {
+			return nil, err
+		}
+		if version, p, err = decodeUvarint(p); err != nil {
+			return nil, err
+		}
+		if unix, p, err = decodeUvarint(p); err != nil {
+			return nil, err
+		}
+		if blen, p, err = decodeUvarint(p); err != nil {
+			return nil, err
+		}
+		if uint64(len(p)) < blen {
+			return nil, fmt.Errorf("store: truncated submission body")
+		}
+		sub.Round, sub.Version, sub.Unix = int(round), uint16(version), int64(unix)
+		sub.Body = append([]byte(nil), p[:blen]...)
+		p = p[blen:]
+		st.Submissions[name] = sub
 	}
 	return st, nil
 }

@@ -32,7 +32,10 @@ const (
 	// files up to and including this version (older files decode with
 	// missing fields zero, per the codec's extensibility rules) and
 	// refuse newer ones with ErrVersion rather than misreading them.
-	FormatVersion = 1
+	// Version 2 added the per-BWAuth submissions section (KindSubmission
+	// records and the snapshot's trailing submissions map); version-1
+	// files read back with an empty submissions map.
+	FormatVersion = 2
 
 	// SnapshotFile and WALFile are the live file names inside a state
 	// directory.

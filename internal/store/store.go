@@ -22,6 +22,22 @@ type State struct {
 	// observability plane's /v3bw endpoint serves immediately after a
 	// restart instead of answering 503 until the first round completes.
 	V3BW V3BW
+	// Submissions holds, per BWAuth, the last accepted signed v3bw
+	// submission on a dirauth merge node. A restarted merge node re-seeds
+	// its freshness windows and re-merges from these instead of waiting a
+	// full round for every BWAuth to submit again.
+	Submissions map[string]SubmissionRecord
+}
+
+// SubmissionRecord is one BWAuth's last accepted submission on a merge
+// node: the round it covered, the submission-format version it used, the
+// receipt time (Unix seconds — the freshness-window clock), and the v3bw
+// body it carried.
+type SubmissionRecord struct {
+	Round   int
+	Version uint16
+	Unix    int64
+	Body    []byte
 }
 
 // AnomalyRecord pairs a relay's accumulated §5 counters with the last
@@ -41,18 +57,20 @@ type V3BW struct {
 // NewState returns an empty state with allocated maps.
 func NewState() *State {
 	return &State{
-		Priors:    make(map[string]float64),
-		Anomalies: make(map[string]AnomalyRecord),
+		Priors:      make(map[string]float64),
+		Anomalies:   make(map[string]AnomalyRecord),
+		Submissions: make(map[string]SubmissionRecord),
 	}
 }
 
 // Clone deep-copies the state; the copy shares nothing with st.
 func (st *State) Clone() *State {
 	out := &State{
-		Round:     st.Round,
-		Priors:    make(map[string]float64, len(st.Priors)),
-		Anomalies: make(map[string]AnomalyRecord, len(st.Anomalies)),
-		V3BW:      V3BW{Round: st.V3BW.Round},
+		Round:       st.Round,
+		Priors:      make(map[string]float64, len(st.Priors)),
+		Anomalies:   make(map[string]AnomalyRecord, len(st.Anomalies)),
+		V3BW:        V3BW{Round: st.V3BW.Round},
+		Submissions: make(map[string]SubmissionRecord, len(st.Submissions)),
 	}
 	for k, v := range st.Priors {
 		out.Priors[k] = v
@@ -62,6 +80,10 @@ func (st *State) Clone() *State {
 	}
 	if len(st.V3BW.Body) > 0 {
 		out.V3BW.Body = append([]byte(nil), st.V3BW.Body...)
+	}
+	for k, v := range st.Submissions {
+		v.Body = append([]byte(nil), v.Body...)
+		out.Submissions[k] = v
 	}
 	return out
 }
@@ -86,16 +108,28 @@ const (
 	// KindAnomalyDelete forgets a relay whose anomaly record aged out of
 	// the retention window.
 	KindAnomalyDelete Kind = 5
+	// KindSubmission sets Submissions[Relay] (the Relay field carries the
+	// BWAuth name) to the record's Round/Version/Unix/Body. Appended by a
+	// dirauth merge node on each accepted submission; the latest record
+	// per BWAuth wins on replay, matching live acceptance semantics.
+	KindSubmission Kind = 6
 )
 
 // Record is one WAL mutation. Which fields are meaningful depends on
-// Kind; unused fields are zero and cost one varint each on disk.
+// Kind; unused fields are zero and cost one varint each on disk. The
+// submission-only fields (Version, Unix, Body) are encoded only for
+// KindSubmission records, so the five original kinds keep their exact
+// format-version-1 byte layout.
 type Record struct {
 	Kind   Kind
 	Round  int
 	Relay  string
 	Bps    float64
 	Counts core.AnomalyCounts
+	// Submission fields, meaningful for KindSubmission only.
+	Version uint16
+	Unix    int64
+	Body    []byte
 }
 
 // Apply folds one record into the state. FileStore replay and MemStore
@@ -116,6 +150,13 @@ func (st *State) Apply(rec Record) {
 		st.Anomalies[rec.Relay] = a
 	case KindAnomalyDelete:
 		delete(st.Anomalies, rec.Relay)
+	case KindSubmission:
+		st.Submissions[rec.Relay] = SubmissionRecord{
+			Round:   rec.Round,
+			Version: rec.Version,
+			Unix:    rec.Unix,
+			Body:    append([]byte(nil), rec.Body...),
+		}
 	}
 }
 

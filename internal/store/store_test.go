@@ -26,6 +26,11 @@ func testRecords() []Record {
 		{Kind: KindAnomaly, Relay: "liar", Round: 2, Counts: core.AnomalyCounts{SplitViewRounds: 1}},
 		{Kind: KindPriorDelete, Relay: "relay-b"},
 		{Kind: KindAnomalyDelete, Relay: "ghost"},
+		// A merge node's submission records: bw0 submits twice (latest
+		// wins on replay, like live acceptance), bw1 once.
+		{Kind: KindSubmission, Relay: "bw0", Round: 1, Version: 1, Unix: 1700000000, Body: []byte("bw0 round1 view")},
+		{Kind: KindSubmission, Relay: "bw0", Round: 2, Version: 1, Unix: 1700000600, Body: []byte("bw0 round2 view")},
+		{Kind: KindSubmission, Relay: "bw1", Round: 2, Version: 1, Unix: 1700000610, Body: []byte("bw1 round2 view")},
 	}
 }
 
@@ -38,6 +43,8 @@ func wantState() *State {
 		Counts:   core.AnomalyCounts{ClampedSeconds: 7, SplitViewRounds: 2},
 		LastSeen: 2,
 	}
+	st.Submissions["bw0"] = SubmissionRecord{Round: 2, Version: 1, Unix: 1700000600, Body: []byte("bw0 round2 view")}
+	st.Submissions["bw1"] = SubmissionRecord{Round: 2, Version: 1, Unix: 1700000610, Body: []byte("bw1 round2 view")}
 	return st
 }
 
@@ -67,6 +74,9 @@ func checkState(t *testing.T, got, want *State) {
 	}
 	if got.V3BW.Round != want.V3BW.Round || !bytes.Equal(got.V3BW.Body, want.V3BW.Body) {
 		t.Errorf("V3BW = (%d, %q), want (%d, %q)", got.V3BW.Round, got.V3BW.Body, want.V3BW.Round, want.V3BW.Body)
+	}
+	if !reflect.DeepEqual(got.Submissions, want.Submissions) {
+		t.Errorf("Submissions = %v, want %v", got.Submissions, want.Submissions)
 	}
 }
 
@@ -373,6 +383,40 @@ func TestInterruptedCheckpointTmpIgnored(t *testing.T) {
 		if _, err := os.Stat(filepath.Join(dir, name)); !os.IsNotExist(err) {
 			t.Errorf("%s survived Open", name)
 		}
+	}
+}
+
+// TestFormatV1SnapshotReadable pins backward compatibility: a snapshot
+// written before the submissions section (format version 1, payload
+// ending exactly at the v3bw body) loads with an empty submissions map
+// and everything else intact.
+func TestFormatV1SnapshotReadable(t *testing.T) {
+	st := wantState()
+	st.Submissions = map[string]SubmissionRecord{}
+	st.V3BW = V3BW{Round: 2, Body: []byte("v3bw body")}
+
+	// appendState on a submission-free state emits the v1 payload plus a
+	// single zero count byte; stripping it yields the exact v1 encoding.
+	payload := appendState(nil, st)
+	if payload[len(payload)-1] != 0 {
+		t.Fatal("expected trailing zero submission count")
+	}
+	payload = payload[:len(payload)-1]
+
+	hdr := append([]byte(nil), snapMagic...)
+	hdr = binary.LittleEndian.AppendUint16(hdr, 1) // format version 1
+	hdr = binary.LittleEndian.AppendUint64(hdr, 3) // generation
+	file := appendFrame(hdr, payload)
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, SnapshotFile), file, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s, got := mustOpenLoad(t, dir)
+	defer s.Close()
+	checkState(t, got, st)
+	if len(got.Submissions) != 0 {
+		t.Fatalf("v1 snapshot produced submissions: %v", got.Submissions)
 	}
 }
 
